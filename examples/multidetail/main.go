@@ -1,0 +1,74 @@
+// Multidetail reproduces Example 3.3: one output table combining
+// aggregates from two different detail relations — total sales and total
+// payments per customer and month — as a series of two MD-joins. Because
+// the two θs are independent but the detail relations differ, the series
+// planner keeps two stages (Theorem 4.3 lets them run in either order; a
+// distributed system could run them at the data sources and equijoin the
+// results, Theorem 4.4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdjoin"
+	"mdjoin/internal/workload"
+)
+
+func main() {
+	sales := workload.Sales(workload.SalesConfig{Rows: 8000, Customers: 25, Seed: 21})
+	payments := workload.Payments(workload.PaymentsConfig{Rows: 4000, Customers: 25, Seed: 22})
+
+	base, err := mdjoin.DistinctBase(sales, "cust", "month")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	steps := []mdjoin.Step{
+		{Detail: "Sales", Phase: mdjoin.Phase{
+			Aggs: []mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("sale"), "total_sales")},
+			Theta: mdjoin.And(
+				mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust")),
+				mdjoin.Eq(mdjoin.DetailCol("month"), mdjoin.BaseCol("month"))),
+		}},
+		{Detail: "Payments", Phase: mdjoin.Phase{
+			Aggs: []mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("amount"), "total_paid")},
+			Theta: mdjoin.And(
+				mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust")),
+				mdjoin.Eq(mdjoin.DetailCol("month"), mdjoin.BaseCol("month"))),
+		}},
+	}
+	out, err := mdjoin.EvalSeries(base,
+		map[string]*mdjoin.Table{"Sales": sales, "Payments": payments},
+		steps, mdjoin.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out.SortBy("cust", "month")
+	fmt.Printf("%d (cust, month) rows; first few:\n", out.Len())
+	for i := 0; i < len(out.Rows) && i < 6; i++ {
+		fmt.Println(out.Rows[i])
+	}
+
+	// Theorem 4.4 alternative: evaluate the two MD-joins independently
+	// (as if at two data sources) and equijoin on the base columns.
+	left, err := mdjoin.MDJoin(base, sales,
+		steps[0].Aggs, steps[0].Theta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	right, err := mdjoin.MDJoin(base, payments,
+		steps[1].Aggs, steps[1].Theta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	joined, err := mdjoin.SplitJoin(left, right, []string{"cust", "month"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if joined.EqualSet(out) {
+		fmt.Println("\nTheorem 4.4 verified: split + equijoin equals the sequential series")
+	} else {
+		fmt.Println("\nWARNING: split-join result differs!")
+	}
+}

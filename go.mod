@@ -1,0 +1,3 @@
+module mdjoin
+
+go 1.22

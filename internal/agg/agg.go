@@ -1,0 +1,419 @@
+// Package agg implements the aggregate-function framework shared by the
+// MD-join operator, the classic relational group-by, and the cube toolkit.
+//
+// Every aggregate is a Func that manufactures mergeable States. Mergeability
+// serves two of the paper's needs: intra-operator parallelism over
+// partitions of the detail relation (Section 4.1.2), and the roll-up
+// transformation of Theorem 4.5, where a coarser cuboid is computed from a
+// finer one by re-aggregating (a count in l becomes a sum in l').
+//
+// Distributive aggregates (count, sum, min, max) and algebraic aggregates
+// (avg, var, stddev — fixed-size states) run in constant memory per group.
+// Holistic aggregates (median, mode, count_distinct) retain value multisets,
+// mirroring the paper's footnote 2; approx_median trades exactness for a
+// bounded-size reservoir, the approximation route the footnote cites
+// [MRL98].
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"mdjoin/internal/table"
+)
+
+// Func describes an aggregate function. Implementations must be stateless:
+// all per-group storage lives in the State values they create.
+type Func interface {
+	// Name is the canonical lower-case name ("sum", "count", ...).
+	Name() string
+	// NewState creates an empty accumulator.
+	NewState() State
+	// Reaggregate returns the function that combines already-aggregated
+	// results of this function (Theorem 4.5's l → l' mapping): count
+	// re-aggregates by sum, sum by sum, min by min, max by max. The second
+	// result is false for non-distributive aggregates, which cannot be
+	// rolled up from result values alone.
+	Reaggregate() (Func, bool)
+}
+
+// State accumulates input values for one group.
+type State interface {
+	// Add folds one value into the accumulator. NULL inputs are ignored,
+	// following SQL; count(*) is modelled by feeding a non-NULL marker.
+	Add(v table.Value)
+	// Merge folds another accumulator of the same function into this one.
+	Merge(o State)
+	// Result reports the aggregate value. Empty accumulators yield 0 for
+	// count and NULL otherwise (the MD-join's outer-join semantics:
+	// Definition 3.1 emits a row for every b ∈ B even when RNG(b,R,θ) is
+	// empty).
+	Result() table.Value
+}
+
+// ---------------------------------------------------------------- registry
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Func{}
+)
+
+// Register installs an aggregate function under its Name. It is how user
+// defined aggregate functions (UDAFs, Section 1 of the paper) plug in; the
+// built-ins register themselves at init. Re-registering a name replaces the
+// previous function.
+func Register(f Func) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[strings.ToLower(f.Name())] = f
+}
+
+// Lookup finds a registered aggregate by name (case-insensitive).
+func Lookup(name string) (Func, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("agg: unknown aggregate function %q", name)
+	}
+	return f, nil
+}
+
+// MustLookup is Lookup that panics; for statically known names.
+func MustLookup(name string) Func {
+	f, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Names returns the sorted names of all registered aggregates.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register(countFunc{})
+	Register(sumFunc{})
+	Register(minFunc{})
+	Register(maxFunc{})
+	Register(avgFunc{})
+	Register(varFunc{pop: false})
+	Register(varFunc{pop: true})
+	Register(stddevFunc{})
+	Register(firstFunc{})
+	Register(lastFunc{})
+	Register(medianFunc{})
+	Register(ApproxMedian{Capacity: 1024, Seed: 1})
+	Register(modeFunc{})
+	Register(countDistinctFunc{})
+}
+
+// ------------------------------------------------------------------- count
+
+type countFunc struct{}
+
+func (countFunc) Name() string              { return "count" }
+func (countFunc) NewState() State           { return &countState{} }
+func (countFunc) Reaggregate() (Func, bool) { return sumFunc{}, true }
+
+type countState struct{ n int64 }
+
+func (s *countState) Add(v table.Value) {
+	if !v.IsNull() {
+		s.n++
+	}
+}
+func (s *countState) Merge(o State)       { s.n += o.(*countState).n }
+func (s *countState) Result() table.Value { return table.Int(s.n) }
+
+// --------------------------------------------------------------------- sum
+
+type sumFunc struct{}
+
+func (sumFunc) Name() string              { return "sum" }
+func (sumFunc) NewState() State           { return &sumState{} }
+func (sumFunc) Reaggregate() (Func, bool) { return sumFunc{}, true }
+
+type sumState struct {
+	seen    bool
+	isFloat bool
+	i       int64
+	f       float64
+}
+
+func (s *sumState) Add(v table.Value) {
+	switch v.Kind() {
+	case table.KindInt:
+		s.seen = true
+		s.i += v.AsInt()
+		s.f += float64(v.AsInt())
+	case table.KindFloat:
+		s.seen = true
+		s.isFloat = true
+		s.f += v.AsFloat()
+	}
+}
+
+func (s *sumState) Merge(o State) {
+	os := o.(*sumState)
+	if !os.seen {
+		return
+	}
+	s.seen = true
+	s.isFloat = s.isFloat || os.isFloat
+	s.i += os.i
+	s.f += os.f
+}
+
+func (s *sumState) Result() table.Value {
+	if !s.seen {
+		return table.Null()
+	}
+	if s.isFloat {
+		return table.Float(s.f)
+	}
+	return table.Int(s.i)
+}
+
+// ----------------------------------------------------------------- min/max
+
+type minFunc struct{}
+
+func (minFunc) Name() string              { return "min" }
+func (minFunc) NewState() State           { return &extState{min: true} }
+func (minFunc) Reaggregate() (Func, bool) { return minFunc{}, true }
+
+type maxFunc struct{}
+
+func (maxFunc) Name() string              { return "max" }
+func (maxFunc) NewState() State           { return &extState{min: false} }
+func (maxFunc) Reaggregate() (Func, bool) { return maxFunc{}, true }
+
+type extState struct {
+	min  bool
+	seen bool
+	v    table.Value
+}
+
+func (s *extState) Add(v table.Value) {
+	if v.IsNull() || v.IsAll() {
+		return
+	}
+	if !s.seen {
+		s.seen = true
+		s.v = v
+		return
+	}
+	if s.min == (v.Compare(s.v) < 0) {
+		s.v = v
+	}
+}
+
+func (s *extState) Merge(o State) {
+	os := o.(*extState)
+	if os.seen {
+		s.Add(os.v)
+	}
+}
+
+func (s *extState) Result() table.Value {
+	if !s.seen {
+		return table.Null()
+	}
+	return s.v
+}
+
+// --------------------------------------------------------------------- avg
+
+type avgFunc struct{}
+
+func (avgFunc) Name() string    { return "avg" }
+func (avgFunc) NewState() State { return &avgState{} }
+
+// Reaggregate reports false: avg is algebraic, not distributive; an average
+// of averages is wrong. Rollup paths must decompose avg into sum and count
+// (see cube planner) or aggregate from detail.
+func (avgFunc) Reaggregate() (Func, bool) { return nil, false }
+
+type avgState struct {
+	n   int64
+	sum float64
+}
+
+func (s *avgState) Add(v table.Value) {
+	if !v.IsNumeric() {
+		return
+	}
+	s.n++
+	s.sum += v.AsFloat()
+}
+
+func (s *avgState) Merge(o State) {
+	os := o.(*avgState)
+	s.n += os.n
+	s.sum += os.sum
+}
+
+func (s *avgState) Result() table.Value {
+	if s.n == 0 {
+		return table.Null()
+	}
+	return table.Float(s.sum / float64(s.n))
+}
+
+// -------------------------------------------------------------- var/stddev
+
+// varFunc computes sample (var) or population (var_pop) variance using
+// Welford accumulation with Chan's parallel merge — algebraic, so it stays
+// mergeable for partitioned execution.
+type varFunc struct{ pop bool }
+
+func (f varFunc) Name() string {
+	if f.pop {
+		return "var_pop"
+	}
+	return "var"
+}
+func (f varFunc) NewState() State         { return &varState{pop: f.pop} }
+func (varFunc) Reaggregate() (Func, bool) { return nil, false }
+
+type varState struct {
+	pop  bool
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (s *varState) Add(v table.Value) {
+	if !v.IsNumeric() {
+		return
+	}
+	s.n++
+	d := v.AsFloat() - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v.AsFloat() - s.mean)
+}
+
+func (s *varState) Merge(o State) {
+	os := o.(*varState)
+	if os.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n, s.mean, s.m2 = os.n, os.mean, os.m2
+		return
+	}
+	n := float64(s.n + os.n)
+	d := os.mean - s.mean
+	s.m2 += os.m2 + d*d*float64(s.n)*float64(os.n)/n
+	s.mean = (s.mean*float64(s.n) + os.mean*float64(os.n)) / n
+	s.n += os.n
+}
+
+func (s *varState) Result() table.Value {
+	if s.pop {
+		if s.n == 0 {
+			return table.Null()
+		}
+		return table.Float(s.m2 / float64(s.n))
+	}
+	if s.n < 2 {
+		return table.Null()
+	}
+	return table.Float(s.m2 / float64(s.n-1))
+}
+
+type stddevFunc struct{}
+
+func (stddevFunc) Name() string              { return "stddev" }
+func (stddevFunc) NewState() State           { return &stddevState{varState{pop: false}} }
+func (stddevFunc) Reaggregate() (Func, bool) { return nil, false }
+
+type stddevState struct{ varState }
+
+func (s *stddevState) Merge(o State) { s.varState.Merge(&o.(*stddevState).varState) }
+
+func (s *stddevState) Result() table.Value {
+	v := s.varState.Result()
+	if v.IsNull() {
+		return v
+	}
+	return table.Float(math.Sqrt(v.AsFloat()))
+}
+
+// -------------------------------------------------------------- first/last
+
+// first and last record the first/last non-NULL value in arrival order.
+// They are order-sensitive: Merge keeps the receiver's first (respectively
+// the argument's last), which matches partition-then-concatenate execution.
+type firstFunc struct{}
+
+func (firstFunc) Name() string              { return "first" }
+func (firstFunc) NewState() State           { return &firstState{} }
+func (firstFunc) Reaggregate() (Func, bool) { return firstFunc{}, true }
+
+type firstState struct {
+	seen bool
+	v    table.Value
+}
+
+func (s *firstState) Add(v table.Value) {
+	if !s.seen && !v.IsNull() {
+		s.seen = true
+		s.v = v
+	}
+}
+func (s *firstState) Merge(o State) {
+	os := o.(*firstState)
+	if !s.seen && os.seen {
+		s.seen, s.v = true, os.v
+	}
+}
+func (s *firstState) Result() table.Value {
+	if !s.seen {
+		return table.Null()
+	}
+	return s.v
+}
+
+type lastFunc struct{}
+
+func (lastFunc) Name() string              { return "last" }
+func (lastFunc) NewState() State           { return &lastState{} }
+func (lastFunc) Reaggregate() (Func, bool) { return lastFunc{}, true }
+
+type lastState struct {
+	seen bool
+	v    table.Value
+}
+
+func (s *lastState) Add(v table.Value) {
+	if !v.IsNull() {
+		s.seen = true
+		s.v = v
+	}
+}
+func (s *lastState) Merge(o State) {
+	os := o.(*lastState)
+	if os.seen {
+		s.seen, s.v = true, os.v
+	}
+}
+func (s *lastState) Result() table.Value {
+	if !s.seen {
+		return table.Null()
+	}
+	return s.v
+}

@@ -1,0 +1,394 @@
+package agg
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// feed folds a sequence of float values into a fresh state of fn.
+func feed(t *testing.T, fn string, vals ...float64) State {
+	t.Helper()
+	f, err := Lookup(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.NewState()
+	for _, v := range vals {
+		st.Add(table.Float(v))
+	}
+	return st
+}
+
+func TestEmptyStates(t *testing.T) {
+	// Definition 3.1's outer-join semantics: count of an empty range is 0;
+	// everything else is NULL.
+	for _, fn := range []string{"sum", "min", "max", "avg", "var", "var_pop", "stddev", "median", "approx_median", "mode", "first", "last"} {
+		st := feed(t, fn)
+		if !st.Result().IsNull() {
+			t.Errorf("%s over empty range = %v, want NULL", fn, st.Result())
+		}
+	}
+	if got := feed(t, "count").Result(); got.AsInt() != 0 {
+		t.Errorf("count over empty range = %v, want 0", got)
+	}
+	if got := feed(t, "count_distinct").Result(); got.AsInt() != 0 {
+		t.Errorf("count_distinct over empty range = %v, want 0", got)
+	}
+}
+
+func TestBasicResults(t *testing.T) {
+	cases := []struct {
+		fn   string
+		vals []float64
+		want float64
+	}{
+		{"sum", []float64{1, 2, 3}, 6},
+		{"count", []float64{1, 2, 3}, 3},
+		{"min", []float64{3, 1, 2}, 1},
+		{"max", []float64{3, 1, 2}, 3},
+		{"avg", []float64{2, 4, 6}, 4},
+		{"median", []float64{5, 1, 3}, 3},
+		{"median", []float64{4, 1, 3, 2}, 2.5},
+		{"var", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 4.571428571428571},
+		{"var_pop", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 4},
+		{"stddev", []float64{2, 4, 4, 4, 5, 5, 7, 9}, math.Sqrt(4.571428571428571)},
+		{"first", []float64{7, 8, 9}, 7},
+		{"last", []float64{7, 8, 9}, 9},
+	}
+	for _, c := range cases {
+		got := feed(t, c.fn, c.vals...).Result().AsFloat()
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s(%v) = %v, want %v", c.fn, c.vals, got, c.want)
+		}
+	}
+}
+
+func TestNullsIgnored(t *testing.T) {
+	f := MustLookup("sum")
+	st := f.NewState()
+	st.Add(table.Float(5))
+	st.Add(table.Null())
+	st.Add(table.Float(3))
+	if got := st.Result().AsFloat(); got != 8 {
+		t.Errorf("sum with NULLs = %v, want 8", got)
+	}
+	c := MustLookup("count").NewState()
+	c.Add(table.Null())
+	c.Add(table.Int(1))
+	if got := c.Result().AsInt(); got != 1 {
+		t.Errorf("count(col) must skip NULL: %v", got)
+	}
+}
+
+func TestSumKinds(t *testing.T) {
+	st := MustLookup("sum").NewState()
+	st.Add(table.Int(2))
+	st.Add(table.Int(3))
+	if got := st.Result(); got.Kind() != table.KindInt || got.AsInt() != 5 {
+		t.Errorf("int sum = %v (%v)", got, got.Kind())
+	}
+	st.Add(table.Float(0.5))
+	if got := st.Result(); got.Kind() != table.KindFloat || got.AsFloat() != 5.5 {
+		t.Errorf("mixed sum = %v (%v)", got, got.Kind())
+	}
+}
+
+func TestMinMaxStrings(t *testing.T) {
+	st := MustLookup("min").NewState()
+	st.Add(table.Str("pear"))
+	st.Add(table.Str("apple"))
+	if st.Result().AsString() != "apple" {
+		t.Errorf("min = %v", st.Result())
+	}
+	st2 := MustLookup("max").NewState()
+	st2.Add(table.Str("pear"))
+	st2.Add(table.Str("apple"))
+	if st2.Result().AsString() != "pear" {
+		t.Errorf("max = %v", st2.Result())
+	}
+}
+
+func TestModeDeterministicTieBreak(t *testing.T) {
+	st := MustLookup("mode").NewState()
+	for _, v := range []int64{3, 1, 3, 1, 2} {
+		st.Add(table.Int(v))
+	}
+	// 1 and 3 tie with two occurrences; the smaller wins.
+	if got := st.Result().AsInt(); got != 1 {
+		t.Errorf("mode = %v, want 1 (tie toward smaller)", got)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	st := MustLookup("count_distinct").NewState()
+	for _, v := range []int64{1, 2, 2, 3, 3, 3} {
+		st.Add(table.Int(v))
+	}
+	st.Add(table.Null())
+	if got := st.Result().AsInt(); got != 3 {
+		t.Errorf("count_distinct = %v, want 3", got)
+	}
+}
+
+// TestMergeEqualsSequential is the key property for Theorem 4.1 and
+// R-partitioned parallelism: splitting a value stream arbitrarily,
+// accumulating each part separately and merging must equal sequential
+// accumulation.
+func TestMergeEqualsSequential(t *testing.T) {
+	fns := []string{"count", "sum", "min", "max", "avg", "var", "var_pop", "stddev", "median", "mode", "count_distinct"}
+	for _, fn := range fns {
+		f := MustLookup(fn)
+		prop := func(raw []float64, cut uint8) bool {
+			// Use small integral values so float addition reordering does
+			// not introduce spurious drift for sums and variances.
+			vals := make([]float64, len(raw))
+			for i, v := range raw {
+				vals[i] = float64(int64(v*10) % 100)
+			}
+			k := 0
+			if len(vals) > 0 {
+				k = int(cut) % (len(vals) + 1)
+			}
+			seq := f.NewState()
+			for _, v := range vals {
+				seq.Add(table.Float(v))
+			}
+			a, b := f.NewState(), f.NewState()
+			for _, v := range vals[:k] {
+				a.Add(table.Float(v))
+			}
+			for _, v := range vals[k:] {
+				b.Add(table.Float(v))
+			}
+			a.Merge(b)
+			x, y := seq.Result(), a.Result()
+			if x.IsNull() != y.IsNull() {
+				return false
+			}
+			if x.IsNull() {
+				return true
+			}
+			if x.IsNumeric() && y.IsNumeric() {
+				return math.Abs(x.AsFloat()-y.AsFloat()) < 1e-6
+			}
+			return x.Equal(y)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: merge ≠ sequential: %v", fn, err)
+		}
+	}
+}
+
+// TestReaggregateEqualsDirect is Theorem 4.5's l → l' mapping: aggregating
+// partition results with the re-aggregation function must equal direct
+// aggregation, for every distributive aggregate.
+func TestReaggregateEqualsDirect(t *testing.T) {
+	for _, fn := range []string{"count", "sum", "min", "max"} {
+		f := MustLookup(fn)
+		re, ok := f.Reaggregate()
+		if !ok {
+			t.Fatalf("%s must re-aggregate", fn)
+		}
+		prop := func(raw []float64, parts uint8) bool {
+			vals := make([]float64, len(raw))
+			for i, v := range raw {
+				vals[i] = float64(int64(v*10) % 1000)
+			}
+			p := int(parts)%4 + 1
+			// Direct.
+			direct := f.NewState()
+			for _, v := range vals {
+				direct.Add(table.Float(v))
+			}
+			// Partitioned: aggregate each stripe, then re-aggregate the
+			// results.
+			outer := re.NewState()
+			any := false
+			for i := 0; i < p; i++ {
+				inner := f.NewState()
+				used := false
+				for j, v := range vals {
+					if j%p == i {
+						inner.Add(table.Float(v))
+						used = true
+					}
+				}
+				if used {
+					any = true
+					outer.Add(inner.Result())
+				}
+			}
+			want, got := direct.Result(), outer.Result()
+			if !any {
+				return want.IsNull() || want.AsFloat() == 0
+			}
+			if want.IsNumeric() && got.IsNumeric() {
+				return math.Abs(want.AsFloat()-got.AsFloat()) < 1e-6
+			}
+			return want.Equal(got)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: reaggregate ≠ direct: %v", fn, err)
+		}
+	}
+}
+
+func TestAvgDoesNotReaggregate(t *testing.T) {
+	if _, ok := MustLookup("avg").Reaggregate(); ok {
+		t.Error("avg is algebraic; an average of averages is wrong and must be rejected")
+	}
+}
+
+func TestApproxMedianConvergence(t *testing.T) {
+	f := ApproxMedian{Capacity: 512, Seed: 42}
+	st := f.NewState()
+	// Uniform 0..9999: true median ≈ 4999.5.
+	for i := 0; i < 10000; i++ {
+		st.Add(table.Int(int64(i)))
+	}
+	got := st.Result().AsFloat()
+	if math.Abs(got-4999.5) > 800 {
+		t.Errorf("approx median = %v, want within 800 of 4999.5", got)
+	}
+}
+
+func TestApproxMedianExactWhenSmall(t *testing.T) {
+	st := ApproxMedian{Capacity: 100, Seed: 1}.NewState()
+	for _, v := range []float64{9, 1, 5} {
+		st.Add(table.Float(v))
+	}
+	if got := st.Result().AsFloat(); got != 5 {
+		t.Errorf("approx median below capacity must be exact: %v", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := Lookup("no_such_fn"); err == nil {
+		t.Error("unknown aggregate should error")
+	}
+	if _, err := Lookup("SUM"); err != nil {
+		t.Error("lookup must be case-insensitive")
+	}
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Error("Names must be sorted")
+	}
+	found := false
+	for _, n := range names {
+		if n == "median" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("median must be registered")
+	}
+}
+
+// testUDAF is a user-defined aggregate: the range of values (max - min) —
+// the paper's Section 1 UDAF motivation.
+type testUDAF struct{}
+
+func (testUDAF) Name() string              { return "spread" }
+func (testUDAF) NewState() State           { return &spreadState{} }
+func (testUDAF) Reaggregate() (Func, bool) { return nil, false }
+
+type spreadState struct {
+	seen     bool
+	min, max float64
+}
+
+func (s *spreadState) Add(v table.Value) {
+	if !v.IsNumeric() {
+		return
+	}
+	f := v.AsFloat()
+	if !s.seen {
+		s.seen, s.min, s.max = true, f, f
+		return
+	}
+	if f < s.min {
+		s.min = f
+	}
+	if f > s.max {
+		s.max = f
+	}
+}
+
+func (s *spreadState) Merge(o State) {
+	os := o.(*spreadState)
+	if os.seen {
+		s.Add(table.Float(os.min))
+		s.Add(table.Float(os.max))
+	}
+}
+
+func (s *spreadState) Result() table.Value {
+	if !s.seen {
+		return table.Null()
+	}
+	return table.Float(s.max - s.min)
+}
+
+func TestUDAFRegistration(t *testing.T) {
+	Register(testUDAF{})
+	st := feed(t, "spread", 3, 10, 7)
+	if got := st.Result().AsFloat(); got != 7 {
+		t.Errorf("spread = %v, want 7", got)
+	}
+}
+
+func TestSpecOutName(t *testing.T) {
+	cases := []struct {
+		s    Spec
+		want string
+	}{
+		{NewSpec("sum", expr.QC("R", "sale"), "total"), "total"},
+		{NewSpec("sum", expr.QC("R", "sale"), ""), "sum_R_sale"},
+		{NewSpec("count", nil, ""), "count"},
+	}
+	for _, c := range cases {
+		if got := c.s.OutName(); got != c.want {
+			t.Errorf("OutName(%v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestCompileSpecsRejectsDuplicates(t *testing.T) {
+	b := expr.NewBinding()
+	b.AddRel(table.SchemaOf("sale"), "r")
+	_, err := CompileSpecs([]Spec{
+		NewSpec("sum", expr.C("sale"), "x"),
+		NewSpec("avg", expr.C("sale"), "X"), // case-insensitive clash
+	}, b)
+	if err == nil {
+		t.Error("duplicate output names must be rejected")
+	}
+}
+
+func TestCompileSpecUnknownFunc(t *testing.T) {
+	b := expr.NewBinding()
+	b.AddRel(table.SchemaOf("sale"), "r")
+	if _, err := CompileSpec(NewSpec("frobnicate", expr.C("sale"), "x"), b); err == nil {
+		t.Error("unknown function must be rejected")
+	}
+}
+
+func TestCountStarFeed(t *testing.T) {
+	b := expr.NewBinding()
+	b.AddRel(table.SchemaOf("sale"), "r")
+	c, err := CompileSpec(NewSpec("count", nil, "n"), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.NewState()
+	c.Feed(st, []table.Row{{table.Null()}}) // count(*) counts NULL rows too
+	c.Feed(st, []table.Row{{table.Int(5)}})
+	if got := st.Result().AsInt(); got != 2 {
+		t.Errorf("count(*) = %v, want 2", got)
+	}
+}

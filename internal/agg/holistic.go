@@ -1,0 +1,191 @@
+package agg
+
+import (
+	"math/rand"
+	"sort"
+
+	"mdjoin/internal/table"
+)
+
+// ------------------------------------------------------------------ median
+
+// medianFunc is the exact holistic median: it retains every numeric input.
+// The paper's footnote 2 notes that Algorithm 3.1 covers distributive and
+// algebraic aggregates and that holistic ones need memory handling; here
+// the multiset simply lives in the state.
+type medianFunc struct{}
+
+func (medianFunc) Name() string              { return "median" }
+func (medianFunc) NewState() State           { return &medianState{} }
+func (medianFunc) Reaggregate() (Func, bool) { return nil, false }
+
+type medianState struct{ vals []float64 }
+
+func (s *medianState) Add(v table.Value) {
+	if v.IsNumeric() {
+		s.vals = append(s.vals, v.AsFloat())
+	}
+}
+
+func (s *medianState) Merge(o State) {
+	s.vals = append(s.vals, o.(*medianState).vals...)
+}
+
+func (s *medianState) Result() table.Value {
+	n := len(s.vals)
+	if n == 0 {
+		return table.Null()
+	}
+	vs := make([]float64, n)
+	copy(vs, s.vals)
+	sort.Float64s(vs)
+	if n%2 == 1 {
+		return table.Float(vs[n/2])
+	}
+	return table.Float((vs[n/2-1] + vs[n/2]) / 2)
+}
+
+// ------------------------------------------------------------ approx median
+
+// ApproxMedian estimates the median from a bounded reservoir sample,
+// making the holistic median effectively algebraic by approximation — the
+// route the paper's footnote 2 cites ([MRL98]). Capacity bounds per-group
+// memory; Seed makes runs reproducible. Register a differently tuned
+// instance to change the defaults.
+type ApproxMedian struct {
+	Capacity int
+	Seed     int64
+}
+
+// Name implements Func.
+func (ApproxMedian) Name() string { return "approx_median" }
+
+// NewState implements Func.
+func (f ApproxMedian) NewState() State {
+	cap := f.Capacity
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &reservoirState{cap: cap, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// Reaggregate implements Func; approximate medians do not re-aggregate.
+func (ApproxMedian) Reaggregate() (Func, bool) { return nil, false }
+
+type reservoirState struct {
+	cap  int
+	n    int64 // total values offered
+	vals []float64
+	rng  *rand.Rand
+}
+
+func (s *reservoirState) Add(v table.Value) {
+	if !v.IsNumeric() {
+		return
+	}
+	s.n++
+	if len(s.vals) < s.cap {
+		s.vals = append(s.vals, v.AsFloat())
+		return
+	}
+	// Vitter's algorithm R.
+	if j := s.rng.Int63n(s.n); j < int64(s.cap) {
+		s.vals[j] = v.AsFloat()
+	}
+}
+
+func (s *reservoirState) Merge(o State) {
+	os := o.(*reservoirState)
+	// Feed the other reservoir's sample through Add, weighting by its
+	// acceptance ratio; adequate for the benchmark use and keeps the state
+	// bounded.
+	for _, v := range os.vals {
+		s.Add(table.Float(v))
+	}
+	s.n += os.n - int64(len(os.vals))
+}
+
+func (s *reservoirState) Result() table.Value {
+	n := len(s.vals)
+	if n == 0 {
+		return table.Null()
+	}
+	vs := make([]float64, n)
+	copy(vs, s.vals)
+	sort.Float64s(vs)
+	if n%2 == 1 {
+		return table.Float(vs[n/2])
+	}
+	return table.Float((vs[n/2-1] + vs[n/2]) / 2)
+}
+
+// -------------------------------------------------------------------- mode
+
+// modeFunc ("most frequent", one of the paper's Section 1 examples of a
+// complex aggregate) returns the most frequent non-NULL value; ties break
+// toward the smaller value under the table.Value total order so results
+// are deterministic.
+type modeFunc struct{}
+
+func (modeFunc) Name() string              { return "mode" }
+func (modeFunc) NewState() State           { return &modeState{counts: map[table.Value]int64{}} }
+func (modeFunc) Reaggregate() (Func, bool) { return nil, false }
+
+type modeState struct {
+	counts map[table.Value]int64
+}
+
+func (s *modeState) Add(v table.Value) {
+	if v.IsNull() || v.IsAll() {
+		return
+	}
+	s.counts[v]++
+}
+
+func (s *modeState) Merge(o State) {
+	for v, n := range o.(*modeState).counts {
+		s.counts[v] += n
+	}
+}
+
+func (s *modeState) Result() table.Value {
+	var best table.Value
+	var bestN int64 = -1
+	found := false
+	for v, n := range s.counts {
+		if n > bestN || (n == bestN && v.Less(best)) {
+			best, bestN, found = v, n, true
+		}
+	}
+	if !found {
+		return table.Null()
+	}
+	return best
+}
+
+// ---------------------------------------------------------- count distinct
+
+type countDistinctFunc struct{}
+
+func (countDistinctFunc) Name() string              { return "count_distinct" }
+func (countDistinctFunc) NewState() State           { return &cdState{seen: map[table.Value]bool{}} }
+func (countDistinctFunc) Reaggregate() (Func, bool) { return nil, false }
+
+type cdState struct {
+	seen map[table.Value]bool
+}
+
+func (s *cdState) Add(v table.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.seen[v] = true
+}
+
+func (s *cdState) Merge(o State) {
+	for v := range o.(*cdState).seen {
+		s.seen[v] = true
+	}
+}
+
+func (s *cdState) Result() table.Value { return table.Int(int64(len(s.seen))) }

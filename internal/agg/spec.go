@@ -1,0 +1,118 @@
+package agg
+
+import (
+	"fmt"
+	"strings"
+
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// Spec names one aggregate column to compute: the function, its argument
+// expression, and the output column name. A nil Arg denotes count(*) — the
+// state is fed a constant non-NULL marker per matching tuple.
+//
+// Spec is shared by the classic group-by (internal/engine), the MD-join
+// (internal/core), and the cube toolkit (internal/cube); the paper's list l
+// of aggregate functions is a []Spec.
+type Spec struct {
+	Func string    // registered aggregate name, e.g. "sum"
+	Arg  expr.Expr // argument expression; nil means count(*)
+	As   string    // output column name; "" derives "func_arg"
+}
+
+// NewSpec builds a spec with a derived alias when As is empty.
+func NewSpec(fn string, arg expr.Expr, as string) Spec {
+	return Spec{Func: fn, Arg: arg, As: as}
+}
+
+// OutName returns the output column name, deriving one from the function
+// and argument when no alias was given (sum(sale) → "sum_sale"), in the
+// spirit of the paper's fᵢ_R.cᵢ naming.
+func (s Spec) OutName() string {
+	if s.As != "" {
+		return s.As
+	}
+	if s.Arg == nil {
+		return s.Func
+	}
+	arg := s.Arg.String()
+	arg = strings.NewReplacer(".", "_", "(", "", ")", "", " ", "").Replace(arg)
+	return s.Func + "_" + arg
+}
+
+// String renders the spec as "func(arg) AS name".
+func (s Spec) String() string {
+	arg := "*"
+	if s.Arg != nil {
+		arg = s.Arg.String()
+	}
+	return fmt.Sprintf("%s(%s) AS %s", s.Func, arg, s.OutName())
+}
+
+// Compiled pairs a spec's function with its compiled argument, ready to
+// drive states during a scan.
+type Compiled struct {
+	Spec Spec
+	Fn   Func
+	arg  *expr.Compiled // nil for count(*)
+}
+
+// CompileSpec resolves the function name and compiles the argument against
+// the binding.
+func CompileSpec(s Spec, b *expr.Binding) (*Compiled, error) {
+	fn, err := Lookup(s.Func)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Spec: s, Fn: fn}
+	if s.Arg != nil {
+		ce, err := expr.Compile(s.Arg, b)
+		if err != nil {
+			return nil, fmt.Errorf("agg: compiling argument of %s: %w", s, err)
+		}
+		c.arg = ce
+	}
+	return c, nil
+}
+
+// CompileSpecs compiles a list of specs and validates distinct output
+// names.
+func CompileSpecs(specs []Spec, b *expr.Binding) ([]*Compiled, error) {
+	seen := map[string]bool{}
+	out := make([]*Compiled, len(specs))
+	for i, s := range specs {
+		name := strings.ToLower(s.OutName())
+		if seen[name] {
+			return nil, fmt.Errorf("agg: duplicate aggregate output column %q", s.OutName())
+		}
+		seen[name] = true
+		c, err := CompileSpec(s, b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Feed evaluates the argument over the frame and folds it into the state.
+func (c *Compiled) Feed(st State, frame []table.Row) {
+	if c.arg == nil {
+		st.Add(table.Int(1)) // count(*) marker
+		return
+	}
+	st.Add(c.arg.Eval(frame))
+}
+
+// NewState creates an accumulator for this aggregate.
+func (c *Compiled) NewState() State { return c.Fn.NewState() }
+
+// OutColumns derives the schema columns that a list of specs appends.
+func OutColumns(specs []Spec) []table.Column {
+	cols := make([]table.Column, len(specs))
+	for i, s := range specs {
+		cols[i] = table.Column{Name: s.OutName()}
+	}
+	return cols
+}

@@ -1,0 +1,233 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/cube"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+	"mdjoin/internal/workload"
+)
+
+// The baselines exist to be compared against the MD-join; these tests pin
+// that all three executions compute the same relation, so the benchmark
+// comparisons in cmd/mdbench and bench_test.go are apples-to-apples.
+
+func genSales(n int, seed int64) *table.Table {
+	return workload.Sales(workload.SalesConfig{
+		Rows: n, Customers: 10, Products: 6, Years: 2, FirstYear: 1997, Seed: seed,
+	})
+}
+
+func TestJoinPlanMatchesMDJoinSimple(t *testing.T) {
+	detail := genSales(300, 1)
+	base, err := cube.DistinctBase(detail, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := []Subquery{
+		{
+			Where: expr.Eq(expr.C("state"), expr.S("NY")),
+			Keys:  []string{"cust"},
+			Aggs:  []agg.Spec{agg.NewSpec("sum", expr.C("sale"), "ny_total")},
+		},
+		{
+			Keys: []string{"cust"},
+			Aggs: []agg.Spec{agg.NewSpec("count", nil, "n")},
+		},
+	}
+	jp, err := JoinPlan(base, detail, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CorrelatedPlan(base, detail, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []core.Step{
+		{Detail: "Sales", Phase: core.Phase{
+			Aggs: []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "ny_total")},
+			Theta: expr.And(
+				expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+				expr.Eq(expr.QC("R", "state"), expr.S("NY"))),
+		}},
+		{Detail: "Sales", Phase: core.Phase{
+			Aggs:  []agg.Spec{agg.NewSpec("count", nil, "n")},
+			Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		}},
+	}
+	md, err := core.EvalSeries(base, map[string]*table.Table{"Sales": detail}, steps, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := md.Diff(jp); d != "" {
+		t.Errorf("JoinPlan differs from MD-join: %s", d)
+	}
+	if d := md.Diff(cp); d != "" {
+		t.Errorf("CorrelatedPlan differs from MD-join: %s", d)
+	}
+}
+
+func TestShiftedJoinKeys(t *testing.T) {
+	// The "previous month" JoinOn shape of Example 2.5.
+	detail := genSales(400, 2)
+	base, err := cube.DistinctBase(detail, "prod", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := []Subquery{{
+		Keys:   []string{"prod", "month"},
+		JoinOn: map[string]expr.Expr{"month": expr.Add(expr.C("month"), expr.I(1))},
+		Aggs:   []agg.Spec{agg.NewSpec("avg", expr.C("sale"), "avg_prev")},
+	}}
+	jp, err := JoinPlan(base, detail, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CorrelatedPlan(base, detail, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := core.MDJoin(base, detail,
+		[]agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), "avg_prev")},
+		expr.And(
+			expr.Eq(expr.QC("R", "prod"), expr.C("prod")),
+			expr.Eq(expr.QC("R", "month"), expr.Sub(expr.C("month"), expr.I(1)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := md.Diff(jp); d != "" {
+		t.Errorf("JoinPlan differs: %s", d)
+	}
+	if d := md.Diff(cp); d != "" {
+		t.Errorf("CorrelatedPlan differs: %s", d)
+	}
+}
+
+func TestCorrelatedSubquery(t *testing.T) {
+	// The full Example 2.5 pipeline with the correlated final block.
+	detail := genSales(500, 3)
+	base, err := cube.DistinctBase(detail, "prod", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := []Subquery{
+		{
+			Keys:   []string{"prod", "month"},
+			JoinOn: map[string]expr.Expr{"month": expr.Add(expr.C("month"), expr.I(1))},
+			Aggs:   []agg.Spec{agg.NewSpec("avg", expr.C("sale"), "avg_prev")},
+		},
+		{
+			Keys:   []string{"prod", "month"},
+			JoinOn: map[string]expr.Expr{"month": expr.Sub(expr.C("month"), expr.I(1))},
+			Aggs:   []agg.Spec{agg.NewSpec("avg", expr.C("sale"), "avg_next")},
+		},
+		{
+			Keys: []string{"prod", "month"},
+			Aggs: []agg.Spec{agg.NewSpec("count", nil, "n")},
+			Correlated: expr.And(
+				expr.Gt(expr.C("sale"), expr.QC("b", "avg_prev")),
+				expr.Lt(expr.C("sale"), expr.QC("b", "avg_next"))),
+		},
+	}
+	jp, err := JoinPlan(base, detail, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CorrelatedPlan(base, detail, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := jp.Diff(cp); d != "" {
+		t.Fatalf("join vs correlated: %s", d)
+	}
+
+	prodEq := expr.Eq(expr.QC("R", "prod"), expr.C("prod"))
+	steps := []core.Step{
+		{Detail: "Sales", Phase: core.Phase{
+			Aggs: []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), "avg_prev")},
+			Theta: expr.And(prodEq,
+				expr.Eq(expr.QC("R", "month"), expr.Sub(expr.C("month"), expr.I(1)))),
+		}},
+		{Detail: "Sales", Phase: core.Phase{
+			Aggs: []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), "avg_next")},
+			Theta: expr.And(prodEq,
+				expr.Eq(expr.QC("R", "month"), expr.Add(expr.C("month"), expr.I(1)))),
+		}},
+		{Detail: "Sales", Phase: core.Phase{
+			Aggs: []agg.Spec{agg.NewSpec("count", nil, "n")},
+			Theta: expr.And(prodEq,
+				expr.Eq(expr.QC("R", "month"), expr.C("month")),
+				expr.Gt(expr.QC("R", "sale"), expr.C("avg_prev")),
+				expr.Lt(expr.QC("R", "sale"), expr.C("avg_next"))),
+		}},
+	}
+	md, err := core.EvalSeries(base, map[string]*table.Table{"Sales": detail}, steps, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := md.Diff(jp); d != "" {
+		t.Fatalf("MD-join vs baselines: %s", d)
+	}
+}
+
+func TestRandomizedAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		detail := genSales(100+rng.Intn(200), int64(trial+10))
+		base, err := cube.DistinctBase(detail, "prod")
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := []string{"NY", "NJ", "CT"}[rng.Intn(3)]
+		subs := []Subquery{{
+			Where: expr.Eq(expr.C("state"), expr.S(state)),
+			Keys:  []string{"prod"},
+			Aggs: []agg.Spec{
+				agg.NewSpec("sum", expr.C("sale"), "total"),
+				agg.NewSpec("count", nil, "n"),
+				agg.NewSpec("max", expr.C("sale"), "hi"),
+			},
+		}}
+		jp, err := JoinPlan(base, detail, subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := CorrelatedPlan(base, detail, subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := core.MDJoin(base, detail, []agg.Spec{
+			agg.NewSpec("sum", expr.QC("R", "sale"), "total"),
+			agg.NewSpec("count", nil, "n"),
+			agg.NewSpec("max", expr.QC("R", "sale"), "hi"),
+		}, expr.And(
+			expr.Eq(expr.QC("R", "prod"), expr.C("prod")),
+			expr.Eq(expr.QC("R", "state"), expr.S(state))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := md.Diff(jp); d != "" {
+			t.Fatalf("trial %d JoinPlan: %s", trial, d)
+		}
+		if d := md.Diff(cp); d != "" {
+			t.Fatalf("trial %d CorrelatedPlan: %s", trial, d)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	detail := genSales(50, 5)
+	base, _ := cube.DistinctBase(detail, "cust")
+	if _, err := JoinPlan(base, detail, []Subquery{{Keys: []string{"nope"}}}); err == nil {
+		t.Error("bad group key should error")
+	}
+	if _, err := CorrelatedPlan(base, detail, []Subquery{{Keys: []string{"nope"}}}); err == nil {
+		t.Error("bad key should error in correlated plan")
+	}
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// This file property-tests the paper's theorems on randomized relations:
+// every algebraic identity of Section 4 must hold exactly (as multiset
+// equality of result relations) for arbitrary inputs, not just the worked
+// examples.
+
+// genRelations builds a random (base, detail) pair. Base columns: g1, g2
+// (small domains so groups repeat); detail columns: g1, g2, w (a numeric
+// weight), plus a filter column f.
+func genRelations(rng *rand.Rand, nBase, nDetail int) (*table.Table, *table.Table) {
+	bs := table.SchemaOf("g1", "g2")
+	b := table.New(bs)
+	seen := map[[2]int64]bool{}
+	for len(b.Rows) < nBase {
+		k := [2]int64{int64(rng.Intn(6)), int64(rng.Intn(4))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Append(table.Row{table.Int(k[0]), table.Int(k[1])})
+	}
+	rs := table.SchemaOf("g1", "g2", "w", "f")
+	r := table.New(rs)
+	for i := 0; i < nDetail; i++ {
+		r.Append(table.Row{
+			table.Int(int64(rng.Intn(7))), // slightly larger domain: some tuples match nothing
+			table.Int(int64(rng.Intn(5))),
+			table.Int(int64(rng.Intn(100))),
+			table.Int(int64(rng.Intn(3))),
+		})
+	}
+	return b, r
+}
+
+func stdTheta() expr.Expr {
+	return expr.And(
+		expr.Eq(expr.QC("R", "g1"), expr.C("g1")),
+		expr.Eq(expr.QC("R", "g2"), expr.C("g2")),
+	)
+}
+
+func stdSpecs() []agg.Spec {
+	return []agg.Spec{
+		agg.NewSpec("count", nil, "n"),
+		agg.NewSpec("sum", expr.QC("R", "w"), "total"),
+		agg.NewSpec("min", expr.QC("R", "w"), "lo"),
+		agg.NewSpec("avg", expr.QC("R", "w"), "mean"),
+	}
+}
+
+func mdJoin(t *testing.T, b, r *table.Table, specs []agg.Spec, theta expr.Expr, opt Options) *table.Table {
+	t.Helper()
+	out, err := Eval(b, r, []Phase{{Aggs: specs, Theta: theta}}, opt)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return out
+}
+
+// TestTheorem41Partitioning: MD(B,R,l,θ) = ∪ᵢ MD(Bᵢ,R,l,θ) for arbitrary
+// partitions of B.
+func TestTheorem41Partitioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		b, r := genRelations(rng, 3+rng.Intn(10), 20+rng.Intn(100))
+		whole := mdJoin(t, b, r, stdSpecs(), stdTheta(), Options{})
+
+		// Random partition of B into up to 4 pieces.
+		p := 1 + rng.Intn(4)
+		parts := make([]*table.Table, p)
+		for i := range parts {
+			parts[i] = table.New(b.Schema)
+		}
+		for _, row := range b.Rows {
+			parts[rng.Intn(p)].Append(row)
+		}
+		var results []*table.Table
+		for _, part := range parts {
+			if part.Len() == 0 {
+				continue
+			}
+			results = append(results, mdJoin(t, part, r, stdSpecs(), stdTheta(), Options{}))
+		}
+		union, err := engine.Union(results...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := whole.Diff(union); d != "" {
+			t.Fatalf("trial %d: Theorem 4.1 violated: %s", trial, d)
+		}
+	}
+}
+
+// TestTheorem41Strategies: the executor's partitioned and parallel
+// strategies implement Theorem 4.1 and must equal the single-pass result.
+func TestTheorem41Strategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	for trial := 0; trial < 20; trial++ {
+		b, r := genRelations(rng, 4+rng.Intn(12), 30+rng.Intn(150))
+		want := mdJoin(t, b, r, stdSpecs(), stdTheta(), Options{})
+		for name, opt := range map[string]Options{
+			"maxbase-1":  {MaxBaseRows: 1},
+			"maxbase-3":  {MaxBaseRows: 3},
+			"parallel-2": {Parallelism: 2},
+			"parallel-5": {Parallelism: 5},
+			"detail-2":   {DetailParallelism: 2},
+			"detail-7":   {DetailParallelism: 7},
+		} {
+			got := mdJoin(t, b, r, stdSpecs(), stdTheta(), opt)
+			if d := want.Diff(got); d != "" {
+				t.Fatalf("trial %d, %s: %s", trial, name, d)
+			}
+		}
+	}
+}
+
+// TestTheorem42Pushdown: MD(B, R, l, θ₁ ∧ θ₂) = MD(B, σ_θ₂(R), l, θ₁) when
+// θ₂ references only R.
+func TestTheorem42Pushdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		b, r := genRelations(rng, 3+rng.Intn(8), 20+rng.Intn(100))
+		rOnly := expr.Eq(expr.QC("R", "f"), expr.I(int64(rng.Intn(3))))
+		full := expr.And(stdTheta(), rOnly)
+
+		lhs := mdJoin(t, b, r, stdSpecs(), full, Options{})
+
+		// Manually apply the theorem: select on R, drop the conjunct.
+		filtered, err := engine.Select(r, expr.Eq(expr.C("f"), rOnly.(*expr.Binary).R))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := mdJoin(t, b, filtered, stdSpecs(), stdTheta(), Options{})
+		if d := lhs.Diff(rhs); d != "" {
+			t.Fatalf("trial %d: Theorem 4.2 violated: %s", trial, d)
+		}
+
+		// The executor's internal pushdown must agree with pushdown off.
+		off := mdJoin(t, b, r, stdSpecs(), full, Options{DisablePushdown: true})
+		if d := lhs.Diff(off); d != "" {
+			t.Fatalf("trial %d: pushdown on/off disagree: %s", trial, d)
+		}
+	}
+}
+
+// TestObservation41: σ range on B pushed through equi conjuncts onto R.
+func TestObservation41(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 30; trial++ {
+		b, r := genRelations(rng, 4+rng.Intn(10), 20+rng.Intn(100))
+		lo := int64(rng.Intn(4))
+		bPred := expr.Ge(expr.C("g1"), expr.V(table.Int(lo)))
+
+		selB, err := engine.Select(b, bPred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs := mdJoin(t, selB, r, stdSpecs(), stdTheta(), Options{})
+
+		rPred, ok := PushBaseRange(bPred, stdTheta(), b.Schema, r.Schema, Options{})
+		if !ok {
+			t.Fatal("pushdown should apply: every B column has an equi conjunct")
+		}
+		selR, err := engine.Select(r, rPred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := mdJoin(t, selB, selR, stdSpecs(), stdTheta(), Options{})
+		if d := lhs.Diff(rhs); d != "" {
+			t.Fatalf("trial %d: Observation 4.1 violated: %s", trial, d)
+		}
+	}
+}
+
+// TestTheorem43Commutativity: independent MD-joins commute.
+func TestTheorem43Commutativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		b, r := genRelations(rng, 3+rng.Intn(8), 20+rng.Intn(80))
+		theta1 := expr.And(
+			expr.Eq(expr.QC("R", "g1"), expr.C("g1")),
+			expr.Eq(expr.QC("R", "f"), expr.I(0)))
+		theta2 := expr.And(
+			expr.Eq(expr.QC("R", "g1"), expr.C("g1")),
+			expr.Eq(expr.QC("R", "f"), expr.I(1)))
+		l1 := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "w"), "s0")}
+		l2 := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "w"), "s1")}
+
+		ab1 := mdJoin(t, b, r, l1, theta1, Options{})
+		ab := mdJoin(t, ab1, r, l2, theta2, Options{})
+
+		ba1 := mdJoin(t, b, r, l2, theta2, Options{})
+		ba := mdJoin(t, ba1, r, l1, theta1, Options{})
+
+		// Same relation up to column order: project to a common order.
+		cols := []string{"g1", "g2", "s0", "s1"}
+		abp, err := engine.Project(ab, engine.Cols(cols...), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bap, err := engine.Project(ba, engine.Cols(cols...), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := abp.Diff(bap); d != "" {
+			t.Fatalf("trial %d: Theorem 4.3 violated: %s", trial, d)
+		}
+
+		// And both must equal the single generalized MD-join.
+		gen, err := Eval(b, r, []Phase{{Aggs: l1, Theta: theta1}, {Aggs: l2, Theta: theta2}}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := abp.Diff(mustProject(t, gen, cols)); d != "" {
+			t.Fatalf("trial %d: generalized MD-join differs: %s", trial, d)
+		}
+	}
+}
+
+func mustProject(t *testing.T, tt *table.Table, cols []string) *table.Table {
+	t.Helper()
+	out, err := engine.Project(tt, engine.Cols(cols...), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTheorem44Split: sequential MD-join chain = equijoin of independent
+// MD-joins on (distinct) base columns.
+func TestTheorem44Split(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		b, r1 := genRelations(rng, 4+rng.Intn(8), 20+rng.Intn(80))
+		_, r2 := genRelations(rng, 1, 20+rng.Intn(80))
+		theta := stdTheta()
+		l1 := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "w"), "t1")}
+		l2 := []agg.Spec{agg.NewSpec("count", nil, "c2")}
+
+		step1 := mdJoin(t, b, r1, l1, theta, Options{})
+		sequential := mdJoin(t, step1, r2, l2, theta, Options{})
+
+		left := mdJoin(t, b, r1, l1, theta, Options{})
+		right := mdJoin(t, b, r2, l2, theta, Options{})
+		joined, err := SplitJoin(left, right, []string{"g1", "g2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sequential.Diff(joined); d != "" {
+			t.Fatalf("trial %d: Theorem 4.4 violated: %s", trial, d)
+		}
+	}
+}
+
+// TestTheorem45Rollup: a coarser aggregation computed from a finer one by
+// re-aggregation equals direct computation — the identity behind all cube
+// strategies.
+func TestTheorem45Rollup(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	specs := []agg.Spec{
+		agg.NewSpec("count", nil, "n"),
+		agg.NewSpec("sum", expr.QC("R", "w"), "total"),
+		agg.NewSpec("min", expr.QC("R", "w"), "lo"),
+		agg.NewSpec("max", expr.QC("R", "w"), "hi"),
+	}
+	reagg := []agg.Spec{
+		agg.NewSpec("sum", expr.C("n"), "n"),
+		agg.NewSpec("sum", expr.C("total"), "total"),
+		agg.NewSpec("min", expr.C("lo"), "lo"),
+		agg.NewSpec("max", expr.C("hi"), "hi"),
+	}
+	for trial := 0; trial < 30; trial++ {
+		_, r := genRelations(rng, 1, 30+rng.Intn(150))
+
+		// Finer: group by (g1, g2); coarser: group by g1.
+		finer, err := engine.GroupBy(r, []string{"g1", "g2"}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromFiner, err := engine.GroupBy(finer, []string{"g1"}, reagg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := engine.GroupBy(r, []string{"g1"}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := direct.Diff(fromFiner); d != "" {
+			t.Fatalf("trial %d: Theorem 4.5 violated: %s", trial, d)
+		}
+	}
+}
+
+// TestStrategiesAgainstReference fuzzes every executor strategy against
+// the Definition 3.1 reference on fully random θ shapes, including
+// residual and B-only conjuncts.
+func TestStrategiesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3000))
+	for trial := 0; trial < 40; trial++ {
+		b, r := genRelations(rng, 2+rng.Intn(10), 10+rng.Intn(80))
+		var conj []expr.Expr
+		conj = append(conj, expr.Eq(expr.QC("R", "g1"), expr.C("g1")))
+		if rng.Intn(2) == 0 {
+			conj = append(conj, expr.Eq(expr.QC("R", "g2"), expr.C("g2")))
+		}
+		if rng.Intn(2) == 0 {
+			conj = append(conj, expr.Le(expr.QC("R", "f"), expr.I(int64(rng.Intn(3)))))
+		}
+		if rng.Intn(2) == 0 {
+			conj = append(conj, expr.Gt(expr.C("g2"), expr.I(int64(rng.Intn(3)))))
+		}
+		if rng.Intn(2) == 0 {
+			conj = append(conj, expr.Gt(expr.QC("R", "w"), expr.Mul(expr.C("g1"), expr.I(10))))
+		}
+		theta := expr.And(conj...)
+		specs := stdSpecs()
+
+		want := refMDJoin(t, b, r, specs, theta, Options{})
+		for name, opt := range map[string]Options{
+			"default":     {},
+			"no-index":    {DisableIndex: true},
+			"no-push":     {DisablePushdown: true},
+			"plain":       {DisableIndex: true, DisablePushdown: true},
+			"partitioned": {MaxBaseRows: 2},
+			"par-base":    {Parallelism: 3},
+			"par-detail":  {DetailParallelism: 4},
+		} {
+			got := mdJoin(t, b, r, specs, theta, opt)
+			if d := want.Diff(got); d != "" {
+				t.Fatalf("trial %d, strategy %s, θ=%s: %s", trial, name, theta, d)
+			}
+		}
+	}
+}
+
+// TestCubeEqualityAgainstReference fuzzes cube-equality θs (base tables
+// containing ALL) against the reference.
+func TestCubeEqualityAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3100))
+	for trial := 0; trial < 30; trial++ {
+		_, r := genRelations(rng, 1, 10+rng.Intn(60))
+		// Base: random subset of the cube over (g1, g2), with ALL cells.
+		b := table.New(table.SchemaOf("g1", "g2"))
+		seen := map[[2]string]bool{}
+		for i := 0; i < 8; i++ {
+			var v1, v2 table.Value
+			if rng.Intn(3) == 0 {
+				v1 = table.All()
+			} else {
+				v1 = table.Int(int64(rng.Intn(6)))
+			}
+			if rng.Intn(3) == 0 {
+				v2 = table.All()
+			} else {
+				v2 = table.Int(int64(rng.Intn(4)))
+			}
+			k := [2]string{v1.String(), v2.String()}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			b.Append(table.Row{v1, v2})
+		}
+		theta := expr.And(
+			expr.CubeEq(expr.QC("R", "g1"), expr.C("g1")),
+			expr.CubeEq(expr.QC("R", "g2"), expr.C("g2")),
+		)
+		specs := stdSpecs()
+		want := refMDJoin(t, b, r, specs, theta, Options{})
+		for name, opt := range map[string]Options{
+			"indexed":     {},
+			"nested":      {DisableIndex: true},
+			"partitioned": {MaxBaseRows: 3},
+			"par-detail":  {DetailParallelism: 3},
+		} {
+			got := mdJoin(t, b, r, specs, theta, opt)
+			if d := want.Diff(got); d != "" {
+				t.Fatalf("trial %d, %s: cube equality broken: %s", trial, name, d)
+			}
+		}
+	}
+}
+
+// TestNullKeysAgainstReference pins the NULL-join semantics: strict
+// equality never matches NULL keys, on both the indexed and nested paths.
+func TestNullKeysAgainstReference(t *testing.T) {
+	b := table.MustFromRows(table.SchemaOf("g1"), []table.Row{
+		{table.Int(1)},
+		{table.Null()},
+	})
+	r := table.MustFromRows(table.SchemaOf("g1", "w"), []table.Row{
+		{table.Int(1), table.Int(10)},
+		{table.Null(), table.Int(20)},
+	})
+	theta := expr.Eq(expr.QC("R", "g1"), expr.C("g1"))
+	specs := []agg.Spec{agg.NewSpec("count", nil, "n")}
+	want := refMDJoin(t, b, r, specs, theta, Options{})
+	// Reference: NULL = NULL evaluates NULL → false, so the NULL base row
+	// matches nothing.
+	if want.Value(1, "n").AsInt() != 0 {
+		t.Fatalf("reference itself wrong: %v", want)
+	}
+	for name, opt := range map[string]Options{
+		"indexed": {},
+		"nested":  {DisableIndex: true},
+	} {
+		got := mdJoin(t, b, r, specs, theta, opt)
+		if d := want.Diff(got); d != "" {
+			t.Fatalf("%s: %s", name, d)
+		}
+	}
+}

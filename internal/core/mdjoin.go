@@ -1,0 +1,483 @@
+// Package core implements the MD-join operator of Chatziantoniou & Johnson
+// (ICDE 2001) and its execution strategies.
+//
+// The MD-join MD(B, R, l, θ) produces one output row per row b of the
+// base-values relation B, carrying b's attributes plus one column per
+// aggregate f(c) ∈ l evaluated over RNG(b, R, θ) = {r ∈ R | θ(b, r)}
+// (Definition 3.1). Its row count equals |B| — an outer-join-like
+// semantics: base rows with empty ranges still appear, with count 0 and
+// NULL for the other aggregates.
+//
+// The executor realizes Algorithm 3.1 — scan the detail relation once and
+// fold each tuple into the aggregate states of its relative set Rel(t) ⊆ B
+// — augmented with the paper's Section 4 optimizations:
+//
+//   - Section 4.5 indexing: equi conjuncts of θ ("B.col = expr(R)") build a
+//     hash index on B so Rel(t) is found by probing instead of a nested
+//     loop.
+//   - Theorem 4.2 pushdown: conjuncts referencing only R pre-filter the
+//     detail scan.
+//   - Generalized MD-join (Section 4.3): a vector of (l, θ) phases shares a
+//     single detail scan.
+//   - Theorem 4.1: partitioned evaluation bounds resident base rows
+//     (m scans of R), and both base- and detail-partitioned parallelism.
+package core
+
+import (
+	"fmt"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// Phase is one (aggregate-list, θ) pair of a generalized MD-join. The
+// plain MD-join of Definition 3.1 is a single phase.
+type Phase struct {
+	Aggs  []agg.Spec
+	Theta expr.Expr
+}
+
+// Options tune the execution strategy. The zero value gives the fully
+// optimized single-pass evaluation (index on, pushdown on, sequential).
+type Options struct {
+	// BAlias and RAlias add extra qualifiers under which θ may reference
+	// the base and detail relations (besides the defaults "B" and "R") —
+	// typically the real table name, e.g. "Sales", so θ can be written
+	// exactly as in the paper: Sales.cust = cust.
+	BAlias string
+	RAlias string
+
+	// DisableIndex forces the verbatim nested-loop Algorithm 3.1 even when
+	// θ has equi conjuncts; used by benches to measure the Section 4.5
+	// indexing payoff.
+	DisableIndex bool
+
+	// DisablePushdown keeps R-only conjuncts in the per-pair check instead
+	// of pre-filtering the scan (Theorem 4.2 off).
+	DisablePushdown bool
+
+	// MaxBaseRows, when positive, bounds how many base rows are resident
+	// at once; B is split into ceil(|B|/MaxBaseRows) contiguous partitions
+	// and R is scanned once per partition (Theorem 4.1's in-memory
+	// evaluation trade: m scans for bounded memory).
+	MaxBaseRows int
+
+	// MemoryBudgetBytes, when positive and MaxBaseRows is zero, derives
+	// MaxBaseRows from an estimate of the per-base-row working-set size
+	// (row values, aggregate states, index entries) — the way an engine
+	// would apply Theorem 4.1 given its buffer allocation. A budget
+	// smaller than one row's footprint still admits one row per pass.
+	MemoryBudgetBytes int
+
+	// Parallelism, when > 1, partitions B across that many goroutines,
+	// each scanning R independently (Theorem 4.1's intra-operator
+	// parallelism). Mutually exclusive with DetailParallelism.
+	Parallelism int
+
+	// DetailParallelism, when > 1, partitions R across that many
+	// goroutines and merges per-partition aggregate states — the
+	// alternative parallelization enabled by mergeable aggregates.
+	DetailParallelism int
+
+	// Stats, when non-nil, receives execution counters.
+	Stats *Stats
+}
+
+// Stats reports execution counters for the experiment harness.
+type Stats struct {
+	DetailScans   int // number of full or filtered passes over R
+	TuplesScanned int // detail tuples visited across all scans
+	PairsTested   int // (b, r) candidate pairs evaluated
+	PairsMatched  int // pairs that satisfied θ and updated aggregates
+	IndexUsed     bool
+}
+
+// String renders the counters in the style of an EXPLAIN ANALYZE line.
+func (s Stats) String() string {
+	idx := "nested-loop"
+	if s.IndexUsed {
+		idx = "indexed"
+	}
+	return fmt.Sprintf("scans=%d tuples=%d pairs=%d matched=%d (%s)",
+		s.DetailScans, s.TuplesScanned, s.PairsTested, s.PairsMatched, idx)
+}
+
+// MDJoin evaluates the plain MD-join MD(b, r, aggs, theta) with default
+// options: this is the operator of Definition 3.1.
+func MDJoin(b, r *table.Table, aggs []agg.Spec, theta expr.Expr) (*table.Table, error) {
+	return Eval(b, r, []Phase{{Aggs: aggs, Theta: theta}}, Options{})
+}
+
+// Eval evaluates a generalized MD-join MD(b, r, (l₁..l_k), (θ₁..θ_k)): all
+// phases share the detail scan(s), appending their aggregate columns to B
+// in phase order.
+func Eval(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("core: MD-join needs at least one phase")
+	}
+	if opt.Parallelism > 1 && opt.DetailParallelism > 1 {
+		return nil, fmt.Errorf("core: Parallelism and DetailParallelism are mutually exclusive")
+	}
+	if opt.MaxBaseRows == 0 && opt.MemoryBudgetBytes > 0 {
+		opt.MaxBaseRows = baseRowsForBudget(b, phases, opt.MemoryBudgetBytes)
+	}
+	if opt.MaxBaseRows > 0 && opt.MaxBaseRows < b.Len() {
+		return evalPartitioned(b, r, phases, opt)
+	}
+	if opt.Parallelism > 1 {
+		return evalParallelBase(b, r, phases, opt)
+	}
+	if opt.DetailParallelism > 1 {
+		return evalParallelDetail(b, r, phases, opt)
+	}
+	return evalSingle(b, r, phases, opt)
+}
+
+// baseRowsForBudget estimates how many base rows fit in the given byte
+// budget: each resident row carries its values, one aggregate state per
+// spec per phase, and a hash-index entry. The estimate is deliberately
+// coarse (holistic aggregate states grow with data); at least one row is
+// always admitted so evaluation can proceed.
+func baseRowsForBudget(b *table.Table, phases []Phase, budget int) int {
+	const (
+		valueBytes = 48 // table.Value struct
+		stateBytes = 64 // typical small aggregate state + header
+		indexBytes = 24 // bucket slot + ordinal
+	)
+	perRow := b.Schema.Len()*valueBytes + indexBytes
+	for _, p := range phases {
+		perRow += len(p.Aggs) * stateBytes
+	}
+	n := budget / perRow
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// compiledPhase is one phase bound against the (B, R) schemas.
+type compiledPhase struct {
+	specs []*agg.Compiled
+	// analysis of θ
+	analysis *expr.ThetaAnalysis
+	// compiled predicate pieces
+	rOnly    *expr.Compiled // conjunction of R-only conjuncts (nil if none)
+	bOnly    *expr.Compiled // conjunction of B-only conjuncts
+	residual *expr.Compiled // conjunction of residual conjuncts
+	equiKeys []*expr.Compiled
+	// cubePos lists positions in equiKeys that use cube equality (=^):
+	// for those, the probe expands over {value, ALL} so base rows holding
+	// the ALL marker receive every matching tuple. cubeAt is the parallel
+	// per-position flag.
+	cubePos []int
+	cubeAt  []bool
+	// index over B's equi columns (nil → nested loop)
+	index *table.Index
+	// bAlive[i] == false when the B-only conjuncts exclude row i forever.
+	bAlive []bool
+	// per-B-row aggregate states, parallel to b.Rows
+	states [][]agg.State
+	// scratch buffers reused across tuples (each worker owns its phases,
+	// so no synchronization is needed)
+	probeBuf []int
+	savedBuf []table.Value
+}
+
+// outSchema derives the generalized MD-join's output schema: B's columns
+// followed by every phase's aggregate columns. Duplicate aggregate output
+// names across phases are an error (surfaced by Schema.Append's panic is
+// avoided — we validate here).
+func outSchema(b *table.Table, phases []Phase) (*table.Schema, error) {
+	schema := b.Schema
+	for pi, p := range phases {
+		for _, s := range p.Aggs {
+			if schema.Has(s.OutName()) {
+				return nil, fmt.Errorf("core: phase %d aggregate output %q collides with an existing column", pi, s.OutName())
+			}
+			schema = schema.Append(table.Column{Name: s.OutName()})
+		}
+	}
+	return schema, nil
+}
+
+// bindPhases compiles every phase against the base/detail schemas and
+// prepares indexes and state arrays.
+func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Options) ([]*compiledPhase, error) {
+	out := make([]*compiledPhase, len(phases))
+	for pi, p := range phases {
+		bind := expr.NewBinding()
+		bquals := []string{"b", "base"}
+		if opt.BAlias != "" {
+			bquals = append(bquals, opt.BAlias)
+		}
+		rquals := []string{"r", "detail"}
+		if opt.RAlias != "" {
+			rquals = append(rquals, opt.RAlias)
+		}
+		bslot := bind.AddRel(b.Schema, bquals...)
+		rslot := bind.AddRel(rSchema, rquals...)
+
+		ta, err := expr.AnalyzeTheta(p.Theta, bind, bslot, rslot)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d θ analysis: %w", pi, err)
+		}
+		cp := &compiledPhase{analysis: ta}
+
+		cp.specs, err = agg.CompileSpecs(p.Aggs, bind)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d: %w", pi, err)
+		}
+
+		compileAnd := func(es []expr.Expr) (*expr.Compiled, error) {
+			if len(es) == 0 {
+				return nil, nil
+			}
+			return expr.Compile(expr.And(es...), bind)
+		}
+		if !opt.DisablePushdown {
+			if cp.rOnly, err = compileAnd(ta.ROnly); err != nil {
+				return nil, err
+			}
+			residual := ta.Residual
+			if opt.DisableIndex {
+				// Index off: equi conjuncts degrade to residual checks.
+				for _, c := range ta.Conjuncts {
+					if c.Class == expr.ClassEqui || c.Class == expr.ClassCubeEqui {
+						residual = append(residual, c.Expr)
+					}
+				}
+			}
+			if cp.residual, err = compileAnd(residual); err != nil {
+				return nil, err
+			}
+		} else {
+			// Pushdown off: R-only conjuncts are evaluated per pair too.
+			residual := append(append([]expr.Expr{}, ta.Residual...), ta.ROnly...)
+			if opt.DisableIndex {
+				for _, c := range ta.Conjuncts {
+					if c.Class == expr.ClassEqui || c.Class == expr.ClassCubeEqui {
+						residual = append(residual, c.Expr)
+					}
+				}
+			}
+			if cp.residual, err = compileAnd(residual); err != nil {
+				return nil, err
+			}
+		}
+		if cp.bOnly, err = compileAnd(ta.BOnly); err != nil {
+			return nil, err
+		}
+
+		if !opt.DisableIndex && len(ta.EquiBCols) > 0 {
+			cp.index = table.BuildIndexOrdinals(b, ta.EquiBCols)
+			cp.equiKeys = make([]*expr.Compiled, len(ta.EquiRSides))
+			for i, e := range ta.EquiRSides {
+				c, err := expr.Compile(e, bind)
+				if err != nil {
+					return nil, err
+				}
+				cp.equiKeys[i] = c
+				if ta.EquiIsCube[i] {
+					cp.cubePos = append(cp.cubePos, i)
+				}
+			}
+			cp.cubeAt = make([]bool, len(ta.EquiIsCube))
+			copy(cp.cubeAt, ta.EquiIsCube)
+			if opt.Stats != nil {
+				opt.Stats.IndexUsed = true
+			}
+		}
+
+		// Pre-evaluate B-only conjuncts once per base row.
+		cp.bAlive = make([]bool, b.Len())
+		frame := make([]table.Row, 2)
+		for i, br := range b.Rows {
+			if cp.bOnly == nil {
+				cp.bAlive[i] = true
+				continue
+			}
+			frame[0] = br
+			cp.bAlive[i] = cp.bOnly.Truth(frame)
+		}
+
+		// Aggregate states: one vector per base row.
+		cp.states = make([][]agg.State, b.Len())
+		for i := range cp.states {
+			sv := make([]agg.State, len(cp.specs))
+			for j, c := range cp.specs {
+				sv[j] = c.NewState()
+			}
+			cp.states[i] = sv
+		}
+		out[pi] = cp
+	}
+	return out, nil
+}
+
+// evalSingle is the single-threaded, fully resident evaluation: one scan of
+// R shared by all phases (Algorithm 3.1 plus Sections 4.2/4.3/4.5).
+func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
+	schema, err := outSchema(b, phases)
+	if err != nil {
+		return nil, err
+	}
+	cps, err := bindPhases(b, r.Schema, phases, opt)
+	if err != nil {
+		return nil, err
+	}
+	scanDetail(b, r, cps, opt.Stats)
+	if opt.Stats != nil {
+		opt.Stats.DetailScans++
+	}
+	return assemble(schema, b, cps), nil
+}
+
+// scanDetail performs the detail scan over a materialized table, updating
+// every phase's states.
+func scanDetail(b, r *table.Table, cps []*compiledPhase, stats *Stats) {
+	frame := make([]table.Row, 2)
+	var key []table.Value
+	for _, t := range r.Rows {
+		key = processTuple(b, cps, frame, key, t, stats)
+	}
+}
+
+// processTuple folds one detail tuple into every phase; it returns the
+// (possibly grown) probe-key buffer for reuse.
+func processTuple(b *table.Table, cps []*compiledPhase, frame []table.Row, key []table.Value, t table.Row, stats *Stats) []table.Value {
+	{
+		if stats != nil {
+			stats.TuplesScanned++
+		}
+		frame[1] = t
+		for _, cp := range cps {
+			// Theorem 4.2: R-only conjuncts gate the tuple before any
+			// base-row work.
+			if cp.rOnly != nil {
+				frame[0] = nil
+				if !cp.rOnly.Truth(frame) {
+					continue
+				}
+			}
+			if cp.index != nil {
+				// Section 4.5: probe the B index with the tuple's key.
+				if cap(key) < len(cp.equiKeys) {
+					key = make([]table.Value, len(cp.equiKeys))
+				}
+				key = key[:len(cp.equiKeys)]
+				degenerate, dead := false, false
+				for i, ke := range cp.equiKeys {
+					key[i] = ke.Eval(frame)
+					if key[i].IsAll() {
+						// A detail-side ALL matches every base value
+						// under =^; fall back to the full loop for this
+						// tuple (cannot arise from ordinary detail data).
+						degenerate = true
+					}
+					if key[i].IsNull() && !cp.cubeAt[i] {
+						// Strict equality with NULL is never true: no
+						// base row can match this tuple in this phase.
+						dead = true
+					}
+				}
+				if dead {
+					continue
+				}
+				if !degenerate {
+					if len(cp.cubePos) == 0 {
+						// Plain equality: one probe, no key rewriting.
+						cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+						for _, bi := range cp.probeBuf {
+							if !cp.bAlive[bi] {
+								continue
+							}
+							updatePair(cp, b.Rows[bi], bi, frame, stats)
+						}
+						continue
+					}
+					probeCube(cp, b, key, frame, stats)
+					continue
+				}
+			}
+			// Verbatim Algorithm 3.1: loop over all rows of B.
+			for bi, br := range b.Rows {
+				if !cp.bAlive[bi] {
+					continue
+				}
+				updatePair(cp, br, bi, frame, stats)
+			}
+		}
+	}
+	return key
+}
+
+// probeCube probes the base index once per cube-equality combination:
+// each =^ key position is tried both with the tuple's value and with the
+// ALL marker, so a tuple updates its 2^k cube cells in one pass — the
+// paper's single-scan evaluation of a cube-structured base-values table.
+func probeCube(cp *compiledPhase, b *table.Table, key []table.Value, frame []table.Row, stats *Stats) {
+	k := len(cp.cubePos)
+	if cap(cp.savedBuf) < k {
+		cp.savedBuf = make([]table.Value, k)
+	}
+	saved := cp.savedBuf[:k]
+	for i, p := range cp.cubePos {
+		saved[i] = key[p]
+	}
+	for mask := 0; mask < 1<<k; mask++ {
+		for i, p := range cp.cubePos {
+			if mask&(1<<i) != 0 {
+				key[p] = table.All()
+			} else {
+				key[p] = saved[i]
+			}
+		}
+		cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+		for _, bi := range cp.probeBuf {
+			if !cp.bAlive[bi] {
+				continue
+			}
+			updatePair(cp, b.Rows[bi], bi, frame, stats)
+		}
+	}
+	// Restore the key buffer for the next phase.
+	for i, p := range cp.cubePos {
+		key[p] = saved[i]
+	}
+}
+
+// updatePair checks the residual θ conjuncts for one (b, r) pair and feeds
+// the aggregates on success.
+func updatePair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row, stats *Stats) {
+	frame[0] = brow
+	if stats != nil {
+		stats.PairsTested++
+	}
+	if cp.residual != nil && !cp.residual.Truth(frame) {
+		return
+	}
+	if stats != nil {
+		stats.PairsMatched++
+	}
+	for j, c := range cp.specs {
+		c.Feed(cp.states[bi][j], frame)
+	}
+}
+
+// assemble emits the output table: B's rows extended with each phase's
+// aggregate results.
+func assemble(schema *table.Schema, b *table.Table, cps []*compiledPhase) *table.Table {
+	out := table.New(schema)
+	for bi, br := range b.Rows {
+		row := make(table.Row, 0, schema.Len())
+		row = append(row, br...)
+		for _, cp := range cps {
+			for _, st := range cp.states[bi] {
+				row = append(row, st.Result())
+			}
+		}
+		out.Append(row)
+	}
+	return out
+}

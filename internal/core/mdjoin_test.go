@@ -1,0 +1,388 @@
+package core
+
+import (
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// refMDJoin is the verbatim Definition 3.1 semantics: for each b ∈ B,
+// compute RNG(b, R, θ) by testing θ against every detail tuple, then apply
+// each aggregate to the multiset. Every executor strategy must agree with
+// it; the property tests in equivalence_test.go compare against it on
+// random inputs.
+func refMDJoin(t *testing.T, b, r *table.Table, specs []agg.Spec, theta expr.Expr, opt Options) *table.Table {
+	t.Helper()
+	bind := expr.NewBinding()
+	bquals := []string{"b", "base"}
+	if opt.BAlias != "" {
+		bquals = append(bquals, opt.BAlias)
+	}
+	rquals := []string{"r", "detail"}
+	if opt.RAlias != "" {
+		rquals = append(rquals, opt.RAlias)
+	}
+	bind.AddRel(b.Schema, bquals...)
+	bind.AddRel(r.Schema, rquals...)
+
+	var pred *expr.Compiled
+	if theta != nil {
+		pred = expr.MustCompile(theta, bind)
+	}
+	compiled, err := agg.CompileSpecs(specs, bind)
+	if err != nil {
+		t.Fatalf("compiling specs: %v", err)
+	}
+
+	schema := b.Schema
+	for _, s := range specs {
+		schema = schema.Append(table.Column{Name: s.OutName()})
+	}
+	out := table.New(schema)
+	frame := make([]table.Row, 2)
+	for _, br := range b.Rows {
+		states := make([]agg.State, len(compiled))
+		for i, c := range compiled {
+			states[i] = c.NewState()
+		}
+		for _, rr := range r.Rows {
+			frame[0], frame[1] = br, rr
+			if pred != nil && !pred.Truth(frame) {
+				continue
+			}
+			for i, c := range compiled {
+				c.Feed(states[i], frame)
+			}
+		}
+		row := append(br.Clone(), make(table.Row, 0)...)
+		for _, st := range states {
+			row = append(row, st.Result())
+		}
+		out.Append(row)
+	}
+	return out
+}
+
+// salesFixture builds the small Sales relation used across core tests.
+func salesFixture() *table.Table {
+	schema := table.SchemaOf("cust", "prod", "month", "state", "sale")
+	rows := []table.Row{
+		{table.Str("alice"), table.Int(1), table.Int(1), table.Str("NY"), table.Float(10)},
+		{table.Str("alice"), table.Int(1), table.Int(2), table.Str("NY"), table.Float(30)},
+		{table.Str("alice"), table.Int(2), table.Int(1), table.Str("NJ"), table.Float(20)},
+		{table.Str("bob"), table.Int(1), table.Int(1), table.Str("CT"), table.Float(50)},
+		{table.Str("bob"), table.Int(2), table.Int(2), table.Str("NY"), table.Float(40)},
+		{table.Str("carol"), table.Int(3), table.Int(3), table.Str("CA"), table.Float(70)},
+	}
+	return table.MustFromRows(schema, rows)
+}
+
+func custBase(t *testing.T, sales *table.Table) *table.Table {
+	t.Helper()
+	schema := table.SchemaOf("cust")
+	seen := map[string]bool{}
+	out := table.New(schema)
+	for _, r := range sales.Rows {
+		c := r[0].AsString()
+		if !seen[c] {
+			seen[c] = true
+			out.Append(table.Row{r[0]})
+		}
+	}
+	return out
+}
+
+func TestMDJoinBasicSum(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta := expr.Eq(expr.QC("R", "cust"), expr.QC("B", "cust"))
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
+
+	got, err := MDJoin(base, sales, specs, theta)
+	if err != nil {
+		t.Fatalf("MDJoin: %v", err)
+	}
+	want := refMDJoin(t, base, sales, specs, theta, Options{})
+	if d := got.Diff(want); d != "" {
+		t.Fatalf("MD-join disagrees with Definition 3.1 reference: %s\ngot:\n%s\nwant:\n%s", d, got, want)
+	}
+
+	// Spot-check: alice bought 10+30+20 = 60.
+	if v := got.Value(0, "total"); v.AsFloat() != 60 {
+		t.Errorf("alice total = %v, want 60", v)
+	}
+}
+
+func TestMDJoinOuterSemantics(t *testing.T) {
+	// A base row with no matching detail must still appear, with count 0
+	// and NULL sum (Definition 3.1's outer-join-like row-count guarantee).
+	sales := salesFixture()
+	base := table.MustFromRows(table.SchemaOf("cust"), []table.Row{
+		{table.Str("alice")},
+		{table.Str("nobody")},
+	})
+	theta := expr.Eq(expr.QC("R", "cust"), expr.C("cust"))
+	specs := []agg.Spec{
+		agg.NewSpec("count", nil, "n"),
+		agg.NewSpec("sum", expr.QC("R", "sale"), "total"),
+	}
+	got, err := MDJoin(base, sales, specs, theta)
+	if err != nil {
+		t.Fatalf("MDJoin: %v", err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("row count = %d, want 2 (one per base row)", got.Len())
+	}
+	if v := got.Value(1, "n"); v.AsInt() != 0 {
+		t.Errorf("nobody count = %v, want 0", v)
+	}
+	if v := got.Value(1, "total"); !v.IsNull() {
+		t.Errorf("nobody total = %v, want NULL", v)
+	}
+}
+
+func TestMDJoinThetaWithConstantsAndResidual(t *testing.T) {
+	// Example 2.2-style restricted θ: per-customer NY-only average, plus a
+	// residual non-equi conjunct.
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		expr.Eq(expr.QC("R", "state"), expr.S("NY")),
+		expr.Gt(expr.QC("R", "sale"), expr.F(15)),
+	)
+	specs := []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), "avg_ny_big")}
+
+	for name, opt := range map[string]Options{
+		"indexed":       {},
+		"nested-loop":   {DisableIndex: true},
+		"no-pushdown":   {DisablePushdown: true},
+		"nothing":       {DisableIndex: true, DisablePushdown: true},
+		"partitioned":   {MaxBaseRows: 1},
+		"parallel-base": {Parallelism: 2},
+		"parallel-r":    {DetailParallelism: 3},
+	} {
+		got, err := Eval(base, sales, []Phase{{Aggs: specs, Theta: theta}}, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := refMDJoin(t, base, sales, specs, theta, opt)
+		if d := got.Diff(want); d != "" {
+			t.Errorf("%s: %s\ngot:\n%s", name, d, got)
+		}
+	}
+}
+
+func TestGeneralizedMDJoinSingleScan(t *testing.T) {
+	// Example 2.2 as one generalized MD-join: three θs, one scan.
+	sales := salesFixture()
+	base := custBase(t, sales)
+	mk := func(state, as string) Phase {
+		return Phase{
+			Aggs: []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), as)},
+			Theta: expr.And(
+				expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+				expr.Eq(expr.QC("R", "state"), expr.S(state)),
+			),
+		}
+	}
+	var stats Stats
+	got, err := Eval(base, sales, []Phase{mk("NY", "avg_ny"), mk("NJ", "avg_nj"), mk("CT", "avg_ct")}, Options{Stats: &stats})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if stats.DetailScans != 1 {
+		t.Errorf("detail scans = %d, want 1 (generalized MD-join shares the scan)", stats.DetailScans)
+	}
+	if stats.TuplesScanned != sales.Len() {
+		t.Errorf("tuples scanned = %d, want %d", stats.TuplesScanned, sales.Len())
+	}
+	// alice: NY avg (10+30)/2=20, NJ avg 20, CT NULL.
+	if v := got.Value(0, "avg_ny"); v.AsFloat() != 20 {
+		t.Errorf("alice avg_ny = %v, want 20", v)
+	}
+	if v := got.Value(0, "avg_nj"); v.AsFloat() != 20 {
+		t.Errorf("alice avg_nj = %v, want 20", v)
+	}
+	if v := got.Value(0, "avg_ct"); !v.IsNull() {
+		t.Errorf("alice avg_ct = %v, want NULL", v)
+	}
+}
+
+func TestEvalSeriesDependentPhases(t *testing.T) {
+	// Example 2.3 shape: first compute per-customer avg, then count sales
+	// above that avg. The second θ references the generated column, so the
+	// series planner must keep two stages.
+	sales := salesFixture()
+	base := custBase(t, sales)
+	steps := []Step{
+		{
+			Detail: "Sales",
+			Phase: Phase{
+				Aggs:  []agg.Spec{agg.NewSpec("avg", expr.QC("Sales", "sale"), "avg_sale")},
+				Theta: expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+			},
+		},
+		{
+			Detail: "Sales",
+			Phase: Phase{
+				Aggs: []agg.Spec{agg.NewSpec("count", nil, "n_above")},
+				Theta: expr.And(
+					expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+					expr.Gt(expr.QC("Sales", "sale"), expr.C("avg_sale")),
+				),
+			},
+		},
+	}
+	stages := PlanSeries(base.Schema, steps)
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2 (second θ depends on avg_sale)", len(stages))
+	}
+	got, err := EvalSeries(base, map[string]*table.Table{"Sales": sales}, steps, Options{})
+	if err != nil {
+		t.Fatalf("EvalSeries: %v", err)
+	}
+	// alice: sales 10,30,20 avg 20 → above: {30} → 1.
+	if v := got.Value(0, "n_above"); v.AsInt() != 1 {
+		t.Errorf("alice n_above = %v, want 1", v)
+	}
+	// carol: single sale 70, avg 70 → none above.
+	if v := got.Value(2, "n_above"); v.AsInt() != 0 {
+		t.Errorf("carol n_above = %v, want 0", v)
+	}
+}
+
+func TestPlanSeriesCombinesIndependentSteps(t *testing.T) {
+	// Example 2.2's three independent MD-joins must collapse into one
+	// generalized stage (Section 4.3).
+	mk := func(state string) Step {
+		return Step{
+			Detail: "Sales",
+			Phase: Phase{
+				Aggs: []agg.Spec{agg.NewSpec("avg", expr.QC("Sales", "sale"), "avg_"+state)},
+				Theta: expr.And(
+					expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+					expr.Eq(expr.QC("Sales", "state"), expr.S(state)),
+				),
+			},
+		}
+	}
+	stages := PlanSeries(table.SchemaOf("cust"), []Step{mk("NY"), mk("NJ"), mk("CT")})
+	if len(stages) != 1 {
+		t.Fatalf("stages = %d, want 1 (independent θs combine)", len(stages))
+	}
+	if len(stages[0].Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(stages[0].Phases))
+	}
+}
+
+func TestPlanSeriesSeparatesDetails(t *testing.T) {
+	// Example 3.3: Sales and Payments steps are independent but have
+	// different details, so they form two stages at the same level.
+	s1 := Step{Detail: "Sales", Phase: Phase{
+		Aggs:  []agg.Spec{agg.NewSpec("sum", expr.QC("Sales", "sale"), "total_sale")},
+		Theta: expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+	}}
+	s2 := Step{Detail: "Payments", Phase: Phase{
+		Aggs:  []agg.Spec{agg.NewSpec("sum", expr.QC("Payments", "amount"), "total_paid")},
+		Theta: expr.Eq(expr.QC("Payments", "cust"), expr.C("cust")),
+	}}
+	stages := PlanSeries(table.SchemaOf("cust"), []Step{s1, s2})
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2 (different detail relations)", len(stages))
+	}
+	if !Commutable(s1, s2) {
+		t.Errorf("independent steps over different details must commute (Theorem 4.3)")
+	}
+}
+
+func TestSplitJoin(t *testing.T) {
+	// Theorem 4.4: MD(MD(B,R,l1,θ1),R,l2,θ2) equals the equijoin of the
+	// two independent MD-joins on B's columns.
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta1 := expr.And(expr.Eq(expr.QC("R", "cust"), expr.C("cust")), expr.Eq(expr.QC("R", "state"), expr.S("NY")))
+	theta2 := expr.And(expr.Eq(expr.QC("R", "cust"), expr.C("cust")), expr.Eq(expr.QC("R", "state"), expr.S("NJ")))
+	l1 := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "ny_total")}
+	l2 := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "nj_total")}
+
+	seq1, err := MDJoin(base, sales, l1, theta1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, err := MDJoin(seq1, sales, l2, theta2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	left, err := MDJoin(base, sales, l1, theta1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := MDJoin(base, sales, l2, theta2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := SplitJoin(left, right, []string{"cust"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sequential.Diff(joined); d != "" {
+		t.Fatalf("Theorem 4.4 violated: %s\nsequential:\n%s\nsplit-join:\n%s", d, sequential, joined)
+	}
+}
+
+func TestPushBaseRange(t *testing.T) {
+	// Observation 4.1: σ(month between 1 and 3) on B pushes to R when θ
+	// equates B.month with R.month.
+	bSchema := table.SchemaOf("cust", "month")
+	rSchema := table.SchemaOf("cust", "month", "sale")
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		expr.Eq(expr.QC("R", "month"), expr.C("month")),
+	)
+	bPred := expr.And(
+		expr.Ge(expr.C("month"), expr.I(1)),
+		expr.Le(expr.C("month"), expr.I(3)),
+	)
+	got, ok := PushBaseRange(bPred, theta, bSchema, rSchema, Options{})
+	if !ok {
+		t.Fatalf("pushdown should apply")
+	}
+	// The rewritten predicate must reference only R.
+	bind := expr.NewBinding()
+	bind.AddRel(rSchema, "r")
+	if _, err := expr.Compile(got, bind); err != nil {
+		t.Fatalf("rewritten predicate does not compile against R alone: %v (%s)", err, got)
+	}
+
+	// Not applicable when a referenced B column lacks an equi conjunct.
+	bPred2 := expr.Gt(expr.C("cust"), expr.S("m"))
+	theta2 := expr.Eq(expr.QC("R", "month"), expr.C("month"))
+	if _, ok := PushBaseRange(bPred2, theta2, bSchema, rSchema, Options{}); ok {
+		t.Errorf("pushdown must not apply when cust has no equi counterpart")
+	}
+}
+
+func TestStatsIndexUsage(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta := expr.Eq(expr.QC("R", "cust"), expr.C("cust"))
+	specs := []agg.Spec{agg.NewSpec("count", nil, "n")}
+
+	var with, without Stats
+	if _, err := Eval(base, sales, []Phase{{Aggs: specs, Theta: theta}}, Options{Stats: &with}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Eval(base, sales, []Phase{{Aggs: specs, Theta: theta}}, Options{Stats: &without, DisableIndex: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !with.IndexUsed || without.IndexUsed {
+		t.Errorf("IndexUsed flags wrong: with=%v without=%v", with.IndexUsed, without.IndexUsed)
+	}
+	if with.PairsTested >= without.PairsTested {
+		t.Errorf("index should test fewer pairs: indexed=%d nested=%d", with.PairsTested, without.PairsTested)
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func TestMemoryBudgetDerivesPartitioning(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta := expr.Eq(expr.QC("R", "cust"), expr.C("cust"))
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
+
+	want, err := MDJoin(base, sales, specs, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny budget forces one-row partitions; result must not change.
+	var stats Stats
+	got, err := Eval(base, sales, []Phase{{Aggs: specs, Theta: theta}},
+		Options{MemoryBudgetBytes: 1, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("budgeted evaluation differs: %s", d)
+	}
+	if stats.DetailScans != base.Len() {
+		t.Errorf("1-byte budget should force one scan per base row: %d scans, |B|=%d",
+			stats.DetailScans, base.Len())
+	}
+
+	// A generous budget keeps everything resident: a single scan.
+	var stats2 Stats
+	if _, err := Eval(base, sales, []Phase{{Aggs: specs, Theta: theta}},
+		Options{MemoryBudgetBytes: 1 << 30, Stats: &stats2}); err != nil {
+		t.Fatal(err)
+	}
+	if stats2.DetailScans != 1 {
+		t.Errorf("large budget should keep one scan: %d", stats2.DetailScans)
+	}
+}
+
+func TestExplicitMaxBaseRowsWinsOverBudget(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta := expr.Eq(expr.QC("R", "cust"), expr.C("cust"))
+	specs := []agg.Spec{agg.NewSpec("count", nil, "n")}
+	var stats Stats
+	if _, err := Eval(base, sales, []Phase{{Aggs: specs, Theta: theta}},
+		Options{MaxBaseRows: base.Len(), MemoryBudgetBytes: 1, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DetailScans != 1 {
+		t.Errorf("explicit MaxBaseRows must take precedence: %d scans", stats.DetailScans)
+	}
+}
+
+func TestConflictingParallelismOptions(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	_, err := Eval(base, sales, []Phase{{
+		Aggs:  []agg.Spec{agg.NewSpec("count", nil, "n")},
+		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+	}}, Options{Parallelism: 2, DetailParallelism: 2})
+	if err == nil {
+		t.Fatal("conflicting parallelism options must error")
+	}
+}
+
+func TestNoPhasesError(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	if _, err := Eval(base, sales, nil, Options{}); err == nil {
+		t.Fatal("zero phases must error")
+	}
+}
+
+func TestDuplicateOutputColumnError(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta := expr.Eq(expr.QC("R", "cust"), expr.C("cust"))
+	_, err := Eval(base, sales, []Phase{
+		{Aggs: []agg.Spec{agg.NewSpec("count", nil, "n")}, Theta: theta},
+		{Aggs: []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "n")}, Theta: theta},
+	}, Options{})
+	if err == nil {
+		t.Fatal("colliding output columns across phases must error")
+	}
+	// Collision with a base column too.
+	_, err = Eval(base, sales, []Phase{
+		{Aggs: []agg.Spec{agg.NewSpec("count", nil, "cust")}, Theta: theta},
+	}, Options{})
+	if err == nil {
+		t.Fatal("collision with a base column must error")
+	}
+}
+
+func TestEmptyBaseAndEmptyDetail(t *testing.T) {
+	sales := salesFixture()
+	emptyBase := table.New(table.SchemaOf("cust"))
+	theta := expr.Eq(expr.QC("R", "cust"), expr.C("cust"))
+	specs := []agg.Spec{agg.NewSpec("count", nil, "n")}
+
+	out, err := MDJoin(emptyBase, sales, specs, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("empty base → empty result, got %d rows", out.Len())
+	}
+	// Partitioned path with empty base.
+	out, err = Eval(emptyBase, sales, []Phase{{Aggs: specs, Theta: theta}}, Options{MaxBaseRows: 1})
+	if err != nil || out.Len() != 0 {
+		t.Errorf("partitioned empty base: %d rows, %v", out.Len(), err)
+	}
+
+	base := custBase(t, sales)
+	emptyDetail := table.New(sales.Schema)
+	out, err = MDJoin(base, emptyDetail, specs, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != base.Len() {
+		t.Fatalf("empty detail must keep every base row: %d", out.Len())
+	}
+	for i := range out.Rows {
+		if out.Value(i, "n").AsInt() != 0 {
+			t.Errorf("row %d: count over empty detail = %v", i, out.Value(i, "n"))
+		}
+	}
+}
+
+func TestNilThetaIsCrossProduct(t *testing.T) {
+	// A nil θ relates every detail tuple to every base row — the
+	// grand-total per base row.
+	sales := salesFixture()
+	base := custBase(t, sales)
+	out, err := MDJoin(base, sales, []agg.Spec{agg.NewSpec("count", nil, "n")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Rows {
+		if out.Value(i, "n").AsInt() != int64(sales.Len()) {
+			t.Errorf("row %d: nil θ count = %v, want %d", i, out.Value(i, "n"), sales.Len())
+		}
+	}
+}
+
+func TestDegenerateDetailALLValue(t *testing.T) {
+	// A detail tuple whose cube-joined column holds ALL matches every base
+	// value under =^; the indexed path must fall back to the full loop for
+	// that tuple and agree with the nested-loop evaluation.
+	base := table.MustFromRows(table.SchemaOf("g"), []table.Row{
+		{table.Int(1)},
+		{table.Int(2)},
+		{table.All()},
+	})
+	detail := table.MustFromRows(table.SchemaOf("g", "w"), []table.Row{
+		{table.Int(1), table.Int(10)},
+		{table.All(), table.Int(5)}, // degenerate: matches every base row
+	})
+	theta := expr.CubeEq(expr.QC("R", "g"), expr.C("g"))
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "w"), "total")}
+
+	idx, err := MDJoin(base, detail, specs, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := Eval(base, detail, []Phase{{Aggs: specs, Theta: theta}}, Options{DisableIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := idx.Diff(loop); d != "" {
+		t.Fatalf("degenerate ALL tuple: indexed vs nested disagree: %s\nindexed:\n%s\nnested:\n%s", d, idx, loop)
+	}
+	// Base row 1: gets 10 (exact) + 5 (ALL tuple) = 15.
+	if v := idx.Value(0, "total"); v.AsInt() != 15 {
+		t.Errorf("base 1 total = %v, want 15", v)
+	}
+	// Base ALL row: matches everything = 15.
+	if v := idx.Value(2, "total"); v.AsInt() != 15 {
+		t.Errorf("base ALL total = %v, want 15", v)
+	}
+}
+
+func TestDuplicateBaseRows(t *testing.T) {
+	// Definition 3.1 does not require B's rows distinct: duplicates each
+	// get their own output row with identical aggregates.
+	base := table.MustFromRows(table.SchemaOf("g"), []table.Row{
+		{table.Int(1)},
+		{table.Int(1)},
+	})
+	detail := table.MustFromRows(table.SchemaOf("g", "w"), []table.Row{
+		{table.Int(1), table.Int(7)},
+	})
+	out, err := MDJoin(base, detail,
+		[]agg.Spec{agg.NewSpec("sum", expr.QC("R", "w"), "total")},
+		expr.Eq(expr.QC("R", "g"), expr.C("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2 (duplicates preserved)", out.Len())
+	}
+	for i := range out.Rows {
+		if v := out.Value(i, "total"); v.AsInt() != 7 {
+			t.Errorf("row %d total = %v, want 7", i, v)
+		}
+	}
+	// But SplitJoin must reject duplicate bases (Theorem 4.4 precondition).
+	out2, err := MDJoin(base, detail,
+		[]agg.Spec{agg.NewSpec("count", nil, "n")},
+		expr.Eq(expr.QC("R", "g"), expr.C("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SplitJoin(out, out2, []string{"g"}); err == nil {
+		t.Error("SplitJoin must reject non-distinct base rows")
+	}
+	// And colliding aggregate columns error rather than panic.
+	if _, err := SplitJoin(out, out, []string{"g"}); err == nil {
+		t.Error("SplitJoin must reject colliding aggregate columns")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{DetailScans: 2, TuplesScanned: 10, PairsTested: 5, PairsMatched: 3, IndexUsed: true}
+	got := s.String()
+	for _, want := range []string{"scans=2", "tuples=10", "pairs=5", "matched=3", "indexed"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Stats.String() = %q, missing %q", got, want)
+		}
+	}
+	if !strings.Contains(Stats{}.String(), "nested-loop") {
+		t.Error("zero stats should render nested-loop")
+	}
+}
+
+func TestEvalSeriesUnknownDetail(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	_, err := EvalSeries(base, map[string]*table.Table{"Sales": sales}, []Step{{
+		Detail: "Nowhere",
+		Phase: Phase{
+			Aggs:  []agg.Spec{agg.NewSpec("count", nil, "n")},
+			Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		},
+	}}, Options{})
+	if err == nil {
+		t.Fatal("unknown detail relation must error")
+	}
+}
+
+func TestEvalSeriesCaseInsensitiveDetail(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	out, err := EvalSeries(base, map[string]*table.Table{"SALES": sales}, []Step{{
+		Detail: "sales",
+		Phase: Phase{
+			Aggs:  []agg.Spec{agg.NewSpec("count", nil, "n")},
+			Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		},
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != base.Len() {
+		t.Errorf("rows = %d", out.Len())
+	}
+}

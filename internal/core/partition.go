@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync"
+
+	"mdjoin/internal/table"
+)
+
+// evalPartitioned implements Theorem 4.1's in-memory evaluation: B is split
+// into contiguous partitions of at most MaxBaseRows rows and R is scanned
+// once per partition. MD(B,R,l,θ) = ∪ᵢ MD(Bᵢ,R,l,θ); contiguous partitions
+// preserve B's row order in the concatenated result.
+func evalPartitioned(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
+	m := opt.MaxBaseRows
+	sub := opt
+	sub.MaxBaseRows = 0
+	sub.Parallelism = 0
+	sub.DetailParallelism = 0
+
+	var out *table.Table
+	for lo := 0; lo < b.Len(); lo += m {
+		hi := lo + m
+		if hi > b.Len() {
+			hi = b.Len()
+		}
+		part := &table.Table{Schema: b.Schema, Rows: b.Rows[lo:hi]}
+		res, err := evalSingle(part, r, phases, sub)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = table.New(res.Schema)
+		}
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	if out == nil { // empty B
+		schema, err := outSchema(b, phases)
+		if err != nil {
+			return nil, err
+		}
+		out = table.New(schema)
+	}
+	return out, nil
+}
+
+// evalParallelBase implements Theorem 4.1's intra-operator parallelism: B
+// is partitioned across p workers, each evaluating its fragment with a full
+// scan of R; fragments concatenate in order.
+func evalParallelBase(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
+	p := opt.Parallelism
+	if p > b.Len() && b.Len() > 0 {
+		p = b.Len()
+	}
+	if p <= 1 {
+		return evalSingle(b, r, phases, opt)
+	}
+	sub := opt
+	sub.Parallelism = 0
+	sub.Stats = nil // workers keep private stats; merged below
+
+	bounds := splitBounds(b.Len(), p)
+	results := make([]*table.Table, len(bounds))
+	errs := make([]error, len(bounds))
+	stats := make([]Stats, len(bounds))
+
+	var wg sync.WaitGroup
+	for wi, bd := range bounds {
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			wopt := sub
+			if opt.Stats != nil {
+				wopt.Stats = &stats[wi]
+			}
+			part := &table.Table{Schema: b.Schema, Rows: b.Rows[lo:hi]}
+			results[wi], errs[wi] = evalSingle(part, r, phases, wopt)
+		}(wi, bd[0], bd[1])
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opt.Stats != nil {
+		for _, s := range stats {
+			opt.Stats.DetailScans += s.DetailScans
+			opt.Stats.TuplesScanned += s.TuplesScanned
+			opt.Stats.PairsTested += s.PairsTested
+			opt.Stats.PairsMatched += s.PairsMatched
+			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		}
+	}
+	out := table.New(results[0].Schema)
+	for _, res := range results {
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	return out, nil
+}
+
+// evalParallelDetail partitions the detail relation across p workers, each
+// accumulating private aggregate states over the full base table, then
+// merges states — the parallelization that mergeable aggregates enable
+// (the complement of Theorem 4.1, analogous to partitioned hash
+// aggregation in [Gra93]).
+func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
+	p := opt.DetailParallelism
+	if p > r.Len() && r.Len() > 0 {
+		p = r.Len()
+	}
+	if p <= 1 {
+		return evalSingle(b, r, phases, opt)
+	}
+
+	schema, err := outSchema(b, phases)
+	if err != nil {
+		return nil, err
+	}
+
+	bounds := splitBounds(r.Len(), p)
+	workers := make([][]*compiledPhase, len(bounds))
+	errs := make([]error, len(bounds))
+	stats := make([]Stats, len(bounds))
+
+	var wg sync.WaitGroup
+	for wi, bd := range bounds {
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			// Workers get private stats (merged below) so bindPhases'
+			// IndexUsed write does not race.
+			wopt := opt
+			wopt.DetailParallelism = 0
+			var st *Stats
+			if opt.Stats != nil {
+				st = &stats[wi]
+			}
+			wopt.Stats = st
+			cps, err := bindPhases(b, r.Schema, phases, wopt)
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			part := &table.Table{Schema: r.Schema, Rows: r.Rows[lo:hi]}
+			scanDetail(b, part, cps, st)
+			workers[wi] = cps
+		}(wi, bd[0], bd[1])
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opt.Stats != nil {
+		opt.Stats.DetailScans++ // one logical scan, split across workers
+		for _, s := range stats {
+			opt.Stats.TuplesScanned += s.TuplesScanned
+			opt.Stats.PairsTested += s.PairsTested
+			opt.Stats.PairsMatched += s.PairsMatched
+			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		}
+	}
+
+	// Merge worker states into worker 0.
+	merged := workers[0]
+	for _, w := range workers[1:] {
+		for pi := range merged {
+			for bi := range merged[pi].states {
+				for j := range merged[pi].states[bi] {
+					merged[pi].states[bi][j].Merge(w[pi].states[bi][j])
+				}
+			}
+		}
+	}
+	return assemble(schema, b, merged), nil
+}
+
+// splitBounds divides n items into p contiguous [lo, hi) ranges of nearly
+// equal size; empty ranges are dropped.
+func splitBounds(n, p int) [][2]int {
+	if p < 1 {
+		p = 1
+	}
+	var out [][2]int
+	base, rem := n/p, n%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	if len(out) == 0 {
+		out = append(out, [2]int{0, 0})
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"mdjoin/internal/table"
+)
+
+// EvalSource evaluates a generalized MD-join whose detail relation is a
+// table.Source — typically a disk-resident CSV file that is re-read on
+// every scan. This realizes the paper's cost model literally: Theorem
+// 4.1's "m scans of R" become m passes over the file, and the generalized
+// MD-join's single shared scan becomes a single read.
+//
+// All Options are honored. Base-partitioned strategies issue one Scan per
+// partition or worker; detail parallelism pumps a single scan through a
+// channel to state-merging workers.
+func EvalSource(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
+	if len(phases) == 0 {
+		return nil, errNoPhases()
+	}
+	if opt.Parallelism > 1 && opt.DetailParallelism > 1 {
+		return nil, errConflictingParallelism()
+	}
+	if opt.MaxBaseRows == 0 && opt.MemoryBudgetBytes > 0 {
+		opt.MaxBaseRows = baseRowsForBudget(b, phases, opt.MemoryBudgetBytes)
+	}
+	if opt.MaxBaseRows > 0 && opt.MaxBaseRows < b.Len() {
+		return evalSourcePartitioned(b, src, phases, opt)
+	}
+	if opt.Parallelism > 1 {
+		return evalSourceParallelBase(b, src, phases, opt)
+	}
+	if opt.DetailParallelism > 1 {
+		return evalSourceParallelDetail(b, src, phases, opt)
+	}
+	return evalSourceSingle(b, src, phases, opt)
+}
+
+// scanSource streams one pass of the source through the phases.
+func scanSource(b *table.Table, src table.Source, cps []*compiledPhase, stats *Stats) error {
+	it, err := src.Scan()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	frame := make([]table.Row, 2)
+	var key []table.Value
+	for {
+		t, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		key = processTuple(b, cps, frame, key, t, stats)
+	}
+}
+
+func evalSourceSingle(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
+	schema, err := outSchema(b, phases)
+	if err != nil {
+		return nil, err
+	}
+	cps, err := bindPhases(b, src.Schema(), phases, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := scanSource(b, src, cps, opt.Stats); err != nil {
+		return nil, err
+	}
+	if opt.Stats != nil {
+		opt.Stats.DetailScans++
+	}
+	return assemble(schema, b, cps), nil
+}
+
+func evalSourcePartitioned(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
+	m := opt.MaxBaseRows
+	sub := opt
+	sub.MaxBaseRows = 0
+	sub.Parallelism = 0
+	sub.DetailParallelism = 0
+
+	var out *table.Table
+	for lo := 0; lo < b.Len(); lo += m {
+		hi := lo + m
+		if hi > b.Len() {
+			hi = b.Len()
+		}
+		part := &table.Table{Schema: b.Schema, Rows: b.Rows[lo:hi]}
+		res, err := evalSourceSingle(part, src, phases, sub)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = table.New(res.Schema)
+		}
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	if out == nil {
+		schema, err := outSchema(b, phases)
+		if err != nil {
+			return nil, err
+		}
+		out = table.New(schema)
+	}
+	return out, nil
+}
+
+func evalSourceParallelBase(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
+	p := opt.Parallelism
+	if p > b.Len() && b.Len() > 0 {
+		p = b.Len()
+	}
+	if p <= 1 {
+		return evalSourceSingle(b, src, phases, opt)
+	}
+	sub := opt
+	sub.Parallelism = 0
+	sub.Stats = nil
+
+	bounds := splitBounds(b.Len(), p)
+	results := make([]*table.Table, len(bounds))
+	errs := make([]error, len(bounds))
+	stats := make([]Stats, len(bounds))
+
+	var wg sync.WaitGroup
+	for wi, bd := range bounds {
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			wopt := sub
+			if opt.Stats != nil {
+				wopt.Stats = &stats[wi]
+			}
+			part := &table.Table{Schema: b.Schema, Rows: b.Rows[lo:hi]}
+			results[wi], errs[wi] = evalSourceSingle(part, src, phases, wopt)
+		}(wi, bd[0], bd[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opt.Stats != nil {
+		for _, s := range stats {
+			opt.Stats.DetailScans += s.DetailScans
+			opt.Stats.TuplesScanned += s.TuplesScanned
+			opt.Stats.PairsTested += s.PairsTested
+			opt.Stats.PairsMatched += s.PairsMatched
+			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		}
+	}
+	out := table.New(results[0].Schema)
+	for _, res := range results {
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	return out, nil
+}
+
+// evalSourceParallelDetail pumps a single scan through a channel to p
+// state-merging workers. One reader goroutine owns the iterator; workers
+// own private phase states (merged at the end), so the only shared state
+// is the channel.
+func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
+	p := opt.DetailParallelism
+	if p <= 1 {
+		return evalSourceSingle(b, src, phases, opt)
+	}
+	schema, err := outSchema(b, phases)
+	if err != nil {
+		return nil, err
+	}
+	rows := make(chan table.Row, 4*p)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(rows)
+		it, err := src.Scan()
+		if err != nil {
+			readErr <- err
+			return
+		}
+		defer it.Close()
+		for {
+			t, err := it.Next()
+			if err == io.EOF {
+				readErr <- nil
+				return
+			}
+			if err != nil {
+				readErr <- err
+				return
+			}
+			rows <- t
+		}
+	}()
+
+	workers := make([][]*compiledPhase, p)
+	errs := make([]error, p)
+	stats := make([]Stats, p)
+	var wg sync.WaitGroup
+	for wi := 0; wi < p; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			// Private per-worker stats so bindPhases' IndexUsed write
+			// does not race.
+			wopt := opt
+			wopt.DetailParallelism = 0
+			var st *Stats
+			if opt.Stats != nil {
+				st = &stats[wi]
+			}
+			wopt.Stats = st
+			cps, err := bindPhases(b, src.Schema(), phases, wopt)
+			if err != nil {
+				errs[wi] = err
+				// Drain so the reader can finish.
+				for range rows {
+				}
+				return
+			}
+			frame := make([]table.Row, 2)
+			var key []table.Value
+			for t := range rows {
+				key = processTuple(b, cps, frame, key, t, st)
+			}
+			workers[wi] = cps
+		}(wi)
+	}
+	wg.Wait()
+	if err := <-readErr; err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opt.Stats != nil {
+		opt.Stats.DetailScans++
+		for _, s := range stats {
+			opt.Stats.TuplesScanned += s.TuplesScanned
+			opt.Stats.PairsTested += s.PairsTested
+			opt.Stats.PairsMatched += s.PairsMatched
+			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		}
+	}
+	merged := workers[0]
+	for _, w := range workers[1:] {
+		for pi := range merged {
+			for bi := range merged[pi].states {
+				for j := range merged[pi].states[bi] {
+					merged[pi].states[bi][j].Merge(w[pi].states[bi][j])
+				}
+			}
+		}
+	}
+	return assemble(schema, b, merged), nil
+}
+
+func errNoPhases() error {
+	return fmt.Errorf("core: MD-join needs at least one phase")
+}
+
+func errConflictingParallelism() error {
+	return fmt.Errorf("core: Parallelism and DetailParallelism are mutually exclusive")
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// writeCSVFixture persists the test Sales relation and returns a CSV
+// source over it.
+func writeCSVFixture(t *testing.T, tt *table.Table) table.Source {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "detail.csv")
+	if err := table.WriteCSVFile(path, tt); err != nil {
+		t.Fatal(err)
+	}
+	src, err := table.NewCSVSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestEvalSourceMatchesTableEval(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		expr.Gt(expr.QC("R", "sale"), expr.F(15)))
+	specs := []agg.Spec{
+		agg.NewSpec("sum", expr.QC("R", "sale"), "total"),
+		agg.NewSpec("count", nil, "n"),
+	}
+	want, err := MDJoin(base, sales, specs, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csvSrc := writeCSVFixture(t, sales)
+	tblSrc := table.NewTableSource(sales)
+	for name, src := range map[string]table.Source{"csv": csvSrc, "table": tblSrc} {
+		for optName, opt := range map[string]Options{
+			"single":      {},
+			"partitioned": {MaxBaseRows: 1},
+			"par-base":    {Parallelism: 2},
+			"par-detail":  {DetailParallelism: 3},
+			"budgeted":    {MemoryBudgetBytes: 1},
+			"no-index":    {DisableIndex: true},
+		} {
+			got, err := EvalSource(base, src, []Phase{{Aggs: specs, Theta: theta}}, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, optName, err)
+			}
+			if d := want.Diff(got); d != "" {
+				t.Fatalf("%s/%s: %s", name, optName, d)
+			}
+		}
+	}
+}
+
+func TestEvalSourceScansCount(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	src := writeCSVFixture(t, sales)
+	theta := expr.Eq(expr.QC("R", "cust"), expr.C("cust"))
+	specs := []agg.Spec{agg.NewSpec("count", nil, "n")}
+
+	var stats Stats
+	if _, err := EvalSource(base, src, []Phase{{Aggs: specs, Theta: theta}},
+		Options{MaxBaseRows: 1, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DetailScans != base.Len() {
+		t.Errorf("scans = %d, want %d (one file pass per base partition)", stats.DetailScans, base.Len())
+	}
+	if stats.TuplesScanned != base.Len()*sales.Len() {
+		t.Errorf("tuples = %d, want %d", stats.TuplesScanned, base.Len()*sales.Len())
+	}
+}
+
+func TestEvalSourceGeneralizedSingleScan(t *testing.T) {
+	sales := salesFixture()
+	base := custBase(t, sales)
+	src := writeCSVFixture(t, sales)
+	mk := func(state, as string) Phase {
+		return Phase{
+			Aggs: []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), as)},
+			Theta: expr.And(
+				expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+				expr.Eq(expr.QC("R", "state"), expr.S(state))),
+		}
+	}
+	var stats Stats
+	if _, err := EvalSource(base, src,
+		[]Phase{mk("NY", "a"), mk("NJ", "b"), mk("CT", "c")},
+		Options{Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DetailScans != 1 {
+		t.Errorf("generalized MD-join over a file must read it once: %d scans", stats.DetailScans)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	sales := salesFixture()
+	src := writeCSVFixture(t, sales)
+	back, err := table.Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sales.Diff(back); d != "" {
+		t.Fatalf("materialized CSV differs: %s", d)
+	}
+}
+
+func TestCSVSourceMissingFile(t *testing.T) {
+	if _, err := table.NewCSVSource(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing file must error at construction")
+	}
+}

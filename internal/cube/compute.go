@@ -1,0 +1,443 @@
+package cube
+
+import (
+	"fmt"
+	"strings"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// Method selects the cube computation strategy.
+type Method uint8
+
+const (
+	// Naive computes every cuboid independently from the detail relation —
+	// the 2^n-group-bys plan the paper says a user without cube support
+	// must write (Example 2.3's discussion), and the baseline the
+	// optimized strategies are benched against.
+	Naive Method = iota
+	// Rollup applies Theorem 4.5: the finest cuboid is aggregated from
+	// detail; every coarser cuboid is re-aggregated from its cheapest
+	// already-computed drill-down parent (count re-aggregates as sum,
+	// etc.).
+	Rollup
+	// PipeSort computes cuboids along PIPESORT pipelined paths ([AAD+96],
+	// Figure 2 of the paper): each path sorts its source once and closes
+	// all prefix cuboids in a single pass.
+	PipeSort
+	// MDJoinPass evaluates the whole cube as a single MD-join against the
+	// cube base-values table with cube-equality θ — Algorithm 3.1 with
+	// 2^n index probes per tuple. One detail scan, no sorting.
+	MDJoinPass
+	// PartitionedCube is the Ross–Srivastava divide-and-conquer [RS96]:
+	// partition detail on one dimension, compute the sub-cube without that
+	// dimension per partition (in memory), then the ALL-slice by
+	// re-aggregation — expressed in the paper as Theorem 4.1 +
+	// Observation 4.1.
+	PartitionedCube
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Naive:
+		return "naive"
+	case Rollup:
+		return "rollup"
+	case PipeSort:
+		return "pipesort"
+	case MDJoinPass:
+		return "mdjoin"
+	case PartitionedCube:
+		return "partitioned"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Options configure cube computation.
+type Options struct {
+	Method Method
+	// PartitionDim, for PartitionedCube, names the dimension to partition
+	// on; empty picks the highest-cardinality dimension (the [RS96]
+	// heuristic: it yields the most, smallest partitions).
+	PartitionDim string
+}
+
+// Compute materializes the full data cube of the detail relation over the
+// dimensions: a single table with one column per dimension (ALL marking
+// rolled-up ones) plus one column per aggregate spec — the Figure 1(a)
+// layout.
+//
+// Aggregate specs may reference detail columns unqualified or via "R".
+// Non-distributive specs (avg) are handled by sum/count decomposition on
+// the rollup-based strategies and natively on the scan-based ones.
+func Compute(detail *table.Table, dims []string, specs []agg.Spec, opt Options) (*table.Table, error) {
+	lat, err := NewLattice(detail, dims)
+	if err != nil {
+		return nil, err
+	}
+	switch opt.Method {
+	case Naive:
+		return computeNaive(detail, lat, specs)
+	case Rollup:
+		return computeRollup(detail, lat, specs)
+	case PipeSort:
+		return computePipeSort(detail, lat, specs)
+	case MDJoinPass:
+		return computeMDJoinPass(detail, lat, specs)
+	case PartitionedCube:
+		return computePartitioned(detail, lat, specs, opt.PartitionDim)
+	default:
+		return nil, fmt.Errorf("cube: unknown method %v", opt.Method)
+	}
+}
+
+// cuboidSchemaFor is the uniform output schema: all dims then aggregates.
+func cuboidSchemaFor(lat *Lattice, specs []agg.Spec) *table.Schema {
+	return table.SchemaOf(lat.Dims...).Append(agg.OutColumns(specs)...)
+}
+
+// padCuboid expands a group-by result over a subset of dims into the
+// uniform cuboid schema (dims then aggregate columns), inserting ALL for
+// rolled-up dimensions. The group-by result's columns are attrs followed
+// by aggregate columns.
+func padCuboid(lat *Lattice, mask uint, grouped *table.Table, specs []agg.Spec) *table.Table {
+	nAggs := len(specs)
+	attrs := lat.Attrs(mask)
+	out := table.New(cuboidSchemaFor(lat, specs))
+	// Map each dim to the grouped column ordinal or -1 (ALL).
+	pos := make([]int, len(lat.Dims))
+	for i, d := range lat.Dims {
+		pos[i] = -1
+		for j, a := range attrs {
+			if strings.EqualFold(a, d) {
+				pos[i] = j
+			}
+		}
+	}
+	for _, r := range grouped.Rows {
+		row := make(table.Row, 0, len(lat.Dims)+nAggs)
+		for i := range lat.Dims {
+			if pos[i] < 0 {
+				row = append(row, table.All())
+			} else {
+				row = append(row, r[pos[i]])
+			}
+		}
+		row = append(row, r[len(attrs):]...)
+		out.Append(row)
+	}
+	return out
+}
+
+// computeNaive evaluates every cuboid independently from detail.
+func computeNaive(detail *table.Table, lat *Lattice, specs []agg.Spec) (*table.Table, error) {
+	out := table.New(cuboidSchemaFor(lat, specs))
+	for m := uint(0); m <= lat.FullMask(); m++ {
+		g, err := engine.GroupBy(detail, lat.Attrs(m), specs)
+		if err != nil {
+			return nil, err
+		}
+		p := padCuboid(lat, m, g, specs)
+		out.Rows = append(out.Rows, p.Rows...)
+	}
+	return out, nil
+}
+
+// decomposed rewrites specs so every one re-aggregates: avg(x) becomes
+// hidden sum(x) and count(x) columns recombined by a final projection.
+// It returns the working specs, and a post-processing step (nil when no
+// rewrite was needed).
+type decomposed struct {
+	work []agg.Spec
+	// finalize rebuilds the requested columns from the working columns.
+	finalize func(*table.Table, *Lattice) (*table.Table, error)
+}
+
+func decompose(lat *Lattice, specs []agg.Spec) (*decomposed, error) {
+	needs := false
+	for _, s := range specs {
+		fn, err := agg.Lookup(s.Func)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := fn.Reaggregate(); !ok {
+			if !strings.EqualFold(s.Func, "avg") {
+				return nil, fmt.Errorf("cube: aggregate %q is not distributive and cannot be rolled up (Theorem 4.5 requires distributive aggregates; use the naive or mdjoin method)", s.Func)
+			}
+			needs = true
+		}
+	}
+	if !needs {
+		return &decomposed{work: specs}, nil
+	}
+	var work []agg.Spec
+	type avgParts struct{ sum, count string }
+	parts := map[string]avgParts{} // out name → hidden columns
+	for i, s := range specs {
+		if strings.EqualFold(s.Func, "avg") {
+			p := avgParts{
+				sum:   fmt.Sprintf("__avg%d_sum", i),
+				count: fmt.Sprintf("__avg%d_cnt", i),
+			}
+			parts[s.OutName()] = p
+			work = append(work,
+				agg.Spec{Func: "sum", Arg: s.Arg, As: p.sum},
+				agg.Spec{Func: "count", Arg: s.Arg, As: p.count},
+			)
+			continue
+		}
+		work = append(work, s)
+	}
+	finalize := func(t *table.Table, lat *Lattice) (*table.Table, error) {
+		cols := make([]engine.ProjCol, 0, len(lat.Dims)+len(specs))
+		for _, d := range lat.Dims {
+			cols = append(cols, engine.ProjCol{Expr: expr.C(d)})
+		}
+		for _, s := range specs {
+			if p, ok := parts[s.OutName()]; ok {
+				cols = append(cols, engine.ProjCol{
+					Expr: expr.Div(expr.C(p.sum), expr.C(p.count)),
+					As:   s.OutName(),
+				})
+				continue
+			}
+			cols = append(cols, engine.ProjCol{Expr: expr.C(s.OutName()), As: s.OutName()})
+		}
+		return engine.Project(t, cols, false)
+	}
+	return &decomposed{work: work, finalize: finalize}, nil
+}
+
+// reaggSpecs maps working specs to their Theorem 4.5 re-aggregation over a
+// materialized cuboid: f(arg) AS name becomes f'(name) AS name.
+func reaggSpecs(specs []agg.Spec) ([]agg.Spec, error) {
+	out := make([]agg.Spec, len(specs))
+	for i, s := range specs {
+		fn, err := agg.Lookup(s.Func)
+		if err != nil {
+			return nil, err
+		}
+		re, ok := fn.Reaggregate()
+		if !ok {
+			return nil, fmt.Errorf("cube: aggregate %q cannot re-aggregate", s.Func)
+		}
+		out[i] = agg.Spec{Func: re.Name(), Arg: expr.C(s.OutName()), As: s.OutName()}
+	}
+	return out, nil
+}
+
+// computeRollup implements the Theorem 4.5 strategy: finest cuboid from
+// detail, every other from its cheapest finer parent.
+func computeRollup(detail *table.Table, lat *Lattice, specs []agg.Spec) (*table.Table, error) {
+	dec, err := decompose(lat, specs)
+	if err != nil {
+		return nil, err
+	}
+	work := dec.work
+	reagg, err := reaggSpecs(work)
+	if err != nil {
+		return nil, err
+	}
+
+	cuboids := make(map[uint]*table.Table, lat.FullMask()+1)
+	for _, m := range lat.SortedMasksDescending() {
+		if m == lat.FullMask() {
+			g, err := engine.GroupBy(detail, lat.Attrs(m), work)
+			if err != nil {
+				return nil, err
+			}
+			cuboids[m] = padCuboid(lat, m, g, work)
+			continue
+		}
+		parent := lat.CheapestParent(m)
+		g, err := engine.GroupBy(cuboids[parent], lat.Attrs(m), reagg)
+		if err != nil {
+			return nil, err
+		}
+		cuboids[m] = padCuboid(lat, m, g, work)
+	}
+
+	out := table.New(table.SchemaOf(lat.Dims...).Append(agg.OutColumns(work)...))
+	for _, m := range lat.SortedMasksDescending() {
+		out.Rows = append(out.Rows, cuboids[m].Rows...)
+	}
+	if dec.finalize != nil {
+		return dec.finalize(out, lat)
+	}
+	return out, nil
+}
+
+// computeMDJoinPass evaluates the cube as one MD-join against the cube
+// base-values table: MD(CubeBase, R, l, ∧ᵢ R.dᵢ =^ dᵢ).
+func computeMDJoinPass(detail *table.Table, lat *Lattice, specs []agg.Spec) (*table.Table, error) {
+	base, err := CubeBase(detail, lat.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	return mdJoinCube(base, detail, lat.Dims, specs)
+}
+
+// computePartitioned is the Ross–Srivastava strategy expressed through the
+// paper's transformations. With partition dimension D:
+//
+//	MD(B, R, l, θ)
+//	  = ∪_z MD(σ_{D=z}(B), σ_{R.D=z}(R), l, θ)   (Thm 4.1 + Obs 4.1)
+//	    ∪ MD(σ_{D=ALL}(B), cube_without_D, l', θ) (Thm 4.5)
+//
+// Each partition's sub-cube is computed in memory (here: by the rollup
+// strategy); the D=ALL slice re-aggregates the D-partitioned results.
+func computePartitioned(detail *table.Table, lat *Lattice, specs []agg.Spec, partDim string) (*table.Table, error) {
+	if len(lat.Dims) < 2 {
+		return computeRollup(detail, lat, specs)
+	}
+	if partDim == "" {
+		// Heuristic from [RS96]: partition on the highest-cardinality
+		// dimension to keep partitions small.
+		best := 0
+		for i := range lat.Dims {
+			if lat.Card[i] > lat.Card[best] {
+				best = i
+			}
+		}
+		partDim = lat.Dims[best]
+	}
+	pcol := detail.Schema.ColIndex(partDim)
+	if pcol < 0 {
+		return nil, fmt.Errorf("cube: partition dimension %q not in schema %v", partDim, detail.Schema.Names())
+	}
+	rest := make([]string, 0, len(lat.Dims)-1)
+	for _, d := range lat.Dims {
+		if !strings.EqualFold(d, partDim) {
+			rest = append(rest, d)
+		}
+	}
+
+	dec, err := decompose(lat, specs)
+	if err != nil {
+		return nil, err
+	}
+	work := dec.work
+
+	// Partition the detail relation by the dimension's values.
+	parts := map[table.Value]*table.Table{}
+	var order []table.Value
+	for _, r := range detail.Rows {
+		v := r[pcol]
+		p, ok := parts[v]
+		if !ok {
+			p = table.New(detail.Schema)
+			parts[v] = p
+			order = append(order, v)
+		}
+		p.Append(r)
+	}
+
+	out := table.New(table.SchemaOf(lat.Dims...).Append(agg.OutColumns(work)...))
+	// Per-partition sub-cubes over the remaining dimensions (D held at z).
+	for _, z := range order {
+		sub, err := Compute(parts[z], rest, work, Options{Method: Rollup})
+		if err != nil {
+			return nil, err
+		}
+		// Re-insert the partition dimension column with value z, in the
+		// full dimension order.
+		for _, r := range sub.Rows {
+			row := make(table.Row, 0, out.Schema.Len())
+			ri := 0
+			for _, d := range lat.Dims {
+				if strings.EqualFold(d, partDim) {
+					row = append(row, z)
+				} else {
+					row = append(row, r[ri])
+					ri++
+				}
+			}
+			row = append(row, r[ri:]...)
+			out.Append(row)
+		}
+	}
+
+	// The D=ALL slice: re-aggregate the union of partition results
+	// (Theorem 4.5, since the partition slices are one level finer).
+	reagg, err := reaggSpecs(work)
+	if err != nil {
+		return nil, err
+	}
+	for m := uint(0); m <= lat.FullMask(); m++ {
+		attrs := lat.Attrs(m)
+		if containsFold(attrs, partDim) {
+			continue // only D=ALL cells remain to compute
+		}
+		// Source: rows of out where D != ALL and the non-D dims of m are
+		// real, i.e. the cells (D=z, m) — they are exactly one level finer.
+		src, err := sliceCells(out, lat, m|dimBit(lat, partDim))
+		if err != nil {
+			return nil, err
+		}
+		g, err := engine.GroupBy(src, attrs, reagg)
+		if err != nil {
+			return nil, err
+		}
+		p := padCuboid(lat, m, g, work)
+		out.Rows = append(out.Rows, p.Rows...)
+	}
+
+	if dec.finalize != nil {
+		return dec.finalize(out, lat)
+	}
+	return out, nil
+}
+
+// dimBit returns the lattice bit of the named dimension.
+func dimBit(lat *Lattice, dim string) uint {
+	for i, d := range lat.Dims {
+		if strings.EqualFold(d, dim) {
+			return 1 << uint(i)
+		}
+	}
+	return 0
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// sliceCells selects the rows of a (partial) cube table belonging to the
+// cuboid identified by mask: dims in the mask are real (not ALL) and dims
+// outside are ALL.
+func sliceCells(cube *table.Table, lat *Lattice, mask uint) (*table.Table, error) {
+	idx := make([]int, len(lat.Dims))
+	for i, d := range lat.Dims {
+		idx[i] = cube.Schema.MustColIndex(d)
+	}
+	out := table.New(cube.Schema)
+	for _, r := range cube.Rows {
+		match := true
+		for i := range lat.Dims {
+			isAll := r[idx[i]].IsAll()
+			if mask&(1<<uint(i)) != 0 {
+				if isAll {
+					match = false
+					break
+				}
+			} else if !isAll {
+				match = false
+				break
+			}
+		}
+		if match {
+			out.Append(r)
+		}
+	}
+	return out, nil
+}

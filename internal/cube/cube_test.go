@@ -1,0 +1,277 @@
+package cube
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// randSales builds a deterministic random Sales(prod, month, state, sale)
+// detail relation.
+func randSales(n int, prods, months, states int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.SchemaOf("prod", "month", "state", "sale")
+	t := table.New(schema)
+	stateNames := []string{"NY", "NJ", "CT", "CA", "IL", "TX", "WA", "FL"}
+	for i := 0; i < n; i++ {
+		t.Append(table.Row{
+			table.Int(int64(rng.Intn(prods) + 1)),
+			table.Int(int64(rng.Intn(months) + 1)),
+			table.Str(stateNames[rng.Intn(states)]),
+			table.Float(float64(rng.Intn(1000)) + 0.5),
+		})
+	}
+	return t
+}
+
+func specsSumCount() []agg.Spec {
+	return []agg.Spec{
+		agg.NewSpec("sum", expr.C("sale"), "total"),
+		agg.NewSpec("count", nil, "n"),
+	}
+}
+
+func TestCubeMethodsAgree(t *testing.T) {
+	detail := randSales(300, 5, 4, 3, 42)
+	dims := []string{"prod", "month", "state"}
+	specs := specsSumCount()
+
+	want, err := Compute(detail, dims, specs, Options{Method: Naive})
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	// Sanity: cube row count = Σ over masks of distinct combos.
+	if want.Len() == 0 {
+		t.Fatal("naive cube is empty")
+	}
+
+	for _, m := range []Method{Rollup, PipeSort, MDJoinPass, PartitionedCube} {
+		got, err := Compute(detail, dims, specs, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if d := want.Diff(got); d != "" {
+			t.Errorf("method %v disagrees with naive: %s", m, d)
+		}
+	}
+}
+
+func TestCubeWithAvgDecomposition(t *testing.T) {
+	detail := randSales(200, 4, 3, 3, 7)
+	dims := []string{"prod", "month"}
+	specs := []agg.Spec{agg.NewSpec("avg", expr.C("sale"), "avg_sale")}
+
+	want, err := Compute(detail, dims, specs, Options{Method: Naive})
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	for _, m := range []Method{Rollup, PipeSort, PartitionedCube} {
+		got, err := Compute(detail, dims, specs, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// avg decomposes to sum/count; floating division is deterministic,
+		// so exact comparison is fine given identical inputs... but the
+		// summation order differs between strategies. Compare with
+		// tolerance per cell instead.
+		if err := approxEqualCubes(want, got, 1e-9); err != nil {
+			t.Errorf("method %v: %v", m, err)
+		}
+	}
+}
+
+// approxEqualCubes compares two cube tables keyed on their dimension
+// columns with a relative tolerance on numeric aggregates.
+func approxEqualCubes(a, b *table.Table, tol float64) error {
+	if a.Len() != b.Len() {
+		return errf("row counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	as := a.Clone().SortAll()
+	bs := b.Clone().SortAll()
+	for i := range as.Rows {
+		ra, rb := as.Rows[i], bs.Rows[i]
+		for j := range ra {
+			va, vb := ra[j], rb[j]
+			if va.IsNumeric() && vb.IsNumeric() {
+				d := va.AsFloat() - vb.AsFloat()
+				if d < 0 {
+					d = -d
+				}
+				scale := va.AsFloat()
+				if scale < 0 {
+					scale = -scale
+				}
+				if scale < 1 {
+					scale = 1
+				}
+				if d/scale > tol {
+					return errf("row %d col %d: %v vs %v", i, j, va, vb)
+				}
+				continue
+			}
+			if !va.Equal(vb) {
+				return errf("row %d col %d: %v vs %v", i, j, va, vb)
+			}
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}
+
+func TestCubeBaseSizes(t *testing.T) {
+	detail := randSales(500, 6, 5, 4, 9)
+	dims := []string{"prod", "month", "state"}
+
+	base, err := CubeBase(detail, dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cube base must contain the apex row (ALL, ALL, ALL) exactly once
+	// and one row per distinct full combination.
+	apex := 0
+	for _, r := range base.Rows {
+		if r[0].IsAll() && r[1].IsAll() && r[2].IsAll() {
+			apex++
+		}
+	}
+	if apex != 1 {
+		t.Errorf("apex rows = %d, want 1", apex)
+	}
+
+	roll, err := RollupBase(detail, dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roll.Len() >= base.Len() {
+		t.Errorf("rollup base (%d rows) must be smaller than cube base (%d rows)", roll.Len(), base.Len())
+	}
+
+	unp, err := UnpivotBase(detail, dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marginals: Σ card(dim) rows.
+	lat, err := NewLattice(detail, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUnp := lat.Card[0] + lat.Card[1] + lat.Card[2]
+	if unp.Len() != wantUnp {
+		t.Errorf("unpivot base rows = %d, want %d", unp.Len(), wantUnp)
+	}
+}
+
+func TestGroupingSetsDedup(t *testing.T) {
+	detail := randSales(100, 3, 3, 2, 5)
+	dims := []string{"prod", "month"}
+	a, err := GroupingSetsBase(detail, dims, [][]string{{"prod"}, {"prod"}, {"month"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GroupingSetsBase(detail, dims, [][]string{{"prod"}, {"month"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Diff(b); d != "" {
+		t.Errorf("duplicate grouping sets must deduplicate: %s", d)
+	}
+}
+
+func TestPipeSortPlanFigure2(t *testing.T) {
+	// A 2-dimensional cube must plan exactly two pipelined paths — the
+	// shape of the paper's Figure 2: one path from the (A,B) sort pipelining
+	// down the lattice, and one resort path for the remaining level-1 node.
+	detail := randSales(400, 8, 5, 3, 11)
+	lat, err := NewLattice(detail, []string{"prod", "month"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanPipeSort(lat)
+	if len(plan.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2:\n%s", len(plan.Paths), plan)
+	}
+	if plan.Paths[0].Resort {
+		t.Errorf("first path must be the detail-sourced pipeline")
+	}
+	if !plan.Paths[1].Resort {
+		t.Errorf("second path must be a resort (the dashed edge of Figure 2)")
+	}
+	// Every cuboid covered exactly once.
+	seen := map[uint]int{}
+	for _, p := range plan.Paths {
+		for _, n := range p.Nodes {
+			seen[n.Mask]++
+		}
+	}
+	for m := uint(0); m <= lat.FullMask(); m++ {
+		if seen[m] != 1 {
+			t.Errorf("cuboid %s covered %d times, want 1", lat.MaskName(m), seen[m])
+		}
+	}
+	// The first path must be a chain of strict subsets with prefix orders.
+	first := plan.Paths[0]
+	for i := 1; i < len(first.Nodes); i++ {
+		prev, cur := first.Nodes[i-1], first.Nodes[i]
+		if cur.Mask&prev.Mask != cur.Mask {
+			t.Errorf("path node %d is not a subset of its predecessor", i)
+		}
+		for j, a := range cur.Order {
+			if !strings.EqualFold(a, prev.Order[j]) {
+				t.Errorf("node %d order %v is not a prefix of %v", i, cur.Order, prev.Order)
+			}
+		}
+	}
+}
+
+func TestPipeSortPlanCoversLargerLattices(t *testing.T) {
+	detail := randSales(600, 7, 6, 5, 13)
+	for _, dims := range [][]string{
+		{"prod"},
+		{"prod", "month", "state"},
+		{"prod", "month", "state", "sale"},
+	} {
+		lat, err := NewLattice(detail, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := PlanPipeSort(lat)
+		seen := map[uint]int{}
+		for _, p := range plan.Paths {
+			for _, n := range p.Nodes {
+				seen[n.Mask]++
+			}
+		}
+		for m := uint(0); m <= lat.FullMask(); m++ {
+			if seen[m] != 1 {
+				t.Errorf("dims %v: cuboid %s covered %d times", dims, lat.MaskName(m), seen[m])
+			}
+		}
+	}
+}
+
+func TestLatticeEstimates(t *testing.T) {
+	detail := randSales(1000, 10, 12, 4, 17)
+	lat, err := NewLattice(detail, []string{"prod", "month", "state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Estimate(0) != 1 {
+		t.Errorf("apex estimate = %d, want 1", lat.Estimate(0))
+	}
+	full := lat.Estimate(lat.FullMask())
+	if full > detail.Len() {
+		t.Errorf("full estimate %d exceeds |R| %d", full, detail.Len())
+	}
+	// Monotone: finer masks estimate at least as large.
+	if lat.Estimate(1) > lat.Estimate(3) {
+		t.Errorf("estimate must grow with mask: %d > %d", lat.Estimate(1), lat.Estimate(3))
+	}
+}

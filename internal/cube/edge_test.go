@@ -1,0 +1,164 @@
+package cube
+
+import (
+	"strings"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func TestSingleDimensionCube(t *testing.T) {
+	detail := randSales(100, 5, 3, 2, 61)
+	specs := specsSumCount()
+	want, err := Compute(detail, []string{"prod"}, specs, Options{Method: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{Rollup, PipeSort, MDJoinPass, PartitionedCube} {
+		got, err := Compute(detail, []string{"prod"}, specs, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if d := want.Diff(got); d != "" {
+			t.Errorf("%v on 1-dim lattice: %s", m, d)
+		}
+	}
+}
+
+func TestEmptyDetailCube(t *testing.T) {
+	empty := table.New(table.SchemaOf("prod", "month", "sale"))
+	for _, m := range []Method{Naive, Rollup, PipeSort, MDJoinPass, PartitionedCube} {
+		got, err := Compute(empty, []string{"prod", "month"}, specsSumCount(), Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got.Len() != 0 {
+			t.Errorf("%v: empty detail should give an empty cube, got %d rows", m, got.Len())
+		}
+	}
+}
+
+func TestPartitionedCubeExplicitDim(t *testing.T) {
+	detail := randSales(300, 5, 4, 3, 62)
+	dims := []string{"prod", "month", "state"}
+	specs := specsSumCount()
+	want, err := Compute(detail, dims, specs, Options{Method: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pd := range dims {
+		got, err := Compute(detail, dims, specs, Options{Method: PartitionedCube, PartitionDim: pd})
+		if err != nil {
+			t.Fatalf("partition on %s: %v", pd, err)
+		}
+		if d := want.Diff(got); d != "" {
+			t.Errorf("partition on %s: %s", pd, d)
+		}
+	}
+	if _, err := Compute(detail, dims, specs, Options{Method: PartitionedCube, PartitionDim: "bogus"}); err == nil {
+		t.Error("bad partition dimension should error")
+	}
+}
+
+func TestThetaBuilder(t *testing.T) {
+	theta := Theta("a", "b")
+	s := theta.String()
+	if !strings.Contains(s, "=^") || !strings.Contains(s, "R.a") || !strings.Contains(s, "R.b") {
+		t.Errorf("theta = %s", s)
+	}
+	if Theta() != nil {
+		t.Error("no dims → nil θ")
+	}
+}
+
+func TestMaskNames(t *testing.T) {
+	detail := randSales(50, 3, 2, 2, 63)
+	lat, err := NewLattice(detail, []string{"prod", "month"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lat.MaskName(0); got != "()" {
+		t.Errorf("apex name = %q", got)
+	}
+	if got := lat.MaskName(lat.FullMask()); got != "(prod,month)" {
+		t.Errorf("full name = %q", got)
+	}
+}
+
+func TestLatticeParents(t *testing.T) {
+	detail := randSales(50, 3, 2, 2, 64)
+	lat, err := NewLattice(detail, []string{"prod", "month"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := lat.Parents(0)
+	if len(ps) != 2 {
+		t.Errorf("apex parents = %v", ps)
+	}
+	if len(lat.Parents(lat.FullMask())) != 0 {
+		t.Error("full mask has no parents")
+	}
+	// CheapestParent of the full mask degenerates to itself.
+	if lat.CheapestParent(lat.FullMask()) != lat.FullMask() {
+		t.Error("cheapest parent of full mask")
+	}
+}
+
+func TestRollupRejectsHolisticGracefully(t *testing.T) {
+	detail := randSales(100, 3, 2, 2, 65)
+	_, err := Compute(detail, []string{"prod"}, []agg.Spec{
+		agg.NewSpec("median", expr.C("sale"), "mid"),
+	}, Options{Method: Rollup})
+	if err == nil {
+		t.Fatal("rollup of a holistic aggregate must error")
+	}
+	// The scan-based methods handle it.
+	for _, m := range []Method{Naive, MDJoinPass} {
+		if _, err := Compute(detail, []string{"prod"}, []agg.Spec{
+			agg.NewSpec("median", expr.C("sale"), "mid"),
+		}, Options{Method: m}); err != nil {
+			t.Errorf("%v should support holistic aggregates: %v", m, err)
+		}
+	}
+}
+
+func TestCubeRowCountFormula(t *testing.T) {
+	// The cube's row count is the sum over masks of the distinct
+	// mask-projections — verify against direct counting.
+	detail := randSales(200, 4, 3, 3, 66)
+	dims := []string{"prod", "month", "state"}
+	cube, err := Compute(detail, dims, specsSumCount(), Options{Method: Rollup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, _ := NewLattice(detail, dims)
+	want := 0
+	for m := uint(0); m <= lat.FullMask(); m++ {
+		seen := map[string]bool{}
+		for _, r := range detail.Rows {
+			key := ""
+			for i, d := range dims {
+				if m&(1<<uint(i)) != 0 {
+					key += r[detail.Schema.MustColIndex(d)].String() + "\x00"
+				}
+			}
+			seen[key] = true
+		}
+		want += len(seen)
+	}
+	if cube.Len() != want {
+		t.Errorf("cube rows = %d, want %d", cube.Len(), want)
+	}
+}
+
+func TestGroupingSetsBaseErrors(t *testing.T) {
+	detail := randSales(50, 3, 2, 2, 67)
+	if _, err := GroupingSetsBase(detail, []string{"prod"}, [][]string{{"bogus"}}); err == nil {
+		t.Error("unknown set column must error")
+	}
+	if _, err := CubeBase(detail, "bogus"); err == nil {
+		t.Error("unknown dimension must error")
+	}
+}

@@ -1,0 +1,153 @@
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mdjoin/internal/engine"
+	"mdjoin/internal/table"
+)
+
+// Lattice models the cuboid search lattice of a data cube over n
+// dimensions: node mask m has one bit per dimension; m' is an ancestor of
+// m when m ⊂ m' (m rolls up m' — the paper's drill-down relation that
+// Theorem 4.5 exploits).
+type Lattice struct {
+	Dims []string
+	// Card[i] is the distinct-value count of dimension i in the detail
+	// relation; used for cuboid size estimation in PIPESORT and
+	// parent-choice in the rollup strategy.
+	Card []int
+	// DetailRows is |R|, the cap for every size estimate.
+	DetailRows int
+}
+
+// NewLattice measures dimension cardinalities from the detail relation.
+func NewLattice(detail *table.Table, dims []string) (*Lattice, error) {
+	l := &Lattice{Dims: dims, Card: make([]int, len(dims)), DetailRows: detail.Len()}
+	for i, d := range dims {
+		dt, err := engine.DistinctOn(detail, d)
+		if err != nil {
+			return nil, err
+		}
+		l.Card[i] = dt.Len()
+	}
+	return l, nil
+}
+
+// N returns the number of dimensions.
+func (l *Lattice) N() int { return len(l.Dims) }
+
+// FullMask returns the mask of the finest cuboid (all dimensions).
+func (l *Lattice) FullMask() uint { return 1<<uint(l.N()) - 1 }
+
+// Attrs returns the dimension names selected by a mask, in dimension
+// order.
+func (l *Lattice) Attrs(mask uint) []string { return subset(l.Dims, mask) }
+
+// Estimate approximates a cuboid's row count as min(|R|, Π card(dᵢ)) — the
+// standard independence estimate the PIPESORT cost model uses.
+func (l *Lattice) Estimate(mask uint) int {
+	est := 1
+	for i := range l.Dims {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		est *= l.Card[i]
+		if est >= l.DetailRows || est < 0 {
+			return l.DetailRows
+		}
+	}
+	if est > l.DetailRows {
+		return l.DetailRows
+	}
+	return est
+}
+
+// Level returns the masks with exactly k bits set, in ascending mask
+// order (deterministic).
+func (l *Lattice) Level(k int) []uint {
+	var out []uint
+	for m := uint(0); m <= l.FullMask(); m++ {
+		if bits.OnesCount(uint(m)) == k {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Parents returns the masks of the drill-down cuboids one level finer
+// (supersets with exactly one extra bit).
+func (l *Lattice) Parents(mask uint) []uint {
+	var out []uint
+	for i := 0; i < l.N(); i++ {
+		b := uint(1) << uint(i)
+		if mask&b == 0 {
+			out = append(out, mask|b)
+		}
+	}
+	return out
+}
+
+// CheapestParent picks the parent with the smallest estimated row count —
+// the greedy choice the rollup strategy uses for each coarser cuboid.
+func (l *Lattice) CheapestParent(mask uint) uint {
+	ps := l.Parents(mask)
+	if len(ps) == 0 {
+		return mask
+	}
+	best := ps[0]
+	for _, p := range ps[1:] {
+		if l.Estimate(p) < l.Estimate(best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// MaskName renders a mask as its attribute tuple, with "()" for the apex —
+// useful in plan printouts and tests ("(prod,month)").
+func (l *Lattice) MaskName(mask uint) string {
+	attrs := l.Attrs(mask)
+	if len(attrs) == 0 {
+		return "()"
+	}
+	out := "("
+	for i, a := range attrs {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out + ")"
+}
+
+// SortedMasksDescending returns all masks ordered finest-first (by
+// descending popcount, then ascending mask) — the computation order of the
+// rollup strategy, which guarantees every parent is materialized before
+// its children.
+func (l *Lattice) SortedMasksDescending() []uint {
+	masks := make([]uint, 0, l.FullMask()+1)
+	for m := uint(0); m <= l.FullMask(); m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(a, b int) bool {
+		pa, pb := bits.OnesCount(uint(masks[a])), bits.OnesCount(uint(masks[b]))
+		if pa != pb {
+			return pa > pb
+		}
+		return masks[a] < masks[b]
+	})
+	return masks
+}
+
+// Validate checks that the lattice's dimensions exist in the given schema.
+func (l *Lattice) Validate(s *table.Schema) error {
+	for _, d := range l.Dims {
+		if !s.Has(d) {
+			return fmt.Errorf("cube: dimension %q not in schema %v", d, s.Names())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// PathNode is one cuboid of a pipelined path, with the attribute order in
+// which its groups close during the path's single scan.
+type PathNode struct {
+	Mask  uint
+	Order []string
+}
+
+// Path is one pipelined path of a PIPESORT plan: Nodes[0] (the head) is
+// computed by sorting the source cuboid into Nodes[0].Order; every
+// subsequent node's attributes are a prefix of that order, so the whole
+// chain closes in the same pass. Resort marks paths that begin with a
+// re-sort of an already materialized cuboid — the dashed edges of the
+// paper's Figure 2.
+type Path struct {
+	Nodes      []PathNode
+	SourceMask uint // cuboid the head aggregates from; FullMask+1 sentinel = detail
+	Resort     bool
+}
+
+// Plan is a full PIPESORT plan over a lattice.
+type Plan struct {
+	Lattice *Lattice
+	Paths   []Path
+}
+
+// detailSource is the SourceMask sentinel meaning "aggregate from the
+// detail relation".
+func (p *Plan) detailSource() uint { return p.Lattice.FullMask() + 1 }
+
+// String renders the plan in the style of Figure 2: one line per path,
+// pipelined edges as "→", resort heads flagged.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, path := range p.Paths {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if path.Resort {
+			b.WriteString("resort ")
+		}
+		for j, n := range path.Nodes {
+			if j > 0 {
+				b.WriteString(" → ")
+			}
+			if len(n.Order) == 0 {
+				b.WriteString("(ALL)")
+			} else {
+				b.WriteString("(" + strings.Join(n.Order, ",") + ")")
+			}
+		}
+	}
+	return b.String()
+}
+
+// PlanPipeSort builds pipelined paths with the greedy level-by-level
+// assignment of [AAD+96]: children at level k pick the cheapest level-k+1
+// parent, where a parent's first (pipe) slot costs a scan of its estimated
+// result and subsequent children cost a re-sort. Larger children choose
+// first, approximating the minimum-cost matching of the original
+// algorithm. The result covers every cuboid exactly once.
+func PlanPipeSort(lat *Lattice) *Plan {
+	n := lat.N()
+	full := lat.FullMask()
+
+	type edge struct {
+		parent uint
+		pipe   bool
+	}
+	parentOf := map[uint]edge{}
+	pipeTaken := map[uint]bool{}
+
+	scanCost := func(m uint) float64 { return float64(lat.Estimate(m)) }
+	sortCost := func(m uint) float64 {
+		e := float64(lat.Estimate(m))
+		if e < 2 {
+			return e
+		}
+		return e * log2(e)
+	}
+
+	for k := n - 1; k >= 0; k-- {
+		children := lat.Level(k)
+		// Larger cuboids claim pipe slots first.
+		sort.Slice(children, func(a, b int) bool {
+			ea, eb := lat.Estimate(children[a]), lat.Estimate(children[b])
+			if ea != eb {
+				return ea > eb
+			}
+			return children[a] < children[b]
+		})
+		for _, c := range children {
+			var best edge
+			bestCost := -1.0
+			for _, p := range lat.Parents(c) {
+				var cost float64
+				var pipe bool
+				if !pipeTaken[p] {
+					cost, pipe = scanCost(p), true
+				} else {
+					cost, pipe = sortCost(p), false
+				}
+				if bestCost < 0 || cost < bestCost {
+					best, bestCost = edge{parent: p, pipe: pipe}, cost
+				}
+			}
+			parentOf[c] = best
+			if best.pipe {
+				pipeTaken[best.parent] = true
+			}
+		}
+	}
+
+	// Chains of pipe edges. pipeChild[p] = the unique child pipelined from
+	// p, if any.
+	pipeChild := map[uint]uint{}
+	hasPipeChild := map[uint]bool{}
+	for c, e := range parentOf {
+		if e.pipe {
+			pipeChild[e.parent] = c
+			hasPipeChild[e.parent] = true
+		}
+	}
+
+	plan := &Plan{Lattice: lat}
+	// Heads: the full cuboid, plus every resort-edge child.
+	var heads []uint
+	heads = append(heads, full)
+	for c, e := range parentOf {
+		if !e.pipe {
+			heads = append(heads, c)
+		}
+	}
+	// Deterministic order: by descending level then ascending mask, so a
+	// path's source cuboid is always materialized by an earlier path.
+	sort.Slice(heads, func(a, b int) bool {
+		pa, pb := bits.OnesCount(uint(heads[a])), bits.OnesCount(uint(heads[b]))
+		if pa != pb {
+			return pa > pb
+		}
+		return heads[a] < heads[b]
+	})
+
+	for _, h := range heads {
+		var chain []uint
+		for m := h; ; {
+			chain = append(chain, m)
+			c, ok := pipeChild[m]
+			if !ok {
+				break
+			}
+			m = c
+		}
+		// Orders, built from the tail up: each node's order is the next
+		// node's order followed by its extra attributes (so every
+		// descendant's attributes are a prefix).
+		orders := make([][]string, len(chain))
+		var prev []string
+		for i := len(chain) - 1; i >= 0; i-- {
+			extra := diffAttrs(lat, chain[i], prev)
+			order := append(append([]string(nil), prev...), extra...)
+			orders[i] = order
+			prev = order
+		}
+		path := Path{Resort: h != full}
+		if h == full {
+			path.SourceMask = plan.detailSource()
+		} else {
+			path.SourceMask = parentOf[h].parent
+		}
+		for i, m := range chain {
+			path.Nodes = append(path.Nodes, PathNode{Mask: m, Order: orders[i]})
+		}
+		plan.Paths = append(plan.Paths, path)
+	}
+	return plan
+}
+
+// diffAttrs lists mask's attributes not already in the prefix order.
+func diffAttrs(lat *Lattice, mask uint, prefix []string) []string {
+	var out []string
+	for _, a := range lat.Attrs(mask) {
+		if !containsFold(prefix, a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func log2(x float64) float64 {
+	n := 0.0
+	for x > 1 {
+		x /= 2
+		n++
+	}
+	return n
+}
+
+// computePipeSort plans and executes PIPESORT: each path sorts its source
+// once into the head's order and closes every node of the chain in one
+// pass (pipelining); sources of later paths are cuboids materialized by
+// earlier ones, re-aggregated per Theorem 4.5.
+func computePipeSort(detail *table.Table, lat *Lattice, specs []agg.Spec) (*table.Table, error) {
+	dec, err := decompose(lat, specs)
+	if err != nil {
+		return nil, err
+	}
+	work := dec.work
+	reagg, err := reaggSpecs(work)
+	if err != nil {
+		return nil, err
+	}
+	plan := PlanPipeSort(lat)
+
+	cuboids := make(map[uint]*table.Table)
+	for _, path := range plan.Paths {
+		var source *table.Table
+		var srcSpecs []agg.Spec
+		if path.SourceMask == plan.detailSource() {
+			source = detail
+			srcSpecs = work
+		} else {
+			source = cuboids[path.SourceMask]
+			if source == nil {
+				return nil, fmt.Errorf("cube: pipesort source %s not materialized", lat.MaskName(path.SourceMask))
+			}
+			srcSpecs = reagg
+		}
+		results, err := executePath(source, srcSpecs, path, lat, len(work))
+		if err != nil {
+			return nil, err
+		}
+		for m, t := range results {
+			cuboids[m] = t
+		}
+	}
+
+	out := table.New(table.SchemaOf(lat.Dims...).Append(agg.OutColumns(work)...))
+	for _, m := range lat.SortedMasksDescending() {
+		t, ok := cuboids[m]
+		if !ok {
+			return nil, fmt.Errorf("cube: pipesort plan missed cuboid %s", lat.MaskName(m))
+		}
+		out.Rows = append(out.Rows, t.Rows...)
+	}
+	if dec.finalize != nil {
+		return dec.finalize(out, lat)
+	}
+	return out, nil
+}
+
+// executePath sorts the source by the head node's order and computes every
+// node of the path in a single pass. Pipelining works as in [AAD+96]: the
+// head aggregates raw source rows; every deeper node aggregates the
+// *flushed group rows* of the node above it (re-aggregated per Theorem
+// 4.5), so a node's work is proportional to the finer cuboid's size, not
+// to |source|.
+func executePath(source *table.Table, specs []agg.Spec, path Path, lat *Lattice, nAggs int) (map[uint]*table.Table, error) {
+	head := path.Nodes[0]
+	// Sort a shallow copy of the source rows by the head order.
+	sorted := &table.Table{Schema: source.Schema, Rows: append([]table.Row(nil), source.Rows...)}
+	orderIdx := make([]int, len(head.Order))
+	for i, a := range head.Order {
+		j := source.Schema.ColIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("cube: sort attribute %q not in source schema %v", a, source.Schema.Names())
+		}
+		orderIdx[i] = j
+	}
+	sorted.SortByOrdinals(orderIdx)
+
+	outSchema := table.SchemaOf(lat.Dims...).Append(agg.OutColumns(specs)...)
+
+	// The head consumes source rows with the given specs; deeper nodes
+	// consume emitted cuboid rows with the Theorem 4.5 re-aggregation.
+	headSpecs, err := agg.CompileSpecs(specs, newSourceBinding(source))
+	if err != nil {
+		return nil, err
+	}
+	reagg, err := reaggSpecs(specs)
+	if err != nil {
+		return nil, err
+	}
+	cuboidBind := expr.NewBinding()
+	cuboidBind.AddRel(outSchema, "r", "detail")
+	pipeSpecs, err := agg.CompileSpecs(reagg, cuboidBind)
+	if err != nil {
+		return nil, err
+	}
+
+	// keySlot[di] is dimension di's position in the head sort order (or
+	// -1): emitted rows read their dim values from the current group key.
+	keySlot := make([]int, len(lat.Dims))
+	for di, d := range lat.Dims {
+		keySlot[di] = -1
+		for oi, o := range head.Order {
+			if strings.EqualFold(o, d) {
+				keySlot[di] = oi
+			}
+		}
+	}
+
+	type nodeAcc struct {
+		mask      uint
+		prefixLen int
+		curKey    table.Row
+		states    []agg.State
+		out       *table.Table
+	}
+	accs := make([]*nodeAcc, len(path.Nodes))
+	for i, n := range path.Nodes {
+		specsFor := headSpecs
+		if i > 0 {
+			specsFor = pipeSpecs
+		}
+		a := &nodeAcc{
+			mask:      n.Mask,
+			prefixLen: len(lat.Attrs(n.Mask)),
+			states:    make([]agg.State, len(specsFor)),
+			out:       table.New(outSchema),
+		}
+		accs[i] = a
+	}
+	newStates := func(i int) []agg.State {
+		specsFor := headSpecs
+		if i > 0 {
+			specsFor = pipeSpecs
+		}
+		st := make([]agg.State, len(specsFor))
+		for j, c := range specsFor {
+			st[j] = c.NewState()
+		}
+		return st
+	}
+
+	frame := make([]table.Row, 1)
+	// flush closes node i's group, emits its row, and feeds it to node
+	// i+1 (it belongs to i+1's still-open group because prefixes nest).
+	var flush func(i int)
+	flush = func(i int) {
+		a := accs[i]
+		if a.curKey == nil {
+			return
+		}
+		row := make(table.Row, 0, len(lat.Dims)+nAggs)
+		for di := range lat.Dims {
+			if a.mask&(1<<uint(di)) == 0 {
+				row = append(row, table.All())
+			} else {
+				row = append(row, a.curKey[keySlot[di]])
+			}
+		}
+		for _, st := range a.states {
+			row = append(row, st.Result())
+		}
+		a.out.Append(row)
+		if i+1 < len(accs) {
+			next := accs[i+1]
+			if next.curKey == nil {
+				next.curKey = a.curKey
+				next.states = newStates(i + 1)
+			}
+			frame[0] = row
+			for j, c := range pipeSpecs {
+				c.Feed(next.states[j], frame)
+			}
+		}
+	}
+
+	rowFrame := make([]table.Row, 1)
+	for _, r := range sorted.Rows {
+		key := make(table.Row, len(orderIdx))
+		for i, j := range orderIdx {
+			key[i] = r[j]
+		}
+		// Deepest position where the key changed; nodes with longer
+		// prefixes close (they are a prefix of the node list, finest
+		// first).
+		head0 := accs[0]
+		if head0.curKey != nil {
+			d := 0
+			for d < len(key) && head0.curKey[d].Equal(key[d]) {
+				d++
+			}
+			// Flush finest-first so each flushed row lands in the old
+			// group of the node below before that node flushes.
+			for i := 0; i < len(accs) && accs[i].prefixLen > d; i++ {
+				flush(i)
+				accs[i].curKey = nil
+			}
+		}
+		if head0.curKey == nil {
+			head0.curKey = key
+			head0.states = newStates(0)
+		} else {
+			head0.curKey = key
+		}
+		rowFrame[0] = r
+		for j, c := range headSpecs {
+			c.Feed(head0.states[j], rowFrame)
+		}
+	}
+	for i := range accs {
+		flush(i)
+		accs[i].curKey = nil
+	}
+
+	out := make(map[uint]*table.Table, len(accs))
+	for _, a := range accs {
+		out[a.mask] = a.out
+	}
+	return out, nil
+}
+
+// newSourceBinding binds a single source relation under the conventional
+// detail qualifiers, so aggregate arguments written as R.col (or bare)
+// compile against it.
+func newSourceBinding(t *table.Table) *expr.Binding {
+	b := expr.NewBinding()
+	b.AddRel(t.Schema, "r", "detail")
+	return b
+}
+
+// mdJoinCube evaluates MD(base, detail, specs, ∧ R.d =^ d) — the
+// single-scan cube computation (method MDJoinPass and Example 2.3's first
+// stage).
+func mdJoinCube(base, detail *table.Table, dims []string, specs []agg.Spec) (*table.Table, error) {
+	return core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: Theta(dims...)}}, core.Options{})
+}

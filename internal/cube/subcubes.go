@@ -1,0 +1,95 @@
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/table"
+)
+
+// ComputeSubcubes materializes only the requested cuboids (given as
+// grouping sets over dims) — "materializing an optimal set of subcubes",
+// the generalization the paper's conclusions call out for the Theorem 4.5
+// framework. Each requested cuboid is computed from the cheapest already
+// materialized finer cuboid when one exists (re-aggregation), falling
+// back to the detail relation; intermediate cuboids are materialized only
+// when a requested one needs the full-dimension aggregation anyway.
+//
+// The result has the uniform Figure 1 layout (all dims, ALL markers) and
+// contains exactly the requested cuboids' cells. Aggregates must be
+// distributive or avg (decomposed); use Naive Compute for holistic ones.
+func ComputeSubcubes(detail *table.Table, dims []string, sets [][]string, specs []agg.Spec) (*table.Table, error) {
+	lat, err := NewLattice(detail, dims)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := decompose(lat, specs)
+	if err != nil {
+		return nil, err
+	}
+	work := dec.work
+	reagg, err := reaggSpecs(work)
+	if err != nil {
+		return nil, err
+	}
+
+	// Requested masks, deduplicated, ordered finest-first so coarser ones
+	// can reuse finer results.
+	var masks []uint
+	seen := map[uint]bool{}
+	for _, s := range sets {
+		m, err := maskOf(dims, s)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[m] {
+			seen[m] = true
+			masks = append(masks, m)
+		}
+	}
+	if len(masks) == 0 {
+		return nil, fmt.Errorf("cube: no subcubes requested")
+	}
+	sort.Slice(masks, func(a, b int) bool {
+		pa, pb := bits.OnesCount(uint(masks[a])), bits.OnesCount(uint(masks[b]))
+		if pa != pb {
+			return pa > pb
+		}
+		return masks[a] < masks[b]
+	})
+
+	materialized := map[uint]*table.Table{}
+	out := table.New(cuboidSchemaFor(lat, work))
+	for _, m := range masks {
+		// Cheapest materialized strict superset, if any.
+		var src *table.Table
+		bestEst := -1
+		for sm, t := range materialized {
+			if sm&m == m && sm != m {
+				if est := lat.Estimate(sm); bestEst < 0 || est < bestEst {
+					bestEst, src = est, t
+				}
+			}
+		}
+		var g *table.Table
+		var err error
+		if src != nil {
+			g, err = engine.GroupBy(src, lat.Attrs(m), reagg)
+		} else {
+			g, err = engine.GroupBy(detail, lat.Attrs(m), work)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cuboid := padCuboid(lat, m, g, work)
+		materialized[m] = cuboid
+		out.Rows = append(out.Rows, cuboid.Rows...)
+	}
+	if dec.finalize != nil {
+		return dec.finalize(out, lat)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package cube
+
+import (
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func TestComputeSubcubesMatchesFullCube(t *testing.T) {
+	detail := randSales(400, 5, 4, 3, 51)
+	dims := []string{"prod", "month", "state"}
+	specs := specsSumCount()
+
+	full, err := Compute(detail, dims, specs, Options{Method: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := NewLattice(detail, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sets := [][]string{
+		{"prod", "month"},
+		{"prod"},
+		{}, // apex
+	}
+	sub, err := ComputeSubcubes(detail, dims, sets, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The subcube result must equal the full cube restricted to the
+	// requested masks.
+	want := table.New(full.Schema)
+	for _, s := range sets {
+		mask, err := maskOf(dims, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slice, err := sliceCells(full, lat, mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Rows = append(want.Rows, slice.Rows...)
+	}
+	if d := want.Diff(sub); d != "" {
+		t.Fatalf("selected subcubes differ from full-cube slices: %s", d)
+	}
+}
+
+func TestComputeSubcubesReusesFinerResults(t *testing.T) {
+	// Requesting a chain (prod,month) ⊃ (prod) ⊃ () must aggregate the
+	// coarser members from the finer ones, not re-scan detail — verified
+	// indirectly: results match and requesting only the apex also works.
+	detail := randSales(300, 4, 3, 2, 52)
+	dims := []string{"prod", "month"}
+	specs := []agg.Spec{agg.NewSpec("sum", expr.C("sale"), "total")}
+
+	apexOnly, err := ComputeSubcubes(detail, dims, [][]string{{}}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apexOnly.Len() != 1 {
+		t.Fatalf("apex-only request: %d rows, want 1", apexOnly.Len())
+	}
+	var wantTotal float64
+	for _, r := range detail.Rows {
+		wantTotal += r[detail.Schema.MustColIndex("sale")].AsFloat()
+	}
+	if got := apexOnly.Value(0, "total").AsFloat(); absf(got-wantTotal) > 1e-6 {
+		t.Errorf("apex total = %v, want %v", got, wantTotal)
+	}
+}
+
+func TestComputeSubcubesWithAvg(t *testing.T) {
+	detail := randSales(300, 4, 3, 2, 53)
+	dims := []string{"prod", "month"}
+	specs := []agg.Spec{agg.NewSpec("avg", expr.C("sale"), "mean")}
+
+	sub, err := ComputeSubcubes(detail, dims, [][]string{{"prod", "month"}, {"prod"}}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Compute(detail, dims, specs, Options{Method: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every subcube row must appear in the full cube with the same mean.
+	lat, _ := NewLattice(detail, dims)
+	fullIdx := table.BuildIndex(full, lat.Dims)
+	for _, r := range sub.Rows {
+		key := []table.Value{r[0], r[1]}
+		hits := fullIdx.Probe(key)
+		if len(hits) != 1 {
+			t.Fatalf("row %v: %d matches in full cube", r, len(hits))
+		}
+		want := full.Rows[hits[0]][full.Schema.MustColIndex("mean")]
+		got := r[sub.Schema.MustColIndex("mean")]
+		if absf(want.AsFloat()-got.AsFloat()) > 1e-9 {
+			t.Errorf("row %v: mean %v vs full cube %v", r, got, want)
+		}
+	}
+}
+
+func TestComputeSubcubesErrors(t *testing.T) {
+	detail := randSales(50, 3, 2, 2, 54)
+	if _, err := ComputeSubcubes(detail, []string{"prod"}, nil, specsSumCount()); err == nil {
+		t.Error("empty request must error")
+	}
+	if _, err := ComputeSubcubes(detail, []string{"prod"}, [][]string{{"nope"}}, specsSumCount()); err == nil {
+		t.Error("unknown dimension must error")
+	}
+	if _, err := ComputeSubcubes(detail, []string{"prod"}, [][]string{{"prod"}},
+		[]agg.Spec{agg.NewSpec("median", expr.C("sale"), "mid")}); err == nil {
+		t.Error("holistic aggregates must be rejected")
+	}
+}
+
+func absf(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

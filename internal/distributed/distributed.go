@@ -1,0 +1,289 @@
+// Package distributed emulates the distributed evaluation scenario of the
+// paper's Section 4.3: "Suppose that the Sales table is a distributed
+// relation, and data for New Jersey is stored in Trenton, data for New
+// York in Albany... It is likely to be more efficient to move the
+// base-value relation to the three data stores, perform local MD-joins,
+// then equijoin the results."
+//
+// Each Site runs as its own goroutine with a request channel — the
+// message-passing stand-in for a remote node (the substitution DESIGN.md
+// documents for the paper's multi-store deployment). Two recombination
+// strategies are provided, matching the two algebraic identities:
+//
+//   - ScatterPhases (Theorem 4.4): each phase is routed to the site whose
+//     fragment its θ selects; the per-site results — all carrying the same
+//     base rows — are recombined by equijoin on the base columns.
+//   - ScatterFragments (Theorem 4.1 dual + Theorem 4.5): one phase over a
+//     horizontally partitioned detail; every site aggregates its fragment
+//     and the partial results are re-aggregated (count → sum, ...).
+package distributed
+
+import (
+	"fmt"
+	"strings"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// Site is one data store holding a fragment of the detail relation. Run
+// starts its serving loop; requests carry a base-values table and phases,
+// responses carry the local MD-join result.
+type Site struct {
+	Name string
+	Data *table.Table
+
+	requests chan request
+}
+
+type request struct {
+	base   *table.Table
+	phases []core.Phase
+	opt    core.Options
+	reply  chan response
+}
+
+type response struct {
+	result *table.Table
+	err    error
+}
+
+// NewSite creates a site around a local fragment.
+func NewSite(name string, data *table.Table) *Site {
+	return &Site{Name: name, Data: data, requests: make(chan request)}
+}
+
+// run serves MD-join requests until the channel closes.
+func (s *Site) run() {
+	for req := range s.requests {
+		res, err := core.Eval(req.base, s.Data, req.phases, req.opt)
+		req.reply <- response{result: res, err: err}
+	}
+}
+
+// Cluster is a set of running sites.
+type Cluster struct {
+	sites map[string]*Site
+	order []string
+}
+
+// NewCluster starts the sites' serving goroutines.
+func NewCluster(sites ...*Site) *Cluster {
+	c := &Cluster{sites: make(map[string]*Site, len(sites))}
+	for _, s := range sites {
+		key := strings.ToLower(s.Name)
+		if _, dup := c.sites[key]; dup {
+			panic(fmt.Sprintf("distributed: duplicate site %q", s.Name))
+		}
+		c.sites[key] = s
+		c.order = append(c.order, key)
+		go s.run()
+	}
+	return c
+}
+
+// Close stops all site goroutines.
+func (c *Cluster) Close() {
+	for _, key := range c.order {
+		close(c.sites[key].requests)
+	}
+}
+
+// ask ships a request to a site and waits for its answer.
+func (c *Cluster) ask(site string, base *table.Table, phases []core.Phase, opt core.Options) (*table.Table, error) {
+	s, ok := c.sites[strings.ToLower(site)]
+	if !ok {
+		return nil, fmt.Errorf("distributed: unknown site %q", site)
+	}
+	reply := make(chan response, 1)
+	s.requests <- request{base: base, phases: phases, opt: opt, reply: reply}
+	resp := <-reply
+	return resp.result, resp.err
+}
+
+// Routed pairs a phase with the site that owns its data.
+type Routed struct {
+	Site  string
+	Phase core.Phase
+}
+
+// ScatterPhases implements the Theorem 4.4 plan: ship the base-values
+// relation to each phase's site concurrently, evaluate the local MD-join,
+// and equijoin the results on the base columns. The base relation must
+// have distinct rows (the theorem's precondition, which SplitJoin checks).
+func (c *Cluster) ScatterPhases(base *table.Table, routed []Routed, opt core.Options) (*table.Table, error) {
+	if len(routed) == 0 {
+		return nil, fmt.Errorf("distributed: no phases to scatter")
+	}
+	type answer struct {
+		idx    int
+		result *table.Table
+		err    error
+	}
+	answers := make(chan answer, len(routed))
+	for i, r := range routed {
+		go func(i int, r Routed) {
+			res, err := c.ask(r.Site, base, []core.Phase{r.Phase}, opt)
+			answers <- answer{idx: i, result: res, err: err}
+		}(i, r)
+	}
+	results := make([]*table.Table, len(routed))
+	for range routed {
+		a := <-answers
+		if a.err != nil {
+			return nil, a.err
+		}
+		results[a.idx] = a.result
+	}
+	// Fold by equijoin on the base columns (Theorem 4.4).
+	out := results[0]
+	for _, r := range results[1:] {
+		var err error
+		out, err = core.SplitJoin(out, r, base.Schema.Names())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ScatterFragments implements the horizontal-partitioning plan: the same
+// phase runs at every site over its fragment; the partial results are
+// re-aggregated with the Theorem 4.5 mapping. Only distributive aggregates
+// (and avg, via sum/count decomposition) are supported — the same
+// restriction the paper notes for the roll-up property.
+func (c *Cluster) ScatterFragments(base *table.Table, phase core.Phase, opt core.Options) (*table.Table, error) {
+	work, finalize, err := decomposeSpecs(phase.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	workPhase := core.Phase{Aggs: work, Theta: phase.Theta}
+
+	type answer struct {
+		result *table.Table
+		err    error
+	}
+	answers := make(chan answer, len(c.order))
+	for _, key := range c.order {
+		go func(site string) {
+			res, err := c.ask(site, base, []core.Phase{workPhase}, opt)
+			answers <- answer{result: res, err: err}
+		}(key)
+	}
+	var partials []*table.Table
+	for range c.order {
+		a := <-answers
+		if a.err != nil {
+			return nil, a.err
+		}
+		partials = append(partials, a.result)
+	}
+
+	// Union the partials and re-aggregate per base row.
+	union, err := engine.Union(partials...)
+	if err != nil {
+		return nil, err
+	}
+	reagg := make([]agg.Spec, len(work))
+	for i, s := range work {
+		fn, err := agg.Lookup(s.Func)
+		if err != nil {
+			return nil, err
+		}
+		re, ok := fn.Reaggregate()
+		if !ok {
+			return nil, fmt.Errorf("distributed: aggregate %q is not distributive; it cannot be recombined across fragments", s.Func)
+		}
+		reagg[i] = agg.Spec{Func: re.Name(), Arg: expr.C(s.OutName()), As: s.OutName()}
+	}
+	merged, err := engine.GroupBy(union, base.Schema.Names(), reagg)
+	if err != nil {
+		return nil, err
+	}
+	if finalize != nil {
+		return finalize(merged)
+	}
+	return merged, nil
+}
+
+// decomposeSpecs rewrites avg into hidden sum/count pairs (mirroring the
+// cube planner's decomposition) so fragment results re-aggregate; it
+// returns the working specs and an optional projection restoring the
+// requested columns.
+func decomposeSpecs(specs []agg.Spec) ([]agg.Spec, func(*table.Table) (*table.Table, error), error) {
+	needs := false
+	for _, s := range specs {
+		if strings.EqualFold(s.Func, "avg") {
+			needs = true
+		}
+	}
+	if !needs {
+		return specs, nil, nil
+	}
+	var work []agg.Spec
+	type parts struct{ sum, cnt string }
+	avg := map[string]parts{}
+	for i, s := range specs {
+		if strings.EqualFold(s.Func, "avg") {
+			p := parts{
+				sum: fmt.Sprintf("__davg%d_sum", i),
+				cnt: fmt.Sprintf("__davg%d_cnt", i),
+			}
+			avg[s.OutName()] = p
+			work = append(work,
+				agg.Spec{Func: "sum", Arg: s.Arg, As: p.sum},
+				agg.Spec{Func: "count", Arg: s.Arg, As: p.cnt})
+			continue
+		}
+		work = append(work, s)
+	}
+	finalize := func(t *table.Table) (*table.Table, error) {
+		var cols []engine.ProjCol
+		for _, c := range t.Schema.Names() {
+			if strings.HasPrefix(c, "__davg") {
+				continue
+			}
+			cols = append(cols, engine.ProjCol{Expr: expr.C(c)})
+		}
+		for _, s := range specs {
+			if p, ok := avg[s.OutName()]; ok {
+				cols = append(cols, engine.ProjCol{
+					Expr: expr.Div(expr.C(p.sum), expr.C(p.cnt)),
+					As:   s.OutName(),
+				})
+			}
+		}
+		return engine.Project(t, cols, false)
+	}
+	return work, finalize, nil
+}
+
+// PartitionByColumn splits a detail relation into per-value fragments of
+// the named column — the "Sales partitioned by state" setup of the
+// paper's scenario. Fragment order follows first appearance.
+func PartitionByColumn(t *table.Table, col string) ([]*Site, error) {
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("distributed: partition column %q not in schema %v", col, t.Schema.Names())
+	}
+	frags := map[string]*table.Table{}
+	var order []string
+	for _, r := range t.Rows {
+		key := r[ci].String()
+		f, ok := frags[key]
+		if !ok {
+			f = table.New(t.Schema)
+			frags[key] = f
+			order = append(order, key)
+		}
+		f.Append(r)
+	}
+	sites := make([]*Site, len(order))
+	for i, key := range order {
+		sites[i] = NewSite(key, frags[key])
+	}
+	return sites, nil
+}

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func fixture() *table.Table {
+	s := table.SchemaOf("cust", "state", "sale")
+	return table.MustFromRows(s, []table.Row{
+		{table.Str("alice"), table.Str("NY"), table.Float(10)},
+		{table.Str("alice"), table.Str("NJ"), table.Float(20)},
+		{table.Str("bob"), table.Str("NY"), table.Float(30)},
+		{table.Str("bob"), table.Str("NY"), table.Float(40)},
+		{table.Str("carol"), table.Str("CT"), table.Float(50)},
+	})
+}
+
+func TestSelect(t *testing.T) {
+	tt := fixture()
+	out, err := Select(tt, expr.Eq(expr.C("state"), expr.S("NY")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("rows = %d, want 3", out.Len())
+	}
+	all, err := Select(tt, nil)
+	if err != nil || all.Len() != tt.Len() {
+		t.Errorf("nil predicate should keep everything")
+	}
+	if _, err := Select(tt, expr.Eq(expr.C("nope"), expr.I(1))); err == nil {
+		t.Error("bad column should error")
+	}
+}
+
+func TestProjectAndDistinct(t *testing.T) {
+	tt := fixture()
+	out, err := Project(tt, Cols("cust"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("distinct custs = %d, want 3", out.Len())
+	}
+	// Computed projection with alias.
+	out2, err := Project(tt, []ProjCol{{Expr: expr.Mul(expr.C("sale"), expr.I(2)), As: "double"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Schema.Names()[0] != "double" || out2.Value(0, "double").AsFloat() != 20 {
+		t.Errorf("projection: %v", out2.Rows[0])
+	}
+	d, err := DistinctOn(tt, "cust", "state")
+	if err != nil || d.Len() != 4 {
+		t.Errorf("DistinctOn = %d rows, want 4 (%v)", d.Len(), err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	tt := fixture()
+	r := Rename(tt, map[string]string{"sale": "amount"})
+	if !r.Schema.Has("amount") || r.Schema.Has("sale") {
+		t.Errorf("rename failed: %v", r.Schema.Names())
+	}
+	// Rows are shared, not copied.
+	if &r.Rows[0][0] != &tt.Rows[0][0] {
+		t.Error("Rename must not copy rows")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	tt := fixture()
+	u, err := Union(tt, tt)
+	if err != nil || u.Len() != 2*tt.Len() {
+		t.Errorf("union all must keep duplicates: %d (%v)", u.Len(), err)
+	}
+	other := table.New(table.SchemaOf("x"))
+	if _, err := Union(tt, other); err == nil {
+		t.Error("schema mismatch should error")
+	}
+	if _, err := Union(); err == nil {
+		t.Error("empty union should error")
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	l := table.MustFromRows(table.SchemaOf("k", "a"), []table.Row{
+		{table.Int(1), table.Str("x")},
+		{table.Int(2), table.Str("y")},
+	})
+	r := table.MustFromRows(table.SchemaOf("k", "b"), []table.Row{
+		{table.Int(1), table.Str("p")},
+		{table.Int(1), table.Str("q")},
+		{table.Int(3), table.Str("z")},
+	})
+	out, err := Join(l, r, "l", "r", expr.Eq(expr.QC("l", "k"), expr.QC("r", "k")), InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("inner join rows = %d, want 2", out.Len())
+	}
+	// Collided column renamed.
+	if !out.Schema.Has("r_k") {
+		t.Errorf("collided right column should be r_k: %v", out.Schema.Names())
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	l := table.MustFromRows(table.SchemaOf("k"), []table.Row{
+		{table.Int(1)}, {table.Int(2)},
+	})
+	r := table.MustFromRows(table.SchemaOf("k", "v"), []table.Row{
+		{table.Int(1), table.Str("x")},
+	})
+	out, err := Join(l, r, "l", "r", expr.Eq(expr.QC("l", "k"), expr.QC("r", "k")), LeftOuterJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", out.Len())
+	}
+	var unmatched table.Row
+	for _, row := range out.Rows {
+		if row[0].AsInt() == 2 {
+			unmatched = row
+		}
+	}
+	if unmatched == nil || !unmatched[2].IsNull() {
+		t.Errorf("unmatched row should be NULL-padded: %v", unmatched)
+	}
+}
+
+func TestThetaJoinFallsBackToNestedLoop(t *testing.T) {
+	l := table.MustFromRows(table.SchemaOf("a"), []table.Row{{table.Int(1)}, {table.Int(5)}})
+	r := table.MustFromRows(table.SchemaOf("b"), []table.Row{{table.Int(3)}})
+	out, err := Join(l, r, "l", "r", expr.Lt(expr.QC("l", "a"), expr.QC("r", "b")), InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Rows[0][0].AsInt() != 1 {
+		t.Errorf("theta join: %v", out.Rows)
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	// Property: the hash path and the pure θ path compute the same join.
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int, name string) *table.Table {
+		tt := table.New(table.SchemaOf("k", name))
+		for i := 0; i < n; i++ {
+			tt.Append(table.Row{table.Int(int64(rng.Intn(8))), table.Int(int64(i))})
+		}
+		return tt
+	}
+	l, r := mk(60, "lv"), mk(40, "rv")
+	eq := expr.Eq(expr.QC("l", "k"), expr.QC("r", "k"))
+	hash, err := Join(l, r, "l", "r", eq, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the nested loop by obscuring the equi conjunct: (l.k = r.k) OR false.
+	theta := expr.Or(eq, expr.V(table.Bool(false)))
+	loop, err := Join(l, r, "l", "r", theta, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hash.EqualSet(loop) {
+		t.Errorf("hash join differs from nested loop: %s", hash.Diff(loop))
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	tt := fixture()
+	out, err := GroupBy(tt, []string{"cust"}, []agg.Spec{
+		agg.NewSpec("sum", expr.C("sale"), "total"),
+		agg.NewSpec("count", nil, "n"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", out.Len())
+	}
+	got := map[string]float64{}
+	for i := range out.Rows {
+		got[out.Value(i, "cust").AsString()] = out.Value(i, "total").AsFloat()
+	}
+	if got["alice"] != 30 || got["bob"] != 70 || got["carol"] != 50 {
+		t.Errorf("totals = %v", got)
+	}
+	if _, err := GroupBy(tt, []string{"nope"}, nil); err == nil {
+		t.Error("bad key should error")
+	}
+}
+
+func TestGroupByNoKeys(t *testing.T) {
+	tt := fixture()
+	out, err := GroupBy(tt, nil, []agg.Spec{agg.NewSpec("sum", expr.C("sale"), "total")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Value(0, "total").AsFloat() != 150 {
+		t.Errorf("grand total: %v", out)
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	empty := table.New(table.SchemaOf("k", "v"))
+	out, err := GroupBy(empty, []string{"k"}, []agg.Spec{agg.NewSpec("count", nil, "n")})
+	if err != nil || out.Len() != 0 {
+		t.Errorf("empty input → no groups (classic semantics): %d, %v", out.Len(), err)
+	}
+}
+
+func TestSortGroupByMatchesHash(t *testing.T) {
+	prop := func(keys []uint8, vals []int8) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		tt := table.New(table.SchemaOf("k", "v"))
+		for i := 0; i < n; i++ {
+			tt.Append(table.Row{table.Int(int64(keys[i] % 6)), table.Int(int64(vals[i]))})
+		}
+		specs := []agg.Spec{
+			agg.NewSpec("sum", expr.C("v"), "s"),
+			agg.NewSpec("count", nil, "n"),
+			agg.NewSpec("min", expr.C("v"), "lo"),
+			agg.NewSpec("max", expr.C("v"), "hi"),
+		}
+		h, err := GroupBy(tt, []string{"k"}, specs)
+		if err != nil {
+			return false
+		}
+		s, err := SortGroupBy(tt, []string{"k"}, specs)
+		if err != nil {
+			return false
+		}
+		return h.EqualSet(s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupByWithNullAndAllKeys(t *testing.T) {
+	tt := table.MustFromRows(table.SchemaOf("k", "v"), []table.Row{
+		{table.Null(), table.Int(1)},
+		{table.Null(), table.Int(2)},
+		{table.All(), table.Int(3)},
+		{table.Int(0), table.Int(4)},
+	})
+	out, err := GroupBy(tt, []string{"k"}, []agg.Spec{agg.NewSpec("count", nil, "n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("NULL, ALL and 0 must be three distinct groups: %d\n%s", out.Len(), out)
+	}
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// GroupBy computes the standard grouped aggregation "SELECT keys, l FROM t
+// GROUP BY keys" with hash aggregation. Unlike the MD-join it derives its
+// groups from the data (no base-values relation) and emits no row for
+// empty groups — the exact semantic gap Example 2.2 of the paper points
+// at, which the baseline comparator papers over with outer joins.
+func GroupBy(t *table.Table, keys []string, specs []agg.Spec) (*table.Table, error) {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j := t.Schema.ColIndex(k)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: group-by key %q not in schema %v", k, t.Schema.Names())
+		}
+		keyIdx[i] = j
+	}
+
+	bind := expr.NewBinding()
+	bind.AddRel(t.Schema, "r", "detail")
+	compiled, err := agg.CompileSpecs(specs, bind)
+	if err != nil {
+		return nil, err
+	}
+
+	keyCols := make([]table.Column, len(keys))
+	for i, j := range keyIdx {
+		keyCols[i] = t.Schema.Cols[j]
+	}
+	outSchema := table.NewSchema(keyCols...).Append(agg.OutColumns(specs)...)
+
+	type group struct {
+		key    table.Row
+		states []agg.State
+	}
+	buckets := make(map[uint64][]*group, 1024)
+	var order []*group
+
+	frame := make([]table.Row, 1)
+	for _, r := range t.Rows {
+		h := table.HashCols(r, keyIdx)
+		var g *group
+		for _, cand := range buckets[h] {
+			if table.EqualOn(r, keyIdx, cand.key, identity(len(keyIdx))) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			key := make(table.Row, len(keyIdx))
+			for i, j := range keyIdx {
+				key[i] = r[j]
+			}
+			g = &group{key: key, states: make([]agg.State, len(compiled))}
+			for i, c := range compiled {
+				g.states[i] = c.NewState()
+			}
+			buckets[h] = append(buckets[h], g)
+			order = append(order, g)
+		}
+		frame[0] = r
+		for i, c := range compiled {
+			c.Feed(g.states[i], frame)
+		}
+	}
+
+	out := table.New(outSchema)
+	for _, g := range order {
+		row := make(table.Row, 0, outSchema.Len())
+		row = append(row, g.key...)
+		for _, st := range g.states {
+			row = append(row, st.Result())
+		}
+		out.Append(row)
+	}
+	return out, nil
+}
+
+// SortGroupBy computes the same result as GroupBy but via sort-then-scan —
+// the evaluation style PIPESORT's pipelined paths assume (detail arrives
+// ordered, each group closes when its key changes). Exposed so benches can
+// contrast hash vs sort aggregation and so the cube pipeline can reuse it.
+func SortGroupBy(t *table.Table, keys []string, specs []agg.Spec) (*table.Table, error) {
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j := t.Schema.ColIndex(k)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: group-by key %q not in schema %v", k, t.Schema.Names())
+		}
+		keyIdx[i] = j
+	}
+
+	bind := expr.NewBinding()
+	bind.AddRel(t.Schema, "r", "detail")
+	compiled, err := agg.CompileSpecs(specs, bind)
+	if err != nil {
+		return nil, err
+	}
+
+	keyCols := make([]table.Column, len(keys))
+	for i, j := range keyIdx {
+		keyCols[i] = t.Schema.Cols[j]
+	}
+	outSchema := table.NewSchema(keyCols...).Append(agg.OutColumns(specs)...)
+	out := table.New(outSchema)
+
+	sorted := &table.Table{Schema: t.Schema, Rows: append([]table.Row(nil), t.Rows...)}
+	sorted.SortByOrdinals(keyIdx)
+
+	var curKey table.Row
+	var states []agg.State
+	flush := func() {
+		if curKey == nil {
+			return
+		}
+		row := make(table.Row, 0, outSchema.Len())
+		row = append(row, curKey...)
+		for _, st := range states {
+			row = append(row, st.Result())
+		}
+		out.Append(row)
+	}
+	frame := make([]table.Row, 1)
+	for _, r := range sorted.Rows {
+		if curKey == nil || !table.EqualOn(r, keyIdx, curKey, identity(len(keyIdx))) {
+			flush()
+			curKey = make(table.Row, len(keyIdx))
+			for i, j := range keyIdx {
+				curKey[i] = r[j]
+			}
+			states = make([]agg.State, len(compiled))
+			for i, c := range compiled {
+				states[i] = c.NewState()
+			}
+		}
+		frame[0] = r
+		for i, c := range compiled {
+			c.Feed(states[i], frame)
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// identity returns [0, 1, ..., n-1]; used to compare a full key row against
+// projected columns of a data row.
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+package expr
+
+import (
+	"sort"
+	"strings"
+
+	"mdjoin/internal/table"
+)
+
+// RefSet records which relations (by binding slot) and columns an
+// expression references. It drives the θ-condition analyses of Sections
+// 4.2–4.5 of the paper: selection pushdown, base-range pushdown,
+// commutativity checks, and index column selection.
+type RefSet struct {
+	// Slots is the set of referenced binding slots.
+	Slots map[int]bool
+	// Cols is the set of referenced (slot, ordinal) pairs.
+	Cols map[[2]int]bool
+}
+
+// Refs computes the reference set of e against a binding. Unresolvable
+// columns are reported via the error.
+func Refs(e Expr, b *Binding) (*RefSet, error) {
+	rs := &RefSet{Slots: map[int]bool{}, Cols: map[[2]int]bool{}}
+	var firstErr error
+	e.walk(func(n Expr) {
+		c, ok := n.(*Col)
+		if !ok {
+			return
+		}
+		slot, ord, err := b.resolve(c)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		rs.Slots[slot] = true
+		rs.Cols[[2]int{slot, ord}] = true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rs, nil
+}
+
+// OnlySlot reports whether the expression references at most the given
+// slot (constant expressions reference no slot and qualify trivially).
+func (rs *RefSet) OnlySlot(slot int) bool {
+	for s := range rs.Slots {
+		if s != slot {
+			return false
+		}
+	}
+	return true
+}
+
+// SlotCols returns the sorted ordinals referenced in the given slot.
+func (rs *RefSet) SlotCols(slot int) []int {
+	var out []int
+	for sc := range rs.Cols {
+		if sc[0] == slot {
+			out = append(out, sc[1])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SplitConjuncts flattens a predicate's top-level AND tree into conjuncts.
+// Nil input yields nil (the always-true predicate has no conjuncts).
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// ConjunctClass classifies one conjunct of an MD-join θ-condition relative
+// to the two slots of the operator's binding (slot 0 = B, slot 1 = R).
+type ConjunctClass uint8
+
+const (
+	// ClassEqui is "B.col = <R-only expression>": usable for indexing B
+	// (Section 4.5) and for Observation 4.1 rewriting.
+	ClassEqui ConjunctClass = iota
+	// ClassCubeEqui is "B.col =^ <R-only expression>" (cube equality): the
+	// B column may hold the ALL marker, which matches any detail value.
+	// The executor probes the B index once per {value, ALL} combination —
+	// the classic single-pass cube-cell update.
+	ClassCubeEqui
+	// ClassROnly references only R (and constants): Theorem 4.2 pushes it
+	// into a selection on the detail relation.
+	ClassROnly
+	// ClassBOnly references only B: it prunes which B rows can ever be
+	// updated and can be evaluated once per B row.
+	ClassBOnly
+	// ClassResidual is everything else (e.g. R.sale > B.avg_sale): it must
+	// be evaluated per (b, r) candidate pair.
+	ClassResidual
+)
+
+// String names the class for diagnostics.
+func (c ConjunctClass) String() string {
+	switch c {
+	case ClassEqui:
+		return "equi"
+	case ClassCubeEqui:
+		return "cube-equi"
+	case ClassROnly:
+		return "r-only"
+	case ClassBOnly:
+		return "b-only"
+	default:
+		return "residual"
+	}
+}
+
+// Conjunct is one analyzed conjunct of a θ-condition.
+type Conjunct struct {
+	Expr  Expr
+	Class ConjunctClass
+	// For ClassEqui: the B column ordinal and the matching R-side
+	// expression (which references only R and constants).
+	BCol  int
+	RSide Expr
+}
+
+// ThetaAnalysis is the decomposition of an MD-join θ into its usable parts.
+// The MD-join executor derives its strategy directly from this analysis:
+// EquiBCols/EquiRSides build the hash index on B; ROnly becomes a detail
+// pre-filter; BOnly prunes B rows up front; Residual is checked last.
+type ThetaAnalysis struct {
+	Conjuncts []Conjunct
+	// EquiBCols lists B column ordinals with (cube-)equi conjuncts,
+	// parallel to EquiRSides; EquiIsCube marks which entries use cube
+	// equality and therefore need {value, ALL} probe expansion.
+	EquiBCols  []int
+	EquiRSides []Expr
+	EquiIsCube []bool
+	ROnly      []Expr
+	BOnly      []Expr
+	Residual   []Expr
+}
+
+// AnalyzeTheta classifies θ's conjuncts against a two-relation binding
+// where slot bslot holds B and slot rslot holds R. A nil θ yields an empty
+// analysis (every detail tuple relates to every base row — the degenerate
+// grand-total case).
+func AnalyzeTheta(theta Expr, b *Binding, bslot, rslot int) (*ThetaAnalysis, error) {
+	ta := &ThetaAnalysis{}
+	for _, cj := range SplitConjuncts(theta) {
+		rs, err := Refs(cj, b)
+		if err != nil {
+			return nil, err
+		}
+		c := Conjunct{Expr: cj, Class: ClassResidual, BCol: -1}
+		switch {
+		case rs.OnlySlot(rslot):
+			c.Class = ClassROnly
+		case rs.OnlySlot(bslot):
+			c.Class = ClassBOnly
+		default:
+			if bcol, rside, cube, ok := equiForm(cj, b, bslot, rslot); ok {
+				if cube {
+					c.Class = ClassCubeEqui
+				} else {
+					c.Class = ClassEqui
+				}
+				c.BCol = bcol
+				c.RSide = rside
+			}
+		}
+		ta.Conjuncts = append(ta.Conjuncts, c)
+		switch c.Class {
+		case ClassEqui, ClassCubeEqui:
+			ta.EquiBCols = append(ta.EquiBCols, c.BCol)
+			ta.EquiRSides = append(ta.EquiRSides, c.RSide)
+			ta.EquiIsCube = append(ta.EquiIsCube, c.Class == ClassCubeEqui)
+		case ClassROnly:
+			ta.ROnly = append(ta.ROnly, c.Expr)
+		case ClassBOnly:
+			ta.BOnly = append(ta.BOnly, c.Expr)
+		default:
+			ta.Residual = append(ta.Residual, c.Expr)
+		}
+	}
+	return ta, nil
+}
+
+// equiForm recognizes conjuncts of the shape "B.col = e(R)" or
+// "e(R) = B.col" (also with cube equality =^) where the non-column side
+// references only rslot. It additionally solves simple linear forms —
+// "B.col ± k = e(R)" rewrites to "B.col = e(R) ∓ k" — so window θs like
+// the paper's Example 2.5 ("X.month = month - 1", i.e. R.month = B.month -
+// 1 ⇔ B.month = R.month + 1) still hit the Section 4.5 index.
+func equiForm(e Expr, b *Binding, bslot, rslot int) (bcol int, rside Expr, cube, ok bool) {
+	bin, isBin := e.(*Binary)
+	if !isBin || (bin.Op != OpEq && bin.Op != OpCubeEq) {
+		return 0, nil, false, false
+	}
+	try := func(colSide, otherSide Expr) (int, Expr, bool) {
+		col, adjust, isLinear := solveLinearBCol(colSide)
+		if !isLinear {
+			return 0, nil, false
+		}
+		slot, ord, err := b.resolve(col)
+		if err != nil || slot != bslot {
+			return 0, nil, false
+		}
+		rs, err := Refs(otherSide, b)
+		if err != nil || !rs.OnlySlot(rslot) {
+			return 0, nil, false
+		}
+		return ord, adjust(otherSide), true
+	}
+	if ord, rs, ok := try(bin.L, bin.R); ok {
+		return ord, rs, bin.Op == OpCubeEq, true
+	}
+	if ord, rs, ok := try(bin.R, bin.L); ok {
+		return ord, rs, bin.Op == OpCubeEq, true
+	}
+	return 0, nil, false, false
+}
+
+// solveLinearBCol matches a bare column or "col ± literal" and returns the
+// column plus a function that applies the inverse offset to the other side
+// of the equality.
+func solveLinearBCol(e Expr) (*Col, func(Expr) Expr, bool) {
+	if c, ok := e.(*Col); ok {
+		return c, func(o Expr) Expr { return o }, true
+	}
+	bin, ok := e.(*Binary)
+	if !ok || (bin.Op != OpAdd && bin.Op != OpSub) {
+		return nil, nil, false
+	}
+	// col + k  /  col - k
+	if c, ok := bin.L.(*Col); ok {
+		if lit, ok := bin.R.(*Lit); ok {
+			if bin.Op == OpAdd {
+				return c, func(o Expr) Expr { return &Binary{Op: OpSub, L: o, R: lit} }, true
+			}
+			return c, func(o Expr) Expr { return &Binary{Op: OpAdd, L: o, R: lit} }, true
+		}
+	}
+	// k + col (k - col flips sign; skip it — rare and easy to get wrong)
+	if lit, ok := bin.L.(*Lit); ok && bin.Op == OpAdd {
+		if c, ok := bin.R.(*Col); ok {
+			return c, func(o Expr) Expr { return &Binary{Op: OpSub, L: o, R: lit} }, true
+		}
+	}
+	return nil, nil, false
+}
+
+// SubstituteCols returns a copy of e with column references rewritten
+// through the given mapping (matched by qualifier+name, case-insensitive).
+// It implements the attribute renaming of Observation 4.1: a range
+// predicate on B's attributes S is pushed to R by replacing each S column
+// with the R-side expression it is equated to in θ.
+func SubstituteCols(e Expr, mapping map[string]Expr) Expr {
+	switch n := e.(type) {
+	case *Col:
+		if rep, ok := mapping[strings.ToLower(n.String())]; ok {
+			return rep
+		}
+		if rep, ok := mapping[strings.ToLower(n.Name)]; ok {
+			return rep
+		}
+		return n
+	case *Lit:
+		return n
+	case *Unary:
+		return &Unary{Op: n.Op, X: SubstituteCols(n.X, mapping)}
+	case *Binary:
+		return &Binary{Op: n.Op, L: SubstituteCols(n.L, mapping), R: SubstituteCols(n.R, mapping)}
+	case *Call:
+		if n.Arg == nil {
+			return n
+		}
+		return &Call{Fn: n.Fn, Arg: SubstituteCols(n.Arg, mapping), Star: n.Star}
+	default:
+		return e
+	}
+}
+
+// SubstituteCalls returns a copy of e with every aggregate Call node
+// replaced by f's result — how internal/sqlext rewrites avg(X.sale) into a
+// reference to the column the X grouping variable's MD-join generates.
+func SubstituteCalls(e Expr, f func(*Call) Expr) Expr {
+	switch n := e.(type) {
+	case *Call:
+		return f(n)
+	case *Unary:
+		return &Unary{Op: n.Op, X: SubstituteCalls(n.X, f)}
+	case *Binary:
+		return &Binary{Op: n.Op, L: SubstituteCalls(n.L, f), R: SubstituteCalls(n.R, f)}
+	default:
+		return e
+	}
+}
+
+// CallsOf returns every aggregate Call node in e, in first-seen order.
+func CallsOf(e Expr) []*Call {
+	if e == nil {
+		return nil
+	}
+	var out []*Call
+	e.walk(func(n Expr) {
+		if c, ok := n.(*Call); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// ColumnsOf returns the distinct column references in e, in first-seen
+// order; used by optimizer dependency analysis (Theorem 4.3) to detect
+// whether a θ mentions aggregate columns generated by an earlier MD-join.
+func ColumnsOf(e Expr) []*Col {
+	if e == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []*Col
+	e.walk(func(n Expr) {
+		if c, ok := n.(*Col); ok {
+			key := strings.ToLower(c.String())
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, c)
+			}
+		}
+	})
+	return out
+}
+
+// EvalConst evaluates an expression that references no columns; it returns
+// (value, true) on success and (NULL, false) if the expression has column
+// references.
+func EvalConst(e Expr) (table.Value, bool) {
+	b := NewBinding()
+	c, err := Compile(e, b)
+	if err != nil {
+		return table.Null(), false
+	}
+	return c.Eval(nil), true
+}

@@ -1,0 +1,500 @@
+// Package expr implements the scalar expression language used by every
+// operator in the repository: θ-conditions of MD-joins (which reference two
+// relations, the base-values table B and the detail table R), selection
+// predicates, and computed columns.
+//
+// Expressions are built as an untyped AST (either programmatically or by
+// internal/sqlext's parser), then bound against one or more relation
+// schemas, producing ordinal-resolved evaluators. Comparison and boolean
+// operators follow SQL three-valued logic; the data-cube 'ALL' marker
+// compares equal only to itself (it is an ordinary distinguished constant
+// in base-values tables, per Gray et al.).
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mdjoin/internal/table"
+)
+
+// Op enumerates expression operators.
+type Op uint8
+
+// Operators. Comparisons use SQL three-valued logic; arithmetic on NULL
+// yields NULL.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+	OpNeg
+	OpIsNull
+	OpIsNotNull
+	// OpCubeEq is cube equality: it treats the data-cube 'ALL' marker as
+	// matching any value (ALL ≐ x is true for every x), while NULL matches
+	// only NULL. It is the equality under which a cube-structured
+	// base-values table relates to detail tuples — the row (ALL, 3, 'NY')
+	// of Figure 1 aggregates every product's sales for month 3 in NY.
+	OpCubeEq
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpNot: "NOT", OpNeg: "-",
+	OpIsNull: "IS NULL", OpIsNotNull: "IS NOT NULL",
+	OpCubeEq: "=^",
+}
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string { return opNames[o] }
+
+// IsComparison reports whether the operator is a binary comparison.
+func (o Op) IsComparison() bool { return o >= OpEq && o <= OpGe }
+
+// Expr is a node of the untyped expression AST.
+type Expr interface {
+	String() string
+	// walk invokes f on this node and all descendants.
+	walk(f func(Expr))
+}
+
+// Col references a column, optionally qualified by a relation name
+// ("Sales.cust") or by the conventional qualifiers "B"/"R". An unqualified
+// column resolves against the binding's relations in order — for MD-join θs
+// the base-values relation is bound first, matching the paper's convention
+// that in "Sales.cust = cust" the bare "cust" denotes a B attribute.
+type Col struct {
+	Qual string
+	Name string
+}
+
+func (c *Col) String() string {
+	if c.Qual != "" {
+		return c.Qual + "." + c.Name
+	}
+	return c.Name
+}
+func (c *Col) walk(f func(Expr)) { f(c) }
+
+// Lit is a literal value.
+type Lit struct{ Val table.Value }
+
+func (l *Lit) String() string    { return l.Val.String() }
+func (l *Lit) walk(f func(Expr)) { f(l) }
+
+// Unary applies OpNot, OpNeg, OpIsNull or OpIsNotNull.
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+func (u *Unary) String() string {
+	if u.Op == OpIsNull || u.Op == OpIsNotNull {
+		return fmt.Sprintf("(%s %s)", u.X, u.Op)
+	}
+	return fmt.Sprintf("(%s %s)", u.Op, u.X)
+}
+func (u *Unary) walk(f func(Expr)) { f(u); u.X.walk(f) }
+
+// Binary applies a binary arithmetic, comparison, or boolean operator.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+func (b *Binary) String() string    { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+func (b *Binary) walk(f func(Expr)) { f(b); b.L.walk(f); b.R.walk(f) }
+
+// Call is an aggregate-function call as it appears in the EMF-SQL/analyze-by
+// dialect (count(Z.*), avg(X.sale)). Calls cannot be evaluated directly —
+// internal/sqlext's translator replaces each one with a reference to the
+// column the corresponding MD-join phase generates. Compile rejects any
+// Call that survives translation.
+type Call struct {
+	Fn   string
+	Arg  Expr // nil for f(*)
+	Star bool
+}
+
+func (c *Call) String() string {
+	if c.Star || c.Arg == nil {
+		return c.Fn + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, c.Arg)
+}
+func (c *Call) walk(f func(Expr)) {
+	f(c)
+	if c.Arg != nil {
+		c.Arg.walk(f)
+	}
+}
+
+// Convenience constructors keep plan-building code readable.
+
+// C returns an unqualified column reference.
+func C(name string) Expr { return &Col{Name: name} }
+
+// QC returns a qualified column reference.
+func QC(qual, name string) Expr { return &Col{Qual: qual, Name: name} }
+
+// I returns an integer literal.
+func I(v int64) Expr { return &Lit{Val: table.Int(v)} }
+
+// F returns a float literal.
+func F(v float64) Expr { return &Lit{Val: table.Float(v)} }
+
+// S returns a string literal.
+func S(v string) Expr { return &Lit{Val: table.Str(v)} }
+
+// V returns a literal from an arbitrary value.
+func V(v table.Value) Expr { return &Lit{Val: v} }
+
+// Eq, Ne, Lt, Le, Gt, Ge build comparisons.
+func Eq(l, r Expr) Expr { return &Binary{Op: OpEq, L: l, R: r} }
+
+// CubeEq builds a cube-equality comparison (ALL matches anything).
+func CubeEq(l, r Expr) Expr { return &Binary{Op: OpCubeEq, L: l, R: r} }
+func Ne(l, r Expr) Expr     { return &Binary{Op: OpNe, L: l, R: r} }
+func Lt(l, r Expr) Expr     { return &Binary{Op: OpLt, L: l, R: r} }
+func Le(l, r Expr) Expr     { return &Binary{Op: OpLe, L: l, R: r} }
+func Gt(l, r Expr) Expr     { return &Binary{Op: OpGt, L: l, R: r} }
+func Ge(l, r Expr) Expr     { return &Binary{Op: OpGe, L: l, R: r} }
+
+// Add, Sub, Mul, Div build arithmetic.
+func Add(l, r Expr) Expr { return &Binary{Op: OpAdd, L: l, R: r} }
+func Sub(l, r Expr) Expr { return &Binary{Op: OpSub, L: l, R: r} }
+func Mul(l, r Expr) Expr { return &Binary{Op: OpMul, L: l, R: r} }
+func Div(l, r Expr) Expr { return &Binary{Op: OpDiv, L: l, R: r} }
+
+// Not negates a predicate.
+func Not(x Expr) Expr { return &Unary{Op: OpNot, X: x} }
+
+// And conjoins predicates; And() returns nil and And(p) returns p, so
+// callers can fold conjunct slices without special cases.
+func And(ps ...Expr) Expr {
+	var out Expr
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = &Binary{Op: OpAnd, L: out, R: p}
+		}
+	}
+	return out
+}
+
+// Or disjoins predicates, with the same nil-folding behaviour as And.
+func Or(ps ...Expr) Expr {
+	var out Expr
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = &Binary{Op: OpOr, L: out, R: p}
+		}
+	}
+	return out
+}
+
+// Binding associates relation qualifiers with schemas and frame slots. An
+// expression bound against a Binding evaluates over a frame of rows, one
+// per slot.
+type Binding struct {
+	rels []boundRel
+}
+
+type boundRel struct {
+	qual   string
+	schema *table.Schema
+}
+
+// NewBinding creates a binding; qualifiers are matched case-insensitively.
+// Slot order is the order of AddRel calls.
+func NewBinding() *Binding { return &Binding{} }
+
+// AddRel registers a relation under one or more qualifiers (e.g. both the
+// table's real name and the conventional "R"). It returns the slot index.
+func (b *Binding) AddRel(schema *table.Schema, quals ...string) int {
+	b.rels = append(b.rels, boundRel{qual: strings.ToLower(strings.Join(quals, "\x00")), schema: schema})
+	return len(b.rels) - 1
+}
+
+// resolve finds (slot, ordinal) for a column reference.
+func (b *Binding) resolve(c *Col) (int, int, error) {
+	q := strings.ToLower(c.Qual)
+	if q != "" {
+		for slot, r := range b.rels {
+			for _, alias := range strings.Split(r.qual, "\x00") {
+				if alias == q {
+					if ord := r.schema.ColIndex(c.Name); ord >= 0 {
+						return slot, ord, nil
+					}
+					return 0, 0, fmt.Errorf("expr: relation %q has no column %q", c.Qual, c.Name)
+				}
+			}
+		}
+		return 0, 0, fmt.Errorf("expr: unknown relation qualifier %q", c.Qual)
+	}
+	for slot, r := range b.rels {
+		if ord := r.schema.ColIndex(c.Name); ord >= 0 {
+			return slot, ord, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("expr: unresolved column %q", c.Name)
+}
+
+// Compiled is an expression bound to a Binding, ready to evaluate against a
+// frame of rows (frame[slot] is the current row of the slot's relation).
+type Compiled struct {
+	eval func(frame []table.Row) table.Value
+	src  Expr
+}
+
+// Compile binds an expression against the binding. Column references are
+// resolved to (slot, ordinal) pairs once; evaluation is allocation-free.
+func Compile(e Expr, b *Binding) (*Compiled, error) {
+	ev, err := compile(e, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{eval: ev, src: e}, nil
+}
+
+// MustCompile is Compile that panics; for statically known-good plans.
+func MustCompile(e Expr, b *Binding) *Compiled {
+	c, err := Compile(e, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval evaluates the expression over the frame.
+func (c *Compiled) Eval(frame []table.Row) table.Value { return c.eval(frame) }
+
+// Truth evaluates the expression as a predicate: the result is true only if
+// evaluation yields boolean true (NULL and non-boolean results are false),
+// implementing SQL's WHERE semantics.
+func (c *Compiled) Truth(frame []table.Row) bool {
+	v := c.eval(frame)
+	return v.Kind() == table.KindBool && v.AsBool()
+}
+
+// Source returns the AST the evaluator was compiled from.
+func (c *Compiled) Source() Expr { return c.src }
+
+func compile(e Expr, b *Binding) (func([]table.Row) table.Value, error) {
+	switch n := e.(type) {
+	case *Lit:
+		v := n.Val
+		return func([]table.Row) table.Value { return v }, nil
+	case *Col:
+		slot, ord, err := b.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return func(frame []table.Row) table.Value { return frame[slot][ord] }, nil
+	case *Unary:
+		x, err := compile(n.X, b)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(frame []table.Row) table.Value {
+			v := x(frame)
+			switch op {
+			case OpNot:
+				if v.IsNull() {
+					return table.Null()
+				}
+				if v.Kind() != table.KindBool {
+					return table.Null()
+				}
+				return table.Bool(!v.AsBool())
+			case OpNeg:
+				switch v.Kind() {
+				case table.KindInt:
+					return table.Int(-v.AsInt())
+				case table.KindFloat:
+					return table.Float(-v.AsFloat())
+				default:
+					return table.Null()
+				}
+			case OpIsNull:
+				return table.Bool(v.IsNull())
+			case OpIsNotNull:
+				return table.Bool(!v.IsNull())
+			}
+			return table.Null()
+		}, nil
+	case *Binary:
+		l, err := compile(n.L, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(n.R, b)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(frame []table.Row) table.Value {
+			return applyBinary(op, l(frame), r(frame))
+		}, nil
+	case *Call:
+		return nil, fmt.Errorf("expr: aggregate call %s cannot be evaluated here (it must be translated to a generated column)", n)
+	default:
+		return nil, fmt.Errorf("expr: cannot compile %T", e)
+	}
+}
+
+// applyBinary implements the binary operator semantics shared by the
+// compiled evaluator and constant folding.
+func applyBinary(op Op, a, c table.Value) table.Value {
+	switch op {
+	case OpAnd:
+		// Kleene AND: false dominates NULL.
+		af, at := truthState(a)
+		cf, ct := truthState(c)
+		switch {
+		case af || cf:
+			return table.Bool(false)
+		case at && ct:
+			return table.Bool(true)
+		default:
+			return table.Null()
+		}
+	case OpOr:
+		af, at := truthState(a)
+		cf, ct := truthState(c)
+		switch {
+		case at || ct:
+			return table.Bool(true)
+		case af && cf:
+			return table.Bool(false)
+		default:
+			return table.Null()
+		}
+	}
+
+	if op == OpCubeEq {
+		// Cube equality: ALL matches anything; NULL matches only NULL
+		// (grouping semantics, so rollups over NULL dimension values
+		// group correctly).
+		switch {
+		case a.IsAll() || c.IsAll():
+			return table.Bool(true)
+		case a.IsNull() && c.IsNull():
+			return table.Bool(true)
+		case a.IsNull() || c.IsNull():
+			return table.Bool(false)
+		default:
+			return table.Bool(a.Equal(c))
+		}
+	}
+
+	if a.IsNull() || c.IsNull() {
+		return table.Null()
+	}
+
+	if op.IsComparison() {
+		// ALL is a distinguished constant: equal only to itself, and
+		// unordered relative to real values under <, <=, >, >=.
+		if a.IsAll() || c.IsAll() {
+			switch op {
+			case OpEq:
+				return table.Bool(a.IsAll() && c.IsAll())
+			case OpNe:
+				return table.Bool(!(a.IsAll() && c.IsAll()))
+			default:
+				return table.Bool(false)
+			}
+		}
+		cmp := a.Compare(c)
+		eq := a.Equal(c)
+		switch op {
+		case OpEq:
+			return table.Bool(eq)
+		case OpNe:
+			return table.Bool(!eq)
+		case OpLt:
+			return table.Bool(cmp < 0)
+		case OpLe:
+			return table.Bool(cmp <= 0)
+		case OpGt:
+			return table.Bool(cmp > 0)
+		case OpGe:
+			return table.Bool(cmp >= 0)
+		}
+	}
+
+	// Arithmetic: ints stay ints except division, which widens.
+	if !a.IsNumeric() || !c.IsNumeric() {
+		return table.Null()
+	}
+	if a.Kind() == table.KindInt && c.Kind() == table.KindInt && op != OpDiv {
+		x, y := a.AsInt(), c.AsInt()
+		switch op {
+		case OpAdd:
+			return table.Int(x + y)
+		case OpSub:
+			return table.Int(x - y)
+		case OpMul:
+			return table.Int(x * y)
+		case OpMod:
+			if y == 0 {
+				return table.Null()
+			}
+			return table.Int(x % y)
+		}
+	}
+	x, y := a.AsFloat(), c.AsFloat()
+	switch op {
+	case OpAdd:
+		return table.Float(x + y)
+	case OpSub:
+		return table.Float(x - y)
+	case OpMul:
+		return table.Float(x * y)
+	case OpDiv:
+		if y == 0 {
+			return table.Null()
+		}
+		return table.Float(x / y)
+	case OpMod:
+		if y == 0 {
+			return table.Null()
+		}
+		return table.Float(math.Mod(x, y))
+	}
+	return table.Null()
+}
+
+// truthState classifies a value for Kleene logic: (isFalse, isTrue).
+func truthState(v table.Value) (isFalse, isTrue bool) {
+	if v.Kind() == table.KindBool {
+		if v.AsBool() {
+			return false, true
+		}
+		return true, false
+	}
+	return false, false // NULL / non-bool: unknown
+}

@@ -1,0 +1,370 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mdjoin/internal/table"
+)
+
+// evalOne compiles and evaluates an expression against a single-relation
+// frame.
+func evalOne(t *testing.T, e Expr, schema *table.Schema, row table.Row) table.Value {
+	t.Helper()
+	b := NewBinding()
+	b.AddRel(schema, "r")
+	c, err := Compile(e, b)
+	if err != nil {
+		t.Fatalf("compiling %s: %v", e, err)
+	}
+	return c.Eval([]table.Row{row})
+}
+
+func TestArithmetic(t *testing.T) {
+	schema := table.SchemaOf("x", "y")
+	row := table.Row{table.Int(7), table.Float(2)}
+	cases := []struct {
+		e    Expr
+		want table.Value
+	}{
+		{Add(C("x"), I(3)), table.Int(10)},
+		{Sub(C("x"), I(3)), table.Int(4)},
+		{Mul(C("x"), I(2)), table.Int(14)},
+		{Div(C("x"), C("y")), table.Float(3.5)},
+		{Div(I(1), I(0)), table.Null()}, // division by zero is NULL
+		{Add(C("x"), C("y")), table.Float(9)},
+		{&Binary{Op: OpMod, L: I(7), R: I(3)}, table.Int(1)},
+		{&Binary{Op: OpMod, L: I(7), R: I(0)}, table.Null()},
+		{&Unary{Op: OpNeg, X: C("x")}, table.Int(-7)},
+		{Add(C("x"), V(table.Null())), table.Null()}, // NULL propagates
+		{Add(S("a"), I(1)), table.Null()},            // non-numeric arithmetic
+	}
+	for _, c := range cases {
+		got := evalOne(t, c.e, schema, row)
+		if !got.Equal(c.want) || got.IsNull() != c.want.IsNull() {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	schema := table.SchemaOf("x")
+	row := table.Row{table.Int(5)}
+	cases := []struct {
+		e    Expr
+		want table.Value
+	}{
+		{Eq(C("x"), I(5)), table.Bool(true)},
+		{Ne(C("x"), I(5)), table.Bool(false)},
+		{Lt(C("x"), I(6)), table.Bool(true)},
+		{Le(C("x"), I(5)), table.Bool(true)},
+		{Gt(C("x"), I(5)), table.Bool(false)},
+		{Ge(C("x"), I(5)), table.Bool(true)},
+		{Eq(C("x"), F(5)), table.Bool(true)}, // cross-kind numeric
+		{Eq(S("a"), S("b")), table.Bool(false)},
+		{Lt(S("a"), S("b")), table.Bool(true)},
+		{Eq(C("x"), V(table.Null())), table.Null()}, // NULL comparison is NULL
+		{Lt(V(table.Null()), I(1)), table.Null()},
+	}
+	for _, c := range cases {
+		got := evalOne(t, c.e, schema, row)
+		if got.Kind() != c.want.Kind() || (got.Kind() == table.KindBool && got.AsBool() != c.want.AsBool()) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCubeEquality(t *testing.T) {
+	schema := table.SchemaOf("d")
+	cases := []struct {
+		l, r table.Value
+		want bool
+	}{
+		{table.All(), table.Int(5), true}, // ALL matches anything
+		{table.Int(5), table.All(), true},
+		{table.All(), table.All(), true},
+		{table.Int(5), table.Int(5), true},
+		{table.Int(5), table.Int(6), false},
+		{table.Null(), table.Null(), true}, // grouping semantics
+		{table.Null(), table.Int(5), false},
+		{table.All(), table.Null(), true}, // ALL really matches anything
+	}
+	for _, c := range cases {
+		got := evalOne(t, CubeEq(V(c.l), V(c.r)), schema, table.Row{table.Int(0)})
+		if got.Kind() != table.KindBool || got.AsBool() != c.want {
+			t.Errorf("CubeEq(%v, %v) = %v, want %v", c.l, c.r, got, c.want)
+		}
+	}
+}
+
+func TestKleeneLogic(t *testing.T) {
+	T, F, N := V(table.Bool(true)), V(table.Bool(false)), V(table.Null())
+	schema := table.SchemaOf("x")
+	row := table.Row{table.Int(0)}
+	cases := []struct {
+		e    Expr
+		want table.Value
+	}{
+		{And(T, T), table.Bool(true)},
+		{And(T, F), table.Bool(false)},
+		{And(F, N), table.Bool(false)}, // false dominates unknown
+		{And(N, F), table.Bool(false)},
+		{And(T, N), table.Null()},
+		{Or(F, F), table.Bool(false)},
+		{Or(T, N), table.Bool(true)}, // true dominates unknown
+		{Or(N, T), table.Bool(true)},
+		{Or(F, N), table.Null()},
+		{Not(T), table.Bool(false)},
+		{Not(N), table.Null()},
+	}
+	for _, c := range cases {
+		got := evalOne(t, c.e, schema, row)
+		if got.Kind() != c.want.Kind() || (got.Kind() == table.KindBool && got.AsBool() != c.want.AsBool()) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	schema := table.SchemaOf("x")
+	got := evalOne(t, &Unary{Op: OpIsNull, X: V(table.Null())}, schema, table.Row{table.Int(0)})
+	if !got.AsBool() {
+		t.Error("NULL IS NULL should be true")
+	}
+	got = evalOne(t, &Unary{Op: OpIsNotNull, X: I(1)}, schema, table.Row{table.Int(0)})
+	if !got.AsBool() {
+		t.Error("1 IS NOT NULL should be true")
+	}
+}
+
+func TestTruthSemantics(t *testing.T) {
+	// WHERE semantics: only boolean true passes.
+	b := NewBinding()
+	b.AddRel(table.SchemaOf("x"), "r")
+	for _, c := range []struct {
+		e    Expr
+		want bool
+	}{
+		{V(table.Bool(true)), true},
+		{V(table.Bool(false)), false},
+		{V(table.Null()), false},
+		{I(1), false}, // non-boolean is not true
+	} {
+		cm := MustCompile(c.e, b)
+		if got := cm.Truth([]table.Row{{table.Int(0)}}); got != c.want {
+			t.Errorf("Truth(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestBindingResolution(t *testing.T) {
+	b := NewBinding()
+	b.AddRel(table.SchemaOf("cust", "month"), "b", "base")
+	b.AddRel(table.SchemaOf("cust", "sale"), "r", "sales")
+
+	// Unqualified resolves in slot order (base first).
+	c, err := Compile(Eq(C("cust"), QC("r", "cust")), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []table.Row{
+		{table.Str("alice"), table.Int(1)},
+		{table.Str("bob"), table.Float(10)},
+	}
+	if c.Truth(frame) {
+		t.Error("base.cust (alice) should not equal r.cust (bob)")
+	}
+
+	// Qualifier aliases both work.
+	if _, err := Compile(QC("sales", "sale"), b); err != nil {
+		t.Errorf("alias resolution failed: %v", err)
+	}
+	if _, err := Compile(QC("nope", "sale"), b); err == nil {
+		t.Error("unknown qualifier should error")
+	}
+	if _, err := Compile(QC("r", "nope"), b); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := Compile(C("nope"), b); err == nil {
+		t.Error("unresolvable bare column should error")
+	}
+}
+
+func TestAndOrFolding(t *testing.T) {
+	if And() != nil {
+		t.Error("And() should be nil")
+	}
+	p := Eq(C("x"), I(1))
+	if And(p) != p {
+		t.Error("And(p) should be p")
+	}
+	if And(nil, p, nil) != p {
+		t.Error("And should skip nils")
+	}
+	if Or() != nil || Or(p) != p {
+		t.Error("Or folding")
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	a, b, c := Eq(C("x"), I(1)), Eq(C("y"), I(2)), Eq(C("z"), I(3))
+	cj := SplitConjuncts(And(a, b, c))
+	if len(cj) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(cj))
+	}
+	if len(SplitConjuncts(nil)) != 0 {
+		t.Error("nil predicate has no conjuncts")
+	}
+	// OR is not split.
+	if len(SplitConjuncts(Or(a, b))) != 1 {
+		t.Error("Or must remain one conjunct")
+	}
+}
+
+func TestAnalyzeThetaClassification(t *testing.T) {
+	bind := NewBinding()
+	bslot := bind.AddRel(table.SchemaOf("cust", "month", "avg_sale"), "b")
+	rslot := bind.AddRel(table.SchemaOf("cust", "month", "state", "sale"), "r")
+
+	theta := And(
+		Eq(QC("r", "cust"), C("cust")),              // equi
+		Eq(QC("r", "month"), Sub(C("month"), I(1))), // NOT equi (B side is an expression... see below)
+		Eq(QC("r", "state"), S("NY")),               // r-only
+		Gt(C("avg_sale"), F(10)),                    // b-only
+		Gt(QC("r", "sale"), C("avg_sale")),          // residual
+	)
+	ta, err := AnalyzeTheta(theta, bind, bslot, rslot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ConjunctClass]int{}
+	for _, c := range ta.Conjuncts {
+		counts[c.Class]++
+	}
+	// month conjunct: B side is month-1 → linear solve makes it equi too.
+	if counts[ClassEqui] != 2 {
+		t.Errorf("equi = %d, want 2 (cust, and linear-solved month)", counts[ClassEqui])
+	}
+	if counts[ClassROnly] != 1 || counts[ClassBOnly] != 1 || counts[ClassResidual] != 1 {
+		t.Errorf("classes = %v", counts)
+	}
+	if len(ta.EquiBCols) != 2 {
+		t.Errorf("EquiBCols = %v", ta.EquiBCols)
+	}
+}
+
+func TestAnalyzeThetaCubeEquality(t *testing.T) {
+	bind := NewBinding()
+	bslot := bind.AddRel(table.SchemaOf("prod"), "b")
+	rslot := bind.AddRel(table.SchemaOf("prod"), "r")
+	ta, err := AnalyzeTheta(CubeEq(QC("r", "prod"), C("prod")), bind, bslot, rslot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.EquiIsCube) != 1 || !ta.EquiIsCube[0] {
+		t.Errorf("cube-equi not detected: %+v", ta)
+	}
+}
+
+func TestLinearSolveProperty(t *testing.T) {
+	// Property: for θ "r.m = b.m - k", the derived RSide evaluated at a
+	// detail row gives exactly the base value that matches.
+	bind := NewBinding()
+	bslot := bind.AddRel(table.SchemaOf("m"), "b")
+	rslot := bind.AddRel(table.SchemaOf("m"), "r")
+	f := func(m, k int64) bool {
+		theta := Eq(QC("r", "m"), Sub(C("m"), V(table.Int(k))))
+		ta, err := AnalyzeTheta(theta, bind, bslot, rslot)
+		if err != nil || len(ta.EquiBCols) != 1 {
+			return false
+		}
+		c, err := Compile(ta.EquiRSides[0], bind)
+		if err != nil {
+			return false
+		}
+		// detail row with r.m = m - k should map back to base m.
+		frame := []table.Row{nil, {table.Int(m - k)}}
+		return c.Eval(frame).AsInt() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstituteCols(t *testing.T) {
+	e := And(Eq(C("month"), I(1)), Gt(QC("b", "month"), I(0)))
+	out := SubstituteCols(e, map[string]Expr{
+		"month":   QC("r", "month"),
+		"b.month": QC("r", "month"),
+	})
+	for _, c := range ColumnsOf(out) {
+		if c.Qual != "r" {
+			t.Errorf("column %s not substituted", c)
+		}
+	}
+}
+
+func TestColumnsOfDedup(t *testing.T) {
+	e := And(Eq(C("x"), C("x")), Eq(C("x"), QC("r", "x")))
+	cols := ColumnsOf(e)
+	if len(cols) != 2 { // "x" and "r.x"
+		t.Errorf("ColumnsOf = %v, want 2 distinct", cols)
+	}
+}
+
+func TestCallsOfAndSubstituteCalls(t *testing.T) {
+	call := &Call{Fn: "avg", Arg: QC("X", "sale")}
+	e := Gt(QC("Z", "sale"), call)
+	calls := CallsOf(e)
+	if len(calls) != 1 || calls[0].Fn != "avg" {
+		t.Fatalf("CallsOf = %v", calls)
+	}
+	out := SubstituteCalls(e, func(c *Call) Expr { return C("avg_x_sale") })
+	if len(CallsOf(out)) != 0 {
+		t.Error("calls should be gone after substitution")
+	}
+	// A surviving Call must fail to compile.
+	b := NewBinding()
+	b.AddRel(table.SchemaOf("sale"), "z")
+	if _, err := Compile(e, b); err == nil {
+		t.Error("compiling a Call should error")
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	v, ok := EvalConst(Add(I(2), Mul(I(3), I(4))))
+	if !ok || v.AsInt() != 14 {
+		t.Errorf("EvalConst = %v, %v", v, ok)
+	}
+	if _, ok := EvalConst(C("x")); ok {
+		t.Error("column reference is not constant")
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	e := And(Eq(QC("Sales", "cust"), C("cust")), Gt(QC("Sales", "sale"), F(1.5)))
+	want := "((Sales.cust = cust) AND (Sales.sale > 1.5))"
+	if e.String() != want {
+		t.Errorf("String = %q, want %q", e.String(), want)
+	}
+}
+
+func TestRefs(t *testing.T) {
+	b := NewBinding()
+	s0 := b.AddRel(table.SchemaOf("a"), "x")
+	s1 := b.AddRel(table.SchemaOf("b"), "y")
+	rs, err := Refs(And(Eq(QC("x", "a"), I(1)), Eq(QC("y", "b"), I(2))), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Slots[s0] || !rs.Slots[s1] {
+		t.Error("both slots should be referenced")
+	}
+	if rs.OnlySlot(s0) {
+		t.Error("OnlySlot must be false when two slots referenced")
+	}
+	rs2, _ := Refs(I(5), b)
+	if !rs2.OnlySlot(s0) || !rs2.OnlySlot(s1) {
+		t.Error("constants reference no slot, OnlySlot is vacuously true")
+	}
+}

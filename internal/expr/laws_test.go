@@ -1,0 +1,178 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/table"
+)
+
+// This file property-tests the logical laws the rewrite rules silently
+// rely on: Kleene three-valued logic obeys De Morgan and double negation,
+// conjunct splitting and re-folding is semantics-preserving, and cube
+// equality is reflexive/symmetric. The checks evaluate randomly generated
+// predicate trees against random rows and compare results cell by cell.
+
+// randValue draws a value including NULL and ALL with some probability.
+func randValue(rng *rand.Rand) table.Value {
+	switch rng.Intn(10) {
+	case 0:
+		return table.Null()
+	case 1:
+		return table.All()
+	case 2:
+		return table.Str([]string{"a", "b", "c"}[rng.Intn(3)])
+	case 3:
+		return table.Float(float64(rng.Intn(5)) / 2)
+	default:
+		return table.Int(int64(rng.Intn(5)))
+	}
+}
+
+// randPredicate builds a random boolean expression over columns c0..c3.
+func randPredicate(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		l := &Col{Name: []string{"c0", "c1", "c2", "c3"}[rng.Intn(4)]}
+		r := Expr(&Col{Name: []string{"c0", "c1", "c2", "c3"}[rng.Intn(4)]})
+		if rng.Intn(2) == 0 {
+			r = V(randValue(rng))
+		}
+		ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpCubeEq}
+		return &Binary{Op: ops[rng.Intn(len(ops))], L: l, R: r}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &Binary{Op: OpAnd, L: randPredicate(rng, depth-1), R: randPredicate(rng, depth-1)}
+	case 1:
+		return &Binary{Op: OpOr, L: randPredicate(rng, depth-1), R: randPredicate(rng, depth-1)}
+	default:
+		return Not(randPredicate(rng, depth-1))
+	}
+}
+
+func evalPred(t *testing.T, e Expr, row table.Row) table.Value {
+	t.Helper()
+	b := NewBinding()
+	b.AddRel(table.SchemaOf("c0", "c1", "c2", "c3"), "r")
+	c, err := Compile(e, b)
+	if err != nil {
+		t.Fatalf("compiling %s: %v", e, err)
+	}
+	return c.Eval([]table.Row{row})
+}
+
+func sameTruth(a, b table.Value) bool {
+	if a.Kind() != table.KindBool || b.Kind() != table.KindBool {
+		return a.IsNull() == b.IsNull() && a.Kind() == b.Kind()
+	}
+	return a.AsBool() == b.AsBool()
+}
+
+func randRow(rng *rand.Rand) table.Row {
+	return table.Row{randValue(rng), randValue(rng), randValue(rng), randValue(rng)}
+}
+
+func TestDeMorganUnderKleene(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		p := randPredicate(rng, 2)
+		q := randPredicate(rng, 2)
+		row := randRow(rng)
+		// ¬(p ∧ q) ≡ ¬p ∨ ¬q
+		lhs := evalPred(t, Not(And(p, q)), row)
+		rhs := evalPred(t, Or(Not(p), Not(q)), row)
+		if !sameTruth(lhs, rhs) {
+			t.Fatalf("De Morgan AND violated: %s over %v: %v vs %v", And(p, q), row, lhs, rhs)
+		}
+		// ¬(p ∨ q) ≡ ¬p ∧ ¬q
+		lhs = evalPred(t, Not(Or(p, q)), row)
+		rhs = evalPred(t, And(Not(p), Not(q)), row)
+		if !sameTruth(lhs, rhs) {
+			t.Fatalf("De Morgan OR violated: %s over %v: %v vs %v", Or(p, q), row, lhs, rhs)
+		}
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 300; trial++ {
+		p := randPredicate(rng, 2)
+		row := randRow(rng)
+		a := evalPred(t, p, row)
+		b := evalPred(t, Not(Not(p)), row)
+		if !sameTruth(a, b) {
+			t.Fatalf("double negation violated for %s over %v: %v vs %v", p, row, a, b)
+		}
+	}
+}
+
+func TestAndOrCommutativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 300; trial++ {
+		p := randPredicate(rng, 2)
+		q := randPredicate(rng, 2)
+		row := randRow(rng)
+		if !sameTruth(evalPred(t, And(p, q), row), evalPred(t, And(q, p), row)) {
+			t.Fatalf("AND not commutative for %s / %s", p, q)
+		}
+		if !sameTruth(evalPred(t, Or(p, q), row), evalPred(t, Or(q, p), row)) {
+			t.Fatalf("OR not commutative for %s / %s", p, q)
+		}
+	}
+}
+
+func TestSplitRefoldPreservesSemantics(t *testing.T) {
+	// The θ analysis machinery splits conjunctions and re-folds subsets;
+	// splitting then And-ing back must not change any evaluation.
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 300; trial++ {
+		var conj []Expr
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			conj = append(conj, randPredicate(rng, 1))
+		}
+		orig := And(conj...)
+		refolded := And(SplitConjuncts(orig)...)
+		row := randRow(rng)
+		if !sameTruth(evalPred(t, orig, row), evalPred(t, refolded, row)) {
+			t.Fatalf("split/refold changed semantics of %s", orig)
+		}
+	}
+}
+
+func TestCubeEqReflexiveSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randValue(rng), randValue(rng)
+		refl := evalPred(t, CubeEq(V(a), V(a)), table.Row{table.Int(0), table.Int(0), table.Int(0), table.Int(0)})
+		if !refl.AsBool() {
+			t.Fatalf("=^ not reflexive for %v", a)
+		}
+		ab := evalPred(t, CubeEq(V(a), V(b)), table.Row{table.Int(0), table.Int(0), table.Int(0), table.Int(0)})
+		ba := evalPred(t, CubeEq(V(b), V(a)), table.Row{table.Int(0), table.Int(0), table.Int(0), table.Int(0)})
+		if ab.AsBool() != ba.AsBool() {
+			t.Fatalf("=^ not symmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func TestComparisonTrichotomyOnRealValues(t *testing.T) {
+	// For non-NULL, non-ALL values exactly one of <, =, > holds.
+	rng := rand.New(rand.NewSource(106))
+	for trial := 0; trial < 300; trial++ {
+		a, b := table.Int(int64(rng.Intn(10))), table.Float(float64(rng.Intn(10)))
+		row := table.Row{table.Int(0), table.Int(0), table.Int(0), table.Int(0)}
+		lt := evalPred(t, Lt(V(a), V(b)), row).AsBool()
+		eq := evalPred(t, Eq(V(a), V(b)), row).AsBool()
+		gt := evalPred(t, Gt(V(a), V(b)), row).AsBool()
+		count := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("trichotomy violated for %v vs %v: lt=%v eq=%v gt=%v", a, b, lt, eq, gt)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package optimizer
+
+// Physical planning: after the algebraic rewrites, decorate MD-join nodes
+// with an execution strategy. This is where Theorem 4.1 becomes a
+// cost-based decision instead of a manual option — exactly how the paper
+// envisions the operator sitting inside a cost-based optimizer (Section
+// 4.1).
+
+// PhysicalConfig describes the executor's resources.
+type PhysicalConfig struct {
+	// MemoryBudgetBytes bounds each MD-join's resident working set; 0
+	// means unbounded (single pass).
+	MemoryBudgetBytes int
+	// Workers enables intra-operator parallelism when > 1. Detail
+	// partitioning is chosen (its single-pass total work is independent
+	// of the worker count) unless a phase's aggregates cannot merge, in
+	// which case base partitioning applies.
+	Workers int
+}
+
+// ApplyNaive returns a copy of the plan with every MD-join node forced to
+// the verbatim Algorithm 3.1 nested loop (no index, no pushdown, no
+// partitioning). Together with skipping Optimize, this yields the
+// slowest, most literal execution — the reference the randomized
+// equivalence tests compare the optimized pipeline against.
+func ApplyNaive(p Plan) Plan {
+	var rec func(Plan) Plan
+	rec = func(n Plan) Plan {
+		n = rewriteChildren(n, rec)
+		m, ok := n.(*MDJoin)
+		if !ok {
+			return n
+		}
+		opt := m.Opt
+		opt.DisableIndex = true
+		opt.DisablePushdown = true
+		opt.MaxBaseRows = 0
+		opt.MemoryBudgetBytes = 0
+		opt.Parallelism = 0
+		opt.DetailParallelism = 0
+		return &MDJoin{Base: m.Base, Detail: m.Detail, DetailName: m.DetailName, Phases: m.Phases, Opt: opt}
+	}
+	return rec(p)
+}
+
+// ApplyPhysical returns a copy of the plan with every MD-join node
+// configured for the given resources. It is idempotent.
+func ApplyPhysical(p Plan, cfg PhysicalConfig) Plan {
+	var rec func(Plan) Plan
+	rec = func(n Plan) Plan {
+		n = rewriteChildren(n, rec)
+		m, ok := n.(*MDJoin)
+		if !ok {
+			return n
+		}
+		opt := m.Opt
+		if cfg.MemoryBudgetBytes > 0 {
+			opt.MemoryBudgetBytes = cfg.MemoryBudgetBytes
+		}
+		if cfg.Workers > 1 && opt.MaxBaseRows == 0 && opt.MemoryBudgetBytes == 0 {
+			// Parallelism and Theorem 4.1 partitioning both multiply
+			// scans; prefer bounded memory when both are requested.
+			opt.DetailParallelism = cfg.Workers
+		}
+		return &MDJoin{Base: m.Base, Detail: m.Detail, DetailName: m.DetailName, Phases: m.Phases, Opt: opt}
+	}
+	return rec(p)
+}

@@ -1,0 +1,51 @@
+package optimizer
+
+import (
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+)
+
+func TestApplyPhysicalSetsOptions(t *testing.T) {
+	plan := mdNode(
+		expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+		[]agg.Spec{agg.NewSpec("count", nil, "n")},
+	)
+	out := ApplyPhysical(plan, PhysicalConfig{Workers: 4})
+	m := out.(*MDJoin)
+	if m.Opt.DetailParallelism != 4 {
+		t.Errorf("workers not applied: %+v", m.Opt)
+	}
+
+	out2 := ApplyPhysical(plan, PhysicalConfig{MemoryBudgetBytes: 1 << 20, Workers: 4})
+	m2 := out2.(*MDJoin)
+	if m2.Opt.MemoryBudgetBytes != 1<<20 {
+		t.Errorf("budget not applied: %+v", m2.Opt)
+	}
+	if m2.Opt.DetailParallelism != 0 {
+		t.Errorf("budget must win over parallelism: %+v", m2.Opt)
+	}
+
+	// The original plan is untouched.
+	if plan.Opt.DetailParallelism != 0 || plan.Opt.MemoryBudgetBytes != 0 {
+		t.Errorf("ApplyPhysical mutated its input")
+	}
+}
+
+func TestApplyPhysicalExecutesCorrectly(t *testing.T) {
+	cat := testCatalog(9, 400)
+	plan := mdNode(
+		expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+		[]agg.Spec{agg.NewSpec("sum", expr.QC("Sales", "sale"), "total")},
+	)
+	want := mustExec(t, plan, cat)
+	got := mustExec(t, ApplyPhysical(plan, PhysicalConfig{Workers: 3}), cat)
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("physical decoration changed the result: %s", d)
+	}
+	got2 := mustExec(t, ApplyPhysical(plan, PhysicalConfig{MemoryBudgetBytes: 1024}), cat)
+	if d := want.Diff(got2); d != "" {
+		t.Fatalf("budgeted execution changed the result: %s", d)
+	}
+}

@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func TestCatalogLookup(t *testing.T) {
+	tt := table.New(table.SchemaOf("a"))
+	cat := Catalog{"Sales": tt}
+	if got, err := cat.Lookup("sales"); err != nil || got != tt {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := cat.Lookup("nope"); err == nil {
+		t.Error("unknown relation should error")
+	}
+}
+
+func TestScanAndLiteral(t *testing.T) {
+	tt := table.MustFromRows(table.SchemaOf("a"), []table.Row{{table.Int(1)}})
+	cat := Catalog{"T": tt}
+	out := mustExec(t, &Scan{Name: "T"}, cat)
+	if out.Len() != 1 {
+		t.Error("scan")
+	}
+	out = mustExec(t, &Literal{Table: tt, Label: "lit"}, cat)
+	if out.Len() != 1 {
+		t.Error("literal")
+	}
+	if _, err := (&Scan{Name: "missing"}).Execute(cat); err == nil {
+		t.Error("missing scan should error")
+	}
+}
+
+func TestSortNode(t *testing.T) {
+	tt := table.MustFromRows(table.SchemaOf("a", "b"), []table.Row{
+		{table.Int(2), table.Str("x")},
+		{table.Int(1), table.Str("z")},
+		{table.Int(1), table.Str("y")},
+	})
+	cat := Catalog{"T": tt}
+	out := mustExec(t, &Sort{
+		Input: &Scan{Name: "T"},
+		Keys:  []SortKey{{Expr: expr.C("a")}, {Expr: expr.C("b"), Desc: true}},
+	}, cat)
+	want := []string{"z", "y", "x"}
+	for i, w := range want {
+		if out.Rows[i][1].AsString() != w {
+			t.Fatalf("row %d = %v, want b=%s", i, out.Rows[i], w)
+		}
+	}
+	// Input left untouched.
+	if tt.Rows[0][0].AsInt() != 2 {
+		t.Error("Sort must not mutate its input")
+	}
+}
+
+func TestLimitNode(t *testing.T) {
+	tt := table.MustFromRows(table.SchemaOf("a"), []table.Row{
+		{table.Int(1)}, {table.Int(2)}, {table.Int(3)},
+	})
+	cat := Catalog{"T": tt}
+	out := mustExec(t, &Limit{Input: &Scan{Name: "T"}, N: 2}, cat)
+	if out.Len() != 2 {
+		t.Errorf("limit 2 → %d rows", out.Len())
+	}
+	out = mustExec(t, &Limit{Input: &Scan{Name: "T"}, N: 10}, cat)
+	if out.Len() != 3 {
+		t.Errorf("limit beyond size → %d rows", out.Len())
+	}
+}
+
+func TestUnionNode(t *testing.T) {
+	tt := table.MustFromRows(table.SchemaOf("a"), []table.Row{{table.Int(1)}})
+	cat := Catalog{"T": tt}
+	out := mustExec(t, &Union{Inputs: []Plan{&Scan{Name: "T"}, &Scan{Name: "T"}}}, cat)
+	if out.Len() != 2 {
+		t.Errorf("union all → %d rows", out.Len())
+	}
+}
+
+func TestBaseValuesOps(t *testing.T) {
+	tt := table.MustFromRows(table.SchemaOf("a", "b"), []table.Row{
+		{table.Int(1), table.Int(10)},
+		{table.Int(1), table.Int(20)},
+		{table.Int(2), table.Int(10)},
+	})
+	cat := Catalog{"T": tt}
+	cases := map[string]int{
+		"group":  2, // distinct a
+		"cube":   3, // (1),(2),(ALL)
+		"rollup": 3, // (1),(2),(ALL)
+	}
+	for op, want := range cases {
+		out := mustExec(t, &BaseValues{Input: &Scan{Name: "T"}, Op: op, Dims: []string{"a"}}, cat)
+		if out.Len() != want {
+			t.Errorf("%s(a) = %d rows, want %d\n%s", op, out.Len(), want, out)
+		}
+	}
+	if _, err := (&BaseValues{Input: &Scan{Name: "T"}, Op: "bogus", Dims: []string{"a"}}).Execute(cat); err == nil {
+		t.Error("unknown base-values op should error")
+	}
+}
+
+func TestGroupByAndJoinNodes(t *testing.T) {
+	tt := table.MustFromRows(table.SchemaOf("k", "v"), []table.Row{
+		{table.Int(1), table.Float(5)},
+		{table.Int(1), table.Float(7)},
+	})
+	cat := Catalog{"T": tt}
+	g := mustExec(t, &GroupBy{
+		Input: &Scan{Name: "T"},
+		Keys:  []string{"k"},
+		Aggs:  []agg.Spec{agg.NewSpec("sum", expr.C("v"), "s")},
+	}, cat)
+	if g.Len() != 1 || g.Value(0, "s").AsFloat() != 12 {
+		t.Errorf("group by: %v", g.Rows)
+	}
+	j := mustExec(t, &Join{
+		Left:   &Scan{Name: "T"},
+		Right:  &Scan{Name: "T"},
+		LAlias: "l", RAlias: "r",
+		On:   expr.Eq(expr.QC("l", "k"), expr.QC("r", "k")),
+		Kind: engine.InnerJoin,
+	}, cat)
+	if j.Len() != 4 {
+		t.Errorf("self-join rows = %d, want 4", j.Len())
+	}
+}
+
+func TestFormatRendersTree(t *testing.T) {
+	plan := &Select{
+		Input: &Scan{Name: "Sales"},
+		Pred:  expr.Eq(expr.C("year"), expr.I(1997)),
+	}
+	out := Format(plan)
+	if !strings.Contains(out, "Select") || !strings.Contains(out, "  Scan Sales") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	plan := &Union{Inputs: []Plan{&Scan{Name: "A"}, &Scan{Name: "B"}}}
+	n := 0
+	Walk(plan, func(Plan) { n++ })
+	if n != 3 {
+		t.Errorf("walk visited %d nodes, want 3", n)
+	}
+}

@@ -1,0 +1,88 @@
+package optimizer
+
+import (
+	"mdjoin/internal/table"
+)
+
+// ShareCommon performs common-subexpression elimination at execution
+// level — "usually optimizers perform common subexpression elimination",
+// as Section 4.4 notes when discussing PIPESORT plans. Every non-leaf
+// subtree that occurs more than once in the plan is executed exactly once
+// and all its occurrences are replaced by a Literal holding the
+// materialized relation. The returned plan executes without recomputing
+// shared work; the original plan is untouched.
+//
+// Because subtrees are compared structurally (by their Format rendering),
+// two occurrences must be built identically to share — which is exactly
+// how the translator emits repeated detail selections and base-values
+// expressions.
+func ShareCommon(p Plan, cat Catalog) (Plan, error) {
+	counts := map[string]int{}
+	var count func(Plan)
+	count = func(n Plan) {
+		if len(n.Children()) > 0 {
+			counts[Format(n)]++
+		}
+		for _, c := range n.Children() {
+			count(c)
+		}
+	}
+	count(p)
+
+	cache := map[string]*Literal{}
+	var rec func(Plan) (Plan, error)
+	rec = func(n Plan) (Plan, error) {
+		if len(n.Children()) == 0 {
+			return n, nil
+		}
+		key := Format(n)
+		if counts[key] > 1 {
+			if lit, ok := cache[key]; ok {
+				return lit, nil
+			}
+			// Rewrite children first so nested shared subtrees are also
+			// materialized once.
+			var rewriteErr error
+			shared := rewriteChildren(n, func(c Plan) Plan {
+				out, err := rec(c)
+				if err != nil && rewriteErr == nil {
+					rewriteErr = err
+				}
+				return out
+			})
+			if rewriteErr != nil {
+				return nil, rewriteErr
+			}
+			t, err := shared.Execute(cat)
+			if err != nil {
+				return nil, err
+			}
+			lit := &Literal{Table: t, Label: "shared " + n.Describe()}
+			cache[key] = lit
+			return lit, nil
+		}
+		var rewriteErr error
+		out := rewriteChildren(n, func(c Plan) Plan {
+			r, err := rec(c)
+			if err != nil && rewriteErr == nil {
+				rewriteErr = err
+			}
+			return r
+		})
+		if rewriteErr != nil {
+			return nil, rewriteErr
+		}
+		return out, nil
+	}
+	return rec(p)
+}
+
+// ExecuteShared optimizes, shares common subtrees, and executes in one
+// call — the full pipeline a cost-based engine would run.
+func ExecuteShared(p Plan, cat Catalog) (*table.Table, error) {
+	shared, err := ShareCommon(Optimize(p), cat)
+	if err != nil {
+		return nil, err
+	}
+	return shared.Execute(cat)
+}

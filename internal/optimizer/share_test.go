@@ -1,0 +1,99 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/expr"
+)
+
+func TestShareCommonMaterializesRepeatedSubtrees(t *testing.T) {
+	cat := testCatalog(21, 400)
+	// Two dependent MD-joins over the same filtered detail subtree: the
+	// Select(Scan) appears twice and must be shared.
+	filtered := func() Plan {
+		return &Select{
+			Input: &Scan{Name: "Sales"},
+			Pred:  expr.Eq(expr.C("year"), expr.I(1997)),
+		}
+	}
+	inner := &MDJoin{
+		Base:       &BaseValues{Input: filtered(), Op: "group", Dims: []string{"cust"}},
+		Detail:     filtered(),
+		DetailName: "Sales",
+		Phases: []core.Phase{{
+			Aggs:  []agg.Spec{agg.NewSpec("avg", expr.QC("Sales", "sale"), "avg_sale")},
+			Theta: expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+		}},
+	}
+	outer := &MDJoin{
+		Base:       inner,
+		Detail:     filtered(),
+		DetailName: "Sales",
+		Phases: []core.Phase{{
+			Aggs: []agg.Spec{agg.NewSpec("count", nil, "n_above")},
+			Theta: expr.And(
+				expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+				expr.Gt(expr.QC("Sales", "sale"), expr.C("avg_sale"))),
+		}},
+	}
+
+	want := mustExec(t, outer, cat)
+
+	shared, err := ShareCommon(outer, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustExec(t, shared, cat)
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("sharing changed the result: %s", d)
+	}
+	// The repeated Select subtree must now be a shared Literal.
+	rendered := Format(shared)
+	if !strings.Contains(rendered, "shared Select") {
+		t.Errorf("expected a shared Literal in the plan:\n%s", rendered)
+	}
+	// Every remaining mention of the Select must be inside a shared
+	// Literal's label, not a live Select node.
+	if strings.Count(rendered, "Select (year = 1997)") != strings.Count(rendered, "shared Select (year = 1997)") {
+		t.Errorf("repeated Select subtrees should be fully replaced:\n%s", rendered)
+	}
+}
+
+func TestShareCommonLeavesUniquePlansAlone(t *testing.T) {
+	cat := testCatalog(22, 200)
+	plan := mdNode(
+		expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+		[]agg.Spec{agg.NewSpec("count", nil, "n")},
+	)
+	shared, err := ShareCommon(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(Format(shared), "shared") {
+		t.Errorf("no repeated subtrees, nothing should be shared:\n%s", Format(shared))
+	}
+	want := mustExec(t, plan, cat)
+	got := mustExec(t, shared, cat)
+	if d := want.Diff(got); d != "" {
+		t.Fatal(d)
+	}
+}
+
+func TestExecuteShared(t *testing.T) {
+	cat := testCatalog(23, 300)
+	plan := mdNode(
+		expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+		[]agg.Spec{agg.NewSpec("sum", expr.QC("Sales", "sale"), "total")},
+	)
+	want := mustExec(t, Optimize(plan), cat)
+	got, err := ExecuteShared(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := want.Diff(got); d != "" {
+		t.Fatal(d)
+	}
+}

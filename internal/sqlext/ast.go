@@ -1,0 +1,118 @@
+package sqlext
+
+import (
+	"strings"
+
+	"mdjoin/internal/expr"
+)
+
+// Query is the parsed form of a dialect statement.
+type Query struct {
+	// With holds common table expressions, evaluated in order before the
+	// main query; each becomes a catalog relation. CTEs let a query build
+	// its base-values table from a computed relation (the Example 2.4
+	// pattern without a pre-existing table).
+	With []CTE
+	// Select lists the output items in order.
+	Select []SelectItem
+	// From names the detail relation.
+	From string
+	// Where filters the detail relation (standard SQL semantics: it
+	// restricts both base-values construction and unqualified aggregates;
+	// grouping variables range over the unfiltered detail, constrained
+	// only by their SUCH THAT condition).
+	Where expr.Expr
+	// Analyze describes the base-values operation: a GROUP BY clause
+	// parses to Op "group".
+	Analyze AnalyzeSpec
+	// GroupVars are the declared grouping variables with their θs.
+	GroupVars []GroupVar
+	// Having filters the final result (may reference aggregate calls).
+	Having expr.Expr
+	// OrderBy sorts the final result; Limit (when > 0) truncates it.
+	OrderBy []OrderKey
+	Limit   int
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// CTE is one WITH-clause member.
+type CTE struct {
+	Name  string
+	Query *Query
+}
+
+// SelectItem is one output column: an expression possibly containing
+// aggregate calls, with an optional alias.
+type SelectItem struct {
+	Expr expr.Expr
+	As   string
+}
+
+// Name returns the output column name for the item.
+func (s SelectItem) Name() string {
+	if s.As != "" {
+		return s.As
+	}
+	if c, ok := s.Expr.(*expr.Col); ok {
+		return c.Name
+	}
+	if c, ok := s.Expr.(*expr.Call); ok {
+		return deriveCallName(c)
+	}
+	return s.Expr.String()
+}
+
+// AnalyzeSpec is the base-values operation of the analyze-by (or group-by)
+// clause.
+type AnalyzeSpec struct {
+	// Op is one of "group", "cube", "rollup", "unpivot", "groupingsets",
+	// "table".
+	Op string
+	// Dims are the base-values attributes.
+	Dims []string
+	// Sets holds the grouping sets for Op "groupingsets".
+	Sets [][]string
+	// Table names the base-values relation for Op "table" (Example 2.4).
+	Table string
+}
+
+// GroupVar is an EMF-SQL grouping variable: a name and its SUCH THAT
+// condition. Inside the condition, Name-qualified columns denote detail
+// tuples of this variable's range; bare columns denote base attributes;
+// aggregate calls over other variables denote their generated columns.
+//
+// Over names the detail relation the variable ranges over; empty means
+// the FROM relation. "group by cust : X, Y(Payments)" declares X over the
+// FROM table and Y over Payments — the multi-detail series of the paper's
+// Example 3.3.
+type GroupVar struct {
+	Name string
+	Over string
+	Such expr.Expr
+}
+
+// deriveCallName derives the generated-column name for an aggregate call:
+// count(Z.*) → count_z, avg(X.sale) → avg_x_sale, sum(sale) → sum_sale.
+func deriveCallName(c *expr.Call) string {
+	fn := strings.ToLower(c.Fn)
+	if c.Arg == nil || c.Star {
+		if col, ok := c.Arg.(*expr.Col); ok && col.Qual != "" {
+			return fn + "_" + strings.ToLower(col.Qual)
+		}
+		return fn
+	}
+	if col, ok := c.Arg.(*expr.Col); ok {
+		if col.Qual != "" {
+			return fn + "_" + strings.ToLower(col.Qual) + "_" + strings.ToLower(col.Name)
+		}
+		return fn + "_" + strings.ToLower(col.Name)
+	}
+	s := strings.ToLower(c.Arg.String())
+	s = strings.NewReplacer(".", "_", "(", "", ")", "", " ", "").Replace(s)
+	return fn + "_" + s
+}

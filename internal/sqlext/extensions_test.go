@@ -1,0 +1,263 @@
+package sqlext
+
+import (
+	"testing"
+
+	"mdjoin/internal/table"
+)
+
+func TestOrderByAndLimit(t *testing.T) {
+	out := run(t, "select cust, sum(sale) as total from Sales group by cust order by total desc limit 2")
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", out.Len(), out)
+	}
+	if out.Value(0, "cust").AsString() != "bob" { // 180
+		t.Errorf("first row should be bob: %v", out.Rows[0])
+	}
+	if out.Value(1, "cust").AsString() != "alice" { // 100
+		t.Errorf("second row should be alice: %v", out.Rows[1])
+	}
+}
+
+func TestOrderByAscendingDefault(t *testing.T) {
+	out := run(t, "select cust, sum(sale) as total from Sales group by cust order by total")
+	if out.Value(0, "cust").AsString() != "carol" {
+		t.Errorf("ascending order should start with carol: %v", out.Rows[0])
+	}
+}
+
+func TestOrderByAggregateCall(t *testing.T) {
+	// ORDER BY may reference the aggregate call directly, not only its
+	// alias.
+	out := run(t, "select cust from Sales group by cust order by sum(sale) desc limit 1")
+	if out.Value(0, "cust").AsString() != "bob" {
+		t.Errorf("order by sum(sale): %v", out.Rows[0])
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	out := run(t, "select prod, month, count(*) as n from Sales group by prod, month order by prod desc, month")
+	prev := int64(1 << 60)
+	var prevMonth int64 = -1
+	for i := range out.Rows {
+		p := out.Value(i, "prod").AsInt()
+		m := out.Value(i, "month").AsInt()
+		if p > prev {
+			t.Fatalf("prod not descending at row %d", i)
+		}
+		if p == prev && m < prevMonth {
+			t.Fatalf("month not ascending within prod at row %d", i)
+		}
+		if p != prev {
+			prevMonth = -1
+		}
+		prev, prevMonth = p, m
+	}
+}
+
+func TestLimitLargerThanResult(t *testing.T) {
+	out := run(t, "select cust from Sales group by cust limit 100")
+	if out.Len() != 3 {
+		t.Errorf("limit beyond result size must keep all rows: %d", out.Len())
+	}
+}
+
+func TestInPredicate(t *testing.T) {
+	out := run(t, "select cust, count(*) as n from Sales where state in ('NY', 'NJ') group by cust")
+	for i := range out.Rows {
+		if out.Value(i, "cust").AsString() == "carol" {
+			t.Errorf("carol only sells in CA; she must not form a group")
+		}
+	}
+	out2 := run(t, "select cust from Sales where state not in ('NY', 'NJ', 'CT', 'CA') group by cust")
+	if out2.Len() != 0 {
+		t.Errorf("NOT IN over all states should exclude everything: %d rows", out2.Len())
+	}
+}
+
+func TestInPredicateParses(t *testing.T) {
+	q, err := Parse("select cust from Sales where month in (1, 2, 3) group by cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Desugars to a disjunction of equalities.
+	if q.Where == nil {
+		t.Fatal("where missing")
+	}
+}
+
+func TestOrderByParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"select cust from Sales group by cust order cust",
+		"select cust from Sales group by cust order by",
+		"select cust from Sales group by cust limit",
+		"select cust from Sales group by cust limit x",
+		"select cust from Sales where month in (1,",
+		"select cust from Sales where month in 1",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLimitZeroMeansNoLimit(t *testing.T) {
+	q, err := Parse("select cust from Sales group by cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 0 {
+		t.Errorf("absent LIMIT should parse as 0 (no limit)")
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	// NULL sorts before real values under the table.Value total order;
+	// pin that the dialect inherits it.
+	cat := catalog()
+	out, err := Run(`select cust, avg(X.sale) as a from Sales group by cust : X
+		such that X.cust = cust and X.state = 'CT' order by a`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Value(0, "a").IsNull() {
+		t.Errorf("NULL averages should sort first: %v", out.Rows[0])
+	}
+	_ = table.Null()
+}
+
+func TestCountDistinct(t *testing.T) {
+	out := run(t, "select cust, count(distinct state) as states from Sales group by cust")
+	got := map[string]int64{}
+	for i := range out.Rows {
+		got[out.Value(i, "cust").AsString()] = out.Value(i, "states").AsInt()
+	}
+	// alice: NY, NJ → 2; bob: CT, NY, NJ → 3; carol: CA → 1.
+	if got["alice"] != 2 || got["bob"] != 3 || got["carol"] != 1 {
+		t.Errorf("distinct states = %v", got)
+	}
+}
+
+func TestDistinctOnlyForCount(t *testing.T) {
+	if _, err := Parse("select sum(distinct sale) from Sales group by cust"); err == nil {
+		t.Error("sum(distinct) must be rejected")
+	}
+}
+
+func TestMultiDetailGroupingVariable(t *testing.T) {
+	// Example 3.3 in dialect form: total sales and payments per customer,
+	// with Y ranging over the Payments relation.
+	cat := catalog()
+	pay := table.MustFromRows(table.SchemaOf("cust", "month", "amount"), []table.Row{
+		{table.Str("alice"), table.Int(1), table.Float(5)},
+		{table.Str("alice"), table.Int(2), table.Float(15)},
+		{table.Str("bob"), table.Int(1), table.Float(25)},
+	})
+	cat["Payments"] = pay
+	src := `
+		select cust, sum(X.sale) as sold, sum(Y.amount) as paid
+		from Sales
+		group by cust : X, Y(Payments)
+		such that X.cust = cust,
+		          Y.cust = cust`
+	out, err := Run(src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][2]table.Value{}
+	for i := range out.Rows {
+		got[out.Value(i, "cust").AsString()] = [2]table.Value{
+			out.Value(i, "sold"), out.Value(i, "paid"),
+		}
+	}
+	if v := got["alice"]; v[0].AsFloat() != 100 || v[1].AsFloat() != 20 {
+		t.Errorf("alice = %v", v)
+	}
+	if v := got["bob"]; v[0].AsFloat() != 180 || v[1].AsFloat() != 25 {
+		t.Errorf("bob = %v", v)
+	}
+	if v := got["carol"]; v[0].AsFloat() != 80 || !v[1].IsNull() {
+		t.Errorf("carol = %v (no payments → NULL)", v)
+	}
+}
+
+func TestMultiDetailQualifiedColumns(t *testing.T) {
+	// Conditions may qualify by the variable's own relation name too.
+	cat := catalog()
+	pay := table.MustFromRows(table.SchemaOf("cust", "amount"), []table.Row{
+		{table.Str("alice"), table.Float(9)},
+	})
+	cat["Payments"] = pay
+	out, err := Run(`select cust, count(Y.*) as n from Sales
+		group by cust : Y(Payments)
+		such that Payments.cust = cust`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Rows {
+		if out.Value(i, "cust").AsString() == "alice" {
+			if out.Value(i, "n").AsInt() != 1 {
+				t.Errorf("alice payments = %v", out.Value(i, "n"))
+			}
+		}
+	}
+}
+
+func TestMultiDetailUnknownRelation(t *testing.T) {
+	_, err := Run(`select cust, count(Y.*) as n from Sales
+		group by cust : Y(Nowhere) such that Y.cust = cust`, catalog())
+	if err == nil {
+		t.Fatal("unknown detail relation must error at execution")
+	}
+}
+
+func TestWithClause(t *testing.T) {
+	// Build the base-values relation with a CTE, then aggregate against
+	// it — the computed-base pattern of Example 2.4.
+	src := `
+		with BigSpenders as (
+			select cust, sum(sale) as total from Sales group by cust having sum(sale) > 90
+		)
+		select cust, count(*) as n from Sales analyze by BigSpenders(cust)`
+	out := run(t, src)
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2 (alice, bob):\n%s", out.Len(), out)
+	}
+	for i := range out.Rows {
+		if c := out.Value(i, "cust").AsString(); c != "alice" && c != "bob" {
+			t.Errorf("unexpected base row %q", c)
+		}
+	}
+}
+
+func TestWithClauseChained(t *testing.T) {
+	// A later CTE may reference an earlier one.
+	src := `
+		with A as (select cust, sum(sale) as total from Sales group by cust),
+		     B as (select cust from A where total > 90 group by cust)
+		select cust, count(*) as n from Sales analyze by B(cust)`
+	out := run(t, src)
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", out.Len(), out)
+	}
+}
+
+func TestWithNameCollision(t *testing.T) {
+	_, err := Run(`with Sales as (select cust from Sales group by cust)
+		select cust, count(*) as n from Sales group by cust`, catalog())
+	if err == nil {
+		t.Fatal("CTE shadowing an existing relation must error")
+	}
+}
+
+func TestWithParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"with select cust from Sales group by cust",
+		"with X as select cust from Sales group by cust",
+		"with X as (select cust from Sales group by cust select",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package sqlext implements the query language of Section 5 of the paper:
+// SQL extended with the "analyze by" clause (which generalizes GROUP BY to
+// any base-values-producing operation — cube, rollup, grouping sets,
+// unpivot, or an arbitrary table) and EMF-SQL grouping variables with SUCH
+// THAT conditions [Cha99]. Queries translate to MD-join plan trees
+// (internal/optimizer) executed by internal/core.
+//
+// Grammar (case-insensitive keywords):
+//
+//	query      := SELECT items FROM ident [WHERE pred]
+//	              [ groupClause | analyzeClause ]
+//	              [ SUCH THAT gv ("," gv)* ]
+//	              [ HAVING pred ]
+//	items      := item ("," item)*
+//	item       := expr [AS ident]
+//	groupClause:= GROUP BY identList [ ":" identList ]    -- ": X, Y" declares grouping variables
+//	analyzeClause := ANALYZE BY baseOp
+//	baseOp     := CUBE "(" identList ")" | ROLLUP "(" identList ")"
+//	            | UNPIVOT "(" identList ")"
+//	            | GROUPING SETS "(" set ("," set)* ")"    where set := "(" [identList] ")"
+//	            | GROUP "(" identList ")"
+//	            | TABLE ident "(" identList ")"           -- Example 2.4: base from a table
+//	gv         := ident ":" pred                          -- grouping variable and its θ
+//	pred/expr  := SQL-ish expressions with AND/OR/NOT, comparisons,
+//	              + - * / %, idents, quals (X.col), literals, BETWEEN,
+//	              aggregate calls f(X.col) / f(col) / count(X.*) / count(*)
+package sqlext
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind discriminates lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single/double char punctuation: ( ) , . : ; * = <> <= >= < > + - / %
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// lexer tokenizes dialect text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (queries are small).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !seenDot {
+				// A trailing ".*" (count(Z.*)) must not swallow the dot.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+					break
+				}
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("sqlext: unterminated string literal at offset %d", start)
+
+	case strings.ContainsRune("(),.:;*=+-/%", rune(c)):
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokPunct, text: "<>", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlext: unexpected '!' at offset %d", start)
+
+	default:
+		return token{}, fmt.Errorf("sqlext: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}

@@ -1,0 +1,756 @@
+package sqlext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// Parse parses a dialect query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) && !(p.at(tokPunct) && p.cur().text == ";") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token          { return p.toks[p.i] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+// atKeyword checks the current token against a case-insensitive keyword.
+func (p *parser) atKeyword(kw string) bool {
+	return p.at(tokIdent) && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.at(tokPunct) || p.cur().text != s {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) eatPunct(s string) bool {
+	if p.at(tokPunct) && p.cur().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlext: %s (near offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// reserved words that end an expression-item list.
+var clauseKeywords = map[string]bool{
+	"from": true, "where": true, "group": true, "analyze": true,
+	"such": true, "having": true, "order": true, "limit": true,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Analyze: AnalyzeSpec{Op: "group"}}
+	if p.eatKeyword("with") {
+		for {
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected CTE name after WITH, found %q", p.cur().text)
+			}
+			name := p.advance().text
+			if err := p.expectKeyword("as"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			q.With = append(q.With, CTE{Name: name, Query: sub})
+			if !p.eatPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent) {
+		return nil, p.errf("expected relation name after FROM, found %q", p.cur().text)
+	}
+	q.From = p.advance().text
+
+	if p.eatKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+
+	switch {
+	case p.atKeyword("group"):
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		dims, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		q.Analyze = AnalyzeSpec{Op: "group", Dims: dims}
+		// Optional grouping-variable declaration: ": X, Y, Z" (the paper
+		// writes "; X,Y,Z"; both separators are accepted). A variable may
+		// name its own detail relation: "Y(Payments)".
+		if p.eatPunct(":") || p.eatPunct(";") {
+			for {
+				if !p.at(tokIdent) || clauseKeywords[strings.ToLower(p.cur().text)] {
+					return nil, p.errf("expected grouping variable name, found %q", p.cur().text)
+				}
+				gv := GroupVar{Name: p.advance().text}
+				if p.eatPunct("(") {
+					if !p.at(tokIdent) {
+						return nil, p.errf("expected detail relation inside %s(...)", gv.Name)
+					}
+					gv.Over = p.advance().text
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+				}
+				q.GroupVars = append(q.GroupVars, gv)
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+		}
+	case p.atKeyword("analyze"):
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		spec, err := p.parseAnalyzeSpec()
+		if err != nil {
+			return nil, err
+		}
+		q.Analyze = *spec
+	}
+
+	if p.eatKeyword("such") {
+		if err := p.expectKeyword("that"); err != nil {
+			return nil, err
+		}
+		if err := p.parseSuchThat(q); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.eatKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+
+	if p.eatKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.eatKeyword("desc") {
+				key.Desc = true
+			} else {
+				p.eatKeyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.eatPunct(",") {
+				break
+			}
+		}
+	}
+
+	if p.eatKeyword("limit") {
+		if !p.at(tokNumber) {
+			return nil, p.errf("expected row count after LIMIT, found %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT value")
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.eatKeyword("as") {
+		if !p.at(tokIdent) {
+			return SelectItem{}, p.errf("expected alias after AS, found %q", p.cur().text)
+		}
+		item.As = p.advance().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	var out []string
+	for {
+		if !p.at(tokIdent) || clauseKeywords[strings.ToLower(p.cur().text)] {
+			if len(out) == 0 {
+				return nil, p.errf("expected identifier, found %q", p.cur().text)
+			}
+			return out, nil
+		}
+		out = append(out, p.advance().text)
+		if !p.eatPunct(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseParenIdentList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.eatPunct(")") {
+		return nil, nil
+	}
+	ids, err := p.parseIdentList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func (p *parser) parseAnalyzeSpec() (*AnalyzeSpec, error) {
+	if !p.at(tokIdent) {
+		return nil, p.errf("expected base-values operation after ANALYZE BY, found %q", p.cur().text)
+	}
+	op := strings.ToLower(p.advance().text)
+	switch op {
+	case "cube", "rollup", "unpivot", "group":
+		dims, err := p.parseParenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeSpec{Op: op, Dims: dims}, nil
+	case "grouping":
+		if err := p.expectKeyword("sets"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var sets [][]string
+		dimSeen := map[string]bool{}
+		var dims []string
+		for {
+			set, err := p.parseParenIdentList()
+			if err != nil {
+				return nil, err
+			}
+			sets = append(sets, set)
+			for _, d := range set {
+				if !dimSeen[strings.ToLower(d)] {
+					dimSeen[strings.ToLower(d)] = true
+					dims = append(dims, d)
+				}
+			}
+			if !p.eatPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &AnalyzeSpec{Op: "groupingsets", Dims: dims, Sets: sets}, nil
+	case "table":
+		if !p.at(tokIdent) {
+			return nil, p.errf("expected table name after ANALYZE BY TABLE, found %q", p.cur().text)
+		}
+		name := p.advance().text
+		dims, err := p.parseParenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeSpec{Op: "table", Table: name, Dims: dims}, nil
+	default:
+		// "analyze by T(cols)" — a bare table name, Example 2.4's form.
+		dims, err := p.parseParenIdentList()
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeSpec{Op: "table", Table: op, Dims: dims}, nil
+	}
+}
+
+// parseSuchThat fills in the θ of each declared grouping variable:
+// "X.prod = prod AND ..., Y.prod = prod AND ...". Each comma-separated
+// condition is attributed to the variable its qualified columns name; a
+// condition may also start with "name :" to be explicit. Variables not yet
+// declared (no GROUP BY ":" list) are declared implicitly.
+func (p *parser) parseSuchThat(q *Query) error {
+	for {
+		// Optional explicit "name :" prefix.
+		var explicit string
+		if p.at(tokIdent) && p.i+1 < len(p.toks) &&
+			p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == ":" &&
+			!clauseKeywords[strings.ToLower(p.cur().text)] {
+			explicit = p.advance().text
+			p.advance() // ':'
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		name := explicit
+		if name == "" {
+			name = dominantQualifier(cond, q)
+		}
+		if name == "" {
+			return fmt.Errorf("sqlext: cannot attribute SUCH THAT condition %s to a grouping variable (qualify its detail columns, e.g. X.prod)", cond)
+		}
+		assigned := false
+		for i := range q.GroupVars {
+			if strings.EqualFold(q.GroupVars[i].Name, name) {
+				q.GroupVars[i].Such = expr.And(q.GroupVars[i].Such, cond)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			// A condition qualified by a variable's detail relation
+			// ("Payments.cust = cust" for Y(Payments)) attributes to that
+			// variable, provided the relation is unambiguous.
+			owner := -1
+			for i := range q.GroupVars {
+				if strings.EqualFold(q.GroupVars[i].Over, name) {
+					if owner >= 0 {
+						owner = -1
+						break
+					}
+					owner = i
+				}
+			}
+			if owner >= 0 {
+				q.GroupVars[owner].Such = expr.And(q.GroupVars[owner].Such, cond)
+				assigned = true
+			}
+		}
+		if !assigned {
+			q.GroupVars = append(q.GroupVars, GroupVar{Name: name, Such: cond})
+		}
+		if !p.eatPunct(",") {
+			return nil
+		}
+	}
+}
+
+// dominantQualifier finds the grouping-variable qualifier a SUCH THAT
+// condition belongs to: the unique non-FROM qualifier appearing on plain
+// columns outside aggregate calls. (Inside calls, other variables may be
+// referenced — "Z.sale > avg(X.sale)" belongs to Z.) Declared names break
+// remaining ties.
+func dominantQualifier(e expr.Expr, q *Query) string {
+	// Erase aggregate calls so only genuinely-outside columns remain.
+	noCalls := expr.SubstituteCalls(e, func(*expr.Call) expr.Expr {
+		return expr.V(table.Null())
+	})
+	seen := map[string]bool{}
+	var outside []string
+	for _, c := range expr.ColumnsOf(noCalls) {
+		if c.Qual == "" || strings.EqualFold(c.Qual, q.From) {
+			continue
+		}
+		lq := strings.ToLower(c.Qual)
+		if seen[lq] {
+			continue
+		}
+		seen[lq] = true
+		outside = append(outside, c.Qual)
+	}
+	if len(outside) == 1 {
+		return outside[0]
+	}
+	if len(outside) > 1 {
+		// Prefer an already declared variable.
+		var declared []string
+		for _, n := range outside {
+			for _, gv := range q.GroupVars {
+				if strings.EqualFold(gv.Name, n) {
+					declared = append(declared, n)
+				}
+			}
+		}
+		if len(declared) == 1 {
+			return declared[0]
+		}
+	}
+	return ""
+}
+
+// ---------------------------------------------------------- expressions
+
+// parseExpr parses with precedence: OR < AND < NOT < comparison/BETWEEN <
+// additive < multiplicative < unary < primary.
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.eatKeyword("not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(x), nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (expr.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatKeyword("between") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return expr.And(expr.Ge(l, lo), expr.Le(l, hi)), nil
+	}
+	if p.atKeyword("in") || (p.atKeyword("not") && p.i+1 < len(p.toks) &&
+		p.toks[p.i+1].kind == tokIdent && strings.EqualFold(p.toks[p.i+1].text, "in")) {
+		neg := p.eatKeyword("not")
+		p.advance() // IN
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var alts []expr.Expr
+		for {
+			item, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, expr.Eq(l, item))
+			if !p.eatPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		out := expr.Or(alts...)
+		if neg {
+			out = expr.Not(out)
+		}
+		return out, nil
+	}
+	if p.eatKeyword("is") {
+		neg := p.eatKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		op := expr.OpIsNull
+		if neg {
+			op = expr.OpIsNotNull
+		}
+		return &expr.Unary{Op: op, X: l}, nil
+	}
+	if !p.at(tokPunct) {
+		return l, nil
+	}
+	var op expr.Op
+	switch p.cur().text {
+	case "=":
+		op = expr.OpEq
+	case "<>":
+		op = expr.OpNe
+	case "<":
+		op = expr.OpLt
+	case "<=":
+		op = expr.OpLe
+	case ">":
+		op = expr.OpGt
+	case ">=":
+		op = expr.OpGe
+	default:
+		return l, nil
+	}
+	p.advance()
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &expr.Binary{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct) && (p.cur().text == "+" || p.cur().text == "-") {
+		op := expr.OpAdd
+		if p.cur().text == "-" {
+			op = expr.OpSub
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct) && (p.cur().text == "*" || p.cur().text == "/" || p.cur().text == "%") {
+		var op expr.Op
+		switch p.cur().text {
+		case "*":
+			op = expr.OpMul
+		case "/":
+			op = expr.OpDiv
+		case "%":
+			op = expr.OpMod
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.at(tokPunct) && p.cur().text == "-" {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: expr.OpNeg, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	switch {
+	case p.at(tokNumber):
+		t := p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return expr.F(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return expr.I(n), nil
+
+	case p.at(tokString):
+		return expr.S(p.advance().text), nil
+
+	case p.at(tokPunct) && p.cur().text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case p.at(tokPunct) && p.cur().text == "*":
+		// Bare * only inside count(*) — handled by the call path; here it
+		// is an error.
+		return nil, p.errf("unexpected '*'")
+
+	case p.at(tokIdent):
+		t := p.advance()
+		switch strings.ToLower(t.text) {
+		case "null":
+			return expr.V(table.Null()), nil
+		case "all":
+			return expr.V(table.All()), nil
+		case "true":
+			return expr.V(table.Bool(true)), nil
+		case "false":
+			return expr.V(table.Bool(false)), nil
+		}
+		// Function call?
+		if p.at(tokPunct) && p.cur().text == "(" {
+			p.advance()
+			call := &expr.Call{Fn: t.text}
+			if p.eatKeyword("distinct") {
+				// f(DISTINCT x) maps onto the distinct-flavored aggregate;
+				// only count has one.
+				if !strings.EqualFold(call.Fn, "count") {
+					return nil, p.errf("DISTINCT is supported only inside count(...)")
+				}
+				call.Fn = "count_distinct"
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Arg = arg
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.eatPunct("*") {
+				call.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Arg = arg
+				// f(Z.*) parses the arg as Z . * → the primary path below
+				// yields Col{Qual:Z, Name:*}; mark star.
+				if c, ok := arg.(*expr.Col); ok && c.Name == "*" {
+					call.Star = true
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.at(tokPunct) && p.cur().text == "." {
+			p.advance()
+			if p.eatPunct("*") {
+				return &expr.Col{Qual: t.text, Name: "*"}, nil
+			}
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected column after %q.", t.text)
+			}
+			return &expr.Col{Qual: t.text, Name: p.advance().text}, nil
+		}
+		return &expr.Col{Name: t.text}, nil
+
+	default:
+		return nil, p.errf("unexpected token %q", p.cur().text)
+	}
+}

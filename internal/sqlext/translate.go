@@ -1,0 +1,436 @@
+package sqlext
+
+import (
+	"fmt"
+	"strings"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/optimizer"
+	"mdjoin/internal/table"
+)
+
+// Translate compiles a parsed query into an MD-join plan tree following
+// the paper's two-phase model: build the base-values relation (group by /
+// analyze by), then attach one MD-join phase per aggregation variable —
+// the implicit "group" variable for unqualified aggregates (θ = group
+// membership plus the WHERE condition) and one per EMF-SQL grouping
+// variable (θ = its SUCH THAT condition). Aggregate calls inside
+// conditions, HAVING, and the select list are rewritten to the generated
+// columns. The resulting tree is un-optimized; pass it through
+// optimizer.Optimize to combine independent phases and push selections.
+func Translate(q *Query) (optimizer.Plan, error) {
+	if len(q.Select) == 0 {
+		return nil, fmt.Errorf("sqlext: empty select list")
+	}
+	if q.From == "" {
+		return nil, fmt.Errorf("sqlext: missing FROM relation")
+	}
+
+	gvNames := map[string]bool{}
+	for _, gv := range q.GroupVars {
+		n := strings.ToLower(gv.Name)
+		if gvNames[n] {
+			return nil, fmt.Errorf("sqlext: duplicate grouping variable %q", gv.Name)
+		}
+		if n == "r" || n == "b" || n == "base" || n == "detail" || strings.EqualFold(gv.Name, q.From) {
+			return nil, fmt.Errorf("sqlext: grouping variable %q collides with a reserved qualifier", gv.Name)
+		}
+		gvNames[n] = true
+	}
+
+	// ---- collect aggregate calls, attributing each to a variable ("" is
+	// the implicit group variable).
+	type aggKey struct {
+		variable string
+		name     string
+	}
+	calls := map[aggKey]*expr.Call{}
+	var order []aggKey
+	collect := func(e expr.Expr) error {
+		for _, c := range expr.CallsOf(e) {
+			if _, err := agg.Lookup(c.Fn); err != nil {
+				return fmt.Errorf("sqlext: %w", err)
+			}
+			variable := ""
+			if col, ok := c.Arg.(*expr.Col); ok && col.Qual != "" {
+				if !gvNames[strings.ToLower(col.Qual)] {
+					return fmt.Errorf("sqlext: aggregate %s references undeclared grouping variable %q", c, col.Qual)
+				}
+				variable = strings.ToLower(col.Qual)
+			}
+			k := aggKey{variable: variable, name: deriveCallName(c)}
+			if _, ok := calls[k]; !ok {
+				calls[k] = c
+				order = append(order, k)
+			}
+		}
+		return nil
+	}
+	for _, item := range q.Select {
+		if err := collect(item.Expr); err != nil {
+			return nil, err
+		}
+	}
+	for _, gv := range q.GroupVars {
+		if gv.Such == nil {
+			return nil, fmt.Errorf("sqlext: grouping variable %q has no SUCH THAT condition", gv.Name)
+		}
+		if err := collect(gv.Such); err != nil {
+			return nil, err
+		}
+	}
+	if err := collect(q.Having); err != nil {
+		return nil, err
+	}
+	for _, k := range q.OrderBy {
+		if err := collect(k.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if len(expr.CallsOf(q.Where)) > 0 {
+		return nil, fmt.Errorf("sqlext: aggregate calls are not allowed in WHERE (use HAVING)")
+	}
+
+	// ---- base-values plan.
+	detail := optimizer.Plan(&optimizer.Scan{Name: q.From})
+	baseInput := detail
+	if q.Where != nil {
+		baseInput = &optimizer.Select{Input: detail, Pred: stripFromQual(q.Where, q.From)}
+	}
+	var base optimizer.Plan
+	cubeLike := false
+	switch q.Analyze.Op {
+	case "group":
+		if len(q.Analyze.Dims) == 0 {
+			// Aggregation without grouping: a single-row base (the grand
+			// total). Model as a one-row literal with no columns.
+			base = &optimizer.Literal{
+				Table: table.MustFromRows(table.NewSchema(), []table.Row{{}}),
+				Label: "grand-total",
+			}
+		} else {
+			base = &optimizer.BaseValues{Input: baseInput, Op: "group", Dims: q.Analyze.Dims}
+		}
+	case "cube", "rollup", "unpivot", "groupingsets":
+		cubeLike = true
+		base = &optimizer.BaseValues{Input: baseInput, Op: q.Analyze.Op, Dims: q.Analyze.Dims, Sets: q.Analyze.Sets}
+	case "table":
+		cubeLike = true // a user table may contain ALL markers (Example 2.4)
+		var cols []engine.ProjCol
+		for _, d := range q.Analyze.Dims {
+			cols = append(cols, engine.ProjCol{Expr: expr.C(d)})
+		}
+		base = &optimizer.Project{Input: &optimizer.Scan{Name: q.Analyze.Table}, Cols: cols}
+	default:
+		return nil, fmt.Errorf("sqlext: unknown analyze-by operation %q", q.Analyze.Op)
+	}
+
+	// ---- θ for the implicit group variable: group membership (+ WHERE).
+	eq := expr.Eq
+	if cubeLike {
+		eq = expr.CubeEq
+	}
+	var groupConj []expr.Expr
+	for _, d := range q.Analyze.Dims {
+		groupConj = append(groupConj, eq(expr.QC("R", d), expr.C(d)))
+	}
+	if q.Where != nil {
+		groupConj = append(groupConj, qualifyToDetail(q.Where, q.From))
+	}
+	groupTheta := expr.And(groupConj...)
+
+	// ---- build the MD-join chain: one node per variable that owns
+	// aggregates, implicit group variable first, then grouping variables
+	// in declaration order. optimizer.Optimize merges what Theorem 4.3
+	// allows.
+	plan := base
+	addNode := func(variable string, theta expr.Expr, detailPlan optimizer.Plan, detailName string) error {
+		var specs []agg.Spec
+		for _, k := range order {
+			if k.variable != variable {
+				continue
+			}
+			c := calls[k]
+			spec := agg.Spec{Func: c.Fn, As: k.name}
+			if !c.Star && c.Arg != nil {
+				arg, err := translateDetailExpr(c.Arg, variable, q, gvNames)
+				if err != nil {
+					return err
+				}
+				spec.Arg = arg
+			}
+			specs = append(specs, spec)
+		}
+		if len(specs) == 0 {
+			return nil
+		}
+		plan = &optimizer.MDJoin{
+			Base:       plan,
+			Detail:     detailPlan,
+			DetailName: detailName,
+			Phases:     []core.Phase{{Aggs: specs, Theta: theta}},
+		}
+		return nil
+	}
+	if err := addNode("", groupTheta, detail, q.From); err != nil {
+		return nil, err
+	}
+	for _, gv := range q.GroupVars {
+		theta, err := translateSuchThat(gv, q, gvNames)
+		if err != nil {
+			return nil, err
+		}
+		if cubeLike {
+			theta = cubifyDimEqualities(theta, q.Analyze.Dims)
+		}
+		// A variable declared over its own relation (Example 3.3's
+		// Payments) aggregates that relation instead of the FROM table.
+		detailPlan, detailName := detail, q.From
+		if gv.Over != "" && !strings.EqualFold(gv.Over, q.From) {
+			detailPlan, detailName = optimizer.Plan(&optimizer.Scan{Name: gv.Over}), gv.Over
+		}
+		if err := addNode(strings.ToLower(gv.Name), theta, detailPlan, detailName); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- HAVING: a selection over the chained result (aggregate calls
+	// become generated columns).
+	if q.Having != nil {
+		pred := expr.SubstituteCalls(q.Having, func(c *expr.Call) expr.Expr {
+			return expr.C(deriveCallName(c))
+		})
+		plan = &optimizer.Select{Input: plan, Pred: pred}
+	}
+
+	// ---- final projection in select order, plus ORDER BY / LIMIT.
+	// ORDER BY may reference generated columns that the select list does
+	// not carry (order by sum(sale) without selecting it); those are kept
+	// as hidden projection columns through the sort and stripped after.
+	var cols []engine.ProjCol
+	visible := map[string]bool{}
+	for _, item := range q.Select {
+		e := expr.SubstituteCalls(item.Expr, func(c *expr.Call) expr.Expr {
+			return expr.C(deriveCallName(c))
+		})
+		cols = append(cols, engine.ProjCol{Expr: e, As: item.Name()})
+		visible[strings.ToLower(item.Name())] = true
+	}
+
+	var keys []optimizer.SortKey
+	hidden := false
+	for _, k := range q.OrderBy {
+		e := expr.SubstituteCalls(k.Expr, func(c *expr.Call) expr.Expr {
+			return expr.C(deriveCallName(c))
+		})
+		for _, c := range expr.ColumnsOf(e) {
+			name := strings.ToLower(c.Name)
+			if c.Qual == "" && !visible[name] {
+				cols = append(cols, engine.ProjCol{Expr: expr.C(c.Name), As: c.Name})
+				visible[name] = true
+				hidden = true
+			}
+		}
+		keys = append(keys, optimizer.SortKey{Expr: e, Desc: k.Desc})
+	}
+
+	plan = &optimizer.Project{Input: plan, Cols: cols}
+	if len(keys) > 0 {
+		plan = &optimizer.Sort{Input: plan, Keys: keys}
+	}
+	if q.Limit > 0 {
+		plan = &optimizer.Limit{Input: plan, N: q.Limit}
+	}
+	if hidden {
+		var final []engine.ProjCol
+		for _, item := range q.Select {
+			final = append(final, engine.ProjCol{Expr: expr.C(item.Name()), As: item.Name()})
+		}
+		plan = &optimizer.Project{Input: plan, Cols: final}
+	}
+	return plan, nil
+}
+
+// translateSuchThat rewrites a grouping variable's condition into an
+// MD-join θ: Name-qualified columns become detail references, aggregate
+// calls become generated base columns, bare columns stay base attributes.
+func translateSuchThat(gv GroupVar, q *Query, gvNames map[string]bool) (expr.Expr, error) {
+	// First eliminate aggregate calls (references to other variables'
+	// results, e.g. Z.sale > avg(X.sale)).
+	e := expr.SubstituteCalls(gv.Such, func(c *expr.Call) expr.Expr {
+		return expr.C(deriveCallName(c))
+	})
+	// Then rewrite column qualifiers.
+	var badQual string
+	mapping := map[string]expr.Expr{}
+	for _, c := range expr.ColumnsOf(e) {
+		if c.Qual == "" {
+			continue
+		}
+		lq := strings.ToLower(c.Qual)
+		switch {
+		case lq == strings.ToLower(gv.Name):
+			mapping[strings.ToLower(c.String())] = expr.QC("R", c.Name)
+		case strings.EqualFold(c.Qual, q.From),
+			gv.Over != "" && strings.EqualFold(c.Qual, gv.Over):
+			mapping[strings.ToLower(c.String())] = expr.QC("R", c.Name)
+		case gvNames[lq]:
+			// Plain column of another grouping variable: not expressible
+			// as a single MD-join θ.
+			badQual = c.String()
+		default:
+			badQual = c.String()
+		}
+	}
+	if badQual != "" {
+		return nil, fmt.Errorf("sqlext: condition of %q references %s, which is neither the variable itself nor a base attribute (aggregate other variables instead, e.g. avg(X.sale))", gv.Name, badQual)
+	}
+	return expr.SubstituteCols(e, mapping), nil
+}
+
+// translateDetailExpr rewrites an aggregate argument: the owning
+// variable's qualifier (or the FROM table's) maps to the detail relation;
+// bare columns refer to the detail for the implicit variable and to the
+// base for grouping variables (matching EMF-SQL, where avg(X.sale) ranges
+// over X's tuples).
+func translateDetailExpr(e expr.Expr, variable string, q *Query, gvNames map[string]bool) (expr.Expr, error) {
+	var err error
+	mapping := map[string]expr.Expr{}
+	for _, c := range expr.ColumnsOf(e) {
+		lq := strings.ToLower(c.Qual)
+		switch {
+		case c.Qual == "" && variable == "":
+			// Unqualified aggregate argument (sum(sale)): detail column.
+			mapping[strings.ToLower(c.Name)] = expr.QC("R", c.Name)
+		case lq == variable, strings.EqualFold(c.Qual, q.From):
+			mapping[strings.ToLower(c.String())] = expr.QC("R", c.Name)
+		case c.Qual == "":
+			// Bare column inside a grouping variable's aggregate: base
+			// attribute; leave as-is.
+		case gvNames[lq]:
+			err = fmt.Errorf("sqlext: aggregate argument %s mixes grouping variables", e)
+		default:
+			err = fmt.Errorf("sqlext: unknown qualifier %q in aggregate argument %s", c.Qual, e)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return expr.SubstituteCols(e, mapping), nil
+}
+
+// cubifyDimEqualities rewrites strict equalities against cube-base
+// dimension attributes into cube equalities, so a SUCH THAT condition
+// written as "X.prod = prod" (the paper's Example 2.3 style) matches the
+// ALL cells of the base-values table. Only equalities whose bare-column
+// side names an analyze-by dimension are affected.
+func cubifyDimEqualities(e expr.Expr, dims []string) expr.Expr {
+	isDim := func(x expr.Expr) bool {
+		c, ok := x.(*expr.Col)
+		if !ok || c.Qual != "" {
+			return false
+		}
+		for _, d := range dims {
+			if strings.EqualFold(d, c.Name) {
+				return true
+			}
+		}
+		return false
+	}
+	switch n := e.(type) {
+	case *expr.Binary:
+		l := cubifyDimEqualities(n.L, dims)
+		r := cubifyDimEqualities(n.R, dims)
+		op := n.Op
+		if op == expr.OpEq && (isDim(n.L) || isDim(n.R)) {
+			op = expr.OpCubeEq
+		}
+		return &expr.Binary{Op: op, L: l, R: r}
+	case *expr.Unary:
+		return &expr.Unary{Op: n.Op, X: cubifyDimEqualities(n.X, dims)}
+	default:
+		return e
+	}
+}
+
+// stripFromQual rewrites From-qualified columns to bare ones so a WHERE
+// predicate compiles against the detail relation alone.
+func stripFromQual(e expr.Expr, from string) expr.Expr {
+	mapping := map[string]expr.Expr{}
+	for _, c := range expr.ColumnsOf(e) {
+		if strings.EqualFold(c.Qual, from) {
+			mapping[strings.ToLower(c.String())] = expr.C(c.Name)
+		}
+	}
+	return expr.SubstituteCols(e, mapping)
+}
+
+// qualifyToDetail rewrites every column of a WHERE predicate to a detail
+// reference, for embedding into the implicit group variable's θ.
+func qualifyToDetail(e expr.Expr, from string) expr.Expr {
+	mapping := map[string]expr.Expr{}
+	for _, c := range expr.ColumnsOf(e) {
+		if c.Qual == "" || strings.EqualFold(c.Qual, from) {
+			mapping[strings.ToLower(c.String())] = expr.QC("R", c.Name)
+		}
+	}
+	return expr.SubstituteCols(e, mapping)
+}
+
+// Run parses, translates, optimizes, and executes a dialect query against
+// the catalog. WITH-clause members are evaluated first (in order, each
+// seeing the previous ones) into an extended catalog. It is the one-call
+// entry point cmd/mdq and the examples use.
+func Run(src string, cat optimizer.Catalog) (*table.Table, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return runQuery(q, cat)
+}
+
+func runQuery(q *Query, cat optimizer.Catalog) (*table.Table, error) {
+	if len(q.With) > 0 {
+		// Extend a copy of the catalog so the caller's map is untouched.
+		ext := make(optimizer.Catalog, len(cat)+len(q.With))
+		for k, v := range cat {
+			ext[k] = v
+		}
+		for _, cte := range q.With {
+			if _, exists := ext[cte.Name]; exists {
+				return nil, fmt.Errorf("sqlext: WITH name %q shadows an existing relation", cte.Name)
+			}
+			t, err := runQuery(cte.Query, ext)
+			if err != nil {
+				return nil, fmt.Errorf("sqlext: evaluating WITH %s: %w", cte.Name, err)
+			}
+			ext[cte.Name] = t
+		}
+		cat = ext
+	}
+	plan, err := Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	plan = optimizer.Optimize(plan)
+	return plan.Execute(cat)
+}
+
+// Explain parses, translates and optimizes a query, returning the plan
+// rendering (for mdq -explain).
+func Explain(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := Translate(q)
+	if err != nil {
+		return "", err
+	}
+	before := optimizer.Format(plan)
+	after := optimizer.Format(optimizer.Optimize(plan))
+	return "-- logical plan --\n" + before + "-- optimized plan --\n" + after, nil
+}

@@ -1,0 +1,79 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a table from CSV. The first record is the header; field
+// values are parsed with ParseValue (NULL/ALL literals, then int, float,
+// bool, string).
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	schema := SchemaOf(header...)
+	t := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != schema.Len() {
+			return nil, fmt.Errorf("table: CSV line %d has %d fields, header has %d", line, len(rec), schema.Len())
+		}
+		row := make(Row, len(rec))
+		for i, f := range rec {
+			row[i] = ParseValue(f)
+		}
+		t.Append(row)
+	}
+	return t, nil
+}
+
+// ReadCSVFile loads a table from a CSV file on disk.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV writes the table as CSV with a header record.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema.Len())
+	for _, r := range t.Rows {
+		for i, v := range r {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to a CSV file on disk.
+func WriteCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteCSV(f, t)
+}

@@ -1,0 +1,142 @@
+package table
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property tests for the storage invariants the operators lean on.
+
+func randTable(rng *rand.Rand, n int) *Table {
+	t := New(SchemaOf("a", "b", "c"))
+	for i := 0; i < n; i++ {
+		row := make(Row, 3)
+		for j := range row {
+			switch rng.Intn(8) {
+			case 0:
+				row[j] = Null()
+			case 1:
+				row[j] = All()
+			case 2:
+				row[j] = Str([]string{"x", "y", "z"}[rng.Intn(3)])
+			case 3:
+				row[j] = Float(float64(rng.Intn(6)) / 2)
+			default:
+				row[j] = Int(int64(rng.Intn(6)))
+			}
+		}
+		t.Append(row)
+	}
+	return t
+}
+
+func TestSortIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 50; trial++ {
+		tt := randTable(rng, rng.Intn(40))
+		before := tt.Clone()
+		tt.SortAll()
+		if !tt.EqualSet(before) {
+			t.Fatalf("sorting changed the multiset")
+		}
+		// Sorted order is actually non-decreasing under the row order.
+		for i := 1; i < len(tt.Rows); i++ {
+			for c := 0; c < 3; c++ {
+				cmp := tt.Rows[i-1][c].Compare(tt.Rows[i][c])
+				if cmp < 0 {
+					break
+				}
+				if cmp > 0 {
+					t.Fatalf("rows %d/%d out of order: %v > %v", i-1, i, tt.Rows[i-1], tt.Rows[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 30; trial++ {
+		tt := randTable(rng, rng.Intn(40))
+		tt.SortAll()
+		once := tt.Clone()
+		tt.SortAll()
+		for i := range tt.Rows {
+			if !tt.Rows[i].Equal(once.Rows[i]) {
+				t.Fatalf("second sort changed row %d", i)
+			}
+		}
+	}
+}
+
+func TestEqualSetIsEquivalenceRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 30; trial++ {
+		a := randTable(rng, rng.Intn(25))
+		// b: a shuffled copy — must be EqualSet.
+		b := a.Clone()
+		rng.Shuffle(len(b.Rows), func(i, j int) { b.Rows[i], b.Rows[j] = b.Rows[j], b.Rows[i] })
+		if !a.EqualSet(a) {
+			t.Fatal("EqualSet not reflexive")
+		}
+		if !a.EqualSet(b) || !b.EqualSet(a) {
+			t.Fatal("EqualSet not symmetric on a permutation")
+		}
+		if a.Len() > 0 {
+			// Dropping a row must break equality.
+			c := a.Clone()
+			c.Rows = c.Rows[:len(c.Rows)-1]
+			if a.EqualSet(c) {
+				t.Fatal("EqualSet ignored a missing row")
+			}
+		}
+	}
+}
+
+func TestIndexCoversEveryRow(t *testing.T) {
+	// Probing the index with each row's own key must find that row.
+	rng := rand.New(rand.NewSource(204))
+	for trial := 0; trial < 30; trial++ {
+		tt := randTable(rng, 1+rng.Intn(40))
+		cols := []int{0, 2}
+		ix := BuildIndexOrdinals(tt, cols)
+		for ri, r := range tt.Rows {
+			key := []Value{r[0], r[2]}
+			found := false
+			for _, hit := range ix.Probe(key) {
+				if hit == ri {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("row %d (%v) not found by its own key", ri, r)
+			}
+		}
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	// Transitivity over random value triples, via sort.SliceIsSorted on a
+	// sorted slice.
+	rng := rand.New(rand.NewSource(205))
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]Value, 30)
+		for i := range vals {
+			switch rng.Intn(6) {
+			case 0:
+				vals[i] = Null()
+			case 1:
+				vals[i] = All()
+			case 2:
+				vals[i] = Str(string(rune('a' + rng.Intn(4))))
+			default:
+				vals[i] = Int(int64(rng.Intn(8) - 4))
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+		if !sort.SliceIsSorted(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 }) {
+			t.Fatalf("Compare is not a consistent total order: %v", vals)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	Name string
+	Type Kind // the expected payload kind; KindNull means "any"
+}
+
+// Schema is an ordered list of columns. Column names are matched
+// case-insensitively, mirroring SQL identifier semantics.
+type Schema struct {
+	Cols []Column
+	// index maps lower-cased names to ordinal positions; built lazily.
+	index map[string]int
+}
+
+// NewSchema builds a schema from (name, type) columns.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols}
+	s.buildIndex()
+	return s
+}
+
+// SchemaOf is a convenience constructor from names only (untyped columns).
+func SchemaOf(names ...string) *Schema {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = Column{Name: n}
+	}
+	return NewSchema(cols...)
+}
+
+func (s *Schema) buildIndex() {
+	s.index = make(map[string]int, len(s.Cols))
+	for i, c := range s.Cols {
+		s.index[strings.ToLower(c.Name)] = i
+	}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the ordinal of the named column, or -1 if absent.
+func (s *Schema) ColIndex(name string) int {
+	if s.index == nil {
+		s.buildIndex()
+	}
+	if i, ok := s.index[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustColIndex returns the ordinal of the named column and panics if the
+// column does not exist; used by internal plan construction where absence
+// is a programming error already validated upstream.
+func (s *Schema) MustColIndex(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("table: schema %v has no column %q", s.Names(), name))
+	}
+	return i
+}
+
+// Has reports whether the schema contains the named column.
+func (s *Schema) Has(name string) bool { return s.ColIndex(name) >= 0 }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := make([]Column, len(s.Cols))
+	copy(cols, s.Cols)
+	return NewSchema(cols...)
+}
+
+// Append returns a new schema with extra columns appended. It is an error
+// (panic) to introduce a duplicate column name: MD-join output schemas are
+// constructed programmatically and duplicates indicate a bad aggregate
+// alias upstream.
+func (s *Schema) Append(cols ...Column) *Schema {
+	out := make([]Column, 0, len(s.Cols)+len(cols))
+	out = append(out, s.Cols...)
+	for _, c := range cols {
+		if s.Has(c.Name) {
+			panic(fmt.Sprintf("table: duplicate column %q appending to %v", c.Name, s.Names()))
+		}
+		out = append(out, c)
+	}
+	return NewSchema(out...)
+}
+
+// Project returns the schema restricted to the given column names, in the
+// given order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		j := s.ColIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("table: projection column %q not in schema %v", n, s.Names())
+		}
+		cols[i] = s.Cols[j]
+	}
+	return NewSchema(cols...), nil
+}
+
+// EqualNames reports whether two schemas have identical column names in
+// identical order (types are advisory and ignored).
+func (s *Schema) EqualNames(o *Schema) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if !strings.EqualFold(s.Cols[i].Name, o.Cols[i].Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(a, b, c)".
+func (s *Schema) String() string {
+	return "(" + strings.Join(s.Names(), ", ") + ")"
+}

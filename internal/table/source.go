@@ -1,0 +1,148 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Source provides repeatable scans of a relation — the abstraction that
+// lets the MD-join executor treat a memory-resident table and a
+// disk-resident file identically. Every algorithm in the paper is costed
+// in scans of the detail relation; a Source makes that cost real: each
+// Scan call re-reads the underlying data.
+//
+// Scan must be safe to call concurrently (Theorem 4.1's base-partitioned
+// parallelism scans from several goroutines at once); the iterators it
+// returns are used by a single goroutine each.
+type Source interface {
+	// Schema describes the rows every scan yields.
+	Schema() *Schema
+	// Scan starts a fresh pass over the relation.
+	Scan() (Iterator, error)
+}
+
+// Iterator streams rows; Next returns io.EOF after the last row.
+type Iterator interface {
+	Next() (Row, error)
+	Close() error
+}
+
+// ---------------------------------------------------------- table source
+
+// tableSource adapts a materialized table.
+type tableSource struct {
+	t *Table
+}
+
+// NewTableSource wraps a materialized table as a Source.
+func NewTableSource(t *Table) Source { return &tableSource{t: t} }
+
+func (s *tableSource) Schema() *Schema { return s.t.Schema }
+
+func (s *tableSource) Scan() (Iterator, error) {
+	return &tableIterator{rows: s.t.Rows}, nil
+}
+
+type tableIterator struct {
+	rows []Row
+	pos  int
+}
+
+func (it *tableIterator) Next() (Row, error) {
+	if it.pos >= len(it.rows) {
+		return nil, io.EOF
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, nil
+}
+
+func (it *tableIterator) Close() error { return nil }
+
+// ------------------------------------------------------------ CSV source
+
+// csvSource re-reads a CSV file on every scan — the disk-resident detail
+// relation of the paper's cost model. The header is read once at
+// construction to fix the schema; each Scan re-opens the file.
+type csvSource struct {
+	path   string
+	schema *Schema
+}
+
+// NewCSVSource opens the file once to read the header and returns a
+// Source whose scans stream the data records.
+func NewCSVSource(path string) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	header, err := csv.NewReader(f).Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header of %s: %w", path, err)
+	}
+	return &csvSource{path: path, schema: SchemaOf(header...)}, nil
+}
+
+func (s *csvSource) Schema() *Schema { return s.schema }
+
+func (s *csvSource) Scan() (Iterator, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = s.schema.Len()
+	// Skip the header.
+	if _, err := r.Read(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("table: re-reading CSV header of %s: %w", s.path, err)
+	}
+	return &csvIterator{f: f, r: r, width: s.schema.Len()}, nil
+}
+
+type csvIterator struct {
+	f     *os.File
+	r     *csv.Reader
+	width int
+	row   Row // reused buffer? rows escape to aggregate args; allocate fresh
+}
+
+func (it *csvIterator) Next() (Row, error) {
+	rec, err := it.r.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	row := make(Row, it.width)
+	for i, field := range rec {
+		row[i] = ParseValue(field)
+	}
+	return row, nil
+}
+
+func (it *csvIterator) Close() error { return it.f.Close() }
+
+// Materialize drains a source into a table (one scan).
+func Materialize(s Source) (*Table, error) {
+	it, err := s.Scan()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := New(s.Schema())
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Append(r)
+	}
+}

@@ -1,0 +1,298 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one tuple; len(Row) always equals the owning schema's length.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports positional value equality.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash folds the whole row into a 64-bit hash consistent with Equal.
+func (r Row) Hash() uint64 { return HashCols(r, nil) }
+
+// HashCols hashes the row restricted to the given column ordinals; a nil
+// slice hashes every column.
+func HashCols(r Row, cols []int) uint64 {
+	var h uint64 = 14695981039346656037
+	if cols == nil {
+		for _, v := range r {
+			h = hashValue(h, v)
+		}
+		return h
+	}
+	for _, c := range cols {
+		h = hashValue(h, r[c])
+	}
+	return h
+}
+
+// EqualOn reports equality of two rows restricted to parallel column lists.
+func EqualOn(a Row, acols []int, b Row, bcols []int) bool {
+	for i := range acols {
+		if !a[acols[i]].Equal(b[bcols[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is a materialized relation: a schema plus rows. It is the common
+// currency of every operator in this repository (classic relational,
+// MD-join, cube).
+type Table struct {
+	Schema *Schema
+	Rows   []Row
+}
+
+// New creates an empty table with the given schema.
+func New(schema *Schema) *Table {
+	return &Table{Schema: schema}
+}
+
+// FromRows creates a table and validates row widths.
+func FromRows(schema *Schema, rows []Row) (*Table, error) {
+	for i, r := range rows {
+		if len(r) != schema.Len() {
+			return nil, fmt.Errorf("table: row %d has %d values, schema %v has %d columns",
+				i, len(r), schema.Names(), schema.Len())
+		}
+	}
+	return &Table{Schema: schema, Rows: rows}, nil
+}
+
+// MustFromRows is FromRows that panics on width mismatch; for literals in
+// tests and examples.
+func MustFromRows(schema *Schema, rows []Row) *Table {
+	t, err := FromRows(schema, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Append adds a row; the caller guarantees the width matches.
+func (t *Table) Append(r Row) { t.Rows = append(t.Rows, r) }
+
+// Clone returns a deep copy (rows are copied; Values are immutable).
+func (t *Table) Clone() *Table {
+	rows := make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = r.Clone()
+	}
+	return &Table{Schema: t.Schema.Clone(), Rows: rows}
+}
+
+// Col returns the ordinal of the named column or -1.
+func (t *Table) Col(name string) int { return t.Schema.ColIndex(name) }
+
+// Value returns the value at (row, named column); panics on a bad name.
+func (t *Table) Value(row int, col string) Value {
+	return t.Rows[row][t.Schema.MustColIndex(col)]
+}
+
+// SortBy sorts rows in place by the named columns ascending, using the
+// Value total order. It returns the table for chaining.
+func (t *Table) SortBy(cols ...string) *Table {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.Schema.MustColIndex(c)
+	}
+	return t.SortByOrdinals(idx)
+}
+
+// SortByOrdinals sorts rows in place by column ordinals ascending. The
+// sort is unstable — relations are multisets, so no operator depends on
+// the relative order of equal-key rows.
+func (t *Table) SortByOrdinals(idx []int) *Table {
+	sort.Slice(t.Rows, func(a, b int) bool {
+		ra, rb := t.Rows[a], t.Rows[b]
+		for _, c := range idx {
+			if cmp := ra[c].Compare(rb[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return t
+}
+
+// SortAll sorts rows by every column left to right; handy for canonical
+// forms in equivalence tests.
+func (t *Table) SortAll() *Table {
+	idx := make([]int, t.Schema.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return t.SortByOrdinals(idx)
+}
+
+// EqualSet reports whether two tables have identical schemas (by name) and
+// the same multiset of rows, ignoring order. It is the equivalence used by
+// every theorem test (relations are multisets).
+func (t *Table) EqualSet(o *Table) bool {
+	if !t.Schema.EqualNames(o.Schema) || len(t.Rows) != len(o.Rows) {
+		return false
+	}
+	a := t.Clone().SortAll()
+	b := o.Clone().SortAll()
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(b.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first difference between
+// two tables compared as multisets, or "" if they are equivalent. Used by
+// tests to produce actionable failures.
+func (t *Table) Diff(o *Table) string {
+	if !t.Schema.EqualNames(o.Schema) {
+		return fmt.Sprintf("schema mismatch: %v vs %v", t.Schema.Names(), o.Schema.Names())
+	}
+	if len(t.Rows) != len(o.Rows) {
+		return fmt.Sprintf("row count mismatch: %d vs %d", len(t.Rows), len(o.Rows))
+	}
+	a := t.Clone().SortAll()
+	b := o.Clone().SortAll()
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(b.Rows[i]) {
+			return fmt.Sprintf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	return ""
+}
+
+// String renders the table as an aligned text grid (column header, rule,
+// rows), the format cmd/mdq and cmd/mdbench print.
+func (t *Table) String() string {
+	names := t.Schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells[ri] = make([]string, len(r))
+		for ci, v := range r {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, s := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			for p := len(s); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range cells {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Index is a hash index over a subset of a table's columns mapping key
+// hashes to candidate row ordinals. It implements the base-values indexing
+// of Section 4.5 of the paper: given a detail tuple, find the relative set
+// Rel(t) of B rows in O(1) expected time instead of a nested loop.
+type Index struct {
+	tab     *Table
+	cols    []int
+	buckets map[uint64][]int
+}
+
+// BuildIndex indexes the table on the given column names.
+func BuildIndex(t *Table, cols []string) *Index {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.Schema.MustColIndex(c)
+	}
+	return BuildIndexOrdinals(t, idx)
+}
+
+// BuildIndexOrdinals indexes the table on column ordinals.
+func BuildIndexOrdinals(t *Table, cols []int) *Index {
+	ix := &Index{tab: t, cols: cols, buckets: make(map[uint64][]int, len(t.Rows))}
+	for ri, r := range t.Rows {
+		h := HashCols(r, cols)
+		ix.buckets[h] = append(ix.buckets[h], ri)
+	}
+	return ix
+}
+
+// Cols returns the indexed column ordinals.
+func (ix *Index) Cols() []int { return ix.cols }
+
+// Probe returns the ordinals of rows whose indexed columns equal the given
+// key values (len(key) == len(cols)). Hash collisions are verified.
+func (ix *Index) Probe(key []Value) []int {
+	return ix.ProbeAppend(nil, key)
+}
+
+// ProbeAppend appends matching row ordinals to dst and returns it —
+// the allocation-free variant for scan loops (pass dst[:0] to reuse a
+// buffer).
+func (ix *Index) ProbeAppend(dst []int, key []Value) []int {
+	var h uint64 = 14695981039346656037
+	for _, v := range key {
+		h = hashValue(h, v)
+	}
+	cand := ix.buckets[h]
+	for _, ri := range cand {
+		r := ix.tab.Rows[ri]
+		match := true
+		for i, c := range ix.cols {
+			if !r[c].Equal(key[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			dst = append(dst, ri)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,289 @@
+package table
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := SchemaOf("a", "b", "c")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.ColIndex("b") != 1 || s.ColIndex("B") != 1 {
+		t.Error("ColIndex should be case-insensitive")
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if !s.Has("c") || s.Has("d") {
+		t.Error("Has")
+	}
+	if got := s.String(); got != "(a, b, c)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaAppendAndProject(t *testing.T) {
+	s := SchemaOf("a", "b")
+	s2 := s.Append(Column{Name: "c"})
+	if s.Len() != 2 || s2.Len() != 3 {
+		t.Error("Append must not mutate the receiver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Append should panic")
+		}
+	}()
+	p, err := s2.Project("c", "a")
+	if err != nil || p.Len() != 2 || p.Cols[0].Name != "c" {
+		t.Errorf("Project = %v, %v", p, err)
+	}
+	if _, err := s2.Project("nope"); err == nil {
+		t.Error("Project with bad column should error")
+	}
+	s2.Append(Column{Name: "a"}) // panics
+}
+
+func TestSchemaEqualNames(t *testing.T) {
+	if !SchemaOf("a", "b").EqualNames(SchemaOf("A", "B")) {
+		t.Error("EqualNames should ignore case")
+	}
+	if SchemaOf("a").EqualNames(SchemaOf("a", "b")) {
+		t.Error("different lengths")
+	}
+	if SchemaOf("a", "b").EqualNames(SchemaOf("b", "a")) {
+		t.Error("order matters")
+	}
+}
+
+func TestMustColIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustColIndex should panic on a missing column")
+		}
+	}()
+	SchemaOf("a").MustColIndex("b")
+}
+
+func TestFromRowsValidatesWidth(t *testing.T) {
+	s := SchemaOf("a", "b")
+	if _, err := FromRows(s, []Row{{Int(1)}}); err == nil {
+		t.Error("narrow row should error")
+	}
+	tt, err := FromRows(s, []Row{{Int(1), Int(2)}})
+	if err != nil || tt.Len() != 1 {
+		t.Errorf("FromRows: %v", err)
+	}
+}
+
+func TestSortByAndEqualSet(t *testing.T) {
+	s := SchemaOf("a", "b")
+	t1 := MustFromRows(s, []Row{
+		{Int(2), Str("x")},
+		{Int(1), Str("y")},
+		{Int(1), Str("a")},
+	})
+	t2 := MustFromRows(s, []Row{
+		{Int(1), Str("a")},
+		{Int(2), Str("x")},
+		{Int(1), Str("y")},
+	})
+	if !t1.EqualSet(t2) {
+		t.Error("EqualSet must ignore order")
+	}
+	t1.SortBy("a", "b")
+	if t1.Rows[0][1].AsString() != "a" || t1.Rows[2][0].AsInt() != 2 {
+		t.Errorf("SortBy order wrong: %v", t1.Rows)
+	}
+	t3 := MustFromRows(s, []Row{
+		{Int(1), Str("a")},
+		{Int(2), Str("x")},
+		{Int(2), Str("x")},
+	})
+	if t1.EqualSet(t3) {
+		t.Error("multiset difference must be detected")
+	}
+	if d := t1.Diff(t3); d == "" {
+		t.Error("Diff should describe the difference")
+	}
+	if d := t1.Diff(t2); d != "" {
+		t.Errorf("Diff of equal tables = %q", d)
+	}
+}
+
+func TestTableStringFormat(t *testing.T) {
+	tt := MustFromRows(SchemaOf("name", "n"), []Row{
+		{Str("alice"), Int(1)},
+	})
+	out := tt.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "alice") || !strings.Contains(out, "---") {
+		t.Errorf("unexpected format:\n%s", out)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tt := MustFromRows(SchemaOf("a"), []Row{{Int(1)}})
+	c := tt.Clone()
+	c.Rows[0][0] = Int(99)
+	if tt.Rows[0][0].AsInt() != 1 {
+		t.Error("Clone must deep-copy rows")
+	}
+}
+
+func TestIndexProbe(t *testing.T) {
+	s := SchemaOf("k", "v")
+	tt := MustFromRows(s, []Row{
+		{Int(1), Str("a")},
+		{Int(2), Str("b")},
+		{Int(1), Str("c")},
+		{All(), Str("d")},
+		{Null(), Str("e")},
+	})
+	ix := BuildIndex(tt, []string{"k"})
+	if got := ix.Probe([]Value{Int(1)}); len(got) != 2 {
+		t.Errorf("Probe(1) = %v, want 2 rows", got)
+	}
+	if got := ix.Probe([]Value{Int(3)}); len(got) != 0 {
+		t.Errorf("Probe(3) = %v, want none", got)
+	}
+	if got := ix.Probe([]Value{All()}); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Probe(ALL) = %v, want row 3", got)
+	}
+	if got := ix.Probe([]Value{Null()}); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Probe(NULL) = %v, want row 4", got)
+	}
+	// Cross-kind numeric probing: Float(1) finds Int(1) rows.
+	if got := ix.Probe([]Value{Float(1)}); len(got) != 2 {
+		t.Errorf("Probe(1.0) = %v, want 2 rows", got)
+	}
+}
+
+func TestIndexProbeMatchesLinearScan(t *testing.T) {
+	// Property: probing equals filtering by Equal on the key columns.
+	rng := rand.New(rand.NewSource(99))
+	s := SchemaOf("a", "b", "v")
+	tt := New(s)
+	for i := 0; i < 500; i++ {
+		tt.Append(Row{Int(int64(rng.Intn(10))), Str(string(rune('a' + rng.Intn(5)))), Int(int64(i))})
+	}
+	ix := BuildIndex(tt, []string{"a", "b"})
+	for trial := 0; trial < 100; trial++ {
+		key := []Value{Int(int64(rng.Intn(12))), Str(string(rune('a' + rng.Intn(6))))}
+		got := ix.Probe(key)
+		var want []int
+		for ri, r := range tt.Rows {
+			if r[0].Equal(key[0]) && r[1].Equal(key[1]) {
+				want = append(want, ri)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("probe %v: got %d rows, want %d", key, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("probe %v: got %v, want %v", key, got, want)
+			}
+		}
+	}
+}
+
+func TestHashColsSubset(t *testing.T) {
+	r := Row{Int(1), Str("x"), Float(2.5)}
+	if HashCols(r, []int{0}) == HashCols(r, []int{1}) {
+		t.Error("different columns should (virtually always) hash differently")
+	}
+	if r.Hash() != HashCols(r, nil) {
+		t.Error("Hash must equal full-column HashCols")
+	}
+}
+
+func TestEqualOn(t *testing.T) {
+	a := Row{Int(1), Str("x")}
+	b := Row{Str("x"), Int(1)}
+	if !EqualOn(a, []int{0, 1}, b, []int{1, 0}) {
+		t.Error("EqualOn with permuted ordinals")
+	}
+	if EqualOn(a, []int{0}, b, []int{0}) {
+		t.Error("1 != x")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tt := MustFromRows(SchemaOf("a", "b", "c"), []Row{
+		{Int(1), Str("x"), Float(1.5)},
+		{Null(), All(), Str("hello, world")},
+		{Bool(true), Str("quote\"inside"), Int(-2)},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tt.Diff(back); d != "" {
+		t.Errorf("round trip: %s\n%s", d, buf.String())
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(vals []int64, strs []string) bool {
+		tt := New(SchemaOf("n", "s"))
+		for i := range vals {
+			s := "v"
+			if i < len(strs) {
+				// Avoid strings parsing as other literal kinds.
+				s = "s_" + strs[i]
+				s = strings.ReplaceAll(s, "\n", "_")
+				s = strings.ReplaceAll(s, "\r", "_")
+			}
+			tt.Append(Row{Int(vals[i]), Str(s)})
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tt); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return tt.Diff(back) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	tt := MustFromRows(SchemaOf("a"), []Row{{Int(7)}})
+	if err := WriteCSVFile(path, tt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tt.Diff(back); d != "" {
+		t.Error(d)
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error (no header)")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("short record should error")
+	}
+}

@@ -1,0 +1,285 @@
+// Package table implements the in-memory relation substrate used by the
+// MD-join reproduction: typed values (including the distinguished NULL and
+// ALL markers from Gray et al.'s data cube model), schemas, rows, tables,
+// hashing, ordering, and CSV interchange.
+//
+// The representation is deliberately row-oriented: the paper's algorithmics
+// concern scan counts and the memory-residency of the base-values relation,
+// not storage format, and rows keep every operator implementation direct.
+package table
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind discriminates the payload of a Value.
+type Kind uint8
+
+// Value kinds. KindNull models SQL NULL (e.g. the sum over an empty
+// θ-range); KindAll models the 'ALL' placeholder that a data cube uses to
+// mark a rolled-up dimension (Example 2.1 of the paper).
+const (
+	KindNull Kind = iota
+	KindAll
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the kind name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindAll:
+		return "ALL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// All returns the data-cube 'ALL' placeholder value.
+func All() Value { return Value{kind: KindAll} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsAll reports whether the value is the cube 'ALL' placeholder.
+func (v Value) IsAll() bool { return v.kind == KindAll }
+
+// AsInt returns the integer payload. It is valid only for KindInt and
+// KindBool values.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the value coerced to float64. Integers and booleans
+// widen; other kinds return NaN.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindBool:
+		return float64(v.i)
+	default:
+		return math.NaN()
+	}
+}
+
+// AsString returns the string payload. It is valid only for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload. It is valid only for KindBool.
+func (v Value) AsBool() bool { return v.i != 0 }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value the way cmd/mdbench prints result tables.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindAll:
+		return "ALL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports SQL-style equality with NULL/ALL treated as ordinary
+// distinguished constants: NULL equals NULL and ALL equals ALL. (MD-join
+// base-values tables contain ALL markers that must compare equal during
+// grouping and indexing; predicate evaluation applies three-valued logic
+// separately in package expr.)
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Numeric cross-kind comparison: 1 == 1.0.
+		if v.IsNumeric() && o.IsNumeric() {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull, KindAll:
+		return true
+	case KindInt, KindBool:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	}
+	return false
+}
+
+// Compare imposes a total order used for sorting and range predicates:
+// NULL < ALL < numerics/bools < strings; numerics compare by value across
+// int/float kinds. The result is -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	ra, rb := v.rank(), o.rank()
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull, KindAll:
+		// Same rank NULL/ALL compare equal.
+		if o.kind == v.kind {
+			return 0
+		}
+		if v.kind == KindNull {
+			return -1
+		}
+		return 1
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		default:
+			return 0
+		}
+	default: // numeric / bool
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindAll:
+		return 0 // NULL and ALL share a rank; Compare breaks the tie
+	case KindInt, KindFloat, KindBool:
+		return 1
+	case KindString:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Less reports v < o under the Compare total order.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// hashInto folds the value into an FNV-1a style hash accumulator.
+func (v Value) hashInto(h uint64) uint64 {
+	const prime = 1099511628211
+	h ^= uint64(v.kind)
+	h *= prime
+	switch v.kind {
+	case KindInt, KindBool:
+		h ^= uint64(v.i)
+		h *= prime
+	case KindFloat:
+		// Normalize integral floats so Int(3) and Float(3) hash alike,
+		// matching Equal's cross-kind numeric equality.
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+			h ^= uint64(int64(v.f))
+		} else {
+			h ^= math.Float64bits(v.f)
+		}
+		h *= prime
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= prime
+		}
+	}
+	return h
+}
+
+// hashValue hashes a value consistently with Equal's cross-kind numeric
+// equality: ints hash through the same path as integral floats. Bools are
+// not numeric and hash with their own kind.
+func hashValue(h uint64, v Value) uint64 {
+	if v.kind == KindInt {
+		return Float(float64(v.i)).hashInto(h)
+	}
+	return v.hashInto(h)
+}
+
+// ParseValue converts raw text (e.g. a CSV field) into the narrowest value:
+// the literals NULL and ALL, then int, float, bool, falling back to string.
+func ParseValue(s string) Value {
+	switch s {
+	case "", "NULL", "null":
+		return Null()
+	case "ALL", "all":
+		return All()
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return Bool(b)
+	}
+	return Str(s)
+}

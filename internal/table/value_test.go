@@ -1,0 +1,186 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{All(), KindAll, "ALL"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hi"), KindString, "hi"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(5).AsInt() != 5 {
+		t.Error("AsInt")
+	}
+	if Int(5).AsFloat() != 5.0 {
+		t.Error("int AsFloat widening")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat")
+	}
+	if !math.IsNaN(Str("x").AsFloat()) {
+		t.Error("non-numeric AsFloat should be NaN")
+	}
+	if Str("abc").AsString() != "abc" {
+		t.Error("AsString")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool")
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull")
+	}
+	if !All().IsAll() || Null().IsAll() {
+		t.Error("IsAll")
+	}
+	if !Int(1).IsNumeric() || !Float(1).IsNumeric() || Str("1").IsNumeric() {
+		t.Error("IsNumeric")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Int(3), Float(3), true}, // cross-kind numeric equality
+		{Float(3), Int(3), true},
+		{Float(2.5), Float(2.5), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Null(), Null(), true}, // grouping semantics
+		{All(), All(), true},
+		{Null(), All(), false},
+		{Null(), Int(0), false},
+		{All(), Str("ALL"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Bool(true), Int(1), false}, // bools are not numerics
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal(%v, %v) (sym) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	// NULL < ALL < numerics < strings.
+	ordered := []Value{Null(), All(), Int(-5), Float(-1.5), Int(0), Float(2.5), Int(3), Str("a"), Str("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			var want int
+			switch {
+			case i < j:
+				want = -1
+			case i > j:
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	// Values that compare Equal must hash identically (index probing
+	// correctness): in particular Int(n) and Float(n).
+	f := func(n int64) bool {
+		hi := hashValue(14695981039346656037, Int(n))
+		hf := hashValue(14695981039346656037, Float(float64(n)))
+		return hi == hf
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null()},
+		{"NULL", Null()},
+		{"null", Null()},
+		{"ALL", All()},
+		{"all", All()},
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"true", Bool(true)},
+		{"hello", Str("hello")},
+		{"12abc", Str("12abc")},
+	}
+	for _, c := range cases {
+		if got := ParseValue(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseValue(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	f := func(n int64, s string) bool {
+		if !ParseValue(Int(n).String()).Equal(Int(n)) {
+			return false
+		}
+		// Strings that don't look like other literals round-trip.
+		v := ParseValue(s)
+		return ParseValue(v.String()).Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindAll: "ALL", KindInt: "INT",
+		KindFloat: "FLOAT", KindString: "STRING", KindBool: "BOOL",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package workload generates the synthetic datasets the experiments run
+// on. The paper evaluates on retail-style Sales data (schema cust, prod,
+// day, month, year, state, sale) that is not published; this generator is
+// the substitution documented in DESIGN.md: seeded, with configurable
+// cardinalities and either uniform or zipfian skew, so every experiment is
+// reproducible and the workload knobs the paper's queries depend on
+// (number of customers, products, months, states) can be swept.
+package workload
+
+import (
+	"math/rand"
+
+	"mdjoin/internal/table"
+)
+
+// SalesConfig parameterizes the Sales generator.
+type SalesConfig struct {
+	Rows      int
+	Customers int
+	Products  int
+	Years     int // years covered, starting at FirstYear
+	FirstYear int
+	States    int // number of distinct states, capped at len(stateNames)
+	// ZipfS > 1 skews customer and product choice zipfian with parameter
+	// s; 0 means uniform.
+	ZipfS float64
+	// MaxSale bounds the sale amount (exclusive); defaults to 1000.
+	MaxSale int
+	Seed    int64
+}
+
+var stateNames = []string{
+	"NY", "NJ", "CT", "CA", "IL", "TX", "WA", "FL", "MA", "PA",
+	"OH", "MI", "GA", "NC", "VA", "AZ", "CO", "OR", "MN", "WI",
+}
+
+// SalesSchema is the schema of generated Sales relations.
+func SalesSchema() *table.Schema {
+	return table.SchemaOf("cust", "prod", "day", "month", "year", "state", "sale")
+}
+
+// Sales generates a Sales relation.
+func Sales(cfg SalesConfig) *table.Table {
+	cfg = fillDefaults(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	custPick := picker(rng, cfg.Customers, cfg.ZipfS)
+	prodPick := picker(rng, cfg.Products, cfg.ZipfS)
+
+	t := table.New(SalesSchema())
+	t.Rows = make([]table.Row, 0, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		t.Append(table.Row{
+			table.Int(int64(custPick() + 1)),
+			table.Int(int64(prodPick() + 1)),
+			table.Int(int64(rng.Intn(28) + 1)),
+			table.Int(int64(rng.Intn(12) + 1)),
+			table.Int(int64(cfg.FirstYear + rng.Intn(cfg.Years))),
+			table.Str(stateNames[rng.Intn(cfg.States)]),
+			table.Float(float64(rng.Intn(cfg.MaxSale)) + rng.Float64()),
+		})
+	}
+	return t
+}
+
+// PaymentsConfig parameterizes the Payments generator (Example 3.3's
+// second detail relation).
+type PaymentsConfig struct {
+	Rows      int
+	Customers int
+	Years     int
+	FirstYear int
+	MaxAmount int
+	Seed      int64
+}
+
+// PaymentsSchema is the schema of generated Payments relations.
+func PaymentsSchema() *table.Schema {
+	return table.SchemaOf("cust", "day", "month", "year", "amount")
+}
+
+// Payments generates a Payments relation.
+func Payments(cfg PaymentsConfig) *table.Table {
+	if cfg.Rows == 0 {
+		cfg.Rows = 1000
+	}
+	if cfg.Customers == 0 {
+		cfg.Customers = 100
+	}
+	if cfg.Years == 0 {
+		cfg.Years = 3
+	}
+	if cfg.FirstYear == 0 {
+		cfg.FirstYear = 1995
+	}
+	if cfg.MaxAmount == 0 {
+		cfg.MaxAmount = 500
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := table.New(PaymentsSchema())
+	t.Rows = make([]table.Row, 0, cfg.Rows)
+	for i := 0; i < cfg.Rows; i++ {
+		t.Append(table.Row{
+			table.Int(int64(rng.Intn(cfg.Customers) + 1)),
+			table.Int(int64(rng.Intn(28) + 1)),
+			table.Int(int64(rng.Intn(12) + 1)),
+			table.Int(int64(cfg.FirstYear + rng.Intn(cfg.Years))),
+			table.Float(float64(rng.Intn(cfg.MaxAmount)) + rng.Float64()),
+		})
+	}
+	return t
+}
+
+func fillDefaults(cfg SalesConfig) SalesConfig {
+	if cfg.Rows == 0 {
+		cfg.Rows = 10000
+	}
+	if cfg.Customers == 0 {
+		cfg.Customers = 100
+	}
+	if cfg.Products == 0 {
+		cfg.Products = 50
+	}
+	if cfg.Years == 0 {
+		cfg.Years = 7
+	}
+	if cfg.FirstYear == 0 {
+		cfg.FirstYear = 1994
+	}
+	if cfg.States == 0 || cfg.States > len(stateNames) {
+		cfg.States = 10
+	}
+	if cfg.MaxSale == 0 {
+		cfg.MaxSale = 1000
+	}
+	return cfg
+}
+
+// picker returns a function drawing values in [0, n) — uniform, or zipfian
+// with parameter s when s > 1.
+func picker(rng *rand.Rand, n int, s float64) func() int {
+	if s > 1 {
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(n) }
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"mdjoin/internal/table"
+)
+
+func TestSalesDeterministic(t *testing.T) {
+	a := Sales(SalesConfig{Rows: 500, Seed: 7})
+	b := Sales(SalesConfig{Rows: 500, Seed: 7})
+	if d := a.Diff(b); d != "" {
+		t.Fatalf("same seed must generate identical data: %s", d)
+	}
+	c := Sales(SalesConfig{Rows: 500, Seed: 8})
+	if a.EqualSet(c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSalesSchemaAndRanges(t *testing.T) {
+	cfg := SalesConfig{Rows: 2000, Customers: 10, Products: 5, Years: 2, FirstYear: 1997, States: 4, MaxSale: 100, Seed: 1}
+	s := Sales(cfg)
+	if !s.Schema.EqualNames(SalesSchema()) {
+		t.Fatalf("schema = %v", s.Schema.Names())
+	}
+	if s.Len() != cfg.Rows {
+		t.Fatalf("rows = %d", s.Len())
+	}
+	ci, pi, mi, yi, sli := s.Col("cust"), s.Col("prod"), s.Col("month"), s.Col("year"), s.Col("sale")
+	states := map[string]bool{}
+	for _, r := range s.Rows {
+		if c := r[ci].AsInt(); c < 1 || c > int64(cfg.Customers) {
+			t.Fatalf("cust out of range: %d", c)
+		}
+		if p := r[pi].AsInt(); p < 1 || p > int64(cfg.Products) {
+			t.Fatalf("prod out of range: %d", p)
+		}
+		if m := r[mi].AsInt(); m < 1 || m > 12 {
+			t.Fatalf("month out of range: %d", m)
+		}
+		if y := r[yi].AsInt(); y < 1997 || y > 1998 {
+			t.Fatalf("year out of range: %d", y)
+		}
+		if v := r[sli].AsFloat(); v < 0 || v >= float64(cfg.MaxSale)+1 {
+			t.Fatalf("sale out of range: %v", v)
+		}
+		states[r[s.Col("state")].AsString()] = true
+	}
+	if len(states) > cfg.States {
+		t.Errorf("states = %d, want <= %d", len(states), cfg.States)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	uni := Sales(SalesConfig{Rows: 20000, Customers: 50, Seed: 3})
+	skew := Sales(SalesConfig{Rows: 20000, Customers: 50, ZipfS: 1.5, Seed: 3})
+	top := func(tt *table.Table) float64 {
+		counts := map[int64]int{}
+		ci := tt.Col("cust")
+		for _, r := range tt.Rows {
+			counts[r[ci].AsInt()]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		return float64(best) / float64(tt.Len())
+	}
+	if top(skew) < 2*top(uni) {
+		t.Errorf("zipf should concentrate mass: top uniform %.3f vs zipf %.3f", top(uni), top(skew))
+	}
+}
+
+func TestPayments(t *testing.T) {
+	p := Payments(PaymentsConfig{Rows: 300, Customers: 7, Seed: 9})
+	if !p.Schema.EqualNames(PaymentsSchema()) {
+		t.Fatalf("schema = %v", p.Schema.Names())
+	}
+	if p.Len() != 300 {
+		t.Fatalf("rows = %d", p.Len())
+	}
+	ci := p.Col("cust")
+	for _, r := range p.Rows {
+		if c := r[ci].AsInt(); c < 1 || c > 7 {
+			t.Fatalf("cust out of range: %d", c)
+		}
+	}
+	// Defaults fill in.
+	d := Payments(PaymentsConfig{Seed: 1})
+	if d.Len() == 0 {
+		t.Error("defaults should produce rows")
+	}
+}
+
+func TestSalesDefaults(t *testing.T) {
+	s := Sales(SalesConfig{Seed: 2})
+	if s.Len() != 10000 {
+		t.Errorf("default rows = %d, want 10000", s.Len())
+	}
+}

@@ -1,0 +1,274 @@
+// Package mdjoin is a Go implementation of the MD-join operator for
+// complex OLAP queries (Chatziantoniou & Johnson, ICDE 2001) together with
+// everything the operator needs around it: an in-memory relational engine,
+// a cube toolkit (cube-by / rollup / grouping sets / unpivot base values,
+// PIPESORT, Ross–Srivastava partitioned cubes), an algebraic optimizer
+// implementing the paper's Theorems 4.1–4.5, and the "analyze by" SQL
+// dialect of Section 5 with EMF-SQL grouping variables.
+//
+// The MD-join MD(B, R, l, θ) aggregates a detail relation R onto a
+// base-values relation B: every row b of B yields exactly one output row
+// carrying b plus one column per aggregate f ∈ l computed over
+// {r ∈ R | θ(b, r)}. Separating the definition of the groups (B) from the
+// definition of the aggregation (l, θ) is the paper's contribution; this
+// package exposes both halves.
+//
+// # Quick start
+//
+//	sales, _ := mdjoin.ReadCSVFile("sales.csv")
+//	base, _ := mdjoin.DistinctBase(sales, "cust")
+//	out, _ := mdjoin.MDJoin(base, sales,
+//	    []mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("sale"), "total")},
+//	    mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust")))
+//	fmt.Print(out)
+//
+// Or in the dialect:
+//
+//	out, _ := mdjoin.Query(
+//	    "select cust, sum(sale) as total from Sales group by cust",
+//	    mdjoin.Catalog{"Sales": sales})
+package mdjoin
+
+import (
+	"io"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/cube"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/optimizer"
+	"mdjoin/internal/sqlext"
+	"mdjoin/internal/table"
+)
+
+// ----------------------------------------------------------------- tables
+
+// Table is a materialized relation: a schema plus rows.
+type Table = table.Table
+
+// Schema describes a relation's columns.
+type Schema = table.Schema
+
+// Row is one tuple.
+type Row = table.Row
+
+// Value is a dynamically typed SQL value (int, float, string, bool, NULL,
+// or the data-cube ALL marker).
+type Value = table.Value
+
+// Value constructors.
+var (
+	Int    = table.Int
+	Float  = table.Float
+	String = table.Str
+	Bool   = table.Bool
+	Null   = table.Null
+	All    = table.All
+)
+
+// NewSchema builds a schema from column names.
+func NewSchema(names ...string) *Schema { return table.SchemaOf(names...) }
+
+// NewTable creates an empty table with the named columns.
+func NewTable(names ...string) *Table { return table.New(table.SchemaOf(names...)) }
+
+// FromRows builds a table from rows, validating widths.
+func FromRows(schema *Schema, rows []Row) (*Table, error) { return table.FromRows(schema, rows) }
+
+// ReadCSV loads a table from CSV (first record is the header; NULL/ALL
+// literals, ints, floats and bools are parsed).
+func ReadCSV(r io.Reader) (*Table, error) { return table.ReadCSV(r) }
+
+// ReadCSVFile loads a table from a CSV file.
+func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
+
+// WriteCSV writes a table as CSV.
+func WriteCSV(w io.Writer, t *Table) error { return table.WriteCSV(w, t) }
+
+// ------------------------------------------------------------ expressions
+
+// Expr is a scalar expression or predicate (θ-conditions, selections,
+// aggregate arguments).
+type Expr = expr.Expr
+
+// BaseCol references a column of the base-values relation inside a
+// θ-condition (the paper writes these unqualified: "cust").
+func BaseCol(name string) Expr { return expr.QC("B", name) }
+
+// DetailCol references a column of the detail relation inside a
+// θ-condition (the paper writes these table-qualified: "Sales.cust").
+func DetailCol(name string) Expr { return expr.QC("R", name) }
+
+// Col references a column unqualified; in a θ it resolves against the base
+// relation first, matching the paper's convention.
+func Col(name string) Expr { return expr.C(name) }
+
+// Literal constructors for expressions.
+var (
+	IntLit    = expr.I
+	FloatLit  = expr.F
+	StringLit = expr.S
+	ValueLit  = expr.V
+)
+
+// Comparison and boolean builders.
+var (
+	Eq  = expr.Eq
+	Ne  = expr.Ne
+	Lt  = expr.Lt
+	Le  = expr.Le
+	Gt  = expr.Gt
+	Ge  = expr.Ge
+	And = expr.And
+	Or  = expr.Or
+	Not = expr.Not
+	Add = expr.Add
+	Sub = expr.Sub
+	Mul = expr.Mul
+	Div = expr.Div
+)
+
+// CubeEq is cube equality: the base side's ALL marker matches any detail
+// value. Use it to relate cube-structured base values to detail tuples.
+var CubeEq = expr.CubeEq
+
+// -------------------------------------------------------------- aggregates
+
+// Agg names one aggregate column: function, argument, output name.
+type Agg = agg.Spec
+
+// NewAgg builds an aggregate spec for any registered function.
+func NewAgg(fn string, arg Expr, as string) Agg { return agg.NewSpec(fn, arg, as) }
+
+// Convenience constructors for the built-ins.
+func Count(as string) Agg              { return agg.NewSpec("count", nil, as) }
+func CountCol(arg Expr, as string) Agg { return agg.NewSpec("count", arg, as) }
+func Sum(arg Expr, as string) Agg      { return agg.NewSpec("sum", arg, as) }
+func Avg(arg Expr, as string) Agg      { return agg.NewSpec("avg", arg, as) }
+func Min(arg Expr, as string) Agg      { return agg.NewSpec("min", arg, as) }
+func Max(arg Expr, as string) Agg      { return agg.NewSpec("max", arg, as) }
+func Median(arg Expr, as string) Agg   { return agg.NewSpec("median", arg, as) }
+
+// AggregateFunc is the user-defined-aggregate interface: Name, NewState,
+// and the Theorem 4.5 re-aggregation mapping.
+type AggregateFunc = agg.Func
+
+// AggregateState accumulates values for one group; Merge supports
+// partitioned execution.
+type AggregateState = agg.State
+
+// RegisterAggregate installs a user-defined aggregate function (UDAF); it
+// becomes available to MDJoin specs and the dialect under its Name.
+func RegisterAggregate(f AggregateFunc) { agg.Register(f) }
+
+// ---------------------------------------------------------------- MD-join
+
+// Phase is one (aggregate-list, θ) pair of a generalized MD-join.
+type Phase = core.Phase
+
+// Options tune MD-join execution: partitioning (Theorem 4.1), parallelism,
+// index and pushdown switches, execution statistics.
+type Options = core.Options
+
+// Stats reports MD-join execution counters.
+type Stats = core.Stats
+
+// Step is one MD-join of a series (phase + detail relation name).
+type Step = core.Step
+
+// MDJoin evaluates MD(b, r, aggs, theta) — Definition 3.1 with the default
+// fully optimized strategy. θ may reference base columns unqualified (or
+// as B.col) and detail columns as R.col.
+func MDJoin(b, r *Table, aggs []Agg, theta Expr) (*Table, error) {
+	return core.MDJoin(b, r, aggs, theta)
+}
+
+// MDJoinOpt evaluates a generalized MD-join with explicit phases and
+// options.
+func MDJoinOpt(b, r *Table, phases []Phase, opt Options) (*Table, error) {
+	return core.Eval(b, r, phases, opt)
+}
+
+// Source provides repeatable scans of a detail relation (Theorem 4.1's
+// cost model made literal: each pass re-reads the data).
+type Source = table.Source
+
+// TableSource wraps a materialized table as a Source.
+func TableSource(t *Table) Source { return table.NewTableSource(t) }
+
+// CSVSource streams a CSV file as a Source; every scan re-reads the file.
+func CSVSource(path string) (Source, error) { return table.NewCSVSource(path) }
+
+// MDJoinSource evaluates a generalized MD-join whose detail relation is
+// streamed from a Source rather than materialized — use CSVSource for
+// detail relations larger than memory.
+func MDJoinSource(b *Table, src Source, phases []Phase, opt Options) (*Table, error) {
+	return core.EvalSource(b, src, phases, opt)
+}
+
+// EvalSeries plans (Theorem 4.3) and executes a series of MD-joins,
+// resolving detail names through the map; each step's result is the next
+// step's base relation.
+func EvalSeries(b *Table, details map[string]*Table, steps []Step, opt Options) (*Table, error) {
+	return core.EvalSeries(b, details, steps, opt)
+}
+
+// SplitJoin recombines two independent MD-joins over the same distinct-row
+// base by equijoin on the base columns (Theorem 4.4).
+func SplitJoin(left, right *Table, baseCols []string) (*Table, error) {
+	return core.SplitJoin(left, right, baseCols)
+}
+
+// ------------------------------------------------------------------- cube
+
+// Base-values builders (the operations of the analyze-by clause).
+var (
+	DistinctBase     = cube.DistinctBase
+	CubeBase         = cube.CubeBase
+	RollupBase       = cube.RollupBase
+	UnpivotBase      = cube.UnpivotBase
+	GroupingSetsBase = cube.GroupingSetsBase
+)
+
+// CubeTheta builds the θ relating a cube base-values table to detail
+// tuples: ∧ R.dim =^ dim.
+func CubeTheta(dims ...string) Expr { return cube.Theta(dims...) }
+
+// CubeMethod selects a cube computation strategy.
+type CubeMethod = cube.Method
+
+// Cube computation strategies.
+const (
+	CubeNaive       = cube.Naive
+	CubeRollup      = cube.Rollup
+	CubePipeSort    = cube.PipeSort
+	CubeMDJoin      = cube.MDJoinPass
+	CubePartitioned = cube.PartitionedCube
+)
+
+// ComputeCube materializes the full data cube of detail over dims with the
+// given strategy; the result is a single Figure-1-style table with ALL
+// markers.
+func ComputeCube(detail *Table, dims []string, aggs []Agg, method CubeMethod) (*Table, error) {
+	return cube.Compute(detail, dims, aggs, cube.Options{Method: method})
+}
+
+// ComputeSubcubes materializes only the requested cuboids (grouping sets
+// over dims), re-aggregating coarser ones from finer materialized results
+// where possible — the "selected set of subcubes" generalization the
+// paper's conclusions describe.
+func ComputeSubcubes(detail *Table, dims []string, sets [][]string, aggs []Agg) (*Table, error) {
+	return cube.ComputeSubcubes(detail, dims, sets, aggs)
+}
+
+// ---------------------------------------------------------------- dialect
+
+// Catalog maps relation names to tables for dialect queries and plans.
+type Catalog = optimizer.Catalog
+
+// Query parses, translates, optimizes and executes an analyze-by dialect
+// query (Section 5 of the paper) against the catalog.
+func Query(src string, cat Catalog) (*Table, error) { return sqlext.Run(src, cat) }
+
+// Explain returns the logical and optimized plans for a dialect query.
+func Explain(src string) (string, error) { return sqlext.Explain(src) }

@@ -1,0 +1,251 @@
+// Integration tests exercising the public facade end-to-end, the way a
+// downstream user would: CSV in, operator API and dialect out, with the
+// two paths cross-checked.
+package mdjoin_test
+
+import (
+	"strings"
+	"testing"
+
+	"mdjoin"
+	"mdjoin/internal/workload"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	csv := strings.NewReader(`cust,state,sale
+alice,NY,10
+alice,NJ,20
+bob,NY,30
+`)
+	sales, err := mdjoin.ReadCSV(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := mdjoin.DistinctBase(sales, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mdjoin.MDJoin(base, sales,
+		[]mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("sale"), "total")},
+		mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", out.Len())
+	}
+	dial, err := mdjoin.Query("select cust, sum(sale) as total from Sales group by cust",
+		mdjoin.Catalog{"Sales": sales})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.EqualSet(dial) {
+		t.Fatalf("operator API and dialect disagree:\n%s\nvs\n%s", out, dial)
+	}
+}
+
+func TestFacadeAggConstructors(t *testing.T) {
+	sales := workload.Sales(workload.SalesConfig{Rows: 200, Customers: 5, Seed: 1})
+	base, err := mdjoin.DistinctBase(sales, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mdjoin.MDJoin(base, sales,
+		[]mdjoin.Agg{
+			mdjoin.Count("n"),
+			mdjoin.CountCol(mdjoin.DetailCol("sale"), "n_sale"),
+			mdjoin.Sum(mdjoin.DetailCol("sale"), "total"),
+			mdjoin.Avg(mdjoin.DetailCol("sale"), "mean"),
+			mdjoin.Min(mdjoin.DetailCol("sale"), "lo"),
+			mdjoin.Max(mdjoin.DetailCol("sale"), "hi"),
+			mdjoin.Median(mdjoin.DetailCol("sale"), "mid"),
+			mdjoin.NewAgg("count_distinct", mdjoin.DetailCol("month"), "months"),
+		},
+		mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Rows {
+		n := out.Value(i, "n").AsInt()
+		if n == 0 {
+			continue
+		}
+		lo := out.Value(i, "lo").AsFloat()
+		hi := out.Value(i, "hi").AsFloat()
+		mean := out.Value(i, "mean").AsFloat()
+		mid := out.Value(i, "mid").AsFloat()
+		if lo > mean || mean > hi || lo > mid || mid > hi {
+			t.Errorf("row %d: aggregate sandwich violated: lo=%v mean=%v mid=%v hi=%v", i, lo, mean, mid, hi)
+		}
+		if m := out.Value(i, "months").AsInt(); m < 1 || m > 12 {
+			t.Errorf("row %d: months distinct = %d", i, m)
+		}
+	}
+}
+
+func TestFacadeCube(t *testing.T) {
+	sales := workload.Sales(workload.SalesConfig{Rows: 500, Products: 4, States: 3, Seed: 2})
+	for _, m := range []mdjoin.CubeMethod{
+		mdjoin.CubeNaive, mdjoin.CubeRollup, mdjoin.CubePipeSort,
+		mdjoin.CubeMDJoin, mdjoin.CubePartitioned,
+	} {
+		out, err := mdjoin.ComputeCube(sales, []string{"prod", "state"},
+			[]mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("sale"), "total")}, m)
+		if err != nil {
+			t.Fatalf("method %v: %v", m, err)
+		}
+		if out.Len() == 0 {
+			t.Fatalf("method %v: empty cube", m)
+		}
+	}
+}
+
+func TestFacadeCubeTheta(t *testing.T) {
+	sales := workload.Sales(workload.SalesConfig{Rows: 300, Products: 3, Seed: 3})
+	base, err := mdjoin.CubeBase(sales, "prod", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mdjoin.MDJoin(base, sales,
+		[]mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("sale"), "total")},
+		mdjoin.CubeTheta("prod", "month"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := mdjoin.ComputeCube(sales, []string{"prod", "month"},
+		[]mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("sale"), "total")}, mdjoin.CubeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.EqualSet(cube) {
+		t.Fatalf("MD-join cube != naive cube: %s", out.Diff(cube))
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	plan, err := mdjoin.Explain("select cust, sum(sale) as t from Sales group by cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "MDJoin") || !strings.Contains(plan, "optimized plan") {
+		t.Errorf("unexpected explain output:\n%s", plan)
+	}
+}
+
+func TestFacadeStatsAndOptions(t *testing.T) {
+	sales := workload.Sales(workload.SalesConfig{Rows: 1000, Customers: 20, Seed: 4})
+	base, err := mdjoin.DistinctBase(sales, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats mdjoin.Stats
+	_, err = mdjoin.MDJoinOpt(base, sales,
+		[]mdjoin.Phase{{
+			Aggs:  []mdjoin.Agg{mdjoin.Count("n")},
+			Theta: mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust")),
+		}},
+		mdjoin.Options{Stats: &stats, DetailParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TuplesScanned != sales.Len() {
+		t.Errorf("tuples scanned = %d, want %d", stats.TuplesScanned, sales.Len())
+	}
+	if !stats.IndexUsed {
+		t.Error("equi θ should use the index")
+	}
+}
+
+// rangeAgg is a UDAF registered through the public API.
+type rangeAgg struct{}
+
+func (rangeAgg) Name() string                              { return "value_range" }
+func (rangeAgg) Reaggregate() (mdjoin.AggregateFunc, bool) { return nil, false }
+func (rangeAgg) NewState() mdjoin.AggregateState           { return &rangeState{} }
+
+type rangeState struct {
+	seen     bool
+	min, max float64
+}
+
+func (s *rangeState) Add(v mdjoin.Value) {
+	if !v.IsNumeric() {
+		return
+	}
+	f := v.AsFloat()
+	if !s.seen {
+		s.seen, s.min, s.max = true, f, f
+		return
+	}
+	if f < s.min {
+		s.min = f
+	}
+	if f > s.max {
+		s.max = f
+	}
+}
+
+func (s *rangeState) Merge(o mdjoin.AggregateState) {
+	os := o.(*rangeState)
+	if os.seen {
+		s.Add(mdjoin.Float(os.min))
+		s.Add(mdjoin.Float(os.max))
+	}
+}
+
+func (s *rangeState) Result() mdjoin.Value {
+	if !s.seen {
+		return mdjoin.Null()
+	}
+	return mdjoin.Float(s.max - s.min)
+}
+
+func TestFacadeUDAFThroughDialect(t *testing.T) {
+	mdjoin.RegisterAggregate(rangeAgg{})
+	sales := workload.Sales(workload.SalesConfig{Rows: 500, Customers: 5, Seed: 5})
+	out, err := mdjoin.Query("select cust, value_range(sale) as spread from Sales group by cust",
+		mdjoin.Catalog{"Sales": sales})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Rows {
+		if v := out.Value(i, "spread"); !v.IsNull() && v.AsFloat() < 0 {
+			t.Errorf("negative spread: %v", v)
+		}
+	}
+}
+
+func TestFacadeEvalSeriesAndSplitJoin(t *testing.T) {
+	sales := workload.Sales(workload.SalesConfig{Rows: 800, Customers: 10, Seed: 6})
+	pay := workload.Payments(workload.PaymentsConfig{Rows: 400, Customers: 10, Seed: 7})
+	base, err := mdjoin.DistinctBase(sales, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust"))
+	steps := []mdjoin.Step{
+		{Detail: "Sales", Phase: mdjoin.Phase{
+			Aggs: []mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("sale"), "sold")}, Theta: theta}},
+		{Detail: "Payments", Phase: mdjoin.Phase{
+			Aggs: []mdjoin.Agg{mdjoin.Sum(mdjoin.DetailCol("amount"), "paid")}, Theta: theta}},
+	}
+	seq, err := mdjoin.EvalSeries(base, map[string]*mdjoin.Table{"Sales": sales, "Payments": pay}, steps, mdjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := mdjoin.MDJoin(base, sales, steps[0].Aggs, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mdjoin.MDJoin(base, pay, steps[1].Aggs, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := mdjoin.SplitJoin(l, r, []string{"cust"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.EqualSet(joined) {
+		t.Fatalf("Theorem 4.4 via facade: %s", seq.Diff(joined))
+	}
+}
