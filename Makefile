@@ -1,0 +1,25 @@
+# Verification entry points. `make check` is the full gate: vet, build,
+# plain tests, and the race detector (the distributed/faultinject packages
+# are goroutine-heavy, so tier-1 runs them under -race too).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Happy-path overhead of the fault-policy layer (ISSUE budget: <5%).
+bench:
+	$(GO) test ./internal/distributed -bench ScatterFragments -benchtime 20x -run '^$$'

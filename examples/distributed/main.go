@@ -7,20 +7,31 @@
 // remote node. Per-state average queries are routed to the site owning
 // that state's fragment; the answers are recombined with the Theorem 4.4
 // equijoin and checked against the centralized evaluation.
+//
+// The second half demonstrates the fault layer: a per-site timeout
+// catching a stalled store, replica failover producing the identical
+// result (Theorem 4.1 makes recombination replica-agnostic), and
+// AllowPartial degrading to a PartialError when a fragment has no live
+// replica left.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"mdjoin"
 	"mdjoin/internal/core"
 	"mdjoin/internal/distributed"
+	"mdjoin/internal/faultinject"
 	"mdjoin/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
 	sales := workload.Sales(workload.SalesConfig{Rows: 20000, Customers: 15, States: 3, Seed: 44})
 
 	// Partition Sales by state — one site per state.
@@ -28,7 +39,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster := distributed.NewCluster(sites...)
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer cluster.Close()
 
 	base, err := mdjoin.DistinctBase(sales, "cust")
@@ -51,7 +65,7 @@ func main() {
 		fmt.Printf("site %-3s holds %6d rows\n", s.Name, s.Data.Len())
 	}
 
-	remote, err := cluster.ScatterPhases(base, routed, core.Options{})
+	remote, err := cluster.ScatterPhases(ctx, base, routed, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +94,7 @@ func main() {
 		},
 		Theta: mdjoin.Eq(mdjoin.DetailCol("cust"), mdjoin.BaseCol("cust")),
 	}
-	frag, err := cluster.ScatterFragments(base, phase, core.Options{})
+	frag, err := cluster.ScatterFragments(ctx, base, phase, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,4 +103,59 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfragment totals match centralized: %v\n", frag.Len() == central.Len())
+
+	// --- Failure handling -------------------------------------------------
+	// Rebuild the cluster with two replicas per fragment, stall one
+	// primary (a site that accepts requests but never answers), and let
+	// the policy — per-site timeout plus failover — mask it.
+	fmt.Println("\n--- fault demo: stalled primary, replica failover ---")
+	var replicated []*distributed.Site
+	for _, s := range sites {
+		replicated = append(replicated,
+			distributed.NewSite(s.Name+"-a", s.Data),
+			distributed.NewSite(s.Name+"-b", s.Data))
+	}
+	// The first state's primary store hangs forever.
+	faultinject.Wrap(replicated[0], faultinject.Plan{Stall: true})
+
+	ft, err := distributed.NewCluster(replicated...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ft.Close()
+	for _, s := range sites {
+		if err := ft.RegisterReplicas(s.Name, s.Name+"-a", s.Name+"-b"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ft.SetPolicy(distributed.Policy{
+		SiteTimeout:      200 * time.Millisecond,
+		MaxRetries:       1,
+		BackoffBase:      10 * time.Millisecond,
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+	})
+
+	failedOver, err := ft.ScatterFragments(ctx, base, phase, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stalled primary %s masked by replica: result matches healthy run: %v\n",
+		replicated[0].Name, failedOver.EqualSet(frag))
+
+	// Now kill both replicas of that fragment and degrade gracefully:
+	// AllowPartial returns the surviving fragments plus a PartialError.
+	faultinject.Wrap(replicated[1], faultinject.Plan{FailFirst: 1 << 30})
+	ft.SetPolicy(distributed.Policy{
+		SiteTimeout:  200 * time.Millisecond,
+		AllowPartial: true,
+	})
+	partial, err := ft.ScatterFragments(ctx, base, phase, core.Options{})
+	var pe *distributed.PartialError
+	if errors.As(err, &pe) {
+		fmt.Printf("all replicas of %v down: degraded to %d rows, dead fragments reported: %v\n",
+			pe.Fragments(), partial.Len(), pe.Fragments())
+	} else if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+	"mdjoin/internal/workload"
+)
+
+// The scan loops poll Options.Ctx so a caller's deadline cancels the
+// MD-join itself — the property the distributed layer's site timeouts
+// rely on.
+
+func ctxFixture(t *testing.T) (*table.Table, *table.Table, []Phase) {
+	t.Helper()
+	sales := workload.Sales(workload.SalesConfig{Rows: 3000, Customers: 12, States: 3, Seed: 5})
+	base := table.New(table.NewSchema(table.Column{Name: "cust"}))
+	ci := sales.Schema.MustColIndex("cust")
+	seen := map[string]bool{}
+	for _, r := range sales.Rows {
+		if k := r[ci].String(); !seen[k] {
+			seen[k] = true
+			base.Append(table.Row{r[ci]})
+		}
+	}
+	phases := []Phase{{
+		Aggs:  []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")},
+		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+	}}
+	return base, sales, phases
+}
+
+func TestEvalCancelledContext(t *testing.T) {
+	base, sales, phases := ctxFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opt := range []Options{
+		{Ctx: ctx},
+		{Ctx: ctx, MaxBaseRows: 3},
+		{Ctx: ctx, Parallelism: 2},
+		{Ctx: ctx, DetailParallelism: 2},
+	} {
+		if _, err := Eval(base, sales, phases, opt); !errors.Is(err, context.Canceled) {
+			t.Fatalf("opt %+v: want context.Canceled, got %v", opt, err)
+		}
+	}
+}
+
+func TestEvalSourceCancelledContext(t *testing.T) {
+	base, sales, phases := ctxFixture(t)
+	src := table.NewTableSource(sales)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opt := range []Options{
+		{Ctx: ctx},
+		{Ctx: ctx, DetailParallelism: 2},
+	} {
+		if _, err := EvalSource(base, src, phases, opt); !errors.Is(err, context.Canceled) {
+			t.Fatalf("opt %+v: want context.Canceled, got %v", opt, err)
+		}
+	}
+}
+
+func TestEvalNilContextRuns(t *testing.T) {
+	base, sales, phases := ctxFixture(t)
+	res, err := Eval(base, sales, phases, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != base.Len() {
+		t.Fatalf("rows: %d, want %d", res.Len(), base.Len())
+	}
+}

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mdjoin/internal/agg"
@@ -82,6 +83,31 @@ type Options struct {
 
 	// Stats, when non-nil, receives execution counters.
 	Stats *Stats
+
+	// Ctx, when non-nil, is polled during detail scans (every
+	// cancelCheckInterval tuples); cancellation aborts the evaluation with
+	// ctx.Err(). This is what lets a distributed site abandon work whose
+	// caller has timed out instead of scanning to completion.
+	Ctx context.Context
+}
+
+// cancelCheckInterval bounds how many detail tuples are processed between
+// Ctx polls: frequent enough that a cancelled scan stops promptly, rare
+// enough that the check is invisible in the profile.
+const cancelCheckInterval = 1024
+
+// ctxErr reports the context's error if it has been cancelled; a nil
+// context never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Stats reports execution counters for the experiment harness.
@@ -326,7 +352,9 @@ func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, e
 	if err != nil {
 		return nil, err
 	}
-	scanDetail(b, r, cps, opt.Stats)
+	if err := scanDetail(opt.Ctx, b, r, cps, opt.Stats); err != nil {
+		return nil, err
+	}
 	if opt.Stats != nil {
 		opt.Stats.DetailScans++
 	}
@@ -334,13 +362,19 @@ func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, e
 }
 
 // scanDetail performs the detail scan over a materialized table, updating
-// every phase's states.
-func scanDetail(b, r *table.Table, cps []*compiledPhase, stats *Stats) {
+// every phase's states. A cancelled ctx aborts the scan between tuples.
+func scanDetail(ctx context.Context, b, r *table.Table, cps []*compiledPhase, stats *Stats) error {
 	frame := make([]table.Row, 2)
 	var key []table.Value
-	for _, t := range r.Rows {
+	for i, t := range r.Rows {
+		if i%cancelCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
 		key = processTuple(b, cps, frame, key, t, stats)
 	}
+	return nil
 }
 
 // processTuple folds one detail tuple into every phase; it returns the

@@ -143,7 +143,10 @@ func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.
 				return
 			}
 			part := &table.Table{Schema: r.Schema, Rows: r.Rows[lo:hi]}
-			scanDetail(b, part, cps, st)
+			if err := scanDetail(opt.Ctx, b, part, cps, st); err != nil {
+				errs[wi] = err
+				return
+			}
 			workers[wi] = cps
 		}(wi, bd[0], bd[1])
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -39,8 +40,9 @@ func EvalSource(b *table.Table, src table.Source, phases []Phase, opt Options) (
 	return evalSourceSingle(b, src, phases, opt)
 }
 
-// scanSource streams one pass of the source through the phases.
-func scanSource(b *table.Table, src table.Source, cps []*compiledPhase, stats *Stats) error {
+// scanSource streams one pass of the source through the phases. A
+// cancelled ctx aborts the scan between tuples.
+func scanSource(ctx context.Context, b *table.Table, src table.Source, cps []*compiledPhase, stats *Stats) error {
 	it, err := src.Scan()
 	if err != nil {
 		return err
@@ -48,7 +50,12 @@ func scanSource(b *table.Table, src table.Source, cps []*compiledPhase, stats *S
 	defer it.Close()
 	frame := make([]table.Row, 2)
 	var key []table.Value
-	for {
+	for i := 0; ; i++ {
+		if i%cancelCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
 		t, err := it.Next()
 		if err == io.EOF {
 			return nil
@@ -69,7 +76,7 @@ func evalSourceSingle(b *table.Table, src table.Source, phases []Phase, opt Opti
 	if err != nil {
 		return nil, err
 	}
-	if err := scanSource(b, src, cps, opt.Stats); err != nil {
+	if err := scanSource(opt.Ctx, b, src, cps, opt.Stats); err != nil {
 		return nil, err
 	}
 	if opt.Stats != nil {
@@ -227,7 +234,17 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 			}
 			frame := make([]table.Row, 2)
 			var key []table.Value
+			n := 0
 			for t := range rows {
+				if n%cancelCheckInterval == 0 {
+					if err := ctxErr(opt.Ctx); err != nil {
+						errs[wi] = err
+						for range rows {
+						}
+						return
+					}
+				}
+				n++
 				key = processTuple(b, cps, frame, key, t, st)
 			}
 			workers[wi] = cps

@@ -1,0 +1,47 @@
+package distributed_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mdjoin/internal/core"
+	"mdjoin/internal/distributed"
+)
+
+// The bench guard for the fault layer: on an all-healthy cluster the
+// policy machinery (breaker lookups, per-attempt context, retry loop
+// bookkeeping) must be lost in the noise next to the MD-join work — the
+// ISSUE budget is <5% over the bare path. Run both and compare:
+//
+//	go test ./internal/distributed -bench ScatterFragments -benchtime 5x
+func benchScatter(b *testing.B, withPolicy bool) {
+	sales, base, sites := faultSetup(b)
+	_ = sales
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	if withPolicy {
+		cluster.SetPolicy(distributed.Policy{
+			SiteTimeout:      10 * time.Second,
+			MaxRetries:       2,
+			BackoffBase:      time.Millisecond,
+			BackoffMax:       100 * time.Millisecond,
+			Jitter:           0.2,
+			FailureThreshold: 5,
+			Cooldown:         time.Second,
+		})
+	}
+	phase := sumCountPhase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScatterFragmentsBare(b *testing.B)   { benchScatter(b, false) }
+func BenchmarkScatterFragmentsPolicy(b *testing.B) { benchScatter(b, true) }

@@ -16,11 +16,22 @@
 //   - ScatterFragments (Theorem 4.1 dual + Theorem 4.5): one phase over a
 //     horizontally partitioned detail; every site aggregates its fragment
 //     and the partial results are re-aggregated (count → sum, ...).
+//
+// Real multi-store deployments fail: sites stall, crash, or drop
+// requests. The request path is therefore context-aware end to end (a
+// deadline cancels the remote scan itself, not just the wait), and a
+// cluster Policy adds per-attempt timeouts, retries with capped backoff,
+// per-site circuit breaking, replica failover (RegisterReplicas), and —
+// for ScatterFragments — partial-result degradation via PartialError.
+// internal/faultinject provides the deterministic fault harness the tests
+// drive these paths with.
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"mdjoin/internal/agg"
 	"mdjoin/internal/core"
@@ -29,82 +40,141 @@ import (
 	"mdjoin/internal/table"
 )
 
-// Site is one data store holding a fragment of the detail relation. Run
-// starts its serving loop; requests carry a base-values table and phases,
-// responses carry the local MD-join result.
-type Site struct {
-	Name string
-	Data *table.Table
-
-	requests chan request
-}
-
-type request struct {
+// askRequest bundles the shipped payload of one site request.
+type askRequest struct {
 	base   *table.Table
 	phases []core.Phase
 	opt    core.Options
-	reply  chan response
 }
 
-type response struct {
-	result *table.Table
-	err    error
-}
-
-// NewSite creates a site around a local fragment.
-func NewSite(name string, data *table.Table) *Site {
-	return &Site{Name: name, Data: data, requests: make(chan request)}
-}
-
-// run serves MD-join requests until the channel closes.
-func (s *Site) run() {
-	for req := range s.requests {
-		res, err := core.Eval(req.base, s.Data, req.phases, req.opt)
-		req.reply <- response{result: res, err: err}
-	}
-}
-
-// Cluster is a set of running sites.
+// Cluster is a set of running sites plus the fault-handling state that
+// spans requests (policy, per-site breakers, replica map).
 type Cluster struct {
 	sites map[string]*Site
 	order []string
+
+	policy *Policy
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+
+	// replicas maps a fragment name to the sites holding copies of that
+	// fragment, in failover preference order; fragOrder preserves
+	// registration order for deterministic scatter.
+	replicas  map[string][]string
+	fragOrder []string
 }
 
-// NewCluster starts the sites' serving goroutines.
-func NewCluster(sites ...*Site) *Cluster {
-	c := &Cluster{sites: make(map[string]*Site, len(sites))}
+// NewCluster starts the sites' serving goroutines. Duplicate site names
+// (case-insensitive) are rejected — silently shadowing a site would route
+// a fragment's requests to the wrong data.
+func NewCluster(sites ...*Site) (*Cluster, error) {
+	c := &Cluster{
+		sites:    make(map[string]*Site, len(sites)),
+		breakers: make(map[string]*breaker),
+		replicas: make(map[string][]string),
+	}
 	for _, s := range sites {
 		key := strings.ToLower(s.Name)
 		if _, dup := c.sites[key]; dup {
-			panic(fmt.Sprintf("distributed: duplicate site %q", s.Name))
+			c.Close()
+			return nil, fmt.Errorf("distributed: duplicate site %q", s.Name)
 		}
 		c.sites[key] = s
 		c.order = append(c.order, key)
 		go s.run()
 	}
-	return c
+	return c, nil
 }
 
-// Close stops all site goroutines.
+// SetPolicy installs the fault-handling policy for subsequent queries.
+// Call it before issuing queries; it is not synchronized against in-flight
+// scatter calls.
+func (c *Cluster) SetPolicy(p Policy) {
+	c.policy = &p
+	c.mu.Lock()
+	c.breakers = make(map[string]*breaker)
+	c.mu.Unlock()
+}
+
+// RegisterReplicas declares that the named fragment is replicated across
+// the given sites, in failover preference order. Once any fragment is
+// registered, ScatterFragments scatters over the registered fragments
+// (asking one live replica each) instead of over every site. The caller
+// is responsible for the replicas actually holding the same fragment
+// data; recombination cannot tell replicas apart (Theorem 4.1).
+func (c *Cluster) RegisterReplicas(fragment string, sites ...string) error {
+	if len(sites) == 0 {
+		return fmt.Errorf("distributed: fragment %q needs at least one site", fragment)
+	}
+	keys := make([]string, len(sites))
+	for i, s := range sites {
+		key := strings.ToLower(s)
+		if _, ok := c.sites[key]; !ok {
+			return fmt.Errorf("distributed: fragment %q replica %q is not a cluster site", fragment, s)
+		}
+		keys[i] = key
+	}
+	fkey := strings.ToLower(fragment)
+	if _, dup := c.replicas[fkey]; dup {
+		return fmt.Errorf("distributed: fragment %q already registered", fragment)
+	}
+	c.replicas[fkey] = keys
+	c.fragOrder = append(c.fragOrder, fkey)
+	return nil
+}
+
+// Close stops all site goroutines. Pending and future asks fail with
+// ErrSiteClosed instead of blocking.
 func (c *Cluster) Close() {
 	for _, key := range c.order {
-		close(c.sites[key].requests)
+		c.sites[key].close()
 	}
 }
 
-// ask ships a request to a site and waits for its answer.
-func (c *Cluster) ask(site string, base *table.Table, phases []core.Phase, opt core.Options) (*table.Table, error) {
+// candidates resolves a routing name to the failover-ordered site list:
+// the registered replica set if the name is a fragment, else the site
+// itself.
+func (c *Cluster) candidates(name string) []string {
+	if sites, ok := c.replicas[strings.ToLower(name)]; ok {
+		return sites
+	}
+	return []string{strings.ToLower(name)}
+}
+
+// ask ships a request to a site and waits for its answer. The context
+// bounds both the hand-off and the wait, and travels with the request so
+// the site's detail scan is cancelled too; a closed site fails immediately
+// with ErrSiteClosed rather than wedging the caller.
+func (c *Cluster) ask(ctx context.Context, site string, req askRequest) (*table.Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s, ok := c.sites[strings.ToLower(site)]
 	if !ok {
 		return nil, fmt.Errorf("distributed: unknown site %q", site)
 	}
 	reply := make(chan response, 1)
-	s.requests <- request{base: base, phases: phases, opt: opt, reply: reply}
-	resp := <-reply
-	return resp.result, resp.err
+	select {
+	case s.requests <- request{ctx: ctx, base: req.base, phases: req.phases, opt: req.opt, reply: reply}:
+	case <-s.done:
+		return nil, &SiteError{Site: s.Name, Err: ErrSiteClosed}
+	case <-ctx.Done():
+		return nil, &SiteError{Site: s.Name, Err: ctx.Err()}
+	}
+	select {
+	case resp := <-reply:
+		if resp.err != nil {
+			return nil, &SiteError{Site: s.Name, Err: resp.err}
+		}
+		return resp.result, nil
+	case <-ctx.Done():
+		return nil, &SiteError{Site: s.Name, Err: ctx.Err()}
+	}
 }
 
-// Routed pairs a phase with the site that owns its data.
+// Routed pairs a phase with the site (or registered fragment) that owns
+// its data.
 type Routed struct {
 	Site  string
 	Phase core.Phase
@@ -114,10 +184,22 @@ type Routed struct {
 // relation to each phase's site concurrently, evaluate the local MD-join,
 // and equijoin the results on the base columns. The base relation must
 // have distinct rows (the theorem's precondition, which SplitJoin checks).
-func (c *Cluster) ScatterPhases(base *table.Table, routed []Routed, opt core.Options) (*table.Table, error) {
+//
+// Each routed request runs under the cluster policy (timeout, retries,
+// circuit) and fails over across the fragment's replicas when Routed.Site
+// names a registered fragment. The equijoin recombination needs every
+// phase, so there is no partial degradation here: the first phase whose
+// candidates are all exhausted fails the call, cancelling the siblings.
+func (c *Cluster) ScatterPhases(ctx context.Context, base *table.Table, routed []Routed, opt core.Options) (*table.Table, error) {
 	if len(routed) == 0 {
 		return nil, fmt.Errorf("distributed: no phases to scatter")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	type answer struct {
 		idx    int
 		result *table.Table
@@ -126,17 +208,22 @@ func (c *Cluster) ScatterPhases(base *table.Table, routed []Routed, opt core.Opt
 	answers := make(chan answer, len(routed))
 	for i, r := range routed {
 		go func(i int, r Routed) {
-			res, err := c.ask(r.Site, base, []core.Phase{r.Phase}, opt)
+			res, err := c.askFailover(ctx, c.candidates(r.Site), askRequest{base: base, phases: []core.Phase{r.Phase}, opt: opt})
 			answers <- answer{idx: i, result: res, err: err}
 		}(i, r)
 	}
 	results := make([]*table.Table, len(routed))
+	var firstErr error
 	for range routed {
 		a := <-answers
-		if a.err != nil {
-			return nil, a.err
+		if a.err != nil && firstErr == nil {
+			firstErr = a.err
+			cancel() // stop sibling work; their answers still drain below
 		}
 		results[a.idx] = a.result
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	// Fold by equijoin on the base columns (Theorem 4.4).
 	out := results[0]
@@ -150,36 +237,89 @@ func (c *Cluster) ScatterPhases(base *table.Table, routed []Routed, opt core.Opt
 	return out, nil
 }
 
+// fragmentGroup is one scatter target of ScatterFragments: a fragment name
+// and the failover-ordered sites holding it.
+type fragmentGroup struct {
+	name  string
+	sites []string
+}
+
+// fragmentGroups lists the scatter targets: the registered replica sets
+// when any exist, else every site as its own single-replica fragment.
+func (c *Cluster) fragmentGroups() []fragmentGroup {
+	if len(c.fragOrder) > 0 {
+		out := make([]fragmentGroup, len(c.fragOrder))
+		for i, f := range c.fragOrder {
+			out[i] = fragmentGroup{name: f, sites: c.replicas[f]}
+		}
+		return out
+	}
+	out := make([]fragmentGroup, len(c.order))
+	for i, key := range c.order {
+		out[i] = fragmentGroup{name: key, sites: []string{key}}
+	}
+	return out
+}
+
 // ScatterFragments implements the horizontal-partitioning plan: the same
-// phase runs at every site over its fragment; the partial results are
-// re-aggregated with the Theorem 4.5 mapping. Only distributive aggregates
-// (and avg, via sum/count decomposition) are supported — the same
-// restriction the paper notes for the roll-up property.
-func (c *Cluster) ScatterFragments(base *table.Table, phase core.Phase, opt core.Options) (*table.Table, error) {
+// phase runs at every fragment over its detail slice; the partial results
+// are re-aggregated with the Theorem 4.5 mapping. Only distributive
+// aggregates (and avg, via sum/count decomposition) are supported — the
+// same restriction the paper notes for the roll-up property.
+//
+// Each fragment's request runs under the cluster policy and fails over
+// across the fragment's replicas. When every replica of a fragment is
+// down, the call fails — unless Policy.AllowPartial is set, in which case
+// it returns the surviving fragments' recombination together with a
+// *PartialError naming the dead fragments (check with errors.As). The
+// partial result still has one row per base row; its aggregates simply
+// miss the dead fragments' tuples.
+func (c *Cluster) ScatterFragments(ctx context.Context, base *table.Table, phase core.Phase, opt core.Options) (*table.Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	work, finalize, err := decomposeSpecs(phase.Aggs)
 	if err != nil {
 		return nil, err
 	}
 	workPhase := core.Phase{Aggs: work, Theta: phase.Theta}
+	groups := c.fragmentGroups()
 
 	type answer struct {
+		idx    int
 		result *table.Table
 		err    error
 	}
-	answers := make(chan answer, len(c.order))
-	for _, key := range c.order {
-		go func(site string) {
-			res, err := c.ask(site, base, []core.Phase{workPhase}, opt)
-			answers <- answer{result: res, err: err}
-		}(key)
+	answers := make(chan answer, len(groups))
+	for i, g := range groups {
+		go func(i int, g fragmentGroup) {
+			res, err := c.askFailover(ctx, g.sites, askRequest{base: base, phases: []core.Phase{workPhase}, opt: opt})
+			answers <- answer{idx: i, result: res, err: err}
+		}(i, g)
 	}
-	var partials []*table.Table
-	for range c.order {
+	// Collect into fragment order (not completion order) so the union —
+	// and therefore the recombined result — is deterministic.
+	slots := make([]*table.Table, len(groups))
+	failed := map[string]error{}
+	for range groups {
 		a := <-answers
 		if a.err != nil {
-			return nil, a.err
+			failed[groups[a.idx].name] = a.err
+			continue
 		}
-		partials = append(partials, a.result)
+		slots[a.idx] = a.result
+	}
+	var partials []*table.Table
+	for _, s := range slots {
+		if s != nil {
+			partials = append(partials, s)
+		}
+	}
+	allowPartial := c.policy != nil && c.policy.AllowPartial
+	if len(failed) > 0 && (!allowPartial || len(partials) == 0) {
+		perr := &PartialError{Failed: failed}
+		frag := perr.Fragments()[0]
+		return nil, fmt.Errorf("distributed: fragment %q unavailable: %w", frag, failed[frag])
 	}
 
 	// Union the partials and re-aggregate per base row.
@@ -204,7 +344,13 @@ func (c *Cluster) ScatterFragments(base *table.Table, phase core.Phase, opt core
 		return nil, err
 	}
 	if finalize != nil {
-		return finalize(merged)
+		merged, err = finalize(merged)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(failed) > 0 {
+		return merged, &PartialError{Failed: failed}
 	}
 	return merged, nil
 }

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestScatterPhasesMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster := NewCluster(sites...)
+	cluster := mustCluster(t, sites...)
 	defer cluster.Close()
 
 	states := []string{}
@@ -51,7 +52,7 @@ func TestScatterPhasesMatchesSequential(t *testing.T) {
 		steps = append(steps, core.Step{Detail: "Sales", Phase: phase})
 	}
 
-	got, err := cluster.ScatterPhases(base, routed, core.Options{})
+	got, err := cluster.ScatterPhases(context.Background(), base, routed, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestScatterFragmentsMatchesCentralized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster := NewCluster(sites...)
+	cluster := mustCluster(t, sites...)
 	defer cluster.Close()
 
 	phase := core.Phase{
@@ -82,7 +83,7 @@ func TestScatterFragmentsMatchesCentralized(t *testing.T) {
 		},
 		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
 	}
-	got, err := cluster.ScatterFragments(base, phase, core.Options{})
+	got, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +122,14 @@ func TestScatterFragmentsAvgDecomposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster := NewCluster(sites...)
+	cluster := mustCluster(t, sites...)
 	defer cluster.Close()
 
 	phase := core.Phase{
 		Aggs:  []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), "mean")},
 		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
 	}
-	got, err := cluster.ScatterFragments(base, phase, core.Options{})
+	got, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,14 +153,14 @@ func TestScatterFragmentsAvgDecomposition(t *testing.T) {
 func TestScatterFragmentsRejectsHolistic(t *testing.T) {
 	sales, base := setupSales(t)
 	sites, _ := PartitionByColumn(sales, "state")
-	cluster := NewCluster(sites...)
+	cluster := mustCluster(t, sites...)
 	defer cluster.Close()
 
 	phase := core.Phase{
 		Aggs:  []agg.Spec{agg.NewSpec("median", expr.QC("R", "sale"), "mid")},
 		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
 	}
-	if _, err := cluster.ScatterFragments(base, phase, core.Options{}); err == nil {
+	if _, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{}); err == nil {
 		t.Fatal("holistic aggregates must be rejected for fragment recombination")
 	}
 }
@@ -167,9 +168,9 @@ func TestScatterFragmentsRejectsHolistic(t *testing.T) {
 func TestUnknownSite(t *testing.T) {
 	sales, base := setupSales(t)
 	sites, _ := PartitionByColumn(sales, "state")
-	cluster := NewCluster(sites...)
+	cluster := mustCluster(t, sites...)
 	defer cluster.Close()
-	_, err := cluster.ScatterPhases(base, []Routed{{Site: "Atlantis", Phase: core.Phase{
+	_, err := cluster.ScatterPhases(context.Background(), base, []Routed{{Site: "Atlantis", Phase: core.Phase{
 		Aggs:  []agg.Spec{agg.NewSpec("count", nil, "n")},
 		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
 	}}}, core.Options{})
@@ -200,5 +201,158 @@ func TestPartitionByColumn(t *testing.T) {
 	}
 	if _, err := PartitionByColumn(sales, "nope"); err == nil {
 		t.Error("bad column should error")
+	}
+}
+
+// mustCluster builds a running cluster or fails the test.
+func mustCluster(t *testing.T, sites ...*Site) *Cluster {
+	t.Helper()
+	c, err := NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterRejectsDuplicateNames(t *testing.T) {
+	sales, _ := setupSales(t)
+	a := NewSite("NY", sales)
+	b := NewSite("ny", sales) // duplicate modulo case
+	if _, err := NewCluster(a, b); err == nil || !strings.Contains(err.Error(), "duplicate site") {
+		t.Fatalf("duplicate site names must be rejected with a clear error, got %v", err)
+	}
+}
+
+func TestDecomposeSpecsAvgMixedWithSumCount(t *testing.T) {
+	specs := []agg.Spec{
+		agg.NewSpec("sum", expr.QC("R", "sale"), "total"),
+		agg.NewSpec("avg", expr.QC("R", "sale"), "mean"),
+		agg.NewSpec("count", nil, "n"),
+	}
+	work, finalize, err := decomposeSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalize == nil {
+		t.Fatal("avg decomposition must produce a finalize projection")
+	}
+	// sum + (avg → hidden sum/count) + count.
+	if len(work) != 4 {
+		t.Fatalf("want 4 working specs, got %d: %v", len(work), work)
+	}
+	names := []string{}
+	for _, s := range work {
+		names = append(names, s.OutName())
+	}
+	want := []string{"total", "__davg1_sum", "__davg1_cnt", "n"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("working spec %d: got %q, want %q (all: %v)", i, names[i], n, names)
+		}
+	}
+}
+
+func TestDecomposeSpecsMultipleAvgs(t *testing.T) {
+	specs := []agg.Spec{
+		agg.NewSpec("avg", expr.QC("R", "sale"), "mean_sale"),
+		agg.NewSpec("avg", expr.QC("R", "qty"), "mean_qty"),
+	}
+	work, finalize, err := decomposeSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalize == nil || len(work) != 4 {
+		t.Fatalf("two avgs must decompose into 4 working specs, got %d", len(work))
+	}
+	seen := map[string]bool{}
+	for _, s := range work {
+		if seen[s.OutName()] {
+			t.Fatalf("hidden column name %q collides", s.OutName())
+		}
+		seen[s.OutName()] = true
+	}
+}
+
+func TestDecomposeSpecsNoAvgPassthrough(t *testing.T) {
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
+	work, finalize, err := decomposeSpecs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalize != nil {
+		t.Fatal("no avg: no finalize projection expected")
+	}
+	if len(work) != 1 || work[0].OutName() != "total" {
+		t.Fatalf("specs must pass through untouched, got %v", work)
+	}
+}
+
+func TestScatterFragmentsAvgOverEmptyRange(t *testing.T) {
+	// A base row matching no detail tuples exercises the NULL-sum /
+	// zero-count division path of the avg finalizer: the distributed mean
+	// must be NULL exactly where the centralized mean is NULL.
+	sales, base := setupSales(t)
+	ghost := base.Clone()
+	ghost.Append(table.Row{table.Int(999999)}) // customer with no sales
+	sites, err := PartitionByColumn(sales, "state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := mustCluster(t, sites...)
+	defer cluster.Close()
+
+	phase := core.Phase{
+		Aggs:  []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), "mean")},
+		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+	}
+	got, err := cluster.ScatterFragments(context.Background(), ghost, phase, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Eval(ghost, sales, []core.Phase{phase}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS := got.Clone().SortBy("cust")
+	wantS := want.Clone().SortBy("cust")
+	if gotS.Len() != wantS.Len() {
+		t.Fatalf("row counts differ: %d vs %d", gotS.Len(), wantS.Len())
+	}
+	sawNull := false
+	for i := range wantS.Rows {
+		a, g := wantS.Value(i, "mean"), gotS.Value(i, "mean")
+		if a.IsNull() != g.IsNull() {
+			t.Fatalf("row %d NULL-ness differs: want %v, got %v", i, a, g)
+		}
+		if a.IsNull() {
+			sawNull = true
+			continue
+		}
+		if abs(a.AsFloat()-g.AsFloat()) > 1e-6 {
+			t.Fatalf("row %d: want %v, got %v", i, a, g)
+		}
+	}
+	if !sawNull {
+		t.Fatal("test fixture must include an empty-range base row")
+	}
+}
+
+func TestScatterFragmentsHolisticRejectionMessage(t *testing.T) {
+	sales, base := setupSales(t)
+	sites, _ := PartitionByColumn(sales, "state")
+	cluster := mustCluster(t, sites...)
+	defer cluster.Close()
+
+	phase := core.Phase{
+		Aggs:  []agg.Spec{agg.NewSpec("median", expr.QC("R", "sale"), "mid")},
+		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+	}
+	_, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
+	if err == nil {
+		t.Fatal("holistic aggregates must be rejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "median") || !strings.Contains(msg, "not distributive") {
+		t.Fatalf("rejection message must name the aggregate and the reason, got: %s", msg)
 	}
 }

@@ -1,0 +1,431 @@
+// Fault-path tests: every Policy mechanism is driven by the deterministic
+// internal/faultinject harness — timeout cancels a stalled site, retry
+// rides out a transient error, failover moves to a replica (with the
+// Theorem 4.1 equivalence asserted against the all-healthy run), the
+// circuit opens after the configured threshold, a panicking site surfaces
+// as an error, and AllowPartial degrades to a PartialError. These live in
+// an external test package because faultinject imports distributed.
+package distributed_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/cube"
+	"mdjoin/internal/distributed"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/faultinject"
+	"mdjoin/internal/table"
+	"mdjoin/internal/workload"
+)
+
+func faultSetup(t testing.TB) (sales, base *table.Table, sites []*distributed.Site) {
+	t.Helper()
+	sales = workload.Sales(workload.SalesConfig{Rows: 2000, Customers: 20, States: 4, Seed: 31})
+	base, err := cube.DistinctBase(sales, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err = distributed.PartitionByColumn(sales, "state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sales, base, sites
+}
+
+func sumCountPhase() core.Phase {
+	return core.Phase{
+		Aggs: []agg.Spec{
+			agg.NewSpec("sum", expr.QC("R", "sale"), "total"),
+			agg.NewSpec("count", nil, "n"),
+		},
+		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+	}
+}
+
+// assertSameAgg compares two aggregate tables row-by-row after sorting by
+// cust, with a float tolerance on numeric columns.
+func assertSameAgg(t *testing.T, want, got *table.Table, cols ...string) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("row counts differ: want %d, got %d", want.Len(), got.Len())
+	}
+	w := want.Clone().SortBy("cust")
+	g := got.Clone().SortBy("cust")
+	for i := range w.Rows {
+		for _, col := range cols {
+			a, b := w.Value(i, col), g.Value(i, col)
+			if a.IsNull() != b.IsNull() {
+				t.Fatalf("row %d col %s: want %v, got %v", i, col, a, b)
+			}
+			if a.IsNull() {
+				continue
+			}
+			if a.IsNumeric() && b.IsNumeric() {
+				d := a.AsFloat() - b.AsFloat()
+				if d < -1e-6 || d > 1e-6 {
+					t.Fatalf("row %d col %s: want %v, got %v", i, col, a, b)
+				}
+				continue
+			}
+			if !a.Equal(b) {
+				t.Fatalf("row %d col %s: want %v, got %v", i, col, a, b)
+			}
+		}
+	}
+}
+
+func TestSiteTimeoutCancelsStalledSite(t *testing.T) {
+	_, base, sites := faultSetup(t)
+	faultinject.Wrap(sites[0], faultinject.Plan{Stall: true})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{SiteTimeout: 30 * time.Millisecond})
+
+	start := time.Now()
+	_, err = cluster.ScatterFragments(context.Background(), base, sumCountPhase(), core.Options{})
+	if err == nil {
+		t.Fatal("a stalled site without replicas must fail the query")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded in the chain, got %v", err)
+	}
+	var se *distributed.SiteError
+	if !errors.As(err, &se) || !strings.EqualFold(se.Site, sites[0].Name) {
+		t.Fatalf("error must attribute the stalled site, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout did not bound the wait: %v", elapsed)
+	}
+}
+
+func TestWholeQueryDeadlineCancels(t *testing.T) {
+	// No per-site policy at all: the caller's context alone must unwedge
+	// the scatter (the pre-fault-layer code would block forever here).
+	_, base, sites := faultSetup(t)
+	for _, s := range sites {
+		faultinject.Wrap(s, faultinject.Plan{Stall: true})
+	}
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := cluster.ScatterFragments(ctx, base, sumCountPhase(), core.Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRetryRecoversTransientError(t *testing.T) {
+	sales, base, sites := faultSetup(t)
+	inj := faultinject.Wrap(sites[0], faultinject.Plan{FailFirst: 1})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{MaxRetries: 2, BackoffBase: time.Millisecond, Jitter: 0.2})
+
+	phase := sumCountPhase()
+	got, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
+	if err != nil {
+		t.Fatalf("retry must recover a single transient failure: %v", err)
+	}
+	if inj.Requests() != 2 {
+		t.Fatalf("want success on attempt 2, site saw %d requests", inj.Requests())
+	}
+	want, err := core.Eval(base, sales, []core.Phase{phase}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAgg(t, want, got, "cust", "total", "n")
+}
+
+func TestDropNthRecoveredByTimeoutAndRetry(t *testing.T) {
+	sales, base, sites := faultSetup(t)
+	inj := faultinject.Wrap(sites[1], faultinject.Plan{DropNth: 1})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{SiteTimeout: 30 * time.Millisecond, MaxRetries: 1})
+
+	phase := sumCountPhase()
+	got, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
+	if err != nil {
+		t.Fatalf("a single dropped response must be absorbed by timeout+retry: %v", err)
+	}
+	if inj.Requests() != 2 {
+		t.Fatalf("want 2 requests (drop, then success), got %d", inj.Requests())
+	}
+	want, err := core.Eval(base, sales, []core.Phase{phase}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAgg(t, want, got, "cust", "total", "n")
+}
+
+// replicatedCluster builds one primary + one replica site per state
+// fragment, registers the replica sets, and returns the primaries for
+// fault wrapping.
+func replicatedCluster(t testing.TB, sites []*distributed.Site) (*distributed.Cluster, []*distributed.Site, []*distributed.Site) {
+	t.Helper()
+	var all, primaries, replicas []*distributed.Site
+	for _, s := range sites {
+		p := distributed.NewSite(s.Name+"-a", s.Data)
+		r := distributed.NewSite(s.Name+"-b", s.Data)
+		primaries = append(primaries, p)
+		replicas = append(replicas, r)
+		all = append(all, p, r)
+	}
+	cluster, err := distributed.NewCluster(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sites {
+		if err := cluster.RegisterReplicas(s.Name, primaries[i].Name, replicas[i].Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cluster, primaries, replicas
+}
+
+func TestFailoverToReplicaMatchesHealthyRun(t *testing.T) {
+	// Theorem 4.1: fragment partials recombine by re-aggregation no matter
+	// which replica computed them — the failed-over result must be
+	// identical to the all-healthy run.
+	_, base, sites := faultSetup(t)
+
+	healthyCluster, _, _ := replicatedCluster(t, sites)
+	defer healthyCluster.Close()
+	phase := sumCountPhase()
+	healthy, err := healthyCluster.ScatterFragments(context.Background(), base, phase, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, primaries, _ := replicatedCluster(t, sites)
+	defer cluster.Close()
+	// Kill one primary outright (always errors) and make another flaky.
+	faultinject.Wrap(primaries[0], faultinject.Plan{FailFirst: 1 << 30})
+	faultinject.Wrap(primaries[1], faultinject.Plan{PanicFirst: 1 << 30})
+	cluster.SetPolicy(distributed.Policy{MaxRetries: 0})
+
+	got, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
+	if err != nil {
+		t.Fatalf("failover must mask dead primaries: %v", err)
+	}
+	if d := healthy.Diff(got); d != "" {
+		t.Fatalf("failed-over result differs from all-healthy run: %s", d)
+	}
+}
+
+func TestScatterPhasesFailoverAcrossReplicas(t *testing.T) {
+	sales, base, sites := faultSetup(t)
+	cluster, primaries, _ := replicatedCluster(t, sites)
+	defer cluster.Close()
+	faultinject.Wrap(primaries[0], faultinject.Plan{Stall: true})
+	cluster.SetPolicy(distributed.Policy{SiteTimeout: 30 * time.Millisecond})
+
+	var routed []distributed.Routed
+	var steps []core.Step
+	for _, s := range sites {
+		phase := core.Phase{
+			Aggs: []agg.Spec{agg.NewSpec("avg", expr.QC("R", "sale"), "avg_"+strings.ToLower(s.Name))},
+			Theta: expr.And(
+				expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+				expr.Eq(expr.QC("R", "state"), expr.S(s.Name))),
+		}
+		// Route to the fragment name; the cluster resolves replicas.
+		routed = append(routed, distributed.Routed{Site: s.Name, Phase: phase})
+		steps = append(steps, core.Step{Detail: "Sales", Phase: phase})
+	}
+	got, err := cluster.ScatterPhases(context.Background(), base, routed, core.Options{})
+	if err != nil {
+		t.Fatalf("phase routing must fail over to the replica: %v", err)
+	}
+	want, err := core.EvalSeries(base, map[string]*table.Table{"Sales": sales}, steps, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("failed-over ScatterPhases differs from centralized series: %s", d)
+	}
+}
+
+func TestCircuitOpensAfterThreshold(t *testing.T) {
+	_, base, sites := faultSetup(t)
+	inj := faultinject.Wrap(sites[0], faultinject.Plan{FailFirst: 1 << 30})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{MaxRetries: 5, FailureThreshold: 2})
+
+	_, err = cluster.ScatterFragments(context.Background(), base, sumCountPhase(), core.Options{})
+	if !errors.Is(err, distributed.ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen once the threshold trips, got %v", err)
+	}
+	if inj.Requests() != 2 {
+		t.Fatalf("circuit must stop attempts at the threshold: site saw %d requests, want 2", inj.Requests())
+	}
+
+	// Open circuit fails fast without touching the site again.
+	_, err = cluster.ScatterFragments(context.Background(), base, sumCountPhase(), core.Options{})
+	if !errors.Is(err, distributed.ErrCircuitOpen) {
+		t.Fatalf("open circuit must fail fast, got %v", err)
+	}
+	if inj.Requests() != 2 {
+		t.Fatalf("open circuit must not admit requests: site saw %d, want 2", inj.Requests())
+	}
+}
+
+func TestCircuitHalfOpenProbeRecovers(t *testing.T) {
+	sales, base, sites := faultSetup(t)
+	inj := faultinject.Wrap(sites[0], faultinject.Plan{FailFirst: 1})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{FailureThreshold: 1, Cooldown: 20 * time.Millisecond})
+
+	phase := sumCountPhase()
+	if _, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{}); err == nil {
+		t.Fatal("first call must fail and open the circuit")
+	}
+	if _, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{}); !errors.Is(err, distributed.ErrCircuitOpen) {
+		t.Fatalf("within the cooldown the circuit must reject, got %v", err)
+	}
+	if inj.Requests() != 1 {
+		t.Fatalf("rejected call must not reach the site: saw %d requests", inj.Requests())
+	}
+	time.Sleep(30 * time.Millisecond)
+	got, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
+	if err != nil {
+		t.Fatalf("half-open probe against a recovered site must close the circuit: %v", err)
+	}
+	want, err := core.Eval(base, sales, []core.Phase{phase}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAgg(t, want, got, "cust", "total", "n")
+}
+
+func TestPanickingSiteSurfacesAsError(t *testing.T) {
+	_, base, sites := faultSetup(t)
+	faultinject.Wrap(sites[2], faultinject.Plan{PanicFirst: 1})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	_, err = cluster.ScatterFragments(context.Background(), base, sumCountPhase(), core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("a panicking site must surface as an error, got %v", err)
+	}
+	// The site's serve loop survived the panic: the next query succeeds.
+	if _, err := cluster.ScatterFragments(context.Background(), base, sumCountPhase(), core.Options{}); err != nil {
+		t.Fatalf("serve loop must survive a recovered panic: %v", err)
+	}
+}
+
+func TestPartialDegradationReportsDeadFragments(t *testing.T) {
+	sales, base, sites := faultSetup(t)
+	deadState := sites[0].Name
+	faultinject.Wrap(sites[0], faultinject.Plan{FailFirst: 1 << 30})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{AllowPartial: true})
+
+	phase := sumCountPhase()
+	got, err := cluster.ScatterFragments(context.Background(), base, phase, core.Options{})
+	var pe *distributed.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if frags := pe.Fragments(); len(frags) != 1 || !strings.EqualFold(frags[0], deadState) {
+		t.Fatalf("PartialError must name the dead fragment %q, got %v", deadState, frags)
+	}
+	if got == nil {
+		t.Fatal("AllowPartial must still return the surviving recombination")
+	}
+	if got.Len() != base.Len() {
+		t.Fatalf("partial result must keep one row per base row: %d vs %d", got.Len(), base.Len())
+	}
+	// The partial equals a centralized run over the surviving fragments.
+	si := sales.Schema.MustColIndex("state")
+	surviving := table.New(sales.Schema)
+	for _, r := range sales.Rows {
+		if r[si].AsString() != deadState {
+			surviving.Append(r)
+		}
+	}
+	want, err := core.Eval(base, surviving, []core.Phase{phase}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAgg(t, want, got, "cust", "total", "n")
+}
+
+func TestAllFragmentsDeadFailsEvenWithAllowPartial(t *testing.T) {
+	_, base, sites := faultSetup(t)
+	for _, s := range sites {
+		faultinject.Wrap(s, faultinject.Plan{FailFirst: 1 << 30})
+	}
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{AllowPartial: true})
+
+	res, err := cluster.ScatterFragments(context.Background(), base, sumCountPhase(), core.Options{})
+	if err == nil || res != nil {
+		t.Fatalf("with every fragment dead there is nothing to return: res=%v err=%v", res, err)
+	}
+	var pe *distributed.PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("total failure is a hard error, not a partial result: %v", err)
+	}
+}
+
+func TestAskAfterCloseFailsFast(t *testing.T) {
+	_, base, sites := faultSetup(t)
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := cluster.ScatterFragments(context.Background(), base, sumCountPhase(), core.Options{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, distributed.ErrSiteClosed) {
+			t.Fatalf("want ErrSiteClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ask against a closed cluster must not block")
+	}
+}

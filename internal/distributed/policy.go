@@ -1,0 +1,290 @@
+package distributed
+
+// This file is the fault-tolerance policy layer for the scatter plans:
+// per-attempt timeouts, retries with capped exponential backoff, per-site
+// circuit breaking, and partial-result degradation. It sits between the
+// scatter recombinators and Cluster.ask; because fragment results
+// recombine by re-aggregation (Theorem 4.1) the recombination is
+// indifferent to which replica — or which attempt — produced a partial
+// result, so every recovery action below preserves the operator's
+// semantics.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mdjoin/internal/table"
+)
+
+// Sentinel errors surfaced (wrapped in *SiteError) by the request path.
+var (
+	// ErrSiteClosed reports an ask against a site whose serve loop has
+	// stopped; retrying the same site cannot help, but a replica can.
+	ErrSiteClosed = errors.New("site closed")
+
+	// ErrCircuitOpen reports that a site's circuit breaker is open: the
+	// site exceeded Policy.FailureThreshold consecutive failures and asks
+	// fail fast until Policy.Cooldown admits a probe.
+	ErrCircuitOpen = errors.New("circuit open")
+)
+
+// SiteError attributes a request failure to a site.
+type SiteError struct {
+	Site string
+	Err  error
+}
+
+func (e *SiteError) Error() string {
+	return fmt.Sprintf("distributed: site %q: %v", e.Site, e.Err)
+}
+
+func (e *SiteError) Unwrap() error { return e.Err }
+
+// PartialError reports a degraded ScatterFragments result: the named
+// fragments contributed nothing because every replica failed. The result
+// returned alongside it still has one row per base row — each surviving
+// site reports all base rows — but its aggregates miss the dead
+// fragments' detail tuples.
+type PartialError struct {
+	// Failed maps each dead fragment to the last error seen across its
+	// replicas.
+	Failed map[string]error
+}
+
+// Fragments lists the dead fragments in sorted order.
+func (e *PartialError) Fragments() []string {
+	out := make([]string, 0, len(e.Failed))
+	for f := range e.Failed {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("distributed: partial result; dead fragments: %s",
+		strings.Join(e.Fragments(), ", "))
+}
+
+// Policy tunes the fault handling of the scatter plans. The zero value
+// (and a nil *Policy) disables every mechanism: one attempt per site, no
+// timeout, no circuit, fail the whole query on any site failure.
+type Policy struct {
+	// SiteTimeout bounds each attempt at a single site; the deadline
+	// cancels the site's scan via the threaded context. Zero = no
+	// per-attempt bound (the whole-query ctx still applies).
+	SiteTimeout time.Duration
+
+	// MaxRetries is the number of additional attempts at the same site
+	// after a failed one (so MaxRetries=2 → up to 3 attempts).
+	MaxRetries int
+
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it. Zero retries immediately.
+	BackoffBase time.Duration
+
+	// BackoffMax caps the grown backoff, jitter included. Zero = no cap.
+	BackoffMax time.Duration
+
+	// Jitter adds a uniformly random fraction of the backoff (0.2 → up to
+	// +20%) to de-synchronize retry storms; the sum is still capped by
+	// BackoffMax.
+	Jitter float64
+
+	// FailureThreshold opens a site's circuit after that many consecutive
+	// failures: further asks fail fast with ErrCircuitOpen instead of
+	// burning a timeout each. Zero disables circuit breaking.
+	FailureThreshold int
+
+	// Cooldown is how long an open circuit rejects asks before admitting
+	// a single probe (half-open); a successful probe closes the circuit.
+	// Zero keeps an open circuit open until a failover path succeeds
+	// elsewhere.
+	Cooldown time.Duration
+
+	// AllowPartial lets ScatterFragments degrade gracefully: when every
+	// replica of a fragment is down the call returns the surviving
+	// fragments' recombination plus a *PartialError naming the dead ones,
+	// instead of failing outright.
+	AllowPartial bool
+}
+
+// backoffFor computes the pre-attempt delay (attempt ≥ 2): exponential in
+// the attempt number with jitter, capped by BackoffMax.
+func (p *Policy) backoffFor(attempt int) time.Duration {
+	if p.BackoffBase <= 0 {
+		return 0
+	}
+	d := p.BackoffBase
+	for i := 2; i < attempt && (p.BackoffMax <= 0 || d < p.BackoffMax); i++ {
+		d *= 2
+	}
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(float64(d) * p.Jitter * rand.Float64())
+		if p.BackoffMax > 0 && d > p.BackoffMax {
+			d = p.BackoffMax
+		}
+	}
+	return d
+}
+
+// sleepCtx waits d, or less if ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// breaker is a per-site circuit breaker: closed → open after `threshold`
+// consecutive failures → half-open (one probe) after `cooldown`.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	consecutive int
+	open        bool
+	openedAt    time.Time
+}
+
+// allow reports whether a request may proceed; in the open state it admits
+// one probe per cooldown window.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.cooldown > 0 && time.Since(b.openedAt) >= b.cooldown {
+		// Half-open: let this probe through; re-arm the window so a storm
+		// of callers doesn't all probe at once.
+		b.openedAt = time.Now()
+		return true
+	}
+	return false
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.consecutive = 0
+	b.open = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.consecutive++
+	if b.threshold > 0 && b.consecutive >= b.threshold && !b.open {
+		b.open = true
+		b.openedAt = time.Now()
+	}
+	b.mu.Unlock()
+}
+
+// breakerFor lazily creates the site's breaker; returns nil when circuit
+// breaking is disabled.
+func (c *Cluster) breakerFor(site string) *breaker {
+	p := c.policy
+	if p == nil || p.FailureThreshold <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	br, ok := c.breakers[site]
+	if !ok {
+		br = &breaker{threshold: p.FailureThreshold, cooldown: p.Cooldown}
+		c.breakers[site] = br
+	}
+	return br
+}
+
+// askPolicy runs ask under the cluster policy: circuit check, per-attempt
+// timeout, and retries with backoff. With no policy set it is plain ask.
+func (c *Cluster) askPolicy(ctx context.Context, site string, req askRequest) (*table.Table, error) {
+	p := c.policy
+	if p == nil {
+		return c.ask(ctx, site, req)
+	}
+	br := c.breakerFor(site)
+	var lastErr error
+	for attempt := 1; attempt <= 1+p.MaxRetries; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(ctx, p.backoffFor(attempt)); err != nil {
+				return nil, lastErr
+			}
+		}
+		if br != nil && !br.allow() {
+			// Fail fast; retrying the same open circuit is pointless —
+			// let the caller fail over to a replica instead.
+			return nil, &SiteError{Site: site, Err: ErrCircuitOpen}
+		}
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if p.SiteTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.SiteTimeout)
+		}
+		res, err := c.ask(actx, site, req)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			if br != nil {
+				br.success()
+			}
+			return res, nil
+		}
+		if br != nil {
+			br.failure()
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The whole-query deadline expired; further attempts are
+			// doomed to the same fate.
+			return nil, lastErr
+		}
+		if errors.Is(err, ErrSiteClosed) {
+			// A closed site does not come back; skip the remaining
+			// retries and let failover take over.
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// askFailover tries the candidate sites in preference order, moving to the
+// next replica when a site's attempts (per askPolicy) are exhausted. The
+// recombination downstream is replica-agnostic (Theorem 4.1), so whichever
+// candidate answers yields the same final result.
+func (c *Cluster) askFailover(ctx context.Context, sites []string, req askRequest) (*table.Table, error) {
+	var lastErr error
+	for _, site := range sites {
+		res, err := c.askPolicy(ctx, site, req)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("distributed: no candidate sites")
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,98 @@
+package distributed
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mdjoin/internal/core"
+	"mdjoin/internal/table"
+)
+
+// Evaluator computes a local MD-join for one request. The default
+// evaluator of a Site runs core.Eval over the site's fragment with the
+// request context threaded into the scan loop, so a caller that times out
+// actually cancels the site's work. Fault-injection wrappers replace it.
+type Evaluator func(ctx context.Context, base *table.Table, phases []core.Phase, opt core.Options) (*table.Table, error)
+
+// Site is one data store holding a fragment of the detail relation. Run
+// starts its serving loop; requests carry a base-values table and phases,
+// responses carry the local MD-join result.
+type Site struct {
+	Name string
+	Data *table.Table
+
+	eval      Evaluator
+	requests  chan request
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+type request struct {
+	ctx    context.Context
+	base   *table.Table
+	phases []core.Phase
+	opt    core.Options
+	reply  chan response
+}
+
+type response struct {
+	result *table.Table
+	err    error
+}
+
+// NewSite creates a site around a local fragment.
+func NewSite(name string, data *table.Table) *Site {
+	s := &Site{
+		Name:     name,
+		Data:     data,
+		requests: make(chan request),
+		done:     make(chan struct{}),
+	}
+	s.eval = func(ctx context.Context, base *table.Table, phases []core.Phase, opt core.Options) (*table.Table, error) {
+		opt.Ctx = ctx
+		return core.Eval(base, s.Data, phases, opt)
+	}
+	return s
+}
+
+// Evaluator returns the site's current evaluation function; fault-injection
+// wrappers compose around it.
+func (s *Site) Evaluator() Evaluator { return s.eval }
+
+// SetEvaluator replaces the site's evaluation function. It must be called
+// before the site joins a cluster (the serve loop reads it without
+// synchronization).
+func (s *Site) SetEvaluator(fn Evaluator) { s.eval = fn }
+
+// run serves MD-join requests until the site is closed.
+func (s *Site) run() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case req := <-s.requests:
+			// reply is buffered, so a caller that abandoned the request
+			// (timeout, cancellation) never blocks the serve loop.
+			req.reply <- s.serve(req)
+		}
+	}
+}
+
+// serve evaluates one request, converting a panic in the evaluator (or in
+// the operator below it) into a returned error so a buggy site degrades
+// into a failed request instead of killing the process.
+func (s *Site) serve(req request) (resp response) {
+	defer func() {
+		if p := recover(); p != nil {
+			resp = response{err: fmt.Errorf("site %q panicked: %v", s.Name, p)}
+		}
+	}()
+	res, err := s.eval(req.ctx, req.base, req.phases, req.opt)
+	return response{result: res, err: err}
+}
+
+// close stops the serve loop; pending and future asks observe ErrSiteClosed.
+func (s *Site) close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}

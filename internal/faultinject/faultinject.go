@@ -1,0 +1,133 @@
+// Package faultinject is a deterministic fault harness for the
+// distributed emulation: it wraps a Site's evaluator so tests (and the
+// example) can make a site slow, flaky, crashy, or silent on demand and
+// observe how the cluster's fault policy reacts. Faults are keyed off a
+// per-site request counter, never off wall-clock randomness, so every
+// policy path — timeout, retry, failover, circuit breaking, partial
+// degradation — is reproducible run over run.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdjoin/internal/core"
+	"mdjoin/internal/distributed"
+	"mdjoin/internal/table"
+)
+
+// ErrInjected is the default error returned by FailFirst faults.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Plan describes the faults to inject, applied in the order of the fields
+// below. The request counter n is 1-based and counts every request the
+// site's evaluator receives.
+type Plan struct {
+	// Delay is added before serving each request (cancelled early if the
+	// request's context expires first).
+	Delay time.Duration
+
+	// Stall makes every request hang until its context is cancelled —
+	// the "site is alive but never answers" failure a timeout must catch.
+	Stall bool
+
+	// DropNth makes request number n == DropNth hang until its context
+	// is cancelled: a single lost response, recoverable by retry.
+	DropNth int
+
+	// FailFirst makes requests n <= FailFirst return Err — the transient
+	// error burst a retry or failover rides out.
+	FailFirst int
+
+	// Err is the error FailFirst returns; nil means ErrInjected.
+	Err error
+
+	// PanicFirst makes requests n <= PanicFirst panic (after FailFirst is
+	// exhausted) — exercising the serve loop's recover path.
+	PanicFirst int
+}
+
+// Injector wraps one site's evaluator with a Plan and counts traffic.
+type Injector struct {
+	plan Plan
+
+	mu       sync.Mutex
+	requests int
+	injected int
+}
+
+// Wrap installs plan around the site's current evaluator and returns the
+// injector for inspecting counters. Call before the site joins a cluster.
+func Wrap(s *distributed.Site, plan Plan) *Injector {
+	inj := &Injector{plan: plan}
+	inner := s.Evaluator()
+	s.SetEvaluator(func(ctx context.Context, base *table.Table, phases []core.Phase, opt core.Options) (*table.Table, error) {
+		if err := inj.intercept(ctx); err != nil {
+			return nil, err
+		}
+		return inner(ctx, base, phases, opt)
+	})
+	return inj
+}
+
+// Requests reports how many requests the site has received.
+func (inj *Injector) Requests() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.requests
+}
+
+// Injected reports how many requests were answered by a fault (error,
+// panic, stall, or drop) instead of the real evaluator.
+func (inj *Injector) Injected() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.injected
+}
+
+// intercept applies the plan to one request; a nil return lets the real
+// evaluator run.
+func (inj *Injector) intercept(ctx context.Context) error {
+	inj.mu.Lock()
+	inj.requests++
+	n := inj.requests
+	p := inj.plan
+	inj.mu.Unlock()
+
+	if p.Delay > 0 {
+		t := time.NewTimer(p.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			inj.fault()
+			return ctx.Err()
+		}
+	}
+	if p.Stall || (p.DropNth > 0 && n == p.DropNth) {
+		inj.fault()
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if n <= p.FailFirst {
+		inj.fault()
+		if p.Err != nil {
+			return p.Err
+		}
+		return ErrInjected
+	}
+	if n <= p.FailFirst+p.PanicFirst {
+		inj.fault()
+		panic(fmt.Sprintf("faultinject: injected panic (request %d)", n))
+	}
+	return nil
+}
+
+func (inj *Injector) fault() {
+	inj.mu.Lock()
+	inj.injected++
+	inj.mu.Unlock()
+}

@@ -1,0 +1,103 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/distributed"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/faultinject"
+	"mdjoin/internal/table"
+	"mdjoin/internal/workload"
+)
+
+func onSiteCluster(t *testing.T, plan faultinject.Plan) (*distributed.Cluster, *faultinject.Injector, *table.Table) {
+	t.Helper()
+	sales := workload.Sales(workload.SalesConfig{Rows: 500, Customers: 10, States: 2, Seed: 7})
+	site := distributed.NewSite("solo", sales)
+	inj := faultinject.Wrap(site, plan)
+	cluster, err := distributed.NewCluster(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	base := table.New(table.NewSchema(table.Column{Name: "cust"}))
+	base.Append(table.Row{table.Int(1)})
+	return cluster, inj, base
+}
+
+func countPhase() core.Phase {
+	return core.Phase{
+		Aggs:  []agg.Spec{agg.NewSpec("count", nil, "n")},
+		Theta: expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+	}
+}
+
+func TestFailFirstIsDeterministic(t *testing.T) {
+	cluster, inj, base := onSiteCluster(t, faultinject.Plan{FailFirst: 2})
+	for i := 1; i <= 2; i++ {
+		if _, err := cluster.ScatterFragments(context.Background(), base, countPhase(), core.Options{}); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("request %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	if _, err := cluster.ScatterFragments(context.Background(), base, countPhase(), core.Options{}); err != nil {
+		t.Fatalf("request 3 must succeed, got %v", err)
+	}
+	if inj.Requests() != 3 || inj.Injected() != 2 {
+		t.Fatalf("counters: requests=%d injected=%d, want 3/2", inj.Requests(), inj.Injected())
+	}
+}
+
+func TestCustomErrAndPanicOrdering(t *testing.T) {
+	sentinel := errors.New("boom")
+	cluster, _, base := onSiteCluster(t, faultinject.Plan{FailFirst: 1, Err: sentinel, PanicFirst: 1})
+	if _, err := cluster.ScatterFragments(context.Background(), base, countPhase(), core.Options{}); !errors.Is(err, sentinel) {
+		t.Fatalf("request 1: want the custom error, got %v", err)
+	}
+	_, err := cluster.ScatterFragments(context.Background(), base, countPhase(), core.Options{})
+	if err == nil || errors.Is(err, sentinel) {
+		t.Fatalf("request 2: want the injected panic surfaced as an error, got %v", err)
+	}
+	if _, err := cluster.ScatterFragments(context.Background(), base, countPhase(), core.Options{}); err != nil {
+		t.Fatalf("request 3 must succeed, got %v", err)
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	cluster, inj, base := onSiteCluster(t, faultinject.Plan{Delay: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cluster.ScatterFragments(ctx, base, countPhase(), core.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("delay must be cut short by the context")
+	}
+	if inj.Requests() != 1 {
+		t.Fatalf("requests=%d, want 1", inj.Requests())
+	}
+}
+
+func TestDropNthOnlyDropsThatRequest(t *testing.T) {
+	cluster, inj, base := onSiteCluster(t, faultinject.Plan{DropNth: 2})
+	if _, err := cluster.ScatterFragments(context.Background(), base, countPhase(), core.Options{}); err != nil {
+		t.Fatalf("request 1 must pass through, got %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := cluster.ScatterFragments(ctx, base, countPhase(), core.Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("request 2 must hang until the deadline, got %v", err)
+	}
+	if _, err := cluster.ScatterFragments(context.Background(), base, countPhase(), core.Options{}); err != nil {
+		t.Fatalf("request 3 must pass through, got %v", err)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injected=%d, want 1 (only the dropped request)", inj.Injected())
+	}
+}
