@@ -1,10 +1,13 @@
 # Verification entry points. `make check` is the full gate: vet, build,
 # plain tests, and the race detector (the distributed/faultinject packages
-# are goroutine-heavy, so tier-1 runs them under -race too).
+# are goroutine-heavy, so tier-1 runs them under -race too). `make bench`
+# runs the paper's experiment benchmarks (E1–E14) with allocation counts
+# and the E12 executor guard; it is a separate target because the full
+# sweep takes minutes.
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-guard
 
 check: vet build test race
 
@@ -20,6 +23,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Happy-path overhead of the fault-policy layer (ISSUE budget: <5%).
-bench:
+# All E1–E14 experiment benchmarks with -benchmem, then the guard. The
+# guard (also runnable alone via bench-guard) asserts the vectorized
+# batched executor over the flat hash index is no slower than the
+# tuple-at-a-time map-index baseline on the E12 workload — the regression
+# tripwire for the batch-executor hot path.
+bench: bench-guard
+	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 5x -run '^$$' .
 	$(GO) test ./internal/distributed -bench ScatterFragments -benchtime 20x -run '^$$'
+
+bench-guard:
+	MDJOIN_BENCH_GUARD=1 $(GO) test -run TestE12BatchGuard -count=1 -v .

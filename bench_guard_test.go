@@ -1,0 +1,64 @@
+package mdjoin_test
+
+import (
+	"os"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/cube"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// TestE12BatchGuard is the executor performance tripwire run by
+// `make bench` (and `make bench-guard`): on the E12 indexing workload, the
+// default vectorized batch executor over the flat hash index must be no
+// slower — and must allocate no more — than the retained tuple-at-a-time
+// interpreter over the map-backed index (the pre-batch baseline,
+// Options.DisableBatch). Timing comparisons are inherently noisy, so the
+// guard is opt-in via MDJOIN_BENCH_GUARD and allows a 15% wall-clock
+// slack; the allocation comparison is exact.
+func TestE12BatchGuard(t *testing.T) {
+	if os.Getenv("MDJOIN_BENCH_GUARD") == "" {
+		t.Skip("set MDJOIN_BENCH_GUARD=1 (or run `make bench`) to run the executor performance guard")
+	}
+
+	detail := benchSales(20000, 12)
+	full, err := cube.DistinctBase(detail, "cust", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &table.Table{Schema: full.Schema, Rows: full.Rows}
+	if base.Len() > 1000 {
+		base.Rows = base.Rows[:1000]
+	}
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		expr.Eq(expr.QC("R", "month"), expr.C("month")))
+
+	run := func(opt core.Options) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	batched := run(core.Options{})
+	scalar := run(core.Options{DisableBatch: true})
+
+	t.Logf("batched: %v (%d allocs/op), scalar map-index baseline: %v (%d allocs/op)",
+		batched, batched.AllocsPerOp(), scalar, scalar.AllocsPerOp())
+	if lim := scalar.NsPerOp() * 115 / 100; batched.NsPerOp() > lim {
+		t.Errorf("batched executor regressed: %d ns/op > %d ns/op (scalar baseline %d +15%%)",
+			batched.NsPerOp(), lim, scalar.NsPerOp())
+	}
+	if batched.AllocsPerOp() > scalar.AllocsPerOp() {
+		t.Errorf("batched executor allocates more than the scalar baseline: %d > %d allocs/op",
+			batched.AllocsPerOp(), scalar.AllocsPerOp())
+	}
+}

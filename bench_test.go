@@ -46,6 +46,7 @@ func BenchmarkE1CubeBy(b *testing.B) {
 	specs := []agg.Spec{agg.NewSpec("sum", expr.C("sale"), "sum_sale")}
 	for _, m := range []cube.Method{cube.Naive, cube.Rollup, cube.PipeSort, cube.MDJoinPass, cube.PartitionedCube} {
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tb(b)(cube.Compute(detail, dims, specs, cube.Options{Method: m}))
 			}
@@ -69,6 +70,7 @@ func BenchmarkE2Pivot(b *testing.B) {
 		}
 	}
 	phases := []core.Phase{phase("NY", "avg_ny"), phase("NJ", "avg_nj"), phase("CT", "avg_ct")}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Eval(base, detail, phases, core.Options{}); err != nil {
@@ -96,6 +98,7 @@ func BenchmarkE3CubeAboveAvg(b *testing.B) {
 		}},
 	}
 	details := map[string]*table.Table{"Sales": detail}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.EvalSeries(base, details, steps, core.Options{}); err != nil {
@@ -155,6 +158,7 @@ func BenchmarkE4Window(b *testing.B) {
 	details := map[string]*table.Table{"Sales": detail}
 
 	b.Run("mdjoin", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.EvalSeries(base, details, steps, core.Options{}); err != nil {
 				b.Fatal(err)
@@ -162,11 +166,13 @@ func BenchmarkE4Window(b *testing.B) {
 		}
 	})
 	b.Run("joinplan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tb(b)(baseline.JoinPlan(base, detail, subs))
 		}
 	})
 	b.Run("correlated", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tb(b)(baseline.CorrelatedPlan(base, detail, subs))
 		}
@@ -189,6 +195,7 @@ func BenchmarkE5PipeSortPlan(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("dims-%d", len(dims)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if plan := cube.PlanPipeSort(lat); len(plan.Paths) == 0 {
 					b.Fatal("empty plan")
@@ -212,6 +219,7 @@ func BenchmarkE6PartitionedScans(b *testing.B) {
 	for _, m := range []int{1, 2, 4, 8} {
 		maxRows := (base.Len() + m - 1) / m
 		b.Run(fmt.Sprintf("scans-%d", m), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}},
 					core.Options{MaxBaseRows: maxRows}); err != nil {
@@ -235,6 +243,7 @@ func BenchmarkE7Parallel(b *testing.B) {
 	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
 	for _, p := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("base-p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}},
 					core.Options{Parallelism: p}); err != nil {
@@ -243,6 +252,7 @@ func BenchmarkE7Parallel(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("detail-p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}},
 					core.Options{DetailParallelism: p}); err != nil {
@@ -274,6 +284,7 @@ func BenchmarkE8Pushdown(b *testing.B) {
 
 	fullTheta := expr.And(prodEq, expr.Eq(expr.QC("R", "year"), expr.I(1996)))
 	b.Run("pushed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Eval(base, pruned, []core.Phase{{Aggs: specs, Theta: prodEq}}, core.Options{}); err != nil {
 				b.Fatal(err)
@@ -281,6 +292,7 @@ func BenchmarkE8Pushdown(b *testing.B) {
 		}
 	})
 	b.Run("unpushed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: fullTheta}},
 				core.Options{DisablePushdown: true}); err != nil {
@@ -311,6 +323,7 @@ func BenchmarkE9SeriesCombine(b *testing.B) {
 			phases = append(phases, mkPhase(int64(i+1)))
 		}
 		b.Run(fmt.Sprintf("separate-k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cur := base
 				for _, ph := range phases {
@@ -323,6 +336,7 @@ func BenchmarkE9SeriesCombine(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("combined-k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Eval(base, detail, phases, core.Options{}); err != nil {
 					b.Fatal(err)
@@ -345,12 +359,14 @@ func BenchmarkE10Split(b *testing.B) {
 	l2 := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "amount"), "total_paid")}
 
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mid := tb(b)(core.MDJoin(base, detail, l1, theta))
 			tb(b)(core.MDJoin(mid, payments, l2, theta))
 		}
 	})
 	b.Run("split-join", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			left := tb(b)(core.MDJoin(base, detail, l1, theta))
 			right := tb(b)(core.MDJoin(base, payments, l2, theta))
@@ -372,6 +388,7 @@ func BenchmarkE11CubeStrategies(b *testing.B) {
 	} {
 		for _, m := range []cube.Method{cube.Naive, cube.Rollup, cube.PipeSort, cube.MDJoinPass, cube.PartitionedCube} {
 			b.Run(fmt.Sprintf("%s-dims%d", m, len(dims)), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					tb(b)(cube.Compute(detail, dims, specs, cube.Options{Method: m}))
 				}
@@ -383,7 +400,10 @@ func BenchmarkE11CubeStrategies(b *testing.B) {
 // ------------------------------------------------------------------ E12
 
 // BenchmarkE12Index measures Section 4.5: indexed relative-set lookup
-// versus the verbatim Algorithm 3.1 nested loop, as |B| grows.
+// versus the verbatim Algorithm 3.1 nested loop, as |B| grows. The
+// indexed variant runs the vectorized batch executor over the flat hash
+// index; scalar is the tuple-at-a-time interpreter over the map-backed
+// index (the pre-batch baseline, kept for regression comparison).
 func BenchmarkE12Index(b *testing.B) {
 	detail := benchSales(20000, 12)
 	full := tb(b)(cube.DistinctBase(detail, "cust", "month"))
@@ -397,13 +417,24 @@ func BenchmarkE12Index(b *testing.B) {
 			base = &table.Table{Schema: full.Schema, Rows: full.Rows[:nb]}
 		}
 		b.Run(fmt.Sprintf("indexed-b%d", nb), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("scalar-b%d", nb), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}},
+					core.Options{DisableBatch: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run(fmt.Sprintf("nested-b%d", nb), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}},
 					core.Options{DisableIndex: true}); err != nil {
@@ -433,6 +464,7 @@ func BenchmarkE13Dialect(b *testing.B) {
 	}
 	for name, src := range queries {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := mdjoin.Query(src, cat); err != nil {
 					b.Fatal(err)
@@ -471,6 +503,7 @@ func BenchmarkE14Streaming(b *testing.B) {
 			name = fmt.Sprintf("budget-%dKiB", budget/1024)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.EvalSource(base, src, []core.Phase{phase},
 					core.Options{MemoryBudgetBytes: budget}); err != nil {

@@ -8,9 +8,11 @@
 //	mdbench                 # run every experiment
 //	mdbench -exp e4         # one experiment
 //	mdbench -exp e4 -rows 200000
+//	mdbench -json out.json  # also write machine-readable measurements
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,24 @@ import (
 )
 
 var rowsFlag = flag.Int("rows", 0, "override the detail row count of the selected experiment")
+var jsonFlag = flag.String("json", "", "write machine-readable results to this file")
+
+// benchResult is one recorded measurement; the -json flag serializes the
+// run's full list so CI and the repo's BENCH_*.json snapshots can diff
+// numbers without scraping the human-readable tables.
+type benchResult struct {
+	Exp         string      `json:"exp"`
+	Label       string      `json:"label"`
+	Rows        int         `json:"rows"`
+	NsPerOp     int64       `json:"ns_per_op"`
+	AllocsPerOp uint64      `json:"allocs_per_op"`
+	Stats       *core.Stats `json:"stats,omitempty"`
+}
+
+var (
+	jsonResults []benchResult
+	curExp      string
+)
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
@@ -62,6 +82,7 @@ func main() {
 			continue
 		}
 		ran = true
+		curExp = e.id
 		fmt.Printf("=== %s: %s ===\n", e.id, e.desc)
 		e.run()
 		fmt.Println()
@@ -70,6 +91,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mdbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonFlag != "" {
+		writeJSON(*jsonFlag)
+	}
+}
+
+func writeJSON(path string) {
+	doc := struct {
+		GOMAXPROCS int           `json:"gomaxprocs"`
+		Results    []benchResult `json:"results"`
+	}{runtime.GOMAXPROCS(0), jsonResults}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	check(err)
+	check(os.WriteFile(path, append(data, '\n'), 0o644))
+	fmt.Printf("wrote %d measurements to %s\n", len(jsonResults), path)
 }
 
 // ------------------------------------------------------------- helpers
@@ -85,6 +120,28 @@ func timeIt(f func()) time.Duration {
 	t0 := time.Now()
 	f()
 	return time.Since(t0)
+}
+
+// record times f like timeIt and additionally captures one benchResult
+// (wall time, heap allocation count from runtime.MemStats, and optionally
+// the run's Stats) for the -json output. stats may be nil; it is attached
+// by pointer so the caller can fill it inside f.
+func record(label string, rows int, stats *core.Stats, f func()) time.Duration {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	f()
+	d := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	jsonResults = append(jsonResults, benchResult{
+		Exp:         curExp,
+		Label:       label,
+		Rows:        rows,
+		NsPerOp:     d.Nanoseconds(),
+		AllocsPerOp: m1.Mallocs - m0.Mallocs,
+		Stats:       stats,
+	})
+	return d
 }
 
 func must[T any](v T, err error) T {
@@ -119,7 +176,7 @@ func e1() {
 		strings.Join(dims, ","), out.Len(), detail.Len())
 	fmt.Println(head(out, 6))
 	for _, m := range []cube.Method{cube.Naive, cube.Rollup, cube.PipeSort, cube.MDJoinPass, cube.PartitionedCube} {
-		d := timeIt(func() { must(cube.Compute(detail, dims, specs, cube.Options{Method: m})) })
+		d := record(fmt.Sprint(m), detail.Len(), nil, func() { must(cube.Compute(detail, dims, specs, cube.Options{Method: m})) })
 		fmt.Printf("  %-12s %10v\n", m, d)
 	}
 }
@@ -184,15 +241,15 @@ func e4() {
 
 		steps := windowSteps()
 		var mdOut *table.Table
-		md := timeIt(func() {
+		md := record("mdjoin", n, nil, func() {
 			mdOut = must(core.EvalSeries(base, map[string]*table.Table{"Sales": detail}, steps, core.Options{}))
 		})
 
 		subs := windowSubqueries()
 		var joinOut *table.Table
-		jp := timeIt(func() { joinOut = must(baseline.JoinPlan(base, detail, subs)) })
+		jp := record("joinplan", n, nil, func() { joinOut = must(baseline.JoinPlan(base, detail, subs)) })
 		var corrOut *table.Table
-		cp := timeIt(func() { corrOut = must(baseline.CorrelatedPlan(base, detail, subs)) })
+		cp := record("correlated", n, nil, func() { corrOut = must(baseline.CorrelatedPlan(base, detail, subs)) })
 
 		// Sanity: all three plans compute the same relation.
 		if !joinOut.EqualSet(mdOut) || !corrOut.EqualSet(mdOut) {
@@ -277,10 +334,10 @@ func e6() {
 	fmt.Printf("|B| = %d; Theorem 4.1 partitions trade scans of R for resident base rows\n", base.Len())
 	fmt.Printf("%12s %8s %12s\n", "maxBaseRows", "scans", "time")
 	for _, m := range []int{base.Len(), (base.Len() + 1) / 2, (base.Len() + 3) / 4, (base.Len() + 7) / 8} {
-		var stats core.Stats
-		d := timeIt(func() {
+		stats := &core.Stats{}
+		d := record(fmt.Sprintf("maxbase-%d", m), detail.Len(), stats, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}},
-				core.Options{MaxBaseRows: m, Stats: &stats}))
+				core.Options{MaxBaseRows: m, Stats: stats}))
 		})
 		fmt.Printf("%12d %8d %12v\n", m, stats.DetailScans, d)
 	}
@@ -300,10 +357,10 @@ func e7() {
 	fmt.Printf("%4s %16s %16s\n", "p", "B-partitioned", "R-partitioned")
 	var t1 time.Duration
 	for _, p := range []int{1, 2, 4, 8} {
-		db := timeIt(func() {
+		db := record(fmt.Sprintf("base-par-%d", p), detail.Len(), nil, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{Parallelism: p}))
 		})
-		dr := timeIt(func() {
+		dr := record(fmt.Sprintf("detail-par-%d", p), detail.Len(), nil, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DetailParallelism: p}))
 		})
 		if p == 1 {
@@ -347,14 +404,14 @@ func e8() {
 		fullTheta := expr.And(prodEq,
 			expr.Ge(expr.QC("R", "year"), expr.I(lo)),
 			expr.Le(expr.QC("R", "year"), expr.I(hi)))
-		var sOn, sOff core.Stats
+		sOn, sOff := &core.Stats{}, &core.Stats{}
 		// Theorem 4.2 applied: the range moved out of θ into the scan.
-		on := timeIt(func() {
+		on := record(fmt.Sprintf("pushed-%dy", span), detail.Len(), sOn, func() {
 			pruned := yearSlice(lo, hi)
-			must(core.Eval(base, pruned, []core.Phase{{Aggs: specs, Theta: prodEq}}, core.Options{Stats: &sOn}))
+			must(core.Eval(base, pruned, []core.Phase{{Aggs: specs, Theta: prodEq}}, core.Options{Stats: sOn}))
 		})
-		off := timeIt(func() {
-			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: fullTheta}}, core.Options{DisablePushdown: true, Stats: &sOff}))
+		off := record(fmt.Sprintf("fullscan-%dy", span), detail.Len(), sOff, func() {
+			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: fullTheta}}, core.Options{DisablePushdown: true, Stats: sOff}))
 		})
 		fmt.Printf("%8d %14v %14v %7.1fx %8d vs %6d\n",
 			span, on, off, float64(off)/float64(on), sOn.TuplesScanned, sOff.TuplesScanned)
@@ -393,22 +450,22 @@ func e9() {
 		for i := 0; i < k; i++ {
 			phases = append(phases, mkPhase(int64(i+1)))
 		}
-		sep := timeIt(func() {
+		sep := record(fmt.Sprintf("mem-separate-k%d", k), detail.Len(), nil, func() {
 			cur := base
 			for _, ph := range phases {
 				cur = must(core.Eval(cur, detail, []core.Phase{ph}, core.Options{}))
 			}
 		})
-		comb := timeIt(func() {
+		comb := record(fmt.Sprintf("mem-combined-k%d", k), detail.Len(), nil, func() {
 			must(core.Eval(base, detail, phases, core.Options{}))
 		})
-		dsep := timeIt(func() {
+		dsep := record(fmt.Sprintf("disk-separate-k%d", k), detail.Len(), nil, func() {
 			cur := base
 			for _, ph := range phases {
 				cur = must(core.Eval(cur, loadDetail(), []core.Phase{ph}, core.Options{}))
 			}
 		})
-		dcomb := timeIt(func() {
+		dcomb := record(fmt.Sprintf("disk-combined-k%d", k), detail.Len(), nil, func() {
 			must(core.Eval(base, loadDetail(), phases, core.Options{}))
 		})
 		fmt.Printf("%4d %14v %14v %7.1fx %14v %14v %7.1fx\n",
@@ -428,11 +485,11 @@ func e10() {
 	l2 := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "amount"), "total_paid")}
 
 	var seqOut, splitOut *table.Table
-	seq := timeIt(func() {
+	seq := record("sequential", detail.Len(), nil, func() {
 		mid := must(core.MDJoin(base, detail, l1, theta1))
 		seqOut = must(core.MDJoin(mid, payments, l2, theta1))
 	})
-	split := timeIt(func() {
+	split := record("split-join", detail.Len(), nil, func() {
 		left := must(core.MDJoin(base, detail, l1, theta1))
 		right := must(core.MDJoin(base, payments, l2, theta1))
 		splitOut = must(core.SplitJoin(left, right, []string{"cust"}))
@@ -460,7 +517,7 @@ func e11() {
 		var ds []time.Duration
 		for _, m := range []cube.Method{cube.Naive, cube.Rollup, cube.PipeSort, cube.MDJoinPass, cube.PartitionedCube} {
 			m := m
-			ds = append(ds, timeIt(func() {
+			ds = append(ds, record(fmt.Sprintf("%v-%dd", m, len(cfg.dims)), cfg.n, nil, func() {
 				must(cube.Compute(detail, cfg.dims, specs, cube.Options{Method: m}))
 			}))
 		}
@@ -475,7 +532,8 @@ func e12() {
 	detail := sales(rows(50000), 12)
 	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
 	fmt.Println("Algorithm 3.1 nested loop vs Section 4.5 hash index on B")
-	fmt.Printf("%8s %14s %14s %10s\n", "|B|", "indexed", "nested-loop", "ratio")
+	fmt.Println("(batched = flat-index vectorized executor, scalar = map-index tuple-at-a-time)")
+	fmt.Printf("%8s %14s %14s %14s %10s\n", "|B|", "batched", "scalar", "nested-loop", "nl/batch")
 	for _, nb := range []int{100, 1000, 5000} {
 		base := must(cube.DistinctBase(detail, "cust", "month"))
 		if base.Len() > nb {
@@ -484,13 +542,17 @@ func e12() {
 		theta := expr.And(
 			expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
 			expr.Eq(expr.QC("R", "month"), expr.C("month")))
-		idx := timeIt(func() {
-			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{}))
+		sIdx := &core.Stats{}
+		idx := record(fmt.Sprintf("indexed-b%d", base.Len()), detail.Len(), sIdx, func() {
+			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{Stats: sIdx}))
 		})
-		nl := timeIt(func() {
+		sc := record(fmt.Sprintf("scalar-b%d", base.Len()), detail.Len(), nil, func() {
+			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableBatch: true}))
+		})
+		nl := record(fmt.Sprintf("nested-b%d", base.Len()), detail.Len(), nil, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableIndex: true}))
 		})
-		fmt.Printf("%8d %14v %14v %9.1fx\n", base.Len(), idx, nl, float64(nl)/float64(idx))
+		fmt.Printf("%8d %14v %14v %14v %9.1fx\n", base.Len(), idx, sc, nl, float64(nl)/float64(idx))
 	}
 }
 
@@ -519,7 +581,7 @@ func e13() {
 			such that X.prod = prod and X.year >= 1996 and X.year <= 1997, Y.prod = prod and Y.year = 1998`},
 	}
 	for _, q := range queries {
-		d := timeIt(func() { must(mdjoin.Query(q.src, cat)) })
+		d := record(q.label, detail.Len(), nil, func() { must(mdjoin.Query(q.src, cat)) })
 		out := must(mdjoin.Query(q.src, cat))
 		fmt.Printf("  %-22s %6d rows  %10v\n", q.label, out.Len(), d)
 	}
@@ -547,15 +609,15 @@ func e14() {
 	fmt.Printf("detail on disk: %d rows; |B| = %d\n", detail.Len(), base.Len())
 	fmt.Printf("%14s %8s %12s\n", "budget", "scans", "time")
 	for _, budget := range []int{0, 1 << 20, 256 << 10, 64 << 10} {
-		var stats core.Stats
-		d := timeIt(func() {
-			must(core.EvalSource(base, src, []core.Phase{phase},
-				core.Options{MemoryBudgetBytes: budget, Stats: &stats}))
-		})
 		label := "unbounded"
 		if budget > 0 {
 			label = fmt.Sprintf("%d KiB", budget/1024)
 		}
+		stats := &core.Stats{}
+		d := record(label, detail.Len(), stats, func() {
+			must(core.EvalSource(base, src, []core.Phase{phase},
+				core.Options{MemoryBudgetBytes: budget, Stats: stats}))
+		})
 		fmt.Printf("%14s %8d %12v\n", label, stats.DetailScans, d)
 	}
 	fmt.Println("(Theorem 4.1: resident base rows trade against literal re-reads of the file)")

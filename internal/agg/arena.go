@@ -1,0 +1,122 @@
+package agg
+
+// BulkFunc is implemented by aggregate functions whose states can be
+// allocated in bulk: FillStates writes n fresh states into
+// dst[0], dst[stride], ..., dst[(n-1)*stride], all backed by a single
+// allocation. The MD-join executor holds |B| × |specs| states per phase;
+// without bulk allocation every one is a separate tiny heap object.
+//
+// Implementations must produce states identical to n calls of NewState.
+// Holistic aggregates (whose states carry their own growing buffers) need
+// not implement it — Arena falls back to per-state allocation.
+type BulkFunc interface {
+	Func
+	FillStates(dst []State, stride, n int)
+}
+
+// fillStates is the generic bulk fill: one backing []T for n states, with
+// an init hook for functions whose zero state is not the empty state.
+func fillStates[T any, PT interface {
+	*T
+	State
+}](dst []State, stride, n int, init func(*T)) {
+	backing := make([]T, n)
+	for i := 0; i < n; i++ {
+		if init != nil {
+			init(&backing[i])
+		}
+		dst[i*stride] = PT(&backing[i])
+	}
+}
+
+// Arena is flat per-(row, spec) aggregate state storage for one MD-join
+// phase: states[bi*len(specs)+j] is row bi's accumulator for spec j. One
+// []State header block plus one backing array per bulk-allocatable spec
+// replace the |B| × |specs| individual allocations of the naive layout,
+// and row-major order keeps one base row's states on the same cache lines
+// during the probe-and-feed loop.
+type Arena struct {
+	k      int
+	states []State
+}
+
+// NewArena allocates states for n rows across the compiled specs.
+func NewArena(specs []*Compiled, n int) *Arena {
+	k := len(specs)
+	a := &Arena{k: k, states: make([]State, n*k)}
+	for j, c := range specs {
+		if bf, ok := c.Fn.(BulkFunc); ok && n > 0 {
+			bf.FillStates(a.states[j:], k, n)
+			continue
+		}
+		for i := 0; i < n; i++ {
+			a.states[i*k+j] = c.NewState()
+		}
+	}
+	return a
+}
+
+// At returns row bi's state for spec j.
+func (a *Arena) At(bi, j int) State { return a.states[bi*a.k+j] }
+
+// Row returns row bi's states, one per spec, as a shared-backing slice.
+func (a *Arena) Row(bi int) []State { return a.states[bi*a.k : (bi+1)*a.k] }
+
+// Len returns the number of rows the arena holds states for.
+func (a *Arena) Len() int {
+	if a.k == 0 {
+		return 0
+	}
+	return len(a.states) / a.k
+}
+
+// Specs returns the number of specs per row.
+func (a *Arena) Specs() int { return a.k }
+
+// Merge folds another arena of identical shape into this one, state by
+// state — the detail-partitioned parallel merge.
+func (a *Arena) Merge(o *Arena) {
+	for i, st := range a.states {
+		st.Merge(o.states[i])
+	}
+}
+
+// Bulk allocation for the distributive and algebraic built-ins. Their
+// states are small fixed-size structs, so a single backing array per spec
+// covers the whole base table.
+
+func (countFunc) FillStates(dst []State, stride, n int) {
+	fillStates[countState](dst, stride, n, nil)
+}
+
+func (sumFunc) FillStates(dst []State, stride, n int) {
+	fillStates[sumState](dst, stride, n, nil)
+}
+
+func (minFunc) FillStates(dst []State, stride, n int) {
+	fillStates[extState](dst, stride, n, func(s *extState) { s.min = true })
+}
+
+func (maxFunc) FillStates(dst []State, stride, n int) {
+	fillStates[extState](dst, stride, n, nil)
+}
+
+func (avgFunc) FillStates(dst []State, stride, n int) {
+	fillStates[avgState](dst, stride, n, nil)
+}
+
+func (f varFunc) FillStates(dst []State, stride, n int) {
+	fillStates[varState](dst, stride, n, func(s *varState) { s.pop = f.pop })
+}
+
+func (stddevFunc) FillStates(dst []State, stride, n int) {
+	fillStates[stddevState](dst, stride, n, nil)
+}
+
+func (firstFunc) FillStates(dst []State, stride, n int) {
+	fillStates[firstState](dst, stride, n, nil)
+}
+
+func (lastFunc) FillStates(dst []State, stride, n int) {
+	fillStates[lastState](dst, stride, n, nil)
+}

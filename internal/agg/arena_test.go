@@ -1,0 +1,155 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func arenaSpecs(t *testing.T) []*Compiled {
+	t.Helper()
+	bind := expr.NewBinding()
+	bind.AddRel(table.SchemaOf("w"), "r")
+	specs := []Spec{
+		NewSpec("count", nil, "n"),
+		NewSpec("sum", expr.C("w"), "total"),
+		NewSpec("min", expr.C("w"), "lo"),
+		NewSpec("max", expr.C("w"), "hi"),
+		NewSpec("avg", expr.C("w"), "mean"),
+		NewSpec("var", expr.C("w"), "v"),
+		NewSpec("var_pop", expr.C("w"), "vp"),
+		NewSpec("stddev", expr.C("w"), "sd"),
+		NewSpec("first", expr.C("w"), "fst"),
+		NewSpec("last", expr.C("w"), "lst"),
+		NewSpec("median", expr.C("w"), "med"), // holistic: per-state fallback
+	}
+	cs, err := CompileSpecs(specs, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// TestArenaMatchesIndividualStates: feeding the same value streams through
+// arena-backed states and through individually allocated NewState results
+// must produce identical aggregates — bulk allocation is invisible.
+func TestArenaMatchesIndividualStates(t *testing.T) {
+	cs := arenaSpecs(t)
+	const rows = 17
+	rng := rand.New(rand.NewSource(9))
+
+	arena := NewArena(cs, rows)
+	plain := make([][]State, rows)
+	for bi := range plain {
+		plain[bi] = make([]State, len(cs))
+		for j, c := range cs {
+			plain[bi][j] = c.NewState()
+		}
+	}
+
+	frame := make([]table.Row, 1)
+	for i := 0; i < 500; i++ {
+		bi := rng.Intn(rows)
+		frame[0] = table.Row{table.Int(int64(rng.Intn(100) - 50))}
+		for j, c := range cs {
+			c.Feed(arena.At(bi, j), frame)
+			c.Feed(plain[bi][j], frame)
+		}
+	}
+	for bi := 0; bi < rows; bi++ {
+		for j := range cs {
+			got, want := arena.At(bi, j).Result(), plain[bi][j].Result()
+			if !got.Equal(want) {
+				t.Fatalf("row %d spec %s: arena %v vs plain %v", bi, cs[j].Spec, got, want)
+			}
+		}
+	}
+	// Rows never fed must still report the empty-accumulator results.
+	empty := NewArena(cs, 3)
+	for j, c := range cs {
+		if got, want := empty.At(2, j).Result(), c.NewState().Result(); !got.Equal(want) {
+			t.Fatalf("empty arena spec %s: %v vs %v", c.Spec, got, want)
+		}
+	}
+}
+
+// TestArenaMerge: merging two arenas equals feeding the concatenated
+// stream into one.
+func TestArenaMerge(t *testing.T) {
+	cs := arenaSpecs(t)
+	const rows = 5
+	rng := rand.New(rand.NewSource(10))
+	a, b, whole := NewArena(cs, rows), NewArena(cs, rows), NewArena(cs, rows)
+
+	frame := make([]table.Row, 1)
+	feed := func(dst *Arena, bi int, v int64) {
+		frame[0] = table.Row{table.Int(v)}
+		for j, c := range cs {
+			c.Feed(dst.At(bi, j), frame)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		bi, v := rng.Intn(rows), int64(rng.Intn(40))
+		feed(a, bi, v)
+		feed(whole, bi, v)
+	}
+	for i := 0; i < 200; i++ {
+		bi, v := rng.Intn(rows), int64(rng.Intn(40))
+		feed(b, bi, v)
+		feed(whole, bi, v)
+	}
+	a.Merge(b)
+	for bi := 0; bi < rows; bi++ {
+		for j := range cs {
+			got, want := a.At(bi, j).Result(), whole.At(bi, j).Result()
+			// Welford's parallel merge is algebraically but not bitwise
+			// equal to sequential accumulation; allow float rounding.
+			if got.Kind() == table.KindFloat && want.Kind() == table.KindFloat {
+				g, w := got.AsFloat(), want.AsFloat()
+				if diff := math.Abs(g - w); diff > 1e-9*math.Max(1, math.Abs(w)) {
+					t.Fatalf("row %d spec %s: merged %v vs whole %v", bi, cs[j].Spec, got, want)
+				}
+				continue
+			}
+			if !got.Equal(want) {
+				t.Fatalf("row %d spec %s: merged %v vs whole %v", bi, cs[j].Spec, got, want)
+			}
+		}
+	}
+}
+
+// TestArenaRowView pins the row-major layout contract At/Row share.
+func TestArenaRowView(t *testing.T) {
+	cs := arenaSpecs(t)
+	a := NewArena(cs, 4)
+	if a.Len() != 4 || a.Specs() != len(cs) {
+		t.Fatalf("shape: %d x %d", a.Len(), a.Specs())
+	}
+	for bi := 0; bi < 4; bi++ {
+		row := a.Row(bi)
+		for j := range cs {
+			if row[j] != a.At(bi, j) {
+				t.Fatalf("Row(%d)[%d] != At(%d,%d)", bi, j, bi, j)
+			}
+		}
+	}
+}
+
+// TestBulkAllocBuiltins asserts the built-ins that should bulk-allocate
+// actually implement BulkFunc (a regression guard: a new field that breaks
+// FillStates initialization would silently deoptimize the executor).
+func TestBulkAllocBuiltins(t *testing.T) {
+	for _, name := range []string{"count", "sum", "min", "max", "avg", "var", "var_pop", "stddev", "first", "last"} {
+		if _, ok := MustLookup(name).(BulkFunc); !ok {
+			t.Errorf("%s does not implement BulkFunc", name)
+		}
+	}
+	for _, name := range []string{"median", "mode", "count_distinct"} {
+		if _, ok := MustLookup(name).(BulkFunc); ok {
+			t.Errorf("holistic %s unexpectedly implements BulkFunc", name)
+		}
+	}
+}

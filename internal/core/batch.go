@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"io"
+
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// Vectorized batch executor: the default inner loop of the detail scan.
+//
+// Instead of dispatching every detail tuple through every phase's compiled
+// predicates one at a time, the scan slices R into fixed-size batches and,
+// per phase, (1) filters the batch through the R-only conjuncts (Theorem
+// 4.2) into a selection vector, (2) evaluates each index-key expression
+// once over the survivors into a column vector, and (3) runs a fused
+// probe-and-feed loop over the selection: gather the tuple's key from the
+// column vectors, probe the flat base index, and fold the tuple into the
+// arena-backed aggregate states of its relative set. Context-cancellation
+// polls and Stats counter updates happen once per batch instead of once
+// per tuple, so neither appears in the per-tuple profile.
+//
+// All scratch (selection vector, key column vectors, probe buffer) lives
+// on the phase's compiledPhase and is reused across batches; steady-state
+// scanning allocates nothing.
+
+// batchSize is the number of detail tuples processed per batch: large
+// enough to amortize per-batch work (selection reset, stats flush, ctx
+// poll), small enough that the batch's column vectors stay cache-resident.
+const batchSize = 1024
+
+// scanDetailBatched drives the batch executor over a materialized slice of
+// detail rows. A cancelled ctx aborts the scan between batches.
+func scanDetailBatched(ctx context.Context, b *table.Table, rows []table.Row, cps []*compiledPhase, stats *Stats) error {
+	frame := make([]table.Row, 2)
+	for off := 0; off < len(rows); off += batchSize {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		end := off + batchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		processBatch(b, cps, frame, rows[off:end], stats)
+	}
+	return nil
+}
+
+// scanIteratorBatched drives the batch executor over a streaming source
+// iterator, buffering rows into fixed-size batches. Source iterators hand
+// ownership of each returned row to the caller (table-backed iterators
+// return stable references, CSV iterators allocate fresh rows), so
+// buffering never sees a row mutated behind its back.
+func scanIteratorBatched(ctx context.Context, b *table.Table, it table.Iterator, cps []*compiledPhase, stats *Stats) error {
+	frame := make([]table.Row, 2)
+	buf := make([]table.Row, 0, batchSize)
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		for len(buf) < batchSize {
+			t, err := it.Next()
+			if err == io.EOF {
+				if len(buf) > 0 {
+					processBatch(b, cps, frame, buf, stats)
+				}
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			buf = append(buf, t)
+		}
+		processBatch(b, cps, frame, buf, stats)
+	}
+}
+
+// processBatch folds one batch of detail tuples into every phase.
+func processBatch(b *table.Table, cps []*compiledPhase, frame []table.Row, batch []table.Row, stats *Stats) {
+	if stats != nil {
+		stats.TuplesScanned += len(batch)
+	}
+	for _, cp := range cps {
+		processPhaseBatch(b, cp, frame, batch, stats)
+	}
+}
+
+// processPhaseBatch runs one phase over one batch: R-only filter, batched
+// key evaluation, then the fused probe-and-feed loop.
+func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, batch []table.Row, stats *Stats) {
+	frame[0], frame[1] = nil, nil
+	cp.sel = expr.IdentitySel(cp.sel, len(batch))
+	sel := cp.sel
+
+	// Theorem 4.2: R-only conjuncts gate the whole batch before any
+	// base-row work, compacting the selection to the survivors.
+	if cp.rOnly != nil {
+		sel = cp.rOnly.FilterSlotBatch(frame, 1, batch, sel)
+		if len(sel) == 0 {
+			return
+		}
+	}
+
+	tested, matched := 0, 0
+	if cp.index == nil {
+		// Verbatim Algorithm 3.1 inner loop for the surviving tuples.
+		for _, si := range sel {
+			frame[1] = batch[si]
+			for bi, br := range b.Rows {
+				if !cp.bAlive[bi] {
+					continue
+				}
+				tested++
+				if feedPair(cp, br, bi, frame) {
+					matched++
+				}
+			}
+		}
+		frame[0], frame[1] = nil, nil
+		flushPairStats(stats, tested, matched)
+		return
+	}
+
+	// Section 4.5: evaluate every index-key expression once over the
+	// selection into its column vector.
+	nk := len(cp.equiKeys)
+	if cap(cp.keyCols) < nk {
+		cp.keyCols = make([][]table.Value, nk)
+	}
+	cp.keyCols = cp.keyCols[:nk]
+	for i, ke := range cp.equiKeys {
+		cp.keyCols[i] = ke.EvalSlotBatch(frame, 1, batch, sel, cp.keyCols[i])
+	}
+	if cap(cp.keyBuf) < nk {
+		cp.keyBuf = make([]table.Value, nk)
+	}
+	key := cp.keyBuf[:nk]
+
+	// Fused probe-and-feed loop: gather the key from the column vectors,
+	// probe the flat index, fold matches into the arena states.
+	for _, si := range sel {
+		degenerate, dead := false, false
+		for i := range key {
+			key[i] = cp.keyCols[i][si]
+			if key[i].IsAll() {
+				// A detail-side ALL matches every base value under =^;
+				// fall back to the full loop for this tuple (cannot arise
+				// from ordinary detail data).
+				degenerate = true
+			}
+			if key[i].IsNull() && !cp.cubeAt[i] {
+				// Strict equality with NULL is never true: no base row
+				// can match this tuple in this phase.
+				dead = true
+			}
+		}
+		if dead {
+			continue
+		}
+		frame[1] = batch[si]
+		switch {
+		case degenerate:
+			for bi, br := range b.Rows {
+				if !cp.bAlive[bi] {
+					continue
+				}
+				tested++
+				if feedPair(cp, br, bi, frame) {
+					matched++
+				}
+			}
+		case len(cp.cubePos) == 0:
+			// Plain equality: one probe, no key rewriting.
+			cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+			for _, bi := range cp.probeBuf {
+				if !cp.bAlive[bi] {
+					continue
+				}
+				tested++
+				if feedPair(cp, b.Rows[bi], bi, frame) {
+					matched++
+				}
+			}
+		default:
+			t, m := probeCubeBatched(cp, b, key, frame)
+			tested += t
+			matched += m
+		}
+	}
+	frame[0], frame[1] = nil, nil
+	flushPairStats(stats, tested, matched)
+}
+
+// probeCubeBatched is probeCube with batch-local counters: one probe per
+// cube-equality combination, so a tuple updates its 2^k cube cells in one
+// pass.
+func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, frame []table.Row) (tested, matched int) {
+	k := len(cp.cubePos)
+	if cap(cp.savedBuf) < k {
+		cp.savedBuf = make([]table.Value, k)
+	}
+	saved := cp.savedBuf[:k]
+	for i, p := range cp.cubePos {
+		saved[i] = key[p]
+	}
+	for mask := 0; mask < 1<<k; mask++ {
+		for i, p := range cp.cubePos {
+			if mask&(1<<i) != 0 {
+				key[p] = table.All()
+			} else {
+				key[p] = saved[i]
+			}
+		}
+		cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+		for _, bi := range cp.probeBuf {
+			if !cp.bAlive[bi] {
+				continue
+			}
+			tested++
+			if feedPair(cp, b.Rows[bi], bi, frame) {
+				matched++
+			}
+		}
+	}
+	for i, p := range cp.cubePos {
+		key[p] = saved[i]
+	}
+	return tested, matched
+}
+
+// feedPair checks the residual θ conjuncts for one (b, r) pair and feeds
+// the aggregates on success, reporting whether the pair matched. Unlike
+// updatePair it leaves the stats counters to the caller's batch-local
+// accumulators.
+func feedPair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row) bool {
+	frame[0] = brow
+	if cp.residual != nil && !cp.residual.Truth(frame) {
+		return false
+	}
+	row := cp.states.Row(bi)
+	for j, c := range cp.specs {
+		c.Feed(row[j], frame)
+	}
+	return true
+}
+
+// flushPairStats adds one phase-batch's pair counters to the shared Stats.
+func flushPairStats(stats *Stats, tested, matched int) {
+	if stats == nil {
+		return
+	}
+	stats.PairsTested += tested
+	stats.PairsMatched += matched
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// The vectorized batch executor and the tuple-at-a-time interpreter are two
+// implementations of the same operator; this file pins them against each
+// other (and against the Definition 3.1 reference) across the full options
+// matrix: index on/off × pushdown on/off × execution strategy, on θ shapes
+// covering plain equality, cube equality over ALL-bearing base tables, and
+// NULL detail keys. Results must be row-identical, not just multiset-equal.
+
+// genBatchRelations builds a random (base, detail) pair for the matrix.
+// Detail keys are NULL with probability 1/8 so the dead-key fast path is
+// exercised on every trial; when cube is set, base cells carry the ALL
+// marker with probability 1/3.
+func genBatchRelations(rng *rand.Rand, cube bool) (*table.Table, *table.Table) {
+	b := table.New(table.SchemaOf("g1", "g2"))
+	seen := map[[2]string]bool{}
+	for b.Len() < 2+rng.Intn(9) {
+		var v1, v2 table.Value
+		v1 = table.Int(int64(rng.Intn(6)))
+		v2 = table.Int(int64(rng.Intn(4)))
+		if cube {
+			if rng.Intn(3) == 0 {
+				v1 = table.All()
+			}
+			if rng.Intn(3) == 0 {
+				v2 = table.All()
+			}
+		}
+		k := [2]string{v1.String(), v2.String()}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Append(table.Row{v1, v2})
+	}
+	r := table.New(table.SchemaOf("g1", "g2", "w", "f"))
+	n := 10 + rng.Intn(120)
+	for i := 0; i < n; i++ {
+		var g1 table.Value = table.Int(int64(rng.Intn(7)))
+		if rng.Intn(8) == 0 {
+			g1 = table.Null()
+		}
+		r.Append(table.Row{
+			g1,
+			table.Int(int64(rng.Intn(5))),
+			table.Int(int64(rng.Intn(100))),
+			table.Int(int64(rng.Intn(3))),
+		})
+	}
+	return b, r
+}
+
+// batchMatrix enumerates the option combinations of the equivalence
+// matrix; DisableBatch is left to the caller.
+func batchMatrix() map[string]Options {
+	out := map[string]Options{}
+	for _, idx := range []bool{false, true} {
+		for _, push := range []bool{false, true} {
+			for sname, strat := range map[string]Options{
+				"single":     {},
+				"maxbase-3":  {MaxBaseRows: 3},
+				"par-base-3": {Parallelism: 3},
+				"par-det-3":  {DetailParallelism: 3},
+			} {
+				opt := strat
+				opt.DisableIndex = idx
+				opt.DisablePushdown = push
+				name := fmt.Sprintf("idx=%t/push=%t/%s", !idx, !push, sname)
+				out[name] = opt
+			}
+		}
+	}
+	return out
+}
+
+// TestBatchMatrixAgainstScalar: for every options combination, the
+// vectorized executor must produce a result row-identical to the
+// tuple-at-a-time interpreter with the same options, and the default path
+// must match the Definition 3.1 reference.
+func TestBatchMatrixAgainstScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7000))
+	for trial := 0; trial < 24; trial++ {
+		cube := trial%3 == 2
+		b, r := genBatchRelations(rng, cube)
+
+		var conj []expr.Expr
+		if cube {
+			conj = append(conj,
+				expr.CubeEq(expr.QC("R", "g1"), expr.C("g1")),
+				expr.CubeEq(expr.QC("R", "g2"), expr.C("g2")))
+		} else {
+			conj = append(conj, expr.Eq(expr.QC("R", "g1"), expr.C("g1")))
+			if rng.Intn(2) == 0 {
+				conj = append(conj, expr.Eq(expr.QC("R", "g2"), expr.C("g2")))
+			}
+			if rng.Intn(2) == 0 {
+				// Residual conjunct: survives pushdown and indexing.
+				conj = append(conj, expr.Gt(expr.QC("R", "w"), expr.Mul(expr.C("g1"), expr.I(10))))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			// R-only conjunct: the Theorem 4.2 pushdown target.
+			conj = append(conj, expr.Le(expr.QC("R", "f"), expr.I(int64(rng.Intn(3)))))
+		}
+		theta := expr.And(conj...)
+		specs := stdSpecs()
+
+		ref := refMDJoin(t, b, r, specs, theta, Options{})
+		if d := ref.Diff(mdJoin(t, b, r, specs, theta, Options{})); d != "" {
+			t.Fatalf("trial %d: default path vs Definition 3.1 reference: %s", trial, d)
+		}
+
+		for name, opt := range batchMatrix() {
+			scalarOpt := opt
+			scalarOpt.DisableBatch = true
+			want := mdJoin(t, b, r, specs, theta, scalarOpt)
+			got := mdJoin(t, b, r, specs, theta, opt)
+			if d := want.Diff(got); d != "" {
+				t.Fatalf("trial %d, %s, θ=%s: batched vs scalar: %s", trial, name, theta, d)
+			}
+			if d := ref.Diff(got); d != "" {
+				t.Fatalf("trial %d, %s, θ=%s: batched vs reference: %s", trial, name, theta, d)
+			}
+		}
+	}
+}
+
+// TestBatchSourceMatchesScalarSource extends the matrix to the streaming
+// entry point: the batched source scan (buffered iterator batches) must
+// match the scalar source scan and the materialized result.
+func TestBatchSourceMatchesScalarSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(7100))
+	for trial := 0; trial < 10; trial++ {
+		b, r := genBatchRelations(rng, false)
+		theta := expr.And(
+			expr.Eq(expr.QC("R", "g1"), expr.C("g1")),
+			expr.Le(expr.QC("R", "f"), expr.I(1)))
+		specs := stdSpecs()
+		src := table.NewTableSource(r)
+
+		want := mdJoin(t, b, r, specs, theta, Options{})
+		for name, opt := range map[string]Options{
+			"single":    {},
+			"scalar":    {DisableBatch: true},
+			"par-det":   {DetailParallelism: 3},
+			"scal-det":  {DisableBatch: true, DetailParallelism: 3},
+			"maxbase-2": {MaxBaseRows: 2},
+		} {
+			got, err := EvalSource(b, src, []Phase{{Aggs: specs, Theta: theta}}, opt)
+			if err != nil {
+				t.Fatalf("trial %d, %s: %v", trial, name, err)
+			}
+			if d := want.Diff(got); d != "" {
+				t.Fatalf("trial %d, %s: source vs materialized: %s", trial, name, d)
+			}
+		}
+	}
+}
+
+// TestBatchBoundarySizes pins the batch-boundary arithmetic: detail
+// cardinalities straddling multiples of batchSize (0, 1, batchSize-1,
+// batchSize, batchSize+1, 2·batchSize+17) must all agree with the scalar
+// interpreter.
+func TestBatchBoundarySizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7200))
+	theta := expr.Eq(expr.QC("R", "g1"), expr.C("g1"))
+	specs := []agg.Spec{
+		agg.NewSpec("count", nil, "n"),
+		agg.NewSpec("sum", expr.QC("R", "w"), "total"),
+	}
+	b := table.MustFromRows(table.SchemaOf("g1"), []table.Row{
+		{table.Int(0)}, {table.Int(1)}, {table.Int(2)},
+	})
+	for _, n := range []int{0, 1, batchSize - 1, batchSize, batchSize + 1, 2*batchSize + 17} {
+		r := table.New(table.SchemaOf("g1", "w"))
+		for i := 0; i < n; i++ {
+			r.Append(table.Row{table.Int(int64(rng.Intn(4))), table.Int(int64(rng.Intn(50)))})
+		}
+		want := mdJoin(t, b, r, specs, theta, Options{DisableBatch: true})
+		got := mdJoin(t, b, r, specs, theta, Options{})
+		if d := want.Diff(got); d != "" {
+			t.Fatalf("|R|=%d: %s", n, d)
+		}
+	}
+}
+
+// TestBatchStatsMatchScalar: the amortized per-batch counter flushes must
+// produce the same totals as per-tuple counting.
+func TestBatchStatsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7300))
+	b, r := genBatchRelations(rng, false)
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "g1"), expr.C("g1")),
+		expr.Le(expr.QC("R", "f"), expr.I(1)))
+	specs := stdSpecs()
+
+	var batched, scalar Stats
+	mdJoin(t, b, r, specs, theta, Options{Stats: &batched})
+	mdJoin(t, b, r, specs, theta, Options{Stats: &scalar, DisableBatch: true})
+	if batched != scalar {
+		t.Fatalf("stats diverge:\n batched %+v\n scalar  %+v", batched, scalar)
+	}
+}

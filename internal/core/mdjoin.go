@@ -21,6 +21,15 @@
 //     single detail scan.
 //   - Theorem 4.1: partitioned evaluation bounds resident base rows
 //     (m scans of R), and both base- and detail-partitioned parallelism.
+//
+// Two interchangeable inner loops drive the detail scan. The default is
+// the vectorized batch executor (batch.go): R is processed in fixed-size
+// batches, per-phase R-only conjuncts and index-key expressions are
+// evaluated once per batch into reusable selection/column vectors, and a
+// fused probe-and-feed loop updates arena-backed aggregate states through
+// a flat open-addressing index. The tuple-at-a-time interpreter below is
+// kept verbatim as the Algorithm 3.1 reference, selectable via
+// Options.DisableBatch, so equivalence tests and benches can diff the two.
 package core
 
 import (
@@ -40,7 +49,8 @@ type Phase struct {
 }
 
 // Options tune the execution strategy. The zero value gives the fully
-// optimized single-pass evaluation (index on, pushdown on, sequential).
+// optimized single-pass evaluation (vectorized batches, index on, pushdown
+// on, sequential).
 type Options struct {
 	// BAlias and RAlias add extra qualifiers under which θ may reference
 	// the base and detail relations (besides the defaults "B" and "R") —
@@ -57,6 +67,14 @@ type Options struct {
 	// DisablePushdown keeps R-only conjuncts in the per-pair check instead
 	// of pre-filtering the scan (Theorem 4.2 off).
 	DisablePushdown bool
+
+	// DisableBatch forces the tuple-at-a-time interpreter instead of the
+	// vectorized batch executor: each detail tuple is dispatched through
+	// every phase individually and the base index (if any) is the
+	// map-backed reference implementation. Combined with DisableIndex this
+	// is the verbatim Algorithm 3.1 nested loop. Equivalence tests diff
+	// the batched path against it; benches use it as the scalar baseline.
+	DisableBatch bool
 
 	// MaxBaseRows, when positive, bounds how many base rows are resident
 	// at once; B is split into ceil(|B|/MaxBaseRows) contiguous partitions
@@ -84,16 +102,18 @@ type Options struct {
 	// Stats, when non-nil, receives execution counters.
 	Stats *Stats
 
-	// Ctx, when non-nil, is polled during detail scans (every
-	// cancelCheckInterval tuples); cancellation aborts the evaluation with
-	// ctx.Err(). This is what lets a distributed site abandon work whose
-	// caller has timed out instead of scanning to completion.
+	// Ctx, when non-nil, is polled during detail scans (once per batch on
+	// the vectorized path, every cancelCheckInterval tuples on the scalar
+	// path); cancellation aborts the evaluation with ctx.Err(). This is
+	// what lets a distributed site abandon work whose caller has timed out
+	// instead of scanning to completion.
 	Ctx context.Context
 }
 
 // cancelCheckInterval bounds how many detail tuples are processed between
-// Ctx polls: frequent enough that a cancelled scan stops promptly, rare
-// enough that the check is invisible in the profile.
+// Ctx polls on the scalar path: frequent enough that a cancelled scan
+// stops promptly, rare enough that the check is invisible in the profile.
+// The batch executor polls once per batch, which is the same cadence.
 const cancelCheckInterval = 1024
 
 // ctxErr reports the context's error if it has been cancelled; a nil
@@ -182,8 +202,18 @@ func baseRowsForBudget(b *table.Table, phases []Phase, budget int) int {
 	return n
 }
 
-// compiledPhase is one phase bound against the (B, R) schemas.
-type compiledPhase struct {
+// probeIndex is the common surface of the two base-index layouts: the flat
+// open-addressing table.Index (vectorized path) and the map-backed
+// table.MapIndex (scalar reference path).
+type probeIndex interface {
+	ProbeAppend(dst []int, key []table.Value) []int
+}
+
+// phasePlan is one phase compiled against the (B, R) schemas: the
+// read-only product of analysis and compilation, safe to share across the
+// workers of a parallel evaluation. All mutable per-evaluation state lives
+// in compiledPhase.
+type phasePlan struct {
 	specs []*agg.Compiled
 	// analysis of θ
 	analysis *expr.ThetaAnalysis
@@ -198,16 +228,32 @@ type compiledPhase struct {
 	// per-position flag.
 	cubePos []int
 	cubeAt  []bool
-	// index over B's equi columns (nil → nested loop)
-	index *table.Index
+	// index over B's equi columns (nil → nested loop). Flat when the
+	// batch executor drives the scan, map-backed for the scalar reference.
+	index probeIndex
+	// scalar is true when Options.DisableBatch selected the
+	// tuple-at-a-time interpreter.
+	scalar bool
 	// bAlive[i] == false when the B-only conjuncts exclude row i forever.
 	bAlive []bool
-	// per-B-row aggregate states, parallel to b.Rows
-	states [][]agg.State
-	// scratch buffers reused across tuples (each worker owns its phases,
-	// so no synchronization is needed)
+}
+
+// compiledPhase is a phasePlan plus the mutable execution state one worker
+// owns: arena-backed aggregate states and reusable scratch vectors.
+type compiledPhase struct {
+	*phasePlan
+	// per-B-row aggregate states: states.At(bi, j) is row bi's
+	// accumulator for spec j, arena-allocated in one block per phase.
+	states *agg.Arena
+	// scratch buffers reused across tuples and batches (each worker owns
+	// its compiledPhases, so no synchronization is needed)
 	probeBuf []int
 	savedBuf []table.Value
+	keyBuf   []table.Value
+	// batch-executor scratch: the selection vector and one column vector
+	// per equi-key expression
+	sel     []int32
+	keyCols [][]table.Value
 }
 
 // outSchema derives the generalized MD-join's output schema: B's columns
@@ -227,10 +273,13 @@ func outSchema(b *table.Table, phases []Phase) (*table.Schema, error) {
 	return schema, nil
 }
 
-// bindPhases compiles every phase against the base/detail schemas and
-// prepares indexes and state arrays.
-func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Options) ([]*compiledPhase, error) {
-	out := make([]*compiledPhase, len(phases))
+// compilePhases compiles every phase against the base/detail schemas and
+// builds the read-only plans: predicates, key expressions, the base index,
+// and the B-only liveness bitmap. The result is shared by all workers of
+// a parallel evaluation; call newPhaseExecs once per worker for the
+// mutable part.
+func compilePhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Options) ([]*phasePlan, error) {
+	out := make([]*phasePlan, len(phases))
 	for pi, p := range phases {
 		bind := expr.NewBinding()
 		bquals := []string{"b", "base"}
@@ -248,9 +297,9 @@ func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Optio
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d θ analysis: %w", pi, err)
 		}
-		cp := &compiledPhase{analysis: ta}
+		pp := &phasePlan{analysis: ta, scalar: opt.DisableBatch}
 
-		cp.specs, err = agg.CompileSpecs(p.Aggs, bind)
+		pp.specs, err = agg.CompileSpecs(p.Aggs, bind)
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d: %w", pi, err)
 		}
@@ -262,7 +311,7 @@ func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Optio
 			return expr.Compile(expr.And(es...), bind)
 		}
 		if !opt.DisablePushdown {
-			if cp.rOnly, err = compileAnd(ta.ROnly); err != nil {
+			if pp.rOnly, err = compileAnd(ta.ROnly); err != nil {
 				return nil, err
 			}
 			residual := ta.Residual
@@ -274,7 +323,7 @@ func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Optio
 					}
 				}
 			}
-			if cp.residual, err = compileAnd(residual); err != nil {
+			if pp.residual, err = compileAnd(residual); err != nil {
 				return nil, err
 			}
 		} else {
@@ -287,58 +336,75 @@ func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Optio
 					}
 				}
 			}
-			if cp.residual, err = compileAnd(residual); err != nil {
+			if pp.residual, err = compileAnd(residual); err != nil {
 				return nil, err
 			}
 		}
-		if cp.bOnly, err = compileAnd(ta.BOnly); err != nil {
+		if pp.bOnly, err = compileAnd(ta.BOnly); err != nil {
 			return nil, err
 		}
 
 		if !opt.DisableIndex && len(ta.EquiBCols) > 0 {
-			cp.index = table.BuildIndexOrdinals(b, ta.EquiBCols)
-			cp.equiKeys = make([]*expr.Compiled, len(ta.EquiRSides))
+			if opt.DisableBatch {
+				pp.index = table.BuildMapIndex(b, ta.EquiBCols)
+			} else {
+				pp.index = table.BuildIndexOrdinals(b, ta.EquiBCols)
+			}
+			pp.equiKeys = make([]*expr.Compiled, len(ta.EquiRSides))
 			for i, e := range ta.EquiRSides {
 				c, err := expr.Compile(e, bind)
 				if err != nil {
 					return nil, err
 				}
-				cp.equiKeys[i] = c
+				pp.equiKeys[i] = c
 				if ta.EquiIsCube[i] {
-					cp.cubePos = append(cp.cubePos, i)
+					pp.cubePos = append(pp.cubePos, i)
 				}
 			}
-			cp.cubeAt = make([]bool, len(ta.EquiIsCube))
-			copy(cp.cubeAt, ta.EquiIsCube)
+			pp.cubeAt = make([]bool, len(ta.EquiIsCube))
+			copy(pp.cubeAt, ta.EquiIsCube)
 			if opt.Stats != nil {
 				opt.Stats.IndexUsed = true
 			}
 		}
 
 		// Pre-evaluate B-only conjuncts once per base row.
-		cp.bAlive = make([]bool, b.Len())
+		pp.bAlive = make([]bool, b.Len())
 		frame := make([]table.Row, 2)
 		for i, br := range b.Rows {
-			if cp.bOnly == nil {
-				cp.bAlive[i] = true
+			if pp.bOnly == nil {
+				pp.bAlive[i] = true
 				continue
 			}
 			frame[0] = br
-			cp.bAlive[i] = cp.bOnly.Truth(frame)
+			pp.bAlive[i] = pp.bOnly.Truth(frame)
 		}
-
-		// Aggregate states: one vector per base row.
-		cp.states = make([][]agg.State, b.Len())
-		for i := range cp.states {
-			sv := make([]agg.State, len(cp.specs))
-			for j, c := range cp.specs {
-				sv[j] = c.NewState()
-			}
-			cp.states[i] = sv
-		}
-		out[pi] = cp
+		out[pi] = pp
 	}
 	return out, nil
+}
+
+// newPhaseExecs attaches fresh per-worker execution state (arena-backed
+// aggregate states, scratch buffers) to shared phase plans.
+func newPhaseExecs(plans []*phasePlan, nBase int) []*compiledPhase {
+	out := make([]*compiledPhase, len(plans))
+	for i, pp := range plans {
+		out[i] = &compiledPhase{
+			phasePlan: pp,
+			states:    agg.NewArena(pp.specs, nBase),
+		}
+	}
+	return out
+}
+
+// bindPhases compiles every phase and prepares one worker's execution
+// state — the single-worker convenience over compilePhases+newPhaseExecs.
+func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Options) ([]*compiledPhase, error) {
+	plans, err := compilePhases(b, rSchema, phases, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newPhaseExecs(plans, b.Len()), nil
 }
 
 // evalSingle is the single-threaded, fully resident evaluation: one scan of
@@ -362,8 +428,13 @@ func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, e
 }
 
 // scanDetail performs the detail scan over a materialized table, updating
-// every phase's states. A cancelled ctx aborts the scan between tuples.
+// every phase's states. The vectorized batch executor drives the scan
+// unless the phases were compiled with DisableBatch. A cancelled ctx
+// aborts the scan between tuples (scalar) or batches (vectorized).
 func scanDetail(ctx context.Context, b, r *table.Table, cps []*compiledPhase, stats *Stats) error {
+	if len(cps) > 0 && !cps[0].scalar {
+		return scanDetailBatched(ctx, b, r.Rows, cps, stats)
+	}
 	frame := make([]table.Row, 2)
 	var key []table.Value
 	for i, t := range r.Rows {
@@ -378,7 +449,8 @@ func scanDetail(ctx context.Context, b, r *table.Table, cps []*compiledPhase, st
 }
 
 // processTuple folds one detail tuple into every phase; it returns the
-// (possibly grown) probe-key buffer for reuse.
+// (possibly grown) probe-key buffer for reuse. This is the verbatim
+// tuple-at-a-time interpreter kept as the Algorithm 3.1 reference.
 func processTuple(b *table.Table, cps []*compiledPhase, frame []table.Row, key []table.Value, t table.Row, stats *Stats) []table.Value {
 	{
 		if stats != nil {
@@ -494,8 +566,9 @@ func updatePair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row, st
 	if stats != nil {
 		stats.PairsMatched++
 	}
+	row := cp.states.Row(bi)
 	for j, c := range cp.specs {
-		c.Feed(cp.states[bi][j], frame)
+		c.Feed(row[j], frame)
 	}
 }
 
@@ -507,7 +580,7 @@ func assemble(schema *table.Schema, b *table.Table, cps []*compiledPhase) *table
 		row := make(table.Row, 0, schema.Len())
 		row = append(row, br...)
 		for _, cp := range cps {
-			for _, st := range cp.states[bi] {
+			for _, st := range cp.states.Row(bi) {
 				row = append(row, st.Result())
 			}
 		}

@@ -118,6 +118,15 @@ func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.
 		return nil, err
 	}
 
+	// Compile once, before any goroutine starts: the plans (base index,
+	// compiled θ pieces, liveness bitmap) are read-only and shared by every
+	// worker, so the index is built a single time and IndexUsed is recorded
+	// without a race. Only the arena-backed states are per-worker.
+	plans, err := compilePhases(b, r.Schema, phases, opt)
+	if err != nil {
+		return nil, err
+	}
+
 	bounds := splitBounds(r.Len(), p)
 	workers := make([][]*compiledPhase, len(bounds))
 	errs := make([]error, len(bounds))
@@ -128,20 +137,12 @@ func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
-			// Workers get private stats (merged below) so bindPhases'
-			// IndexUsed write does not race.
-			wopt := opt
-			wopt.DetailParallelism = 0
+			// Workers get private stats and states (merged below).
 			var st *Stats
 			if opt.Stats != nil {
 				st = &stats[wi]
 			}
-			wopt.Stats = st
-			cps, err := bindPhases(b, r.Schema, phases, wopt)
-			if err != nil {
-				errs[wi] = err
-				return
-			}
+			cps := newPhaseExecs(plans, b.Len())
 			part := &table.Table{Schema: r.Schema, Rows: r.Rows[lo:hi]}
 			if err := scanDetail(opt.Ctx, b, part, cps, st); err != nil {
 				errs[wi] = err
@@ -167,15 +168,11 @@ func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.
 		}
 	}
 
-	// Merge worker states into worker 0.
+	// Merge worker states into worker 0, arena against arena.
 	merged := workers[0]
 	for _, w := range workers[1:] {
 		for pi := range merged {
-			for bi := range merged[pi].states {
-				for j := range merged[pi].states[bi] {
-					merged[pi].states[bi][j].Merge(w[pi].states[bi][j])
-				}
-			}
+			merged[pi].states.Merge(w[pi].states)
 		}
 	}
 	return assemble(schema, b, merged), nil

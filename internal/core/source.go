@@ -40,14 +40,20 @@ func EvalSource(b *table.Table, src table.Source, phases []Phase, opt Options) (
 	return evalSourceSingle(b, src, phases, opt)
 }
 
-// scanSource streams one pass of the source through the phases. A
-// cancelled ctx aborts the scan between tuples.
+// scanSource streams one pass of the source through the phases. The
+// vectorized executor buffers rows into batches (source iterators hand
+// ownership of each row to the caller, so buffering is safe); the scalar
+// path processes tuple at a time. A cancelled ctx aborts the scan between
+// tuples or batches.
 func scanSource(ctx context.Context, b *table.Table, src table.Source, cps []*compiledPhase, stats *Stats) error {
 	it, err := src.Scan()
 	if err != nil {
 		return err
 	}
 	defer it.Close()
+	if len(cps) > 0 && !cps[0].scalar {
+		return scanIteratorBatched(ctx, b, it, cps, stats)
+	}
 	frame := make([]table.Row, 2)
 	var key []table.Value
 	for i := 0; ; i++ {
@@ -207,6 +213,17 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 		}
 	}()
 
+	// Compile once, before any worker starts: plans are read-only and
+	// shared; each worker gets private arena states below.
+	plans, err := compilePhases(b, src.Schema(), phases, opt)
+	if err != nil {
+		// Drain so the reader goroutine can finish.
+		for range rows {
+		}
+		<-readErr
+		return nil, err
+	}
+
 	workers := make([][]*compiledPhase, p)
 	errs := make([]error, p)
 	stats := make([]Stats, p)
@@ -215,34 +232,50 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			// Private per-worker stats so bindPhases' IndexUsed write
-			// does not race.
-			wopt := opt
-			wopt.DetailParallelism = 0
 			var st *Stats
 			if opt.Stats != nil {
 				st = &stats[wi]
 			}
-			wopt.Stats = st
-			cps, err := bindPhases(b, src.Schema(), phases, wopt)
-			if err != nil {
-				errs[wi] = err
-				// Drain so the reader can finish.
-				for range rows {
+			cps := newPhaseExecs(plans, b.Len())
+			drainOnCancel := func() bool {
+				if err := ctxErr(opt.Ctx); err != nil {
+					errs[wi] = err
+					for range rows {
+					}
+					return true
 				}
+				return false
+			}
+			if len(cps) > 0 && !cps[0].scalar {
+				// Batched: accumulate channel rows into a private buffer
+				// and flush full batches through the vectorized executor.
+				if drainOnCancel() {
+					return
+				}
+				frame := make([]table.Row, 2)
+				buf := make([]table.Row, 0, batchSize)
+				for t := range rows {
+					buf = append(buf, t)
+					if len(buf) == batchSize {
+						processBatch(b, cps, frame, buf, st)
+						buf = buf[:0]
+						if drainOnCancel() {
+							return
+						}
+					}
+				}
+				if len(buf) > 0 {
+					processBatch(b, cps, frame, buf, st)
+				}
+				workers[wi] = cps
 				return
 			}
 			frame := make([]table.Row, 2)
 			var key []table.Value
 			n := 0
 			for t := range rows {
-				if n%cancelCheckInterval == 0 {
-					if err := ctxErr(opt.Ctx); err != nil {
-						errs[wi] = err
-						for range rows {
-						}
-						return
-					}
+				if n%cancelCheckInterval == 0 && drainOnCancel() {
+					return
 				}
 				n++
 				key = processTuple(b, cps, frame, key, t, st)
@@ -271,11 +304,7 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 	merged := workers[0]
 	for _, w := range workers[1:] {
 		for pi := range merged {
-			for bi := range merged[pi].states {
-				for j := range merged[pi].states[bi] {
-					merged[pi].states[bi][j].Merge(w[pi].states[bi][j])
-				}
-			}
+			merged[pi].states.Merge(w[pi].states)
 		}
 	}
 	return assemble(schema, b, merged), nil

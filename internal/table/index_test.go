@@ -1,0 +1,109 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randIndexTable builds a table with mixed-kind key columns so hashes
+// collide across kinds (Int vs integral Float) and NULL/ALL appear as
+// ordinary index keys.
+func randIndexTable(rng *rand.Rand, n int) *Table {
+	t := New(SchemaOf("a", "b", "v"))
+	mkVal := func() Value {
+		switch rng.Intn(6) {
+		case 0:
+			return Null()
+		case 1:
+			return All()
+		case 2:
+			return Int(int64(rng.Intn(8)))
+		case 3:
+			return Float(float64(rng.Intn(8))) // collides with Int by design
+		case 4:
+			return Str(string(rune('a' + rng.Intn(5))))
+		default:
+			return Bool(rng.Intn(2) == 0)
+		}
+	}
+	for i := 0; i < n; i++ {
+		t.Append(Row{mkVal(), mkVal(), Int(int64(i))})
+	}
+	return t
+}
+
+// TestFlatIndexMatchesMapIndex: on random tables and random probe keys the
+// flat open-addressing index must return exactly the ordinals of the
+// map-backed reference, in the same (ascending) order.
+func TestFlatIndexMatchesMapIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		tt := randIndexTable(rng, rng.Intn(300))
+		cols := []int{0, 1}
+		if rng.Intn(2) == 0 {
+			cols = []int{rng.Intn(2)}
+		}
+		flat := BuildIndexOrdinals(tt, cols)
+		ref := BuildMapIndex(tt, cols)
+
+		probes := make([][]Value, 0, 40)
+		// Keys drawn from the table (guaranteed hits)...
+		for i := 0; i < 20 && i < tt.Len(); i++ {
+			r := tt.Rows[rng.Intn(tt.Len())]
+			key := make([]Value, len(cols))
+			for j, c := range cols {
+				key[j] = r[c]
+			}
+			probes = append(probes, key)
+		}
+		// ...and random keys (mostly misses).
+		for i := 0; i < 20; i++ {
+			key := make([]Value, len(cols))
+			for j := range key {
+				key[j] = Int(int64(rng.Intn(20)))
+			}
+			probes = append(probes, key)
+		}
+		for _, key := range probes {
+			got := flat.Probe(key)
+			want := ref.Probe(key)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d key %v: flat %v vs map %v", trial, key, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d key %v: flat %v vs map %v", trial, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatIndexEmptyTable(t *testing.T) {
+	tt := New(SchemaOf("a"))
+	ix := BuildIndexOrdinals(tt, []int{0})
+	if got := ix.Probe([]Value{Int(1)}); len(got) != 0 {
+		t.Fatalf("probe on empty table: %v", got)
+	}
+}
+
+// TestFlatIndexProbeAppendReuse pins the allocation-free reuse contract:
+// passing dst[:0] must not grow past the first high-water mark.
+func TestFlatIndexProbeAppendReuse(t *testing.T) {
+	tt := New(SchemaOf("k"))
+	for i := 0; i < 64; i++ {
+		tt.Append(Row{Int(int64(i % 4))})
+	}
+	ix := BuildIndexOrdinals(tt, []int{0})
+	buf := ix.ProbeAppend(nil, []Value{Int(0)})
+	if len(buf) != 16 {
+		t.Fatalf("want 16 hits, got %d", len(buf))
+	}
+	c := cap(buf)
+	for k := int64(0); k < 4; k++ {
+		buf = ix.ProbeAppend(buf[:0], []Value{Int(k)})
+		if len(buf) != 16 || cap(buf) != c {
+			t.Fatalf("reuse broke: len=%d cap=%d (want 16, %d)", len(buf), cap(buf), c)
+		}
+	}
+}

@@ -234,65 +234,7 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Index is a hash index over a subset of a table's columns mapping key
-// hashes to candidate row ordinals. It implements the base-values indexing
-// of Section 4.5 of the paper: given a detail tuple, find the relative set
-// Rel(t) of B rows in O(1) expected time instead of a nested loop.
-type Index struct {
-	tab     *Table
-	cols    []int
-	buckets map[uint64][]int
-}
-
-// BuildIndex indexes the table on the given column names.
-func BuildIndex(t *Table, cols []string) *Index {
-	idx := make([]int, len(cols))
-	for i, c := range cols {
-		idx[i] = t.Schema.MustColIndex(c)
-	}
-	return BuildIndexOrdinals(t, idx)
-}
-
-// BuildIndexOrdinals indexes the table on column ordinals.
-func BuildIndexOrdinals(t *Table, cols []int) *Index {
-	ix := &Index{tab: t, cols: cols, buckets: make(map[uint64][]int, len(t.Rows))}
-	for ri, r := range t.Rows {
-		h := HashCols(r, cols)
-		ix.buckets[h] = append(ix.buckets[h], ri)
-	}
-	return ix
-}
-
-// Cols returns the indexed column ordinals.
-func (ix *Index) Cols() []int { return ix.cols }
-
-// Probe returns the ordinals of rows whose indexed columns equal the given
-// key values (len(key) == len(cols)). Hash collisions are verified.
-func (ix *Index) Probe(key []Value) []int {
-	return ix.ProbeAppend(nil, key)
-}
-
-// ProbeAppend appends matching row ordinals to dst and returns it —
-// the allocation-free variant for scan loops (pass dst[:0] to reuse a
-// buffer).
-func (ix *Index) ProbeAppend(dst []int, key []Value) []int {
-	var h uint64 = 14695981039346656037
-	for _, v := range key {
-		h = hashValue(h, v)
-	}
-	cand := ix.buckets[h]
-	for _, ri := range cand {
-		r := ix.tab.Rows[ri]
-		match := true
-		for i, c := range ix.cols {
-			if !r[c].Equal(key[i]) {
-				match = false
-				break
-			}
-		}
-		if match {
-			dst = append(dst, ri)
-		}
-	}
-	return dst
-}
+// The hash indexes over table columns (Section 4.5 base-values indexing)
+// live in index.go: the cache-friendly open-addressing Index used by the
+// executors, and the map-backed MapIndex kept as the reference
+// implementation.
