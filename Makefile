@@ -23,14 +23,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# All E1–E14 experiment benchmarks with -benchmem, then the guard. The
-# guard (also runnable alone via bench-guard) asserts the vectorized
-# batched executor over the flat hash index is no slower than the
-# tuple-at-a-time map-index baseline on the E12 workload — the regression
-# tripwire for the batch-executor hot path.
+# All E1–E14 experiment benchmarks with -benchmem, then the guards. The
+# guards (also runnable alone via bench-guard) assert on the E12 workload
+# that (a) the row-batch executor over the flat hash index is no slower
+# than the tuple-at-a-time map-index baseline, and (b) the columnar chunk
+# executor is no slower than the boxed row-batch tier — the regression
+# tripwires for the executor hot path.
 bench: bench-guard
 	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 5x -run '^$$' .
 	$(GO) test ./internal/distributed -bench ScatterFragments -benchtime 20x -run '^$$'
 
 bench-guard:
-	MDJOIN_BENCH_GUARD=1 $(GO) test -run TestE12BatchGuard -count=1 -v .
+	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard' -count=1 -v .

@@ -62,3 +62,57 @@ func TestE12BatchGuard(t *testing.T) {
 			batched.AllocsPerOp(), scalar.AllocsPerOp())
 	}
 }
+
+// TestE12ColumnarGuard is the tripwire for the columnar tier: on the same
+// E12 workload, the default chunk executor must be no slower than the
+// boxed row-batch executor it replaced as the default
+// (Options.DisableColumnar, the previous default path), and must not
+// allocate beyond a small fixed headroom over it. The headroom covers the
+// per-query chunk-kernel compilation (a few dozen allocations, independent
+// of data size); any per-tuple or per-batch allocation regression scales
+// in the thousands on this workload and trips the guard immediately. Same
+// opt-in gate and wall-clock slack policy as TestE12BatchGuard.
+func TestE12ColumnarGuard(t *testing.T) {
+	if os.Getenv("MDJOIN_BENCH_GUARD") == "" {
+		t.Skip("set MDJOIN_BENCH_GUARD=1 (or run `make bench`) to run the executor performance guard")
+	}
+
+	detail := benchSales(20000, 12)
+	full, err := cube.DistinctBase(detail, "cust", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &table.Table{Schema: full.Schema, Rows: full.Rows}
+	if base.Len() > 1000 {
+		base.Rows = base.Rows[:1000]
+	}
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		expr.Eq(expr.QC("R", "month"), expr.C("month")))
+
+	run := func(opt core.Options) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	columnar := run(core.Options{})
+	rowbatch := run(core.Options{DisableColumnar: true})
+
+	t.Logf("columnar: %v (%d allocs/op), boxed row-batch baseline: %v (%d allocs/op)",
+		columnar, columnar.AllocsPerOp(), rowbatch, rowbatch.AllocsPerOp())
+	if lim := rowbatch.NsPerOp() * 115 / 100; columnar.NsPerOp() > lim {
+		t.Errorf("columnar executor regressed: %d ns/op > %d ns/op (row-batch baseline %d +15%%)",
+			columnar.NsPerOp(), lim, rowbatch.NsPerOp())
+	}
+	const compileHeadroom = 64 // fixed per-query chunk-kernel compilation cost
+	if lim := rowbatch.AllocsPerOp() + compileHeadroom; columnar.AllocsPerOp() > lim {
+		t.Errorf("columnar executor allocates beyond the row-batch baseline plus compile headroom: %d > %d allocs/op",
+			columnar.AllocsPerOp(), lim)
+	}
+}

@@ -532,8 +532,9 @@ func e12() {
 	detail := sales(rows(50000), 12)
 	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
 	fmt.Println("Algorithm 3.1 nested loop vs Section 4.5 hash index on B")
-	fmt.Println("(batched = flat-index vectorized executor, scalar = map-index tuple-at-a-time)")
-	fmt.Printf("%8s %14s %14s %14s %10s\n", "|B|", "batched", "scalar", "nested-loop", "nl/batch")
+	fmt.Println("(columnar = chunked typed-vector executor [default], rowbatch = boxed row")
+	fmt.Println(" batches, scalar = map-index tuple-at-a-time)")
+	fmt.Printf("%8s %14s %14s %14s %14s %10s\n", "|B|", "columnar", "rowbatch", "scalar", "nested-loop", "nl/col")
 	for _, nb := range []int{100, 1000, 5000} {
 		base := must(cube.DistinctBase(detail, "cust", "month"))
 		if base.Len() > nb {
@@ -543,8 +544,12 @@ func e12() {
 			expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
 			expr.Eq(expr.QC("R", "month"), expr.C("month")))
 		sIdx := &core.Stats{}
+		// Label kept as "indexed" so BENCH_*.json snapshots diff across PRs.
 		idx := record(fmt.Sprintf("indexed-b%d", base.Len()), detail.Len(), sIdx, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{Stats: sIdx}))
+		})
+		rb := record(fmt.Sprintf("rowbatch-b%d", base.Len()), detail.Len(), nil, func() {
+			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableColumnar: true}))
 		})
 		sc := record(fmt.Sprintf("scalar-b%d", base.Len()), detail.Len(), nil, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableBatch: true}))
@@ -552,7 +557,7 @@ func e12() {
 		nl := record(fmt.Sprintf("nested-b%d", base.Len()), detail.Len(), nil, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableIndex: true}))
 		})
-		fmt.Printf("%8d %14v %14v %14v %9.1fx\n", base.Len(), idx, sc, nl, float64(nl)/float64(idx))
+		fmt.Printf("%8d %14v %14v %14v %14v %9.1fx\n", base.Len(), idx, rb, sc, nl, float64(nl)/float64(idx))
 	}
 }
 

@@ -1,0 +1,143 @@
+// Typed fold paths: the columnar executor feeds aggregate states straight
+// from chunk payload arrays ([]int64 / []float64 plus validity bitmaps)
+// without boxing each element into a table.Value. States that can consume
+// raw payloads implement IntAdder/FloatAdder; everything else — and every
+// NULL/ALL position, whose semantics differ per aggregate (count counts
+// ALL, min/max skip it, sum ignores it) — routes through the ordinary
+// boxed State.Add, so the typed path cannot drift from the reference
+// semantics.
+package agg
+
+import "mdjoin/internal/table"
+
+// IntAdder is implemented by states that can fold a valid (non-NULL,
+// non-ALL) int64 payload directly.
+type IntAdder interface {
+	AddInt(v int64)
+}
+
+// FloatAdder is implemented by states that can fold a valid float64
+// payload directly.
+type FloatAdder interface {
+	AddFloat(v float64)
+}
+
+// count: every valid payload is non-NULL by definition.
+
+func (s *countState) AddInt(int64)     { s.n++ }
+func (s *countState) AddFloat(float64) { s.n++ }
+
+// sum mirrors Add's kind handling: ints accumulate both lanes so the
+// result kind stays Int until a float is seen.
+
+func (s *sumState) AddInt(v int64) {
+	s.seen = true
+	s.i += v
+	s.f += float64(v)
+}
+
+func (s *sumState) AddFloat(v float64) {
+	s.seen = true
+	s.isFloat = true
+	s.f += v
+}
+
+// min/max still box the payload (the state stores a Value), but skip the
+// expression-evaluation detour.
+
+func (s *extState) AddInt(v int64)     { s.Add(table.Int(v)) }
+func (s *extState) AddFloat(v float64) { s.Add(table.Float(v)) }
+
+func (s *avgState) AddInt(v int64) {
+	s.n++
+	s.sum += float64(v)
+}
+
+func (s *avgState) AddFloat(v float64) {
+	s.n++
+	s.sum += v
+}
+
+// var/stddev replicate Add's exact Welford update sequence so the typed
+// path is bit-identical to the boxed one. stddevState embeds varState and
+// inherits both adders.
+
+func (s *varState) AddFloat(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+func (s *varState) AddInt(v int64) { s.AddFloat(float64(v)) }
+
+// FoldInto folds position i of a chunk column into the state: valid
+// int/float payloads go through the typed adders when the state has them;
+// NULL/ALL positions and everything else box through State.Add.
+func FoldInto(st State, col *table.Column, i int) {
+	if !col.IsNull(i) && !col.IsAll(i) {
+		switch col.PayloadKind() {
+		case table.KindInt:
+			if a, ok := st.(IntAdder); ok {
+				a.AddInt(col.Ints()[i])
+				return
+			}
+		case table.KindFloat:
+			if a, ok := st.(FloatAdder); ok {
+				a.AddFloat(col.Floats()[i])
+				return
+			}
+		}
+	}
+	st.Add(col.Value(i))
+}
+
+// FoldColumn folds every selected position of the column into the state —
+// the bulk typed fold, with the adder assertion hoisted out of the loop.
+// Feeding positions in sel order matches the tuple-at-a-time feed order,
+// so order-sensitive states (first/last) see the same sequence.
+func FoldColumn(st State, col *table.Column, sel []int32) {
+	switch col.PayloadKind() {
+	case table.KindInt:
+		if a, ok := st.(IntAdder); ok {
+			ints := col.Ints()
+			if !col.HasSpecial() {
+				for _, si := range sel {
+					a.AddInt(ints[si])
+				}
+				return
+			}
+			for _, si := range sel {
+				i := int(si)
+				if col.IsNull(i) || col.IsAll(i) {
+					st.Add(col.Value(i))
+					continue
+				}
+				a.AddInt(ints[i])
+			}
+			return
+		}
+	case table.KindFloat:
+		if a, ok := st.(FloatAdder); ok {
+			floats := col.Floats()
+			if !col.HasSpecial() {
+				for _, si := range sel {
+					a.AddFloat(floats[si])
+				}
+				return
+			}
+			for _, si := range sel {
+				i := int(si)
+				if col.IsNull(i) || col.IsAll(i) {
+					st.Add(col.Value(i))
+					continue
+				}
+				a.AddFloat(floats[i])
+			}
+			return
+		}
+	}
+	for _, si := range sel {
+		st.Add(col.Value(int(si)))
+	}
+}

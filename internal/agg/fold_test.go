@@ -1,0 +1,131 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/table"
+)
+
+// The typed fold paths (FoldInto/FoldColumn) must be indistinguishable
+// from feeding the same values through State.Add — for every registered
+// aggregate, every column representation, and every special-value mix.
+// Order-sensitive states (first/last) rely on sel-order feeding, so the
+// comparisons here are exact-result, not approximate.
+
+// foldColumnOf builds a chunk column from the values.
+func foldColumnOf(vals []table.Value) *table.Column {
+	c := new(table.Column)
+	for _, v := range vals {
+		c.AppendValue(v)
+	}
+	return c
+}
+
+// genFoldValues produces a value sequence for the given payload mix.
+func genFoldValues(rng *rand.Rand, n int, mix string) []table.Value {
+	out := make([]table.Value, n)
+	for i := range out {
+		switch mix {
+		case "int":
+			out[i] = table.Int(int64(rng.Intn(100) - 50))
+		case "float":
+			out[i] = table.Float(float64(rng.Intn(200)-100) / 8)
+		case "string":
+			out[i] = table.Str([]string{"a", "b", "c", "d"}[rng.Intn(4)])
+		case "bool":
+			out[i] = table.Bool(rng.Intn(2) == 0)
+		default: // mixed kinds → boxed column
+			switch rng.Intn(3) {
+			case 0:
+				out[i] = table.Int(int64(rng.Intn(20)))
+			case 1:
+				out[i] = table.Float(float64(rng.Intn(20)) + 0.25)
+			default:
+				out[i] = table.Str("m")
+			}
+		}
+		switch rng.Intn(10) {
+		case 0:
+			out[i] = table.Null()
+		case 1:
+			out[i] = table.All()
+		}
+	}
+	return out
+}
+
+// TestFoldMatchesAdd runs every registered aggregate over every column
+// representation, comparing three feeds of the same values: boxed Add
+// (reference), per-position FoldInto, and bulk FoldColumn.
+func TestFoldMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	for _, name := range Names() {
+		fn := MustLookup(name)
+		for _, mix := range []string{"int", "float", "string", "bool", "mixed"} {
+			for trial := 0; trial < 5; trial++ {
+				vals := genFoldValues(rng, 1+rng.Intn(60), mix)
+				col := foldColumnOf(vals)
+
+				ref := fn.NewState()
+				for _, v := range vals {
+					ref.Add(v)
+				}
+
+				into := fn.NewState()
+				for i := range vals {
+					FoldInto(into, col, i)
+				}
+
+				sel := make([]int32, len(vals))
+				for i := range sel {
+					sel[i] = int32(i)
+				}
+				bulk := fn.NewState()
+				FoldColumn(bulk, col, sel)
+
+				want := ref.Result()
+				for how, st := range map[string]State{"FoldInto": into, "FoldColumn": bulk} {
+					got := st.Result()
+					if !resultsAgree(got, want) {
+						t.Fatalf("%s/%s trial %d: %s %v vs Add %v\nvals=%v",
+							name, mix, trial, how, got, want, vals)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFoldColumnSelection: FoldColumn must feed exactly the selected
+// positions, in sel order (first/last are the order-sensitive witnesses).
+func TestFoldColumnSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	vals := genFoldValues(rng, 80, "int")
+	col := foldColumnOf(vals)
+	sel := []int32{}
+	for i := 0; i < len(vals); i += 3 {
+		sel = append(sel, int32(i))
+	}
+	for _, name := range []string{"count", "sum", "min", "first", "last"} {
+		fn := MustLookup(name)
+		ref := fn.NewState()
+		for _, si := range sel {
+			ref.Add(vals[si])
+		}
+		got := fn.NewState()
+		FoldColumn(got, col, sel)
+		if !resultsAgree(got.Result(), ref.Result()) {
+			t.Fatalf("%s: selection fold %v vs reference %v", name, got.Result(), ref.Result())
+		}
+	}
+}
+
+// resultsAgree compares aggregate results: Equal plus the NULL case (empty
+// min over no values, etc.) that Value.Equal reports false for.
+func resultsAgree(a, b table.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return a.Equal(b)
+}

@@ -109,10 +109,10 @@ func (c *Compiled) Feed(st State, frame []table.Row) {
 func (c *Compiled) NewState() State { return c.Fn.NewState() }
 
 // OutColumns derives the schema columns that a list of specs appends.
-func OutColumns(specs []Spec) []table.Column {
-	cols := make([]table.Column, len(specs))
+func OutColumns(specs []Spec) []table.Field {
+	cols := make([]table.Field, len(specs))
 	for i, s := range specs {
-		cols[i] = table.Column{Name: s.OutName()}
+		cols[i] = table.Field{Name: s.OutName()}
 	}
 	return cols
 }

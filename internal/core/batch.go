@@ -4,11 +4,14 @@ import (
 	"context"
 	"io"
 
+	"mdjoin/internal/agg"
 	"mdjoin/internal/expr"
 	"mdjoin/internal/table"
 )
 
-// Vectorized batch executor: the default inner loop of the detail scan.
+// Vectorized row-batch executor: the boxed middle tier of the detail scan
+// (the columnar chunk executor in chunk.go is the default; this path runs
+// under Options.DisableColumnar and for phases that fail chunk compilation).
 //
 // Instead of dispatching every detail tuple through every phase's compiled
 // predicates one at a time, the scan slices R into fixed-size batches and,
@@ -28,12 +31,22 @@ import (
 // batchSize is the number of detail tuples processed per batch: large
 // enough to amortize per-batch work (selection reset, stats flush, ctx
 // poll), small enough that the batch's column vectors stay cache-resident.
-const batchSize = 1024
+// It equals table.ChunkSize so a Builder-built detail table's cached
+// chunks line up one-to-one with the scan's batches.
+const batchSize = table.ChunkSize
 
-// scanDetailBatched drives the batch executor over a materialized slice of
-// detail rows. A cancelled ctx aborts the scan between batches.
-func scanDetailBatched(ctx context.Context, b *table.Table, rows []table.Row, cps []*compiledPhase, stats *Stats) error {
-	frame := make([]table.Row, 2)
+// scanDetailBatched drives the batch executor over a materialized detail
+// table. When the table carries a columnar mirror built at the right chunk
+// size, each batch reuses its prebuilt chunk; otherwise columnar phases
+// transpose the batch into the driver's scratch chunk. A cancelled ctx
+// aborts the scan between batches.
+func scanDetailBatched(ctx context.Context, b *table.Table, r *table.Table, cps []*compiledPhase, stats *Stats) error {
+	d := newBatchDriver(r.Schema, cps)
+	if d.columnar {
+		d.prebuilt = r.CachedChunks(batchSize)
+	}
+	rows := r.Rows
+	ci := 0
 	for off := 0; off < len(rows); off += batchSize {
 		if err := ctxErr(ctx); err != nil {
 			return err
@@ -42,7 +55,15 @@ func scanDetailBatched(ctx context.Context, b *table.Table, rows []table.Row, cp
 		if end > len(rows) {
 			end = len(rows)
 		}
-		processBatch(b, cps, frame, rows[off:end], stats)
+		var ch *table.Chunk
+		if d.prebuilt != nil {
+			ch = d.prebuilt[ci]
+			ci++
+			if ch.Len() != end-off {
+				ch = nil // misaligned mirror; transpose instead
+			}
+		}
+		d.processBatch(b, cps, rows[off:end], ch, stats)
 	}
 	return nil
 }
@@ -52,8 +73,8 @@ func scanDetailBatched(ctx context.Context, b *table.Table, rows []table.Row, cp
 // ownership of each returned row to the caller (table-backed iterators
 // return stable references, CSV iterators allocate fresh rows), so
 // buffering never sees a row mutated behind its back.
-func scanIteratorBatched(ctx context.Context, b *table.Table, it table.Iterator, cps []*compiledPhase, stats *Stats) error {
-	frame := make([]table.Row, 2)
+func scanIteratorBatched(ctx context.Context, b *table.Table, rSchema *table.Schema, it table.Iterator, cps []*compiledPhase, stats *Stats) error {
+	d := newBatchDriver(rSchema, cps)
 	buf := make([]table.Row, 0, batchSize)
 	for {
 		if err := ctxErr(ctx); err != nil {
@@ -64,7 +85,7 @@ func scanIteratorBatched(ctx context.Context, b *table.Table, it table.Iterator,
 			t, err := it.Next()
 			if err == io.EOF {
 				if len(buf) > 0 {
-					processBatch(b, cps, frame, buf, stats)
+					d.processBatch(b, cps, buf, nil, stats)
 				}
 				return nil
 			}
@@ -73,17 +94,7 @@ func scanIteratorBatched(ctx context.Context, b *table.Table, it table.Iterator,
 			}
 			buf = append(buf, t)
 		}
-		processBatch(b, cps, frame, buf, stats)
-	}
-}
-
-// processBatch folds one batch of detail tuples into every phase.
-func processBatch(b *table.Table, cps []*compiledPhase, frame []table.Row, batch []table.Row, stats *Stats) {
-	if stats != nil {
-		stats.TuplesScanned += len(batch)
-	}
-	for _, cp := range cps {
-		processPhaseBatch(b, cp, frame, batch, stats)
+		d.processBatch(b, cps, buf, nil, stats)
 	}
 }
 
@@ -113,7 +124,7 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 					continue
 				}
 				tested++
-				if feedPair(cp, br, bi, frame) {
+				if feedPair(cp, br, bi, frame, -1) {
 					matched++
 				}
 			}
@@ -167,7 +178,7 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 					continue
 				}
 				tested++
-				if feedPair(cp, br, bi, frame) {
+				if feedPair(cp, br, bi, frame, -1) {
 					matched++
 				}
 			}
@@ -179,12 +190,12 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 					continue
 				}
 				tested++
-				if feedPair(cp, b.Rows[bi], bi, frame) {
+				if feedPair(cp, b.Rows[bi], bi, frame, -1) {
 					matched++
 				}
 			}
 		default:
-			t, m := probeCubeBatched(cp, b, key, frame)
+			t, m := probeCubeBatched(cp, b, key, frame, -1)
 			tested += t
 			matched += m
 		}
@@ -195,8 +206,9 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 
 // probeCubeBatched is probeCube with batch-local counters: one probe per
 // cube-equality combination, so a tuple updates its 2^k cube cells in one
-// pass.
-func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, frame []table.Row) (tested, matched int) {
+// pass. si carries the tuple's chunk position through to feedPair (-1 on
+// the boxed path).
+func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, frame []table.Row, si int) (tested, matched int) {
 	k := len(cp.cubePos)
 	if cap(cp.savedBuf) < k {
 		cp.savedBuf = make([]table.Value, k)
@@ -219,7 +231,7 @@ func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, fram
 				continue
 			}
 			tested++
-			if feedPair(cp, b.Rows[bi], bi, frame) {
+			if feedPair(cp, b.Rows[bi], bi, frame, si) {
 				matched++
 			}
 		}
@@ -233,13 +245,26 @@ func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, fram
 // feedPair checks the residual θ conjuncts for one (b, r) pair and feeds
 // the aggregates on success, reporting whether the pair matched. Unlike
 // updatePair it leaves the stats counters to the caller's batch-local
-// accumulators.
-func feedPair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row) bool {
+// accumulators. si is the tuple's position in the current chunk: when
+// non-negative, specs with a resolved argument column fold the typed
+// payload at si instead of re-evaluating the argument per pair; -1 selects
+// the boxed feed (row-batch path, or no chunk for this phase).
+func feedPair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row, si int) bool {
 	frame[0] = brow
 	if cp.residual != nil && !cp.residual.Truth(frame) {
 		return false
 	}
 	row := cp.states.Row(bi)
+	if si >= 0 {
+		for j, c := range cp.specs {
+			if col := cp.chunk.argCols[j]; col != nil {
+				agg.FoldInto(row[j], col, si)
+			} else {
+				c.Feed(row[j], frame)
+			}
+		}
+		return true
+	}
 	for j, c := range cp.specs {
 		c.Feed(row[j], frame)
 	}

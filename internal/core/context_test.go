@@ -18,7 +18,7 @@ import (
 func ctxFixture(t *testing.T) (*table.Table, *table.Table, []Phase) {
 	t.Helper()
 	sales := workload.Sales(workload.SalesConfig{Rows: 3000, Customers: 12, States: 3, Seed: 5})
-	base := table.New(table.NewSchema(table.Column{Name: "cust"}))
+	base := table.New(table.NewSchema(table.Field{Name: "cust"}))
 	ci := sales.Schema.MustColIndex("cust")
 	seen := map[string]bool{}
 	for _, r := range sales.Rows {

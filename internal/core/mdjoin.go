@@ -22,14 +22,19 @@
 //   - Theorem 4.1: partitioned evaluation bounds resident base rows
 //     (m scans of R), and both base- and detail-partitioned parallelism.
 //
-// Two interchangeable inner loops drive the detail scan. The default is
-// the vectorized batch executor (batch.go): R is processed in fixed-size
-// batches, per-phase R-only conjuncts and index-key expressions are
-// evaluated once per batch into reusable selection/column vectors, and a
-// fused probe-and-feed loop updates arena-backed aggregate states through
-// a flat open-addressing index. The tuple-at-a-time interpreter below is
-// kept verbatim as the Algorithm 3.1 reference, selectable via
-// Options.DisableBatch, so equivalence tests and benches can diff the two.
+// Three interchangeable inner loops drive the detail scan. The default is
+// the columnar chunk executor (chunk.go): R is processed in fixed-size
+// batches viewed as table.Chunk columns — typed arrays plus NULL/ALL
+// bitmaps, either prebuilt by table.Builder or transposed on the fly — and
+// per-phase R-only conjuncts, index-key expressions, and aggregate
+// arguments all run through typed kernels before a fused probe-and-feed
+// loop updates arena-backed aggregate states through a flat
+// open-addressing index. Options.DisableColumnar keeps the same batch
+// structure but row-major: boxed table.Value vectors per batch (batch.go),
+// the PR 2 executor. The tuple-at-a-time interpreter below is kept
+// verbatim as the Algorithm 3.1 reference, selectable via
+// Options.DisableBatch, so equivalence tests and benches can diff all
+// three.
 package core
 
 import (
@@ -73,8 +78,15 @@ type Options struct {
 	// every phase individually and the base index (if any) is the
 	// map-backed reference implementation. Combined with DisableIndex this
 	// is the verbatim Algorithm 3.1 nested loop. Equivalence tests diff
-	// the batched path against it; benches use it as the scalar baseline.
+	// the batched paths against it; benches use it as the scalar baseline.
 	DisableBatch bool
+
+	// DisableColumnar keeps the row-batch executor: batches stay row-major
+	// []table.Row and predicates, keys, and aggregate arguments evaluate
+	// through the boxed value kernels instead of the typed columnar chunk
+	// kernels. Ignored when DisableBatch already selected the scalar
+	// interpreter. Equivalence tests diff all three executor paths.
+	DisableColumnar bool
 
 	// MaxBaseRows, when positive, bounds how many base rows are resident
 	// at once; B is split into ceil(|B|/MaxBaseRows) contiguous partitions
@@ -234,6 +246,12 @@ type phasePlan struct {
 	// scalar is true when Options.DisableBatch selected the
 	// tuple-at-a-time interpreter.
 	scalar bool
+	// columnar is true when the chunk executor should drive this phase
+	// (batching on, DisableColumnar off); newPhaseExecs then compiles the
+	// per-worker chunkPhase from bind/rslot.
+	columnar bool
+	bind     *expr.Binding
+	rslot    int
 	// bAlive[i] == false when the B-only conjuncts exclude row i forever.
 	bAlive []bool
 }
@@ -254,6 +272,9 @@ type compiledPhase struct {
 	// per equi-key expression
 	sel     []int32
 	keyCols [][]table.Value
+	// chunk holds this worker's compiled columnar programs when the phase
+	// runs on the chunk executor; nil selects the boxed row-batch path.
+	chunk *chunkPhase
 }
 
 // outSchema derives the generalized MD-join's output schema: B's columns
@@ -267,7 +288,7 @@ func outSchema(b *table.Table, phases []Phase) (*table.Schema, error) {
 			if schema.Has(s.OutName()) {
 				return nil, fmt.Errorf("core: phase %d aggregate output %q collides with an existing column", pi, s.OutName())
 			}
-			schema = schema.Append(table.Column{Name: s.OutName()})
+			schema = schema.Append(table.Field{Name: s.OutName()})
 		}
 	}
 	return schema, nil
@@ -297,7 +318,13 @@ func compilePhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Op
 		if err != nil {
 			return nil, fmt.Errorf("core: phase %d θ analysis: %w", pi, err)
 		}
-		pp := &phasePlan{analysis: ta, scalar: opt.DisableBatch}
+		pp := &phasePlan{
+			analysis: ta,
+			scalar:   opt.DisableBatch,
+			columnar: !opt.DisableBatch && !opt.DisableColumnar,
+			bind:     bind,
+			rslot:    rslot,
+		}
 
 		pp.specs, err = agg.CompileSpecs(p.Aggs, bind)
 		if err != nil {
@@ -389,10 +416,16 @@ func compilePhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Op
 func newPhaseExecs(plans []*phasePlan, nBase int) []*compiledPhase {
 	out := make([]*compiledPhase, len(plans))
 	for i, pp := range plans {
-		out[i] = &compiledPhase{
+		cp := &compiledPhase{
 			phasePlan: pp,
 			states:    agg.NewArena(pp.specs, nBase),
 		}
+		if pp.columnar {
+			// nil on (unreachable) chunk-compile failure, which quietly
+			// falls back to the boxed row-batch path for this phase.
+			cp.chunk = newChunkPhase(pp)
+		}
+		out[i] = cp
 	}
 	return out
 }
@@ -433,7 +466,7 @@ func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, e
 // aborts the scan between tuples (scalar) or batches (vectorized).
 func scanDetail(ctx context.Context, b, r *table.Table, cps []*compiledPhase, stats *Stats) error {
 	if len(cps) > 0 && !cps[0].scalar {
-		return scanDetailBatched(ctx, b, r.Rows, cps, stats)
+		return scanDetailBatched(ctx, b, r, cps, stats)
 	}
 	frame := make([]table.Row, 2)
 	var key []table.Value
@@ -573,18 +606,25 @@ func updatePair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row, st
 }
 
 // assemble emits the output table: B's rows extended with each phase's
-// aggregate results.
+// aggregate results. All output rows are carved out of one backing array —
+// |B|·width values in a single allocation instead of one per row — sized
+// exactly, so the appends below never reallocate and every row is a
+// full-capacity three-index slice (an append to one row can never spill
+// into the next).
 func assemble(schema *table.Schema, b *table.Table, cps []*compiledPhase) *table.Table {
 	out := table.New(schema)
+	w := schema.Len()
+	out.Rows = make([]table.Row, 0, b.Len())
+	backing := make([]table.Value, 0, b.Len()*w)
 	for bi, br := range b.Rows {
-		row := make(table.Row, 0, schema.Len())
-		row = append(row, br...)
+		start := len(backing)
+		backing = append(backing, br...)
 		for _, cp := range cps {
 			for _, st := range cp.states.Row(bi) {
-				row = append(row, st.Result())
+				backing = append(backing, st.Result())
 			}
 		}
-		out.Append(row)
+		out.Rows = append(out.Rows, table.Row(backing[start:len(backing):len(backing)]))
 	}
 	return out
 }

@@ -38,7 +38,7 @@ func refMDJoin(t *testing.T, b, r *table.Table, specs []agg.Spec, theta expr.Exp
 
 	schema := b.Schema
 	for _, s := range specs {
-		schema = schema.Append(table.Column{Name: s.OutName()})
+		schema = schema.Append(table.Field{Name: s.OutName()})
 	}
 	out := table.New(schema)
 	frame := make([]table.Row, 2)

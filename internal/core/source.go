@@ -52,7 +52,7 @@ func scanSource(ctx context.Context, b *table.Table, src table.Source, cps []*co
 	}
 	defer it.Close()
 	if len(cps) > 0 && !cps[0].scalar {
-		return scanIteratorBatched(ctx, b, it, cps, stats)
+		return scanIteratorBatched(ctx, b, src.Schema(), it, cps, stats)
 	}
 	frame := make([]table.Row, 2)
 	var key []table.Value
@@ -252,12 +252,12 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 				if drainOnCancel() {
 					return
 				}
-				frame := make([]table.Row, 2)
+				d := newBatchDriver(src.Schema(), cps)
 				buf := make([]table.Row, 0, batchSize)
 				for t := range rows {
 					buf = append(buf, t)
 					if len(buf) == batchSize {
-						processBatch(b, cps, frame, buf, st)
+						d.processBatch(b, cps, buf, nil, st)
 						buf = buf[:0]
 						if drainOnCancel() {
 							return
@@ -265,7 +265,7 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 					}
 				}
 				if len(buf) > 0 {
-					processBatch(b, cps, frame, buf, st)
+					d.processBatch(b, cps, buf, nil, st)
 				}
 				workers[wi] = cps
 				return

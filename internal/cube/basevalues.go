@@ -79,7 +79,10 @@ func GroupingSetsBase(t *table.Table, dims []string, sets [][]string) (*table.Ta
 		return nil, err
 	}
 
-	out := table.New(table.SchemaOf(dims...))
+	// Builder-built: cube base-values tables double as detail inputs when
+	// MD-joins chain (Theorem 4.5 roll-ups), so carrying the columnar
+	// mirror lets those scans skip the transpose.
+	out := table.NewBuilder(table.SchemaOf(dims...))
 	seenSet := map[uint]bool{}
 	for _, s := range sets {
 		mask, err := maskOf(dims, s)
@@ -92,12 +95,12 @@ func GroupingSetsBase(t *table.Table, dims []string, sets [][]string) (*table.Ta
 		seenSet[mask] = true
 		appendMaskRows(out, full, mask)
 	}
-	return out, nil
+	return out.Table(), nil
 }
 
 // appendMaskRows appends the distinct mask-projection of the full
 // combination table, padding non-mask dimensions with ALL.
-func appendMaskRows(out, full *table.Table, mask uint) {
+func appendMaskRows(out *table.Builder, full *table.Table, mask uint) {
 	n := full.Schema.Len()
 	seen := map[uint64][]table.Row{}
 	for _, r := range full.Rows {

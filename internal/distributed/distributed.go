@@ -415,13 +415,16 @@ func PartitionByColumn(t *table.Table, col string) ([]*Site, error) {
 	if ci < 0 {
 		return nil, fmt.Errorf("distributed: partition column %q not in schema %v", col, t.Schema.Names())
 	}
-	frags := map[string]*table.Table{}
+	// Fragments are Builder-built: each site scans its fragment as the
+	// detail relation, so shipping it with the columnar mirror attached
+	// puts site-local evaluation on the zero-transpose chunk path.
+	frags := map[string]*table.Builder{}
 	var order []string
 	for _, r := range t.Rows {
 		key := r[ci].String()
 		f, ok := frags[key]
 		if !ok {
-			f = table.New(t.Schema)
+			f = table.NewBuilder(t.Schema)
 			frags[key] = f
 			order = append(order, key)
 		}
@@ -429,7 +432,7 @@ func PartitionByColumn(t *table.Table, col string) ([]*Site, error) {
 	}
 	sites := make([]*Site, len(order))
 	for i, key := range order {
-		sites[i] = NewSite(key, frags[key])
+		sites[i] = NewSite(key, frags[key].Table())
 	}
 	return sites, nil
 }

@@ -77,14 +77,14 @@ func Project(t *table.Table, cols []ProjCol, distinct bool) (*table.Table, error
 	b := expr.NewBinding()
 	b.AddRel(t.Schema, "r", "detail")
 	compiled := make([]*expr.Compiled, len(cols))
-	outCols := make([]table.Column, len(cols))
+	outCols := make([]table.Field, len(cols))
 	for i, p := range cols {
 		c, err := expr.Compile(p.Expr, b)
 		if err != nil {
 			return nil, err
 		}
 		compiled[i] = c
-		outCols[i] = table.Column{Name: p.Name()}
+		outCols[i] = table.Field{Name: p.Name()}
 	}
 	out := table.New(table.NewSchema(outCols...))
 	var seen map[uint64][]table.Row
@@ -133,7 +133,7 @@ func DistinctOn(t *table.Table, cols ...string) (*table.Table, error) {
 // each MD-join application should rename the detail table — Rename is that
 // operator.
 func Rename(t *table.Table, mapping map[string]string) *table.Table {
-	cols := make([]table.Column, t.Schema.Len())
+	cols := make([]table.Field, t.Schema.Len())
 	for i, c := range t.Schema.Cols {
 		name := c.Name
 		for old, new := range mapping {
@@ -141,7 +141,7 @@ func Rename(t *table.Table, mapping map[string]string) *table.Table {
 				name = new
 			}
 		}
-		cols[i] = table.Column{Name: name, Type: c.Type}
+		cols[i] = table.Field{Name: name, Type: c.Type}
 	}
 	return &table.Table{Schema: table.NewSchema(cols...), Rows: t.Rows}
 }
@@ -191,7 +191,7 @@ func Join(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind)
 	rslot := bind.AddRel(r.Schema, ralias)
 
 	// Output schema: left columns as-is, right columns prefixed on clash.
-	cols := make([]table.Column, 0, l.Schema.Len()+r.Schema.Len())
+	cols := make([]table.Field, 0, l.Schema.Len()+r.Schema.Len())
 	cols = append(cols, l.Schema.Cols...)
 	for _, c := range r.Schema.Cols {
 		name := c.Name
@@ -202,7 +202,7 @@ func Join(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind)
 		for hasCol(cols, name) {
 			name = name + "_"
 		}
-		cols = append(cols, table.Column{Name: name, Type: c.Type})
+		cols = append(cols, table.Field{Name: name, Type: c.Type})
 	}
 	out := table.New(table.NewSchema(cols...))
 
@@ -287,7 +287,7 @@ func Join(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind)
 	return out, nil
 }
 
-func hasCol(cols []table.Column, name string) bool {
+func hasCol(cols []table.Field, name string) bool {
 	for _, c := range cols {
 		if strings.EqualFold(c.Name, name) {
 			return true

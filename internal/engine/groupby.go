@@ -30,7 +30,7 @@ func GroupBy(t *table.Table, keys []string, specs []agg.Spec) (*table.Table, err
 		return nil, err
 	}
 
-	keyCols := make([]table.Column, len(keys))
+	keyCols := make([]table.Field, len(keys))
 	for i, j := range keyIdx {
 		keyCols[i] = t.Schema.Cols[j]
 	}
@@ -104,7 +104,7 @@ func SortGroupBy(t *table.Table, keys []string, specs []agg.Spec) (*table.Table,
 		return nil, err
 	}
 
-	keyCols := make([]table.Column, len(keys))
+	keyCols := make([]table.Field, len(keys))
 	for i, j := range keyIdx {
 		keyCols[i] = t.Schema.Cols[j]
 	}

@@ -1,0 +1,587 @@
+// Columnar chunk kernels: expressions compiled to evaluate column-at-a-time
+// over table.Chunk typed vectors instead of value-at-a-time over rows. The
+// kernels run typed loops (int64/float64/dictionary-string/packed-bool)
+// over the payload arrays whenever both operands have a compatible payload
+// kind, falling back per-element to the boxed applyBinary/applyUnary for
+// NULL/ALL positions and whole-column to a boxed loop for mixed-kind
+// (boxed) columns, cube equality, and kind combinations with no typed
+// loop. Every fallback routes through the same applyBinary/applyUnary the
+// scalar evaluator uses, so the two paths cannot drift semantically.
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"mdjoin/internal/table"
+)
+
+// operand is an intermediate kernel result: either a column positional
+// over the chunk, or a single constant value (col == nil).
+type operand struct {
+	col *table.Column
+	k   table.Value
+}
+
+// value boxes position i (or the constant).
+func (o operand) value(i int) table.Value {
+	if o.col == nil {
+		return o.k
+	}
+	return o.col.Value(i)
+}
+
+type chunkKernel func(ch *table.Chunk, sel []int32) operand
+
+// ChunkCompiled is an expression compiled against one relation slot to
+// evaluate over that relation's chunks. Its kernel nodes own scratch
+// output columns, so a ChunkCompiled must not be used from more than one
+// goroutine at a time (the executor compiles one per worker).
+type ChunkCompiled struct {
+	run  chunkKernel
+	ords []int
+	src  Expr
+}
+
+// CompileChunk binds an expression for columnar evaluation over the given
+// relation slot. It fails — and the caller falls back to the boxed batch
+// kernels — if any column reference resolves outside that slot, so a
+// successful compile guarantees the expression reads only the chunked
+// relation and constants.
+func CompileChunk(e Expr, b *Binding, slot int) (*ChunkCompiled, error) {
+	var ords []int
+	k, err := compileChunk(e, b, slot, &ords)
+	if err != nil {
+		return nil, err
+	}
+	// Dedup in place; the ordinal lists are a handful of entries, so a
+	// linear scan beats allocating a set.
+	dedup := ords[:0]
+	for _, o := range ords {
+		have := false
+		for _, d := range dedup {
+			if d == o {
+				have = true
+				break
+			}
+		}
+		if !have {
+			dedup = append(dedup, o)
+		}
+	}
+	return &ChunkCompiled{run: k, ords: dedup, src: e}, nil
+}
+
+// Ordinals returns the chunk-relation column ordinals the expression
+// reads; the executor unions these to transpose only the needed columns.
+func (cc *ChunkCompiled) Ordinals() []int { return cc.ords }
+
+// Source returns the AST the kernel was compiled from.
+func (cc *ChunkCompiled) Source() Expr { return cc.src }
+
+// EvalChunk evaluates the expression over the selected positions of the
+// chunk. The result column is positional over the whole chunk but defined
+// only at positions in sel. Column references return the chunk's columns
+// zero-copy; a constant result is materialized into the caller-owned
+// scratch column.
+func (cc *ChunkCompiled) EvalChunk(ch *table.Chunk, sel []int32, scratch *table.Column) *table.Column {
+	res := cc.run(ch, sel)
+	if res.col != nil {
+		return res.col
+	}
+	scratch.ResetBoxed(ch.Len())
+	for _, si := range sel {
+		scratch.SetValue(int(si), res.k)
+	}
+	return scratch
+}
+
+// FilterChunk compacts sel in place to the positions where the predicate
+// evaluates to boolean true (SQL WHERE semantics: NULL, ALL, and non-bool
+// results drop the row).
+func (cc *ChunkCompiled) FilterChunk(ch *table.Chunk, sel []int32) []int32 {
+	res := cc.run(ch, sel)
+	if res.col == nil {
+		if res.k.Kind() == table.KindBool && res.k.AsBool() {
+			return sel
+		}
+		return sel[:0]
+	}
+	col := res.col
+	out := sel[:0]
+	if col.PayloadKind() == table.KindBool {
+		for _, si := range sel {
+			i := int(si)
+			if !col.IsNull(i) && !col.IsAll(i) && col.BoolAt(i) {
+				out = append(out, si)
+			}
+		}
+		return out
+	}
+	for _, si := range sel {
+		v := col.Value(int(si))
+		if v.Kind() == table.KindBool && v.AsBool() {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+func compileChunk(e Expr, b *Binding, slot int, ords *[]int) (chunkKernel, error) {
+	switch n := e.(type) {
+	case *Lit:
+		v := n.Val
+		return func(*table.Chunk, []int32) operand { return operand{k: v} }, nil
+	case *Col:
+		cslot, ord, err := b.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		if cslot != slot {
+			return nil, fmt.Errorf("expr: column %s resolves to slot %d, outside the chunked relation (slot %d)", n, cslot, slot)
+		}
+		*ords = append(*ords, ord)
+		return func(ch *table.Chunk, _ []int32) operand { return operand{col: ch.Col(ord)} }, nil
+	case *Unary:
+		xk, err := compileChunk(n.X, b, slot, ords)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		out := new(table.Column) // node-owned scratch
+		return func(ch *table.Chunk, sel []int32) operand {
+			x := xk(ch, sel)
+			if x.col == nil {
+				return operand{k: applyUnary(op, x.k)}
+			}
+			applyUnaryChunk(op, x.col, ch.Len(), sel, out)
+			return operand{col: out}
+		}, nil
+	case *Binary:
+		lk, err := compileChunk(n.L, b, slot, ords)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := compileChunk(n.R, b, slot, ords)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		out := new(table.Column) // node-owned scratch
+		return func(ch *table.Chunk, sel []int32) operand {
+			l := lk(ch, sel)
+			r := rk(ch, sel)
+			if l.col == nil && r.col == nil {
+				return operand{k: applyBinary(op, l.k, r.k)}
+			}
+			applyBinaryChunk(op, l, r, ch.Len(), sel, out)
+			return operand{col: out}
+		}, nil
+	case *Call:
+		return nil, fmt.Errorf("expr: aggregate call %s cannot be evaluated here (it must be translated to a generated column)", n)
+	default:
+		return nil, fmt.Errorf("expr: cannot compile %T", e)
+	}
+}
+
+// payloadKindOf returns the typed payload kind a kernel can loop over:
+// the column's payload kind, or the constant's kind. KindNull means "no
+// typed loop" (boxed column, empty column, or NULL/ALL constant).
+func payloadKindOf(o operand) table.Kind {
+	if o.col != nil {
+		return o.col.PayloadKind()
+	}
+	switch o.k.Kind() {
+	case table.KindNull, table.KindAll:
+		return table.KindNull
+	default:
+		return o.k.Kind()
+	}
+}
+
+// specialAt reports a NULL/ALL position on a column operand (constants are
+// pre-screened by payloadKindOf).
+func specialAt(o operand, i int) bool {
+	return o.col.IsNull(i) || o.col.IsAll(i)
+}
+
+func hasSpecialSide(o operand) bool { return o.col != nil && o.col.HasSpecial() }
+
+// iside / fside / sside are per-operand accessors the typed loops index
+// through; they hoist the column-vs-constant and int-vs-float dispatch out
+// of the loop body into a nil check the compiler can hoist or predict.
+type iside struct {
+	vals []int64
+	c    int64
+}
+
+func intSideOf(o operand) iside {
+	if o.col == nil {
+		return iside{c: o.k.AsInt()}
+	}
+	return iside{vals: o.col.Ints()}
+}
+
+func (s iside) at(i int) int64 {
+	if s.vals != nil {
+		return s.vals[i]
+	}
+	return s.c
+}
+
+type fside struct {
+	ints   []int64
+	floats []float64
+	c      float64
+}
+
+func floatSideOf(o operand) fside {
+	if o.col == nil {
+		return fside{c: o.k.AsFloat()}
+	}
+	if o.col.PayloadKind() == table.KindInt {
+		return fside{ints: o.col.Ints()}
+	}
+	return fside{floats: o.col.Floats()}
+}
+
+func (s fside) at(i int) float64 {
+	if s.ints != nil {
+		return float64(s.ints[i])
+	}
+	if s.floats != nil {
+		return s.floats[i]
+	}
+	return s.c
+}
+
+type sside struct {
+	dict  []string
+	codes []int32
+	c     string
+}
+
+func strSideOf(o operand) sside {
+	if o.col == nil {
+		return sside{c: o.k.AsString()}
+	}
+	return sside{dict: o.col.Dict(), codes: o.col.Codes()}
+}
+
+func (s sside) at(i int) string {
+	if s.codes != nil {
+		return s.dict[s.codes[i]]
+	}
+	return s.c
+}
+
+func applyUnaryChunk(op Op, col *table.Column, n int, sel []int32, out *table.Column) {
+	switch op {
+	case OpIsNull:
+		out.ResetTyped(table.KindBool, n)
+		for _, si := range sel {
+			out.SetBool(int(si), col.IsNull(int(si)))
+		}
+		return
+	case OpIsNotNull:
+		out.ResetTyped(table.KindBool, n)
+		for _, si := range sel {
+			out.SetBool(int(si), !col.IsNull(int(si)))
+		}
+		return
+	case OpNot:
+		if col.PayloadKind() == table.KindBool {
+			out.ResetTyped(table.KindBool, n)
+			sp := col.HasSpecial()
+			for _, si := range sel {
+				i := int(si)
+				if sp && (col.IsNull(i) || col.IsAll(i)) {
+					out.SetNull(i) // NOT NULL is NULL; NOT ALL is non-bool, also NULL
+					continue
+				}
+				out.SetBool(i, !col.BoolAt(i))
+			}
+			return
+		}
+	case OpNeg:
+		switch col.PayloadKind() {
+		case table.KindInt:
+			out.ResetTyped(table.KindInt, n)
+			sp := col.HasSpecial()
+			ints := col.Ints()
+			for _, si := range sel {
+				i := int(si)
+				if sp && (col.IsNull(i) || col.IsAll(i)) {
+					out.SetNull(i)
+					continue
+				}
+				out.SetInt(i, -ints[i])
+			}
+			return
+		case table.KindFloat:
+			out.ResetTyped(table.KindFloat, n)
+			sp := col.HasSpecial()
+			floats := col.Floats()
+			for _, si := range sel {
+				i := int(si)
+				if sp && (col.IsNull(i) || col.IsAll(i)) {
+					out.SetNull(i)
+					continue
+				}
+				out.SetFloat(i, -floats[i])
+			}
+			return
+		}
+	}
+	// Generic boxed fallback: mixed-kind columns and kind/op combinations
+	// without a typed loop.
+	out.ResetBoxed(n)
+	for _, si := range sel {
+		i := int(si)
+		out.SetValue(i, applyUnary(op, col.Value(i)))
+	}
+}
+
+func applyBinaryChunk(op Op, l, r operand, n int, sel []int32, out *table.Column) {
+	switch {
+	case op == OpAnd || op == OpOr:
+		if logicalChunk(op, l, r, n, sel, out) {
+			return
+		}
+	case op == OpCubeEq:
+		// Cube equality's ALL-matches-anything semantics live entirely in
+		// the special lanes, so the boxed loop is the natural shape.
+	case op.IsComparison():
+		lk, rk := payloadKindOf(l), payloadKindOf(r)
+		lNum := lk == table.KindInt || lk == table.KindFloat
+		rNum := rk == table.KindInt || rk == table.KindFloat
+		switch {
+		case lNum && rNum:
+			compareNumericChunk(op, l, r, n, sel, out)
+			return
+		case lk == table.KindString && rk == table.KindString:
+			compareStringChunk(op, l, r, n, sel, out)
+			return
+		}
+	default: // arithmetic
+		lk, rk := payloadKindOf(l), payloadKindOf(r)
+		lNum := lk == table.KindInt || lk == table.KindFloat
+		rNum := rk == table.KindInt || rk == table.KindFloat
+		if lNum && rNum {
+			arithChunk(op, l, r, n, sel, out)
+			return
+		}
+	}
+	// Generic boxed fallback, element-wise through the scalar operator.
+	out.ResetBoxed(n)
+	for _, si := range sel {
+		i := int(si)
+		out.SetValue(i, applyBinary(op, l.value(i), r.value(i)))
+	}
+}
+
+// fallbackCompare handles a NULL/ALL position inside a typed comparison
+// loop; applyBinary yields Bool or Null here, never anything else.
+func fallbackCompare(op Op, l, r operand, i int, out *table.Column) {
+	v := applyBinary(op, l.value(i), r.value(i))
+	if v.IsNull() {
+		out.SetNull(i)
+	} else {
+		out.SetBool(i, v.AsBool())
+	}
+}
+
+func compareNumericChunk(op Op, l, r operand, n int, sel []int32, out *table.Column) {
+	out.ResetTyped(table.KindBool, n)
+	lsp, rsp := hasSpecialSide(l), hasSpecialSide(r)
+	if payloadKindOf(l) == table.KindInt && payloadKindOf(r) == table.KindInt &&
+		(op == OpEq || op == OpNe) {
+		// Value.Equal compares same-kind ints exactly (no float round-trip),
+		// so int=int / int<>int get an exact int64 loop. Orderings go
+		// through Value.Compare's float conversion below.
+		li, ri := intSideOf(l), intSideOf(r)
+		want := op == OpEq
+		for _, si := range sel {
+			i := int(si)
+			if (lsp && specialAt(l, i)) || (rsp && specialAt(r, i)) {
+				fallbackCompare(op, l, r, i, out)
+				continue
+			}
+			out.SetBool(i, (li.at(i) == ri.at(i)) == want)
+		}
+		return
+	}
+	lf, rf := floatSideOf(l), floatSideOf(r)
+	for _, si := range sel {
+		i := int(si)
+		if (lsp && specialAt(l, i)) || (rsp && specialAt(r, i)) {
+			fallbackCompare(op, l, r, i, out)
+			continue
+		}
+		x, y := lf.at(i), rf.at(i)
+		var t bool
+		switch op {
+		case OpEq:
+			t = x == y
+		case OpNe:
+			t = x != y
+		case OpLt:
+			t = x < y
+		case OpLe:
+			t = !(x > y) // Compare-style: NaN ties rank as equal
+		case OpGt:
+			t = x > y
+		case OpGe:
+			t = !(x < y)
+		}
+		out.SetBool(i, t)
+	}
+}
+
+func compareStringChunk(op Op, l, r operand, n int, sel []int32, out *table.Column) {
+	out.ResetTyped(table.KindBool, n)
+	lsp, rsp := hasSpecialSide(l), hasSpecialSide(r)
+	ls, rs := strSideOf(l), strSideOf(r)
+	for _, si := range sel {
+		i := int(si)
+		if (lsp && specialAt(l, i)) || (rsp && specialAt(r, i)) {
+			fallbackCompare(op, l, r, i, out)
+			continue
+		}
+		x, y := ls.at(i), rs.at(i)
+		var t bool
+		switch op {
+		case OpEq:
+			t = x == y
+		case OpNe:
+			t = x != y
+		case OpLt:
+			t = x < y
+		case OpLe:
+			t = x <= y
+		case OpGt:
+			t = x > y
+		case OpGe:
+			t = x >= y
+		}
+		out.SetBool(i, t)
+	}
+}
+
+func arithChunk(op Op, l, r operand, n int, sel []int32, out *table.Column) {
+	lsp, rsp := hasSpecialSide(l), hasSpecialSide(r)
+	if payloadKindOf(l) == table.KindInt && payloadKindOf(r) == table.KindInt && op != OpDiv {
+		// Int arithmetic stays int (division widens). NULL/ALL operands
+		// always yield NULL for arithmetic, so specials never demote the
+		// output kind.
+		out.ResetTyped(table.KindInt, n)
+		li, ri := intSideOf(l), intSideOf(r)
+		for _, si := range sel {
+			i := int(si)
+			if (lsp && specialAt(l, i)) || (rsp && specialAt(r, i)) {
+				out.SetNull(i)
+				continue
+			}
+			x, y := li.at(i), ri.at(i)
+			switch op {
+			case OpAdd:
+				out.SetInt(i, x+y)
+			case OpSub:
+				out.SetInt(i, x-y)
+			case OpMul:
+				out.SetInt(i, x*y)
+			case OpMod:
+				if y == 0 {
+					out.SetNull(i)
+				} else {
+					out.SetInt(i, x%y)
+				}
+			}
+		}
+		return
+	}
+	out.ResetTyped(table.KindFloat, n)
+	lf, rf := floatSideOf(l), floatSideOf(r)
+	for _, si := range sel {
+		i := int(si)
+		if (lsp && specialAt(l, i)) || (rsp && specialAt(r, i)) {
+			out.SetNull(i)
+			continue
+		}
+		x, y := lf.at(i), rf.at(i)
+		switch op {
+		case OpAdd:
+			out.SetFloat(i, x+y)
+		case OpSub:
+			out.SetFloat(i, x-y)
+		case OpMul:
+			out.SetFloat(i, x*y)
+		case OpDiv:
+			if y == 0 {
+				out.SetNull(i)
+			} else {
+				out.SetFloat(i, x/y)
+			}
+		case OpMod:
+			if y == 0 {
+				out.SetNull(i)
+			} else {
+				out.SetFloat(i, math.Mod(x, y))
+			}
+		}
+	}
+}
+
+// logicalChunk runs Kleene AND/OR when every column operand has a bool
+// payload (constants of any kind classify through truthState, matching
+// the scalar path). Returns false — caller takes the boxed loop — when a
+// column operand is non-bool or boxed.
+func logicalChunk(op Op, l, r operand, n int, sel []int32, out *table.Column) bool {
+	if l.col != nil && l.col.PayloadKind() != table.KindBool {
+		return false
+	}
+	if r.col != nil && r.col.PayloadKind() != table.KindBool {
+		return false
+	}
+	out.ResetTyped(table.KindBool, n)
+	for _, si := range sel {
+		i := int(si)
+		lf, lt := truthSideAt(l, i)
+		rf, rt := truthSideAt(r, i)
+		if op == OpAnd {
+			switch {
+			case lf || rf:
+				out.SetBool(i, false)
+			case lt && rt:
+				out.SetBool(i, true)
+			default:
+				out.SetNull(i)
+			}
+		} else {
+			switch {
+			case lt || rt:
+				out.SetBool(i, true)
+			case lf && rf:
+				out.SetBool(i, false)
+			default:
+				out.SetNull(i)
+			}
+		}
+	}
+	return true
+}
+
+// truthSideAt classifies one operand position for Kleene logic:
+// (isFalse, isTrue); NULL/ALL and non-bool values are unknown.
+func truthSideAt(o operand, i int) (bool, bool) {
+	if o.col == nil {
+		return truthState(o.k)
+	}
+	if o.col.IsNull(i) || o.col.IsAll(i) {
+		return false, false
+	}
+	if o.col.BoolAt(i) {
+		return false, true
+	}
+	return true, false
+}

@@ -1,0 +1,282 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/table"
+)
+
+// The chunk kernels are a second evaluator for the same expression
+// language; these tests pin them position-by-position against the scalar
+// Compile/Eval path over randomly generated expression trees and chunks
+// whose columns cover every representation: typed ints/floats/bools,
+// dictionary strings, mixed-kind boxed columns, and NULL/ALL specials.
+
+// chunkFixture builds a binding with a base slot (0) and a chunked detail
+// slot (1), plus a detail chunk and the matching row batch.
+func chunkFixture(rng *rand.Rand, n int) (*Binding, *table.Chunk, []table.Row) {
+	schema := table.SchemaOf("i", "f", "s", "bl", "mix")
+	bind := NewBinding()
+	bind.AddRel(table.SchemaOf("g"), "b")
+	bind.AddRel(schema, "r")
+
+	words := []string{"ak", "ca", "ny", "tx"}
+	rows := make([]table.Row, n)
+	for k := range rows {
+		row := table.Row{
+			table.Int(int64(rng.Intn(10) - 4)),
+			table.Float(float64(rng.Intn(30)-10) / 4),
+			table.Str(words[rng.Intn(len(words))]),
+			table.Bool(rng.Intn(2) == 0),
+			table.Null(),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			row[4] = table.Int(int64(rng.Intn(5)))
+		case 1:
+			row[4] = table.Str(words[rng.Intn(len(words))])
+		default:
+			row[4] = table.Float(float64(rng.Intn(7)) / 2)
+		}
+		for j := range row {
+			switch rng.Intn(10) {
+			case 0:
+				row[j] = table.Null()
+			case 1:
+				row[j] = table.All()
+			}
+		}
+		rows[k] = row
+	}
+	ch := table.NewChunk(schema)
+	for _, r := range rows {
+		ch.AppendRow(r)
+	}
+	return bind, ch, rows
+}
+
+// randExpr generates a random expression over the detail columns.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(7) {
+		case 0:
+			return I(int64(rng.Intn(7) - 3))
+		case 1:
+			return F(float64(rng.Intn(9)) / 2)
+		case 2:
+			return S([]string{"ak", "ca", "zz"}[rng.Intn(3)])
+		case 3:
+			return V(table.Null())
+		default:
+			return QC("r", []string{"i", "f", "s", "bl", "mix"}[rng.Intn(5)])
+		}
+	}
+	switch rng.Intn(12) {
+	case 0:
+		return Not(randExpr(rng, depth-1))
+	case 1:
+		return &Unary{Op: OpIsNull, X: randExpr(rng, depth-1)}
+	case 2:
+		return And(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 3:
+		return Or(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 4:
+		return Add(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 5:
+		return Sub(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 6:
+		return Mul(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 7:
+		return Div(randExpr(rng, depth-1), randExpr(rng, depth-1)) // div-by-zero → NULL
+	default:
+		ops := []func(l, r Expr) Expr{Eq, Ne, Lt, Le, Gt, Ge, CubeEq}
+		return ops[rng.Intn(len(ops))](randExpr(rng, depth-1), randExpr(rng, depth-1))
+	}
+}
+
+// TestEvalChunkMatchesScalar: for random expressions, EvalChunk must agree
+// with scalar Eval at every selected position.
+func TestEvalChunkMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9000))
+	for trial := 0; trial < 300; trial++ {
+		bind, ch, rows := chunkFixture(rng, 40+rng.Intn(80))
+		e := randExpr(rng, 3)
+		scalar, err := Compile(e, bind)
+		if err != nil {
+			continue // e.g. unknown column shapes are not the target here
+		}
+		cc, err := CompileChunk(e, bind, 1)
+		if err != nil {
+			t.Fatalf("trial %d: CompileChunk(%s): %v", trial, e, err)
+		}
+
+		sel := IdentitySel(nil, ch.Len())
+		if rng.Intn(2) == 0 {
+			// Random sub-selection: unselected positions must not matter.
+			kept := sel[:0]
+			for _, si := range IdentitySel(nil, ch.Len()) {
+				if rng.Intn(3) > 0 {
+					kept = append(kept, si)
+				}
+			}
+			sel = kept
+		}
+		scratch := new(table.Column)
+		out := cc.EvalChunk(ch, sel, scratch)
+
+		frame := make([]table.Row, 2)
+		for _, si := range sel {
+			frame[1] = rows[si]
+			want := scalar.Eval(frame)
+			got := out.Value(int(si))
+			if !valuesAgree(got, want) {
+				t.Fatalf("trial %d: %s at %d: chunk %v (%d) vs scalar %v (%d)",
+					trial, e, si, got, got.Kind(), want, want.Kind())
+			}
+		}
+	}
+}
+
+// valuesAgree: Equal, plus the NULL/ALL cases Equal reports false for.
+func valuesAgree(a, b table.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	if a.IsAll() || b.IsAll() {
+		return a.IsAll() && b.IsAll()
+	}
+	return a.Equal(b)
+}
+
+// TestFilterChunkMatchesTruth: the compacted selection must hold exactly
+// the positions where scalar Truth is true, in order.
+func TestFilterChunkMatchesTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9100))
+	nontrivial := 0
+	for trial := 0; trial < 200; trial++ {
+		bind, ch, rows := chunkFixture(rng, 60)
+		e := randExpr(rng, 3)
+		scalar, err := Compile(e, bind)
+		if err != nil {
+			continue
+		}
+		cc, err := CompileChunk(e, bind, 1)
+		if err != nil {
+			t.Fatalf("trial %d: CompileChunk(%s): %v", trial, e, err)
+		}
+
+		sel := cc.FilterChunk(ch, IdentitySel(nil, ch.Len()))
+		var want []int32
+		frame := make([]table.Row, 2)
+		for i, r := range rows {
+			frame[1] = r
+			if scalar.Truth(frame) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(sel) != len(want) {
+			t.Fatalf("trial %d: %s kept %d, scalar %d", trial, e, len(sel), len(want))
+		}
+		for i := range sel {
+			if sel[i] != want[i] {
+				t.Fatalf("trial %d: %s pos %d: %d vs %d", trial, e, i, sel[i], want[i])
+			}
+		}
+		if len(sel) > 0 && len(sel) < len(rows) {
+			nontrivial++
+		}
+	}
+	if nontrivial < 20 {
+		t.Fatalf("only %d non-degenerate filters; fixture too weak", nontrivial)
+	}
+}
+
+// TestCompileChunkOrdinals: compiled programs must report exactly the
+// detail ordinals they read, and reject columns outside the chunk slot.
+func TestCompileChunkOrdinals(t *testing.T) {
+	bind := NewBinding()
+	bind.AddRel(table.SchemaOf("g"), "b")
+	bind.AddRel(table.SchemaOf("i", "f", "s"), "r")
+
+	cc, err := CompileChunk(Add(QC("r", "i"), Mul(QC("r", "f"), QC("r", "i"))), bind, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ords := map[int]bool{}
+	for _, o := range cc.Ordinals() {
+		if ords[o] {
+			t.Fatalf("duplicate ordinal %d", o)
+		}
+		ords[o] = true
+	}
+	if !ords[0] || !ords[1] || ords[2] {
+		t.Fatalf("ordinals %v, want {0,1}", cc.Ordinals())
+	}
+
+	if _, err := CompileChunk(Eq(QC("b", "g"), QC("r", "i")), bind, 1); err == nil {
+		t.Fatal("expression reading the base slot must not chunk-compile")
+	}
+}
+
+// TestEvalChunkScratchReuse: repeated evaluation through the same scratch
+// column must not corrupt results (the executor reuses scratch per batch).
+func TestEvalChunkScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9200))
+	bind, ch, rows := chunkFixture(rng, 50)
+	e := Add(QC("r", "i"), I(1))
+	scalar := MustCompile(e, bind)
+	cc, err := CompileChunk(e, bind, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := new(table.Column)
+	frame := make([]table.Row, 2)
+	for pass := 0; pass < 3; pass++ {
+		sel := IdentitySel(nil, ch.Len()-pass*7)
+		out := cc.EvalChunk(ch, sel, scratch)
+		for _, si := range sel {
+			frame[1] = rows[si]
+			if !valuesAgree(out.Value(int(si)), scalar.Eval(frame)) {
+				t.Fatalf("pass %d pos %d diverged", pass, si)
+			}
+		}
+	}
+}
+
+// TestChunkKernelIntExactness pins the int-comparison semantics at the
+// edge where float64 conversion loses precision: Eq/Ne stay exact int64
+// (matching Value.Equal), orderings go through the float64 conversion
+// (matching Value.Compare).
+func TestChunkKernelIntExactness(t *testing.T) {
+	big := int64(1) << 53
+	schema := table.SchemaOf("x")
+	bind := NewBinding()
+	bind.AddRel(table.SchemaOf("g"), "b")
+	bind.AddRel(schema, "r")
+	ch := table.NewChunk(schema)
+	rows := []table.Row{{table.Int(big)}, {table.Int(big + 1)}, {table.Int(-big)}}
+	for _, r := range rows {
+		ch.AppendRow(r)
+	}
+	for _, e := range []Expr{
+		Eq(QC("r", "x"), I(big)),
+		Ne(QC("r", "x"), I(big+1)),
+		Lt(QC("r", "x"), I(big+1)),
+		Ge(QC("r", "x"), I(big)),
+	} {
+		scalar := MustCompile(e, bind)
+		cc, err := CompileChunk(e, bind, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := cc.EvalChunk(ch, IdentitySel(nil, ch.Len()), new(table.Column))
+		frame := make([]table.Row, 2)
+		for i, r := range rows {
+			frame[1] = r
+			if !valuesAgree(out.Value(i), scalar.Eval(frame)) {
+				t.Fatalf("%s at %d: %v vs %v", e, i, out.Value(i), scalar.Eval(frame))
+			}
+		}
+	}
+}

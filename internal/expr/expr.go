@@ -320,31 +320,7 @@ func compile(e Expr, b *Binding) (func([]table.Row) table.Value, error) {
 		}
 		op := n.Op
 		return func(frame []table.Row) table.Value {
-			v := x(frame)
-			switch op {
-			case OpNot:
-				if v.IsNull() {
-					return table.Null()
-				}
-				if v.Kind() != table.KindBool {
-					return table.Null()
-				}
-				return table.Bool(!v.AsBool())
-			case OpNeg:
-				switch v.Kind() {
-				case table.KindInt:
-					return table.Int(-v.AsInt())
-				case table.KindFloat:
-					return table.Float(-v.AsFloat())
-				default:
-					return table.Null()
-				}
-			case OpIsNull:
-				return table.Bool(v.IsNull())
-			case OpIsNotNull:
-				return table.Bool(!v.IsNull())
-			}
-			return table.Null()
+			return applyUnary(op, x(frame))
 		}, nil
 	case *Binary:
 		l, err := compile(n.L, b)
@@ -366,8 +342,34 @@ func compile(e Expr, b *Binding) (func([]table.Row) table.Value, error) {
 	}
 }
 
+// applyUnary implements the unary operator semantics shared by the
+// compiled evaluator and the chunk kernels (chunk.go).
+func applyUnary(op Op, v table.Value) table.Value {
+	switch op {
+	case OpNot:
+		if v.Kind() != table.KindBool {
+			return table.Null()
+		}
+		return table.Bool(!v.AsBool())
+	case OpNeg:
+		switch v.Kind() {
+		case table.KindInt:
+			return table.Int(-v.AsInt())
+		case table.KindFloat:
+			return table.Float(-v.AsFloat())
+		default:
+			return table.Null()
+		}
+	case OpIsNull:
+		return table.Bool(v.IsNull())
+	case OpIsNotNull:
+		return table.Bool(!v.IsNull())
+	}
+	return table.Null()
+}
+
 // applyBinary implements the binary operator semantics shared by the
-// compiled evaluator and constant folding.
+// compiled evaluator, the chunk kernels (chunk.go), and constant folding.
 func applyBinary(op Op, a, c table.Value) table.Value {
 	switch op {
 	case OpAnd:

@@ -25,7 +25,7 @@ func onSiteCluster(t *testing.T, plan faultinject.Plan) (*distributed.Cluster, *
 		t.Fatal(err)
 	}
 	t.Cleanup(cluster.Close)
-	base := table.New(table.NewSchema(table.Column{Name: "cust"}))
+	base := table.New(table.NewSchema(table.Field{Name: "cust"}))
 	base.Append(table.Row{table.Int(1)})
 	return cluster, inj, base
 }

@@ -1,0 +1,48 @@
+package table
+
+// Bitmap is a dense bit vector used by columnar chunks for validity
+// tracking: one bit per row position. Chunks keep two bitmaps per column —
+// one for SQL NULL and one for the data-cube ALL placeholder (Gray et
+// al.) — so the typed payload arrays stay free of per-value kind tags. A
+// set bit marks the position as NULL (resp. ALL); a position with neither
+// bit set holds a valid typed payload.
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap able to hold n bits, all clear.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports bit i.
+func (b Bitmap) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// grow returns b extended (reusing capacity when possible) to hold n bits;
+// any newly exposed words are zeroed.
+func (b Bitmap) grow(n int) Bitmap {
+	words := (n + 63) / 64
+	if words <= len(b) {
+		return b
+	}
+	if words <= cap(b) {
+		ext := b[len(b):words]
+		for i := range ext {
+			ext[i] = 0
+		}
+		return b[:words]
+	}
+	out := make(Bitmap, words)
+	copy(out, b)
+	return out
+}
+
+// reset clears every word and truncates to zero length, keeping capacity.
+func (b Bitmap) reset() Bitmap {
+	for i := range b {
+		b[i] = 0
+	}
+	return b[:0]
+}

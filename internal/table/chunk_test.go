@@ -1,0 +1,295 @@
+package table
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Property tests for the columnar chunk storage: transposing a table into
+// chunks and materializing it back must be the identity on rows — same
+// order, same values, same hashes — across payload kinds, NULL/ALL
+// specials, dictionary strings, mixed-kind (boxed) columns, and chunk
+// sizes that do and don't divide the row count.
+
+// randChunkTable builds a table whose columns exercise every column
+// representation: a typed int column, a typed float column, a dictionary
+// string column, and a mixed-kind column that demotes to boxed. Specials
+// are sprinkled everywhere.
+func randChunkTable(rng *rand.Rand, n int) *Table {
+	t := New(SchemaOf("i", "f", "s", "mix"))
+	words := []string{"ak", "ca", "ny", "tx", "wa"}
+	for k := 0; k < n; k++ {
+		row := make(Row, 4)
+		row[0] = Int(int64(rng.Intn(100)))
+		row[1] = Float(float64(rng.Intn(40)) / 4)
+		row[2] = Str(words[rng.Intn(len(words))])
+		switch rng.Intn(4) {
+		case 0:
+			row[3] = Int(int64(rng.Intn(5)))
+		case 1:
+			row[3] = Str(words[rng.Intn(len(words))])
+		case 2:
+			row[3] = Bool(rng.Intn(2) == 0)
+		default:
+			row[3] = Float(float64(rng.Intn(9)) / 2)
+		}
+		for j := range row {
+			switch rng.Intn(12) {
+			case 0:
+				row[j] = Null()
+			case 1:
+				row[j] = All()
+			}
+		}
+		t.Append(row)
+	}
+	return t
+}
+
+// requireRowsIdentical fails unless the tables hold positionally identical
+// rows with identical hashes (full and column-restricted).
+func requireRowsIdentical(t *testing.T, label string, want, got *Table) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), want.Len())
+	}
+	cols := []int{0, 2}
+	if want.Schema.Len() < 3 {
+		cols = []int{0}
+	}
+	for i := range want.Rows {
+		if !want.Rows[i].Equal(got.Rows[i]) {
+			t.Fatalf("%s: row %d differs: %v vs %v", label, i, want.Rows[i], got.Rows[i])
+		}
+		if want.Rows[i].Hash() != got.Rows[i].Hash() {
+			t.Fatalf("%s: row %d hash differs", label, i)
+		}
+		if HashCols(want.Rows[i], cols) != HashCols(got.Rows[i], cols) {
+			t.Fatalf("%s: row %d restricted hash differs", label, i)
+		}
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(3 * ChunkSize / 2)
+		tt := randChunkTable(rng, n)
+		for _, size := range []int{1, 3, 7, ChunkSize} {
+			chunks := tt.Chunks(size)
+			total := 0
+			for _, c := range chunks {
+				if c.Len() > size {
+					t.Fatalf("chunk of %d rows exceeds size %d", c.Len(), size)
+				}
+				total += c.Len()
+			}
+			if total != tt.Len() {
+				t.Fatalf("chunks cover %d rows, want %d", total, tt.Len())
+			}
+			back := FromChunks(tt.Schema, chunks)
+			requireRowsIdentical(t, "round trip", tt, back)
+		}
+	}
+}
+
+func TestChunkRowViewMatchesSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	tt := randChunkTable(rng, ChunkSize+37)
+	ri := 0
+	for _, c := range tt.Chunks(64) {
+		for i := 0; i < c.Len(); i++ {
+			row := c.Row(i, nil)
+			if !row.Equal(tt.Rows[ri]) {
+				t.Fatalf("row view %d differs: %v vs %v", ri, row, tt.Rows[ri])
+			}
+			if row.Hash() != tt.Rows[ri].Hash() {
+				t.Fatalf("row view %d hash differs", ri)
+			}
+			// Per-cell access agrees with the view.
+			for j := range row {
+				if !c.Value(i, j).Equal(row[j]) {
+					t.Fatalf("Value(%d,%d) disagrees with Row view", i, j)
+				}
+			}
+			ri++
+		}
+	}
+	if ri != tt.Len() {
+		t.Fatalf("visited %d rows, want %d", ri, tt.Len())
+	}
+}
+
+func TestBuilderMatchesAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(2*ChunkSize + 100)
+		src := randChunkTable(rng, n)
+		b := NewBuilder(src.Schema)
+		for _, r := range src.Rows {
+			b.Append(r)
+		}
+		built := b.Table()
+		requireRowsIdentical(t, "builder", src, built)
+
+		// The builder table carries its columnar mirror; the appended one
+		// does not.
+		cached := built.CachedChunks(ChunkSize)
+		if cached == nil {
+			t.Fatal("builder table must cache chunks at ChunkSize")
+		}
+		if src.CachedChunks(ChunkSize) != nil {
+			t.Fatal("append-built table must not have cached chunks")
+		}
+		if built.CachedChunks(ChunkSize-1) != nil {
+			t.Fatal("cache must not serve a different chunk size")
+		}
+		back := FromChunks(built.Schema, cached)
+		requireRowsIdentical(t, "cached chunks", src, back)
+	}
+}
+
+func TestMutationInvalidatesChunkCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	mk := func() *Table {
+		b := NewBuilder(SchemaOf("i", "f", "s", "mix"))
+		for _, r := range randChunkTable(rng, 50).Rows {
+			b.Append(r)
+		}
+		return b.Table()
+	}
+
+	appended := mk()
+	appended.Append(Row{Int(1), Float(2), Str("x"), Null()})
+	if appended.CachedChunks(ChunkSize) != nil {
+		t.Fatal("Append must invalidate the columnar mirror")
+	}
+
+	sorted := mk()
+	sorted.SortBy("i")
+	if sorted.CachedChunks(ChunkSize) != nil {
+		t.Fatal("sorting must invalidate the columnar mirror")
+	}
+
+	// Re-slicing Rows directly bypasses the mutating methods; the cache
+	// must detect the row-count mismatch instead of serving stale chunks.
+	truncated := mk()
+	truncated.Rows = truncated.Rows[:truncated.Len()-7]
+	if truncated.CachedChunks(ChunkSize) != nil {
+		t.Fatal("row-count mismatch must disable the cached chunks")
+	}
+}
+
+func TestCSVRoundTripThroughChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	// Values whose String() re-parses to the same kind: ints, non-integral
+	// floats, lowercase words, NULL, ALL.
+	src := New(SchemaOf("i", "f", "s"))
+	words := []string{"ak", "ca", "ny"}
+	for k := 0; k < ChunkSize+41; k++ {
+		row := Row{
+			Int(int64(rng.Intn(50))),
+			Float(float64(rng.Intn(20)) + 0.5),
+			Str(words[rng.Intn(len(words))]),
+		}
+		if rng.Intn(10) == 0 {
+			row[rng.Intn(3)] = Null()
+		}
+		if rng.Intn(10) == 0 {
+			row[rng.Intn(3)] = All()
+		}
+		src.Append(row)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireRowsIdentical(t, "csv", src, loaded)
+	// ReadCSV is Builder-backed: the loaded table must carry its mirror,
+	// and the mirror must reproduce the rows.
+	cached := loaded.CachedChunks(ChunkSize)
+	if cached == nil {
+		t.Fatal("CSV-loaded table must cache chunks")
+	}
+	back := FromChunks(loaded.Schema, cached)
+	requireRowsIdentical(t, "csv chunks", src, back)
+}
+
+func TestColumnRepresentations(t *testing.T) {
+	ints := New(SchemaOf("c"))
+	for i := 0; i < 10; i++ {
+		ints.Append(Row{Int(int64(i))})
+	}
+	c := ints.Chunks(ChunkSize)[0].Col(0)
+	if c.PayloadKind() != KindInt || c.IsBoxed() {
+		t.Fatalf("int column: kind %v boxed %t", c.PayloadKind(), c.IsBoxed())
+	}
+
+	// Leading specials then strings: the column must settle on the string
+	// dictionary with the specials recorded in the bitmaps.
+	strs := New(SchemaOf("c"))
+	strs.Append(Row{Null()})
+	strs.Append(Row{All()})
+	strs.Append(Row{Str("a")})
+	strs.Append(Row{Str("b")})
+	strs.Append(Row{Str("a")})
+	c = strs.Chunks(ChunkSize)[0].Col(0)
+	if c.PayloadKind() != KindString || c.IsBoxed() {
+		t.Fatalf("string column: kind %v boxed %t", c.PayloadKind(), c.IsBoxed())
+	}
+	if !c.IsNull(0) || !c.IsAll(1) || c.IsNull(2) || c.IsAll(2) {
+		t.Fatal("special bitmaps wrong")
+	}
+	if len(c.Dict()) != 2 {
+		t.Fatalf("dictionary has %d entries, want 2", len(c.Dict()))
+	}
+	if c.StrAt(2) != "a" || c.StrAt(3) != "b" || c.StrAt(4) != "a" {
+		t.Fatal("dictionary decode wrong")
+	}
+
+	// A kind clash demotes to boxed, preserving all values.
+	mixed := New(SchemaOf("c"))
+	mixed.Append(Row{Int(1)})
+	mixed.Append(Row{Str("x")})
+	mixed.Append(Row{Null()})
+	c = mixed.Chunks(ChunkSize)[0].Col(0)
+	if !c.IsBoxed() {
+		t.Fatal("mixed-kind column must demote to boxed")
+	}
+	for i, want := range []Value{Int(1), Str("x"), Null()} {
+		if !c.Value(i).Equal(want) {
+			t.Fatalf("boxed value %d: %v want %v", i, c.Value(i), want)
+		}
+	}
+	if !c.IsNull(2) || c.IsNull(0) {
+		t.Fatal("boxed column must still maintain the null bitmap")
+	}
+}
+
+func TestAppendWidthPanics(t *testing.T) {
+	requirePanic := func(label string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: want panic", label)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "schema") || !strings.Contains(msg, "a b") {
+				t.Fatalf("%s: panic message must name the schema, got %v", label, r)
+			}
+		}()
+		f()
+	}
+	tt := New(SchemaOf("a", "b"))
+	requirePanic("short row", func() { tt.Append(Row{Int(1)}) })
+	requirePanic("long row", func() { tt.Append(Row{Int(1), Int(2), Int(3)}) })
+	b := NewBuilder(SchemaOf("a", "b"))
+	requirePanic("builder short row", func() { b.Append(Row{Int(1)}) })
+}

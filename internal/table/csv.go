@@ -18,7 +18,8 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("table: reading CSV header: %w", err)
 	}
 	schema := SchemaOf(header...)
-	t := New(schema)
+	b := NewBuilder(schema)
+	row := make(Row, schema.Len())
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -30,13 +31,12 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		if len(rec) != schema.Len() {
 			return nil, fmt.Errorf("table: CSV line %d has %d fields, header has %d", line, len(rec), schema.Len())
 		}
-		row := make(Row, len(rec))
 		for i, f := range rec {
 			row[i] = ParseValue(f)
 		}
-		t.Append(row)
+		b.Append(row) // Builder copies the row into its block storage
 	}
-	return t, nil
+	return b.Table(), nil
 }
 
 // ReadCSVFile loads a table from a CSV file on disk.

@@ -5,8 +5,8 @@ import (
 	"strings"
 )
 
-// Column describes one attribute of a relation schema.
-type Column struct {
+// Field describes one attribute of a relation schema.
+type Field struct {
 	Name string
 	Type Kind // the expected payload kind; KindNull means "any"
 }
@@ -14,13 +14,13 @@ type Column struct {
 // Schema is an ordered list of columns. Column names are matched
 // case-insensitively, mirroring SQL identifier semantics.
 type Schema struct {
-	Cols []Column
+	Cols []Field
 	// index maps lower-cased names to ordinal positions; built lazily.
 	index map[string]int
 }
 
 // NewSchema builds a schema from (name, type) columns.
-func NewSchema(cols ...Column) *Schema {
+func NewSchema(cols ...Field) *Schema {
 	s := &Schema{Cols: cols}
 	s.buildIndex()
 	return s
@@ -28,9 +28,9 @@ func NewSchema(cols ...Column) *Schema {
 
 // SchemaOf is a convenience constructor from names only (untyped columns).
 func SchemaOf(names ...string) *Schema {
-	cols := make([]Column, len(names))
+	cols := make([]Field, len(names))
 	for i, n := range names {
-		cols[i] = Column{Name: n}
+		cols[i] = Field{Name: n}
 	}
 	return NewSchema(cols...)
 }
@@ -81,7 +81,7 @@ func (s *Schema) Names() []string {
 
 // Clone returns a deep copy of the schema.
 func (s *Schema) Clone() *Schema {
-	cols := make([]Column, len(s.Cols))
+	cols := make([]Field, len(s.Cols))
 	copy(cols, s.Cols)
 	return NewSchema(cols...)
 }
@@ -90,8 +90,8 @@ func (s *Schema) Clone() *Schema {
 // (panic) to introduce a duplicate column name: MD-join output schemas are
 // constructed programmatically and duplicates indicate a bad aggregate
 // alias upstream.
-func (s *Schema) Append(cols ...Column) *Schema {
-	out := make([]Column, 0, len(s.Cols)+len(cols))
+func (s *Schema) Append(cols ...Field) *Schema {
+	out := make([]Field, 0, len(s.Cols)+len(cols))
 	out = append(out, s.Cols...)
 	for _, c := range cols {
 		if s.Has(c.Name) {
@@ -105,7 +105,7 @@ func (s *Schema) Append(cols ...Column) *Schema {
 // Project returns the schema restricted to the given column names, in the
 // given order.
 func (s *Schema) Project(names ...string) (*Schema, error) {
-	cols := make([]Column, len(names))
+	cols := make([]Field, len(names))
 	for i, n := range names {
 		j := s.ColIndex(n)
 		if j < 0 {

@@ -127,22 +127,24 @@ func (it *csvIterator) Next() (Row, error) {
 
 func (it *csvIterator) Close() error { return it.f.Close() }
 
-// Materialize drains a source into a table (one scan).
+// Materialize drains a source into a table (one scan). The result is
+// Builder-built, so it carries the columnar mirror the chunk executor
+// probes for.
 func Materialize(s Source) (*Table, error) {
 	it, err := s.Scan()
 	if err != nil {
 		return nil, err
 	}
 	defer it.Close()
-	out := New(s.Schema())
+	b := NewBuilder(s.Schema())
 	for {
 		r, err := it.Next()
 		if err == io.EOF {
-			return out, nil
+			return b.Table(), nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		out.Append(r)
+		b.Append(r)
 	}
 }

@@ -64,6 +64,14 @@ func EqualOn(a Row, acols []int, b Row, bcols []int) bool {
 type Table struct {
 	Schema *Schema
 	Rows   []Row
+	// chunks is the columnar mirror attached by Builder (see chunk.go);
+	// chunkSize is the fixed size it was built with. Mutating methods
+	// invalidate it; CachedChunks additionally cross-checks the total row
+	// count so direct `t.Rows = ...` re-slicing cannot serve stale data.
+	// In-place mutation of individual row values on a Builder-built table
+	// is not supported (nothing in this repository does that).
+	chunks    []*Chunk
+	chunkSize int
 }
 
 // New creates an empty table with the given schema.
@@ -95,8 +103,18 @@ func MustFromRows(schema *Schema, rows []Row) *Table {
 // Len returns the row count.
 func (t *Table) Len() int { return len(t.Rows) }
 
-// Append adds a row; the caller guarantees the width matches.
-func (t *Table) Append(r Row) { t.Rows = append(t.Rows, r) }
+// Append adds a row, validating its width against the schema: a mismatch
+// panics with a schema-aware message, since a short or long row poisons
+// every positional access downstream and indicates a construction bug at
+// the call site.
+func (t *Table) Append(r Row) {
+	if len(r) != t.Schema.Len() {
+		panic(fmt.Sprintf("table: appending row with %d values to schema %v with %d columns",
+			len(r), t.Schema.Names(), t.Schema.Len()))
+	}
+	t.chunks = nil
+	t.Rows = append(t.Rows, r)
+}
 
 // Clone returns a deep copy (rows are copied; Values are immutable).
 func (t *Table) Clone() *Table {
@@ -129,6 +147,7 @@ func (t *Table) SortBy(cols ...string) *Table {
 // sort is unstable — relations are multisets, so no operator depends on
 // the relative order of equal-key rows.
 func (t *Table) SortByOrdinals(idx []int) *Table {
+	t.chunks = nil // row order diverges from the columnar mirror
 	sort.Slice(t.Rows, func(a, b int) bool {
 		ra, rb := t.Rows[a], t.Rows[b]
 		for _, c := range idx {

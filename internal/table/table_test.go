@@ -30,7 +30,7 @@ func TestSchemaBasics(t *testing.T) {
 
 func TestSchemaAppendAndProject(t *testing.T) {
 	s := SchemaOf("a", "b")
-	s2 := s.Append(Column{Name: "c"})
+	s2 := s.Append(Field{Name: "c"})
 	if s.Len() != 2 || s2.Len() != 3 {
 		t.Error("Append must not mutate the receiver")
 	}
@@ -46,7 +46,7 @@ func TestSchemaAppendAndProject(t *testing.T) {
 	if _, err := s2.Project("nope"); err == nil {
 		t.Error("Project with bad column should error")
 	}
-	s2.Append(Column{Name: "a"}) // panics
+	s2.Append(Field{Name: "a"}) // panics
 }
 
 func TestSchemaEqualNames(t *testing.T) {

@@ -46,10 +46,12 @@ func Sales(cfg SalesConfig) *table.Table {
 	custPick := picker(rng, cfg.Customers, cfg.ZipfS)
 	prodPick := picker(rng, cfg.Products, cfg.ZipfS)
 
-	t := table.New(SalesSchema())
-	t.Rows = make([]table.Row, 0, cfg.Rows)
+	// Builder-built so the table carries its columnar mirror: benches and
+	// examples that scan Sales as the detail relation hit the zero-transpose
+	// chunk path.
+	b := table.NewBuilder(SalesSchema())
 	for i := 0; i < cfg.Rows; i++ {
-		t.Append(table.Row{
+		b.Append(table.Row{
 			table.Int(int64(custPick() + 1)),
 			table.Int(int64(prodPick() + 1)),
 			table.Int(int64(rng.Intn(28) + 1)),
@@ -59,7 +61,7 @@ func Sales(cfg SalesConfig) *table.Table {
 			table.Float(float64(rng.Intn(cfg.MaxSale)) + rng.Float64()),
 		})
 	}
-	return t
+	return b.Table()
 }
 
 // PaymentsConfig parameterizes the Payments generator (Example 3.3's
@@ -96,10 +98,9 @@ func Payments(cfg PaymentsConfig) *table.Table {
 		cfg.MaxAmount = 500
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	t := table.New(PaymentsSchema())
-	t.Rows = make([]table.Row, 0, cfg.Rows)
+	b := table.NewBuilder(PaymentsSchema())
 	for i := 0; i < cfg.Rows; i++ {
-		t.Append(table.Row{
+		b.Append(table.Row{
 			table.Int(int64(rng.Intn(cfg.Customers) + 1)),
 			table.Int(int64(rng.Intn(28) + 1)),
 			table.Int(int64(rng.Intn(12) + 1)),
@@ -107,7 +108,7 @@ func Payments(cfg PaymentsConfig) *table.Table {
 			table.Float(float64(rng.Intn(cfg.MaxAmount)) + rng.Float64()),
 		})
 	}
-	return t
+	return b.Table()
 }
 
 func fillDefaults(cfg SalesConfig) SalesConfig {
