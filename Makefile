@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-guard
+.PHONY: check vet build test race race-metrics bench bench-guard
 
-check: vet build test race
+check: vet build test race race-metrics
 
 vet:
 	$(GO) vet ./...
@@ -23,15 +23,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The observability counters are written from worker goroutines (parallel
+# partitions, concurrent scatter sites), so the metrics tests are rerun
+# explicitly under the race detector with caching disabled — a cached
+# `race` pass must not mask a freshly introduced data race here.
+race-metrics:
+	$(GO) test -race -count=1 -run 'TestStats|TestPhaseStats|TestPartitionedParallelCompose|TestEmptyRelationsParallel' ./internal/core
+	$(GO) test -race -count=1 -run 'TestReport|TestScatterPhasesCallerStats' ./internal/distributed
+
 # All E1–E14 experiment benchmarks with -benchmem, then the guards. The
 # guards (also runnable alone via bench-guard) assert on the E12 workload
 # that (a) the row-batch executor over the flat hash index is no slower
-# than the tuple-at-a-time map-index baseline, and (b) the columnar chunk
-# executor is no slower than the boxed row-batch tier — the regression
-# tripwires for the executor hot path.
+# than the tuple-at-a-time map-index baseline, (b) the columnar chunk
+# executor is no slower than the boxed row-batch tier, and (c) enabling
+# Options.Stats costs no more than 5% over a Stats==nil run — the
+# regression tripwires for the executor hot path and its instrumentation.
 bench: bench-guard
 	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 5x -run '^$$' .
 	$(GO) test ./internal/distributed -bench ScatterFragments -benchtime 20x -run '^$$'
 
 bench-guard:
-	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard' -count=1 -v .
+	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestStatsOverheadGuard' -count=1 -v .

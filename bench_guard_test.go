@@ -116,3 +116,74 @@ func TestE12ColumnarGuard(t *testing.T) {
 			columnar.AllocsPerOp(), lim)
 	}
 }
+
+// TestStatsOverheadGuard is the observability tripwire: the per-phase
+// metrics instrumentation must cost (near) nothing. The hot paths
+// accumulate counters in locals and flush behind a single nil check per
+// batch, and never call time.Now when Options.Stats is nil — so even a
+// Stats-ENABLED run of the E12 workload must land within 5% of the
+// Stats==nil run. The guard times the default columnar path with Stats
+// off twice (interleaved, so the spread of the two nil runs brackets
+// machine noise) and requires the Stats-on run to stay within 5% of the
+// slower of them. Same opt-in gate as TestE12BatchGuard.
+func TestStatsOverheadGuard(t *testing.T) {
+	if os.Getenv("MDJOIN_BENCH_GUARD") == "" {
+		t.Skip("set MDJOIN_BENCH_GUARD=1 (or run `make bench`) to run the stats overhead guard")
+	}
+
+	detail := benchSales(20000, 12)
+	full, err := cube.DistinctBase(detail, "cust", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &table.Table{Schema: full.Schema, Rows: full.Rows}
+	if base.Len() > 1000 {
+		base.Rows = base.Rows[:1000]
+	}
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		expr.Eq(expr.QC("R", "month"), expr.C("month")))
+
+	run := func(withStats bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := core.Options{}
+				if withStats {
+					opt.Stats = &core.Stats{}
+				}
+				if _, err := core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	off1 := run(false)
+	on := run(true)
+	off2 := run(false)
+
+	// The two Stats==nil runs bracket machine noise: their spread is the
+	// measurement floor. The Stats-enabled run must land within 5% of the
+	// slower nil run (i.e. within noise + 5%); a per-tuple time.Now or a
+	// missed nil-check hoist costs far more than that on 20M pair tests.
+	lo, hi := off1.NsPerOp(), off2.NsPerOp()
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	t.Logf("stats off: %v / %v, stats on: %v (%d vs %d allocs/op)",
+		off1, off2, on, off1.AllocsPerOp(), on.AllocsPerOp())
+	if hi > lo*2 {
+		t.Skipf("environment too noisy for an overhead judgement: nil runs %d vs %d ns/op", lo, hi)
+	}
+	if lim := hi * 105 / 100; on.NsPerOp() > lim {
+		t.Errorf("Stats-enabled run regressed: %d ns/op > %d ns/op (nil baseline %d +5%%)",
+			on.NsPerOp(), lim, hi)
+	}
+	// Enabling Stats must add only a fixed number of allocations (the
+	// Phases slice and timing bookkeeping), never per-tuple ones.
+	const statsHeadroom = 32
+	if lim := off1.AllocsPerOp() + statsHeadroom; on.AllocsPerOp() > lim {
+		t.Errorf("Stats-enabled run allocates per tuple: %d > %d allocs/op", on.AllocsPerOp(), lim)
+	}
+}

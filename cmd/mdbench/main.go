@@ -548,14 +548,19 @@ func e12() {
 		idx := record(fmt.Sprintf("indexed-b%d", base.Len()), detail.Len(), sIdx, func() {
 			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{Stats: sIdx}))
 		})
-		rb := record(fmt.Sprintf("rowbatch-b%d", base.Len()), detail.Len(), nil, func() {
-			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableColumnar: true}))
+		// Every tier records its Stats so the -json snapshot carries the
+		// per-phase tier/kernel counters for all four configurations.
+		sRB := &core.Stats{}
+		rb := record(fmt.Sprintf("rowbatch-b%d", base.Len()), detail.Len(), sRB, func() {
+			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableColumnar: true, Stats: sRB}))
 		})
-		sc := record(fmt.Sprintf("scalar-b%d", base.Len()), detail.Len(), nil, func() {
-			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableBatch: true}))
+		sSc := &core.Stats{}
+		sc := record(fmt.Sprintf("scalar-b%d", base.Len()), detail.Len(), sSc, func() {
+			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableBatch: true, Stats: sSc}))
 		})
-		nl := record(fmt.Sprintf("nested-b%d", base.Len()), detail.Len(), nil, func() {
-			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableIndex: true}))
+		sNL := &core.Stats{}
+		nl := record(fmt.Sprintf("nested-b%d", base.Len()), detail.Len(), sNL, func() {
+			must(core.Eval(base, detail, []core.Phase{{Aggs: specs, Theta: theta}}, core.Options{DisableIndex: true, Stats: sNL}))
 		})
 		fmt.Printf("%8d %14v %14v %14v %14v %9.1fx\n", base.Len(), idx, rb, sc, nl, float64(nl)/float64(idx))
 	}

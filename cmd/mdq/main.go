@@ -26,10 +26,11 @@ func main() {
 		query   = flag.String("q", "", "query text")
 		file    = flag.String("f", "", "file containing the query")
 		explain = flag.Bool("explain", false, "print the logical and optimized plans instead of executing")
+		analyze = flag.Bool("analyze", false, "execute and print the plan annotated with runtime counters (EXPLAIN ANALYZE)")
 		asCSV   = flag.Bool("csv", false, "emit the result as CSV")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdq [-explain] [-csv] (-q QUERY | -f FILE) NAME=FILE.csv ...\n")
+		fmt.Fprintf(os.Stderr, "usage: mdq [-explain|-analyze] [-csv] (-q QUERY | -f FILE) NAME=FILE.csv ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -70,6 +71,15 @@ func main() {
 	}
 	if len(cat) == 0 {
 		fatal(fmt.Errorf("no tables bound; pass NAME=FILE.csv arguments"))
+	}
+
+	if *analyze {
+		text, _, err := mdjoin.ExplainAnalyze(src, cat)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+		return
 	}
 
 	out, err := mdjoin.Query(src, cat)

@@ -1,5 +1,7 @@
 package agg
 
+import "reflect"
+
 // BulkFunc is implemented by aggregate functions whose states can be
 // allocated in bulk: FillStates writes n fresh states into
 // dst[0], dst[stride], ..., dst[(n-1)*stride], all backed by a single
@@ -72,6 +74,31 @@ func (a *Arena) Len() int {
 
 // Specs returns the number of specs per row.
 func (a *Arena) Specs() int { return a.k }
+
+// SizeBytes estimates the arena's memory footprint: the interface header
+// block plus one backing struct per state, sized from the first row's
+// states (bulk-allocated specs share one struct type across rows; holistic
+// states that grow their own buffers are undercounted — this is a fixed
+// per-state estimate, not a heap walk).
+func (a *Arena) SizeBytes() int64 {
+	n := a.Len()
+	total := int64(len(a.states)) * 16 // interface headers
+	if n == 0 {
+		return total
+	}
+	for j := 0; j < a.k; j++ {
+		st := a.states[j]
+		if st == nil {
+			continue
+		}
+		t := reflect.TypeOf(st)
+		if t.Kind() == reflect.Pointer {
+			t = t.Elem()
+		}
+		total += int64(t.Size()) * int64(n)
+	}
+	return total
+}
 
 // Merge folds another arena of identical shape into this one, state by
 // state — the detail-partitioned parallel merge.

@@ -108,7 +108,14 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 	// Theorem 4.2: R-only conjuncts gate the whole batch before any
 	// base-row work, compacting the selection to the survivors.
 	if cp.rOnly != nil {
+		in := len(sel)
 		sel = cp.rOnly.FilterSlotBatch(frame, 1, batch, sel)
+		if stats != nil {
+			ph := stats.phase(cp.pi)
+			ph.PushdownIn += in
+			ph.PushdownOut += len(sel)
+			ph.BoxedElems += int64(in) // row-batch kernels are all boxed
+		}
 		if len(sel) == 0 {
 			return
 		}
@@ -130,7 +137,7 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 			}
 		}
 		frame[0], frame[1] = nil, nil
-		flushPairStats(stats, tested, matched)
+		flushPhaseStats(stats, cp.pi, tested, matched, 0, 0)
 		return
 	}
 
@@ -144,6 +151,9 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 	for i, ke := range cp.equiKeys {
 		cp.keyCols[i] = ke.EvalSlotBatch(frame, 1, batch, sel, cp.keyCols[i])
 	}
+	if stats != nil {
+		stats.phase(cp.pi).BoxedElems += int64(nk) * int64(len(sel))
+	}
 	if cap(cp.keyBuf) < nk {
 		cp.keyBuf = make([]table.Value, nk)
 	}
@@ -151,6 +161,7 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 
 	// Fused probe-and-feed loop: gather the key from the column vectors,
 	// probe the flat index, fold matches into the arena states.
+	probes, hits := 0, 0
 	for _, si := range sel {
 		degenerate, dead := false, false
 		for i := range key {
@@ -185,6 +196,8 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 		case len(cp.cubePos) == 0:
 			// Plain equality: one probe, no key rewriting.
 			cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+			probes++
+			hits += len(cp.probeBuf)
 			for _, bi := range cp.probeBuf {
 				if !cp.bAlive[bi] {
 					continue
@@ -195,20 +208,22 @@ func processPhaseBatch(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 				}
 			}
 		default:
-			t, m := probeCubeBatched(cp, b, key, frame, -1)
+			t, m, pr, h := probeCubeBatched(cp, b, key, frame, -1)
 			tested += t
 			matched += m
+			probes += pr
+			hits += h
 		}
 	}
 	frame[0], frame[1] = nil, nil
-	flushPairStats(stats, tested, matched)
+	flushPhaseStats(stats, cp.pi, tested, matched, probes, hits)
 }
 
 // probeCubeBatched is probeCube with batch-local counters: one probe per
 // cube-equality combination, so a tuple updates its 2^k cube cells in one
 // pass. si carries the tuple's chunk position through to feedPair (-1 on
 // the boxed path).
-func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, frame []table.Row, si int) (tested, matched int) {
+func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, frame []table.Row, si int) (tested, matched, probes, hits int) {
 	k := len(cp.cubePos)
 	if cap(cp.savedBuf) < k {
 		cp.savedBuf = make([]table.Value, k)
@@ -226,6 +241,8 @@ func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, fram
 			}
 		}
 		cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+		probes++
+		hits += len(cp.probeBuf)
 		for _, bi := range cp.probeBuf {
 			if !cp.bAlive[bi] {
 				continue
@@ -239,7 +256,7 @@ func probeCubeBatched(cp *compiledPhase, b *table.Table, key []table.Value, fram
 	for i, p := range cp.cubePos {
 		key[p] = saved[i]
 	}
-	return tested, matched
+	return tested, matched, probes, hits
 }
 
 // feedPair checks the residual θ conjuncts for one (b, r) pair and feeds
@@ -271,11 +288,19 @@ func feedPair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row, si i
 	return true
 }
 
-// flushPairStats adds one phase-batch's pair counters to the shared Stats.
-func flushPairStats(stats *Stats, tested, matched int) {
+// flushPhaseStats adds one phase-batch's pair and probe counters to the
+// shared Stats — the amortization point of the overhead contract: the
+// fused loops above count into locals unconditionally and pay the nil
+// check once per batch.
+func flushPhaseStats(stats *Stats, pi, tested, matched, probes, hits int) {
 	if stats == nil {
 		return
 	}
 	stats.PairsTested += tested
 	stats.PairsMatched += matched
+	ph := stats.phase(pi)
+	ph.PairsTested += tested
+	ph.PairsMatched += matched
+	ph.IndexProbes += probes
+	ph.IndexHits += hits
 }

@@ -159,6 +159,10 @@ func newBatchDriver(rSchema *table.Schema, cps []*compiledPhase) *batchDriver {
 func (d *batchDriver) processBatch(b *table.Table, cps []*compiledPhase, batch []table.Row, ch *table.Chunk, stats *Stats) {
 	if stats != nil {
 		stats.TuplesScanned += len(batch)
+		stats.Batches++
+		if ch != nil {
+			stats.ChunksPrebuilt++
+		}
 	}
 	if ch == nil && d.columnar {
 		if d.scratch == nil {
@@ -166,6 +170,9 @@ func (d *batchDriver) processBatch(b *table.Table, cps []*compiledPhase, batch [
 		}
 		d.scratch.LoadRows(batch, d.ords)
 		ch = d.scratch
+		if stats != nil {
+			stats.ChunksTransposed++
+		}
 	}
 	for _, cp := range cps {
 		if cp.chunk != nil && ch != nil {
@@ -190,7 +197,14 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 	// Theorem 4.2: the R-only conjuncts gate the whole batch in one typed
 	// pass, compacting the selection to the survivors.
 	if cpk.rOnly != nil {
+		in := len(sel)
 		sel = cpk.rOnly.FilterChunk(ch, sel)
+		if stats != nil {
+			ph := stats.phase(cp.pi)
+			ph.PushdownIn += in
+			ph.PushdownOut += len(sel)
+			countKernel(ph, cpk.rOnly, in)
+		}
 		if len(sel) == 0 {
 			return
 		}
@@ -207,6 +221,9 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 			continue
 		}
 		cpk.argCols[j] = cc.EvalChunk(ch, sel, &cpk.argScr[j])
+		if stats != nil {
+			countKernel(stats.phase(cp.pi), cc, len(sel))
+		}
 	}
 
 	tested, matched := 0, 0
@@ -232,7 +249,7 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 					}
 				}
 			}
-			flushPairStats(stats, nAlive*len(sel), nAlive*len(sel))
+			flushPhaseStats(stats, cp.pi, nAlive*len(sel), nAlive*len(sel), 0, 0)
 			return
 		}
 		// Verbatim Algorithm 3.1 inner loop for the surviving tuples.
@@ -249,7 +266,7 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 			}
 		}
 		frame[0], frame[1] = nil, nil
-		flushPairStats(stats, tested, matched)
+		flushPhaseStats(stats, cp.pi, tested, matched, 0, 0)
 		return
 	}
 
@@ -257,6 +274,9 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 	// selection into a typed column.
 	for i, cc := range cpk.keys {
 		cpk.keyCols[i] = cc.EvalChunk(ch, sel, &cpk.keyScr[i])
+		if stats != nil {
+			countKernel(stats.phase(cp.pi), cc, len(sel))
+		}
 	}
 	nk := len(cpk.keys)
 	if cap(cp.keyBuf) < nk {
@@ -267,6 +287,7 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 	// Fused probe-and-feed loop: gather the key from the typed columns
 	// (NULL/ALL come from the validity bitmaps), probe the flat index,
 	// fold matches into the arena states.
+	probes, hits := 0, 0
 	for _, si := range sel {
 		i := int(si)
 		degenerate, dead := false, false
@@ -303,6 +324,8 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 		case len(cp.cubePos) == 0:
 			// Plain equality: one probe, no key rewriting.
 			cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+			probes++
+			hits += len(cp.probeBuf)
 			for _, bi := range cp.probeBuf {
 				if !cp.bAlive[bi] {
 					continue
@@ -313,11 +336,24 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 				}
 			}
 		default:
-			t, m := probeCubeBatched(cp, b, key, frame, i)
+			t, m, pr, h := probeCubeBatched(cp, b, key, frame, i)
 			tested += t
 			matched += m
+			probes += pr
+			hits += h
 		}
 	}
 	frame[0], frame[1] = nil, nil
-	flushPairStats(stats, tested, matched)
+	flushPhaseStats(stats, cp.pi, tested, matched, probes, hits)
+}
+
+// countKernel attributes one chunk-kernel run's elements to the typed or
+// boxed counter — the tripwire for the whole-column boxed fallback, which
+// silently costs an order of magnitude over the typed loops.
+func countKernel(ph *PhaseStats, cc *expr.ChunkCompiled, n int) {
+	if cc.ResultBoxed() {
+		ph.BoxedElems += int64(n)
+	} else {
+		ph.TypedElems += int64(n)
+	}
 }

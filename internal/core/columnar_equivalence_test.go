@@ -264,8 +264,10 @@ func TestColumnarBulkFoldPath(t *testing.T) {
 	threeWay(t, "bulk balive", b, r, specs, theta, Options{})
 }
 
-// TestColumnarStatsMatch: all three executors must report identical Stats
-// on indexed, bulk-fold, and residual-bearing shapes.
+// TestColumnarStatsMatch: all three executors must report identical
+// executor-independent Stats (the Semantic projection — tuple, pair, probe,
+// and pushdown counters) on indexed, bulk-fold, and residual-bearing
+// shapes, and each must report its own tier.
 func TestColumnarStatsMatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(8400))
 	for trial, mk := range []func() (*table.Table, *table.Table, expr.Expr){
@@ -298,9 +300,13 @@ func TestColumnarStatsMatch(t *testing.T) {
 		mdJoin(t, b, r, specs, theta, Options{Stats: &scalar, DisableBatch: true})
 		mdJoin(t, b, r, specs, theta, Options{Stats: &rowbatch, DisableColumnar: true})
 		mdJoin(t, b, r, specs, theta, Options{Stats: &columnar})
-		if scalar != rowbatch || scalar != columnar {
-			t.Fatalf("shape %d: stats diverge:\n scalar   %+v\n rowbatch %+v\n columnar %+v",
-				trial, scalar, rowbatch, columnar)
+		if scalar.Semantic() != rowbatch.Semantic() || scalar.Semantic() != columnar.Semantic() {
+			t.Fatalf("shape %d: stats diverge:\n scalar   %s\n rowbatch %s\n columnar %s",
+				trial, scalar.Semantic(), rowbatch.Semantic(), columnar.Semantic())
+		}
+		if scalar.Tier() != TierScalar || rowbatch.Tier() != TierRowBatch || columnar.Tier() != TierColumnar {
+			t.Fatalf("shape %d: tier misreported: scalar=%v rowbatch=%v columnar=%v",
+				trial, scalar.Tier(), rowbatch.Tier(), columnar.Tier())
 		}
 	}
 }

@@ -40,6 +40,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mdjoin/internal/agg"
 	"mdjoin/internal/expr"
@@ -92,6 +93,14 @@ type Options struct {
 	// at once; B is split into ceil(|B|/MaxBaseRows) contiguous partitions
 	// and R is scanned once per partition (Theorem 4.1's in-memory
 	// evaluation trade: m scans for bounded memory).
+	//
+	// Partitioning composes with Parallelism and DetailParallelism: each
+	// partition pass evaluates with the requested parallel strategy.
+	// Base parallelism splits the (already bounded) partition further, so
+	// the MaxBaseRows residency bound still holds; detail parallelism
+	// multiplies a partition's aggregate-state memory by the worker count,
+	// which the MemoryBudgetBytes estimate does not model — size budgets
+	// for the combined footprint when mixing the two.
 	MaxBaseRows int
 
 	// MemoryBudgetBytes, when positive and MaxBaseRows is zero, derives
@@ -111,7 +120,10 @@ type Options struct {
 	// alternative parallelization enabled by mergeable aggregates.
 	DetailParallelism int
 
-	// Stats, when non-nil, receives execution counters.
+	// Stats, when non-nil, receives the execution metrics tree (flat
+	// counters plus per-phase tier/index/pushdown/kernel detail). A nil
+	// Stats costs the hot path nothing beyond a pointer check — see the
+	// overhead contract in stats.go.
 	Stats *Stats
 
 	// Ctx, when non-nil, is polled during detail scans (once per batch on
@@ -140,25 +152,6 @@ func ctxErr(ctx context.Context) error {
 	default:
 		return nil
 	}
-}
-
-// Stats reports execution counters for the experiment harness.
-type Stats struct {
-	DetailScans   int // number of full or filtered passes over R
-	TuplesScanned int // detail tuples visited across all scans
-	PairsTested   int // (b, r) candidate pairs evaluated
-	PairsMatched  int // pairs that satisfied θ and updated aggregates
-	IndexUsed     bool
-}
-
-// String renders the counters in the style of an EXPLAIN ANALYZE line.
-func (s Stats) String() string {
-	idx := "nested-loop"
-	if s.IndexUsed {
-		idx = "indexed"
-	}
-	return fmt.Sprintf("scans=%d tuples=%d pairs=%d matched=%d (%s)",
-		s.DetailScans, s.TuplesScanned, s.PairsTested, s.PairsMatched, idx)
 }
 
 // MDJoin evaluates the plain MD-join MD(b, r, aggs, theta) with default
@@ -226,6 +219,8 @@ type probeIndex interface {
 // workers of a parallel evaluation. All mutable per-evaluation state lives
 // in compiledPhase.
 type phasePlan struct {
+	// pi is the phase's ordinal, addressing its PhaseStats leaf.
+	pi    int
 	specs []*agg.Compiled
 	// analysis of θ
 	analysis *expr.ThetaAnalysis
@@ -300,6 +295,9 @@ func outSchema(b *table.Table, phases []Phase) (*table.Schema, error) {
 // a parallel evaluation; call newPhaseExecs once per worker for the
 // mutable part.
 func compilePhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Options) ([]*phasePlan, error) {
+	if opt.Stats != nil {
+		opt.Stats.ensurePhases(len(phases))
+	}
 	out := make([]*phasePlan, len(phases))
 	for pi, p := range phases {
 		bind := expr.NewBinding()
@@ -319,6 +317,7 @@ func compilePhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Op
 			return nil, fmt.Errorf("core: phase %d θ analysis: %w", pi, err)
 		}
 		pp := &phasePlan{
+			pi:       pi,
 			analysis: ta,
 			scalar:   opt.DisableBatch,
 			columnar: !opt.DisableBatch && !opt.DisableColumnar,
@@ -392,6 +391,7 @@ func compilePhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Op
 			copy(pp.cubeAt, ta.EquiIsCube)
 			if opt.Stats != nil {
 				opt.Stats.IndexUsed = true
+				opt.Stats.phase(pi).IndexUsed = true
 			}
 		}
 
@@ -437,7 +437,39 @@ func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Optio
 	if err != nil {
 		return nil, err
 	}
-	return newPhaseExecs(plans, b.Len()), nil
+	cps := newPhaseExecs(plans, b.Len())
+	recordArenas(opt.Stats, cps)
+	return cps, nil
+}
+
+// recordArenas adds the workers' aggregate-state footprint to the tree.
+func recordArenas(stats *Stats, cps []*compiledPhase) {
+	if stats == nil {
+		return
+	}
+	for _, cp := range cps {
+		stats.ArenaBytes += cp.states.SizeBytes()
+	}
+}
+
+// recordTiers notes which executor will drive each phase's scan: the
+// scalar interpreter, the boxed row-batch path, or — when the phase's
+// chunk programs compiled — the columnar chunk executor.
+func recordTiers(stats *Stats, cps []*compiledPhase) {
+	if stats == nil {
+		return
+	}
+	for _, cp := range cps {
+		ph := stats.phase(cp.pi)
+		switch {
+		case cp.scalar:
+			ph.Tier = TierScalar
+		case cp.chunk != nil:
+			ph.Tier = TierColumnar
+		default:
+			ph.Tier = TierRowBatch
+		}
+	}
 }
 
 // evalSingle is the single-threaded, fully resident evaluation: one scan of
@@ -447,17 +479,31 @@ func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, e
 	if err != nil {
 		return nil, err
 	}
+	var mark time.Time
+	if opt.Stats != nil {
+		mark = time.Now()
+	}
 	cps, err := bindPhases(b, r.Schema, phases, opt)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Stats != nil {
+		opt.Stats.CompileNanos += time.Since(mark).Nanoseconds()
+		mark = time.Now()
 	}
 	if err := scanDetail(opt.Ctx, b, r, cps, opt.Stats); err != nil {
 		return nil, err
 	}
 	if opt.Stats != nil {
+		opt.Stats.ScanNanos += time.Since(mark).Nanoseconds()
 		opt.Stats.DetailScans++
+		mark = time.Now()
 	}
-	return assemble(schema, b, cps), nil
+	out := assemble(schema, b, cps)
+	if opt.Stats != nil {
+		opt.Stats.AssembleNanos += time.Since(mark).Nanoseconds()
+	}
+	return out, nil
 }
 
 // scanDetail performs the detail scan over a materialized table, updating
@@ -465,6 +511,7 @@ func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, e
 // unless the phases were compiled with DisableBatch. A cancelled ctx
 // aborts the scan between tuples (scalar) or batches (vectorized).
 func scanDetail(ctx context.Context, b, r *table.Table, cps []*compiledPhase, stats *Stats) error {
+	recordTiers(stats, cps)
 	if len(cps) > 0 && !cps[0].scalar {
 		return scanDetailBatched(ctx, b, r, cps, stats)
 	}
@@ -495,7 +542,15 @@ func processTuple(b *table.Table, cps []*compiledPhase, frame []table.Row, key [
 			// base-row work.
 			if cp.rOnly != nil {
 				frame[0] = nil
-				if !cp.rOnly.Truth(frame) {
+				ok := cp.rOnly.Truth(frame)
+				if stats != nil {
+					ph := stats.phase(cp.pi)
+					ph.PushdownIn++
+					if ok {
+						ph.PushdownOut++
+					}
+				}
+				if !ok {
 					continue
 				}
 			}
@@ -527,6 +582,11 @@ func processTuple(b *table.Table, cps []*compiledPhase, frame []table.Row, key [
 					if len(cp.cubePos) == 0 {
 						// Plain equality: one probe, no key rewriting.
 						cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+						if stats != nil {
+							ph := stats.phase(cp.pi)
+							ph.IndexProbes++
+							ph.IndexHits += len(cp.probeBuf)
+						}
 						for _, bi := range cp.probeBuf {
 							if !cp.bAlive[bi] {
 								continue
@@ -573,6 +633,11 @@ func probeCube(cp *compiledPhase, b *table.Table, key []table.Value, frame []tab
 			}
 		}
 		cp.probeBuf = cp.index.ProbeAppend(cp.probeBuf[:0], key)
+		if stats != nil {
+			ph := stats.phase(cp.pi)
+			ph.IndexProbes++
+			ph.IndexHits += len(cp.probeBuf)
+		}
 		for _, bi := range cp.probeBuf {
 			if !cp.bAlive[bi] {
 				continue
@@ -592,12 +657,14 @@ func updatePair(cp *compiledPhase, brow table.Row, bi int, frame []table.Row, st
 	frame[0] = brow
 	if stats != nil {
 		stats.PairsTested++
+		stats.phase(cp.pi).PairsTested++
 	}
 	if cp.residual != nil && !cp.residual.Truth(frame) {
 		return
 	}
 	if stats != nil {
 		stats.PairsMatched++
+		stats.phase(cp.pi).PairsMatched++
 	}
 	row := cp.states.Row(bi)
 	for j, c := range cp.specs {

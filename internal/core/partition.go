@@ -10,12 +10,16 @@ import (
 // into contiguous partitions of at most MaxBaseRows rows and R is scanned
 // once per partition. MD(B,R,l,θ) = ∪ᵢ MD(Bᵢ,R,l,θ); contiguous partitions
 // preserve B's row order in the concatenated result.
+//
+// Parallelism and DetailParallelism compose: each partition pass recurses
+// through Eval with the partitioning options cleared, so the requested
+// parallel strategy applies within every pass (see the Options.MaxBaseRows
+// doc for the memory implications).
 func evalPartitioned(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
 	m := opt.MaxBaseRows
 	sub := opt
 	sub.MaxBaseRows = 0
-	sub.Parallelism = 0
-	sub.DetailParallelism = 0
+	sub.MemoryBudgetBytes = 0
 
 	var out *table.Table
 	for lo := 0; lo < b.Len(); lo += m {
@@ -23,8 +27,11 @@ func evalPartitioned(b, r *table.Table, phases []Phase, opt Options) (*table.Tab
 		if hi > b.Len() {
 			hi = b.Len()
 		}
+		if opt.Stats != nil {
+			opt.Stats.PartitionPasses++
+		}
 		part := &table.Table{Schema: b.Schema, Rows: b.Rows[lo:hi]}
-		res, err := evalSingle(part, r, phases, sub)
+		res, err := Eval(part, r, phases, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -84,12 +91,8 @@ func evalParallelBase(b, r *table.Table, phases []Phase, opt Options) (*table.Ta
 		}
 	}
 	if opt.Stats != nil {
-		for _, s := range stats {
-			opt.Stats.DetailScans += s.DetailScans
-			opt.Stats.TuplesScanned += s.TuplesScanned
-			opt.Stats.PairsTested += s.PairsTested
-			opt.Stats.PairsMatched += s.PairsMatched
-			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		for wi := range stats {
+			opt.Stats.Merge(&stats[wi])
 		}
 	}
 	out := table.New(results[0].Schema)
@@ -143,6 +146,7 @@ func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.
 				st = &stats[wi]
 			}
 			cps := newPhaseExecs(plans, b.Len())
+			recordArenas(st, cps)
 			part := &table.Table{Schema: r.Schema, Rows: r.Rows[lo:hi]}
 			if err := scanDetail(opt.Ctx, b, part, cps, st); err != nil {
 				errs[wi] = err
@@ -160,11 +164,8 @@ func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.
 	}
 	if opt.Stats != nil {
 		opt.Stats.DetailScans++ // one logical scan, split across workers
-		for _, s := range stats {
-			opt.Stats.TuplesScanned += s.TuplesScanned
-			opt.Stats.PairsTested += s.PairsTested
-			opt.Stats.PairsMatched += s.PairsMatched
-			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		for wi := range stats {
+			opt.Stats.Merge(&stats[wi])
 		}
 	}
 

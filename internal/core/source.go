@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"mdjoin/internal/table"
 )
@@ -46,6 +47,7 @@ func EvalSource(b *table.Table, src table.Source, phases []Phase, opt Options) (
 // path processes tuple at a time. A cancelled ctx aborts the scan between
 // tuples or batches.
 func scanSource(ctx context.Context, b *table.Table, src table.Source, cps []*compiledPhase, stats *Stats) error {
+	recordTiers(stats, cps)
 	it, err := src.Scan()
 	if err != nil {
 		return err
@@ -78,25 +80,41 @@ func evalSourceSingle(b *table.Table, src table.Source, phases []Phase, opt Opti
 	if err != nil {
 		return nil, err
 	}
+	var mark time.Time
+	if opt.Stats != nil {
+		mark = time.Now()
+	}
 	cps, err := bindPhases(b, src.Schema(), phases, opt)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Stats != nil {
+		opt.Stats.CompileNanos += time.Since(mark).Nanoseconds()
+		mark = time.Now()
 	}
 	if err := scanSource(opt.Ctx, b, src, cps, opt.Stats); err != nil {
 		return nil, err
 	}
 	if opt.Stats != nil {
+		opt.Stats.ScanNanos += time.Since(mark).Nanoseconds()
 		opt.Stats.DetailScans++
+		mark = time.Now()
 	}
-	return assemble(schema, b, cps), nil
+	out := assemble(schema, b, cps)
+	if opt.Stats != nil {
+		opt.Stats.AssembleNanos += time.Since(mark).Nanoseconds()
+	}
+	return out, nil
 }
 
+// evalSourcePartitioned composes with Parallelism/DetailParallelism the
+// same way evalPartitioned does: each pass recurses through EvalSource with
+// partitioning cleared, so the parallel strategy applies within the pass.
 func evalSourcePartitioned(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
 	m := opt.MaxBaseRows
 	sub := opt
 	sub.MaxBaseRows = 0
-	sub.Parallelism = 0
-	sub.DetailParallelism = 0
+	sub.MemoryBudgetBytes = 0
 
 	var out *table.Table
 	for lo := 0; lo < b.Len(); lo += m {
@@ -104,8 +122,11 @@ func evalSourcePartitioned(b *table.Table, src table.Source, phases []Phase, opt
 		if hi > b.Len() {
 			hi = b.Len()
 		}
+		if opt.Stats != nil {
+			opt.Stats.PartitionPasses++
+		}
 		part := &table.Table{Schema: b.Schema, Rows: b.Rows[lo:hi]}
-		res, err := evalSourceSingle(part, src, phases, sub)
+		res, err := EvalSource(part, src, phases, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -161,12 +182,8 @@ func evalSourceParallelBase(b *table.Table, src table.Source, phases []Phase, op
 		}
 	}
 	if opt.Stats != nil {
-		for _, s := range stats {
-			opt.Stats.DetailScans += s.DetailScans
-			opt.Stats.TuplesScanned += s.TuplesScanned
-			opt.Stats.PairsTested += s.PairsTested
-			opt.Stats.PairsMatched += s.PairsMatched
-			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		for wi := range stats {
+			opt.Stats.Merge(&stats[wi])
 		}
 	}
 	out := table.New(results[0].Schema)
@@ -237,6 +254,8 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 				st = &stats[wi]
 			}
 			cps := newPhaseExecs(plans, b.Len())
+			recordTiers(st, cps)
+			recordArenas(st, cps)
 			drainOnCancel := func() bool {
 				if err := ctxErr(opt.Ctx); err != nil {
 					errs[wi] = err
@@ -294,11 +313,8 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 	}
 	if opt.Stats != nil {
 		opt.Stats.DetailScans++
-		for _, s := range stats {
-			opt.Stats.TuplesScanned += s.TuplesScanned
-			opt.Stats.PairsTested += s.PairsTested
-			opt.Stats.PairsMatched += s.PairsMatched
-			opt.Stats.IndexUsed = opt.Stats.IndexUsed || s.IndexUsed
+		for wi := range stats {
+			opt.Stats.Merge(&stats[wi])
 		}
 	}
 	merged := workers[0]

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"mdjoin/internal/agg"
 	"mdjoin/internal/core"
@@ -191,11 +192,35 @@ type Routed struct {
 // phase, so there is no partial degradation here: the first phase whose
 // candidates are all exhausted fails the call, cancelling the siblings.
 func (c *Cluster) ScatterPhases(ctx context.Context, base *table.Table, routed []Routed, opt core.Options) (*table.Table, error) {
+	return c.ScatterPhasesReport(ctx, base, routed, opt, nil)
+}
+
+// ScatterPhasesReport is ScatterPhases with a query report: rep (when
+// non-nil) collects the per-site fault-handling metrics and the merged
+// execution stats of the scattered evaluations. Options.Stats, when set,
+// never crosses a site boundary — each attempt evaluates into a private
+// Stats (so concurrent sites cannot race on the caller's pointer) and the
+// cluster-level merge lands in the caller's tree at the end.
+func (c *Cluster) ScatterPhasesReport(ctx context.Context, base *table.Table, routed []Routed, opt core.Options, rep *Report) (*table.Table, error) {
 	if len(routed) == 0 {
 		return nil, fmt.Errorf("distributed: no phases to scatter")
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	callerStats := opt.Stats
+	opt.Stats = nil
+	if rep == nil && callerStats != nil {
+		rep = NewReport()
+	}
+	if rep != nil {
+		start := time.Now()
+		defer func() {
+			rep.WallNanos += time.Since(start).Nanoseconds()
+			if callerStats != nil {
+				callerStats.Merge(&rep.Exec)
+			}
+		}()
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -208,7 +233,7 @@ func (c *Cluster) ScatterPhases(ctx context.Context, base *table.Table, routed [
 	answers := make(chan answer, len(routed))
 	for i, r := range routed {
 		go func(i int, r Routed) {
-			res, err := c.askFailover(ctx, c.candidates(r.Site), askRequest{base: base, phases: []core.Phase{r.Phase}, opt: opt})
+			res, err := c.askFailover(ctx, c.candidates(r.Site), askRequest{base: base, phases: []core.Phase{r.Phase}, opt: opt}, rep)
 			answers <- answer{idx: i, result: res, err: err}
 		}(i, r)
 	}
@@ -275,8 +300,30 @@ func (c *Cluster) fragmentGroups() []fragmentGroup {
 // partial result still has one row per base row; its aggregates simply
 // miss the dead fragments' tuples.
 func (c *Cluster) ScatterFragments(ctx context.Context, base *table.Table, phase core.Phase, opt core.Options) (*table.Table, error) {
+	return c.ScatterFragmentsReport(ctx, base, phase, opt, nil)
+}
+
+// ScatterFragmentsReport is ScatterFragments with a query report; see
+// ScatterPhasesReport for the collection and Options.Stats contract. On a
+// degraded result the report carries Partial and DeadFragments alongside
+// the returned *PartialError.
+func (c *Cluster) ScatterFragmentsReport(ctx context.Context, base *table.Table, phase core.Phase, opt core.Options, rep *Report) (*table.Table, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	callerStats := opt.Stats
+	opt.Stats = nil
+	if rep == nil && callerStats != nil {
+		rep = NewReport()
+	}
+	if rep != nil {
+		start := time.Now()
+		defer func() {
+			rep.WallNanos += time.Since(start).Nanoseconds()
+			if callerStats != nil {
+				callerStats.Merge(&rep.Exec)
+			}
+		}()
 	}
 	work, finalize, err := decomposeSpecs(phase.Aggs)
 	if err != nil {
@@ -293,7 +340,7 @@ func (c *Cluster) ScatterFragments(ctx context.Context, base *table.Table, phase
 	answers := make(chan answer, len(groups))
 	for i, g := range groups {
 		go func(i int, g fragmentGroup) {
-			res, err := c.askFailover(ctx, g.sites, askRequest{base: base, phases: []core.Phase{workPhase}, opt: opt})
+			res, err := c.askFailover(ctx, g.sites, askRequest{base: base, phases: []core.Phase{workPhase}, opt: opt}, rep)
 			answers <- answer{idx: i, result: res, err: err}
 		}(i, g)
 	}
@@ -350,7 +397,9 @@ func (c *Cluster) ScatterFragments(ctx context.Context, base *table.Table, phase
 		}
 	}
 	if len(failed) > 0 {
-		return merged, &PartialError{Failed: failed}
+		perr := &PartialError{Failed: failed}
+		rep.recordPartial(perr.Fragments())
+		return merged, perr
 	}
 	return merged, nil
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"mdjoin/internal/core"
 	"mdjoin/internal/table"
 )
 
@@ -188,14 +189,18 @@ func (b *breaker) success() {
 	b.mu.Unlock()
 }
 
-func (b *breaker) failure() {
+// failure records a failed attempt and reports whether this one tripped
+// the breaker closed→open.
+func (b *breaker) failure() (opened bool) {
 	b.mu.Lock()
 	b.consecutive++
 	if b.threshold > 0 && b.consecutive >= b.threshold && !b.open {
 		b.open = true
 		b.openedAt = time.Now()
+		opened = true
 	}
 	b.mu.Unlock()
+	return opened
 }
 
 // breakerFor lazily creates the site's breaker; returns nil when circuit
@@ -215,31 +220,58 @@ func (c *Cluster) breakerFor(site string) *breaker {
 	return br
 }
 
+// askOnce issues one attempt, recording it in the report. The request's
+// Options travel by value, so each attempt gets a private Stats: never the
+// caller's pointer (which concurrent scatter goroutines would race on), and
+// a fresh tree per attempt so a failed attempt's partial counters are
+// discarded rather than double-counted.
+func (c *Cluster) askOnce(ctx context.Context, site string, req askRequest, rep *Report) (*table.Table, error) {
+	req.opt.Stats = nil
+	var st *core.Stats
+	if rep != nil {
+		st = &core.Stats{}
+		req.opt.Stats = st
+	}
+	rep.recordAttempt(site)
+	res, err := c.ask(ctx, site, req)
+	if err == nil {
+		rep.recordSuccess(site, st)
+	}
+	return res, err
+}
+
 // askPolicy runs ask under the cluster policy: circuit check, per-attempt
 // timeout, and retries with backoff. With no policy set it is plain ask.
-func (c *Cluster) askPolicy(ctx context.Context, site string, req askRequest) (*table.Table, error) {
+func (c *Cluster) askPolicy(ctx context.Context, site string, req askRequest, rep *Report) (*table.Table, error) {
 	p := c.policy
 	if p == nil {
-		return c.ask(ctx, site, req)
+		res, err := c.askOnce(ctx, site, req, rep)
+		if err != nil {
+			rep.recordFailure(site, err, false)
+		}
+		return res, err
 	}
 	br := c.breakerFor(site)
 	var lastErr error
 	for attempt := 1; attempt <= 1+p.MaxRetries; attempt++ {
 		if attempt > 1 {
-			if err := sleepCtx(ctx, p.backoffFor(attempt)); err != nil {
+			d := p.backoffFor(attempt)
+			rep.recordBackoff(site, d)
+			if err := sleepCtx(ctx, d); err != nil {
 				return nil, lastErr
 			}
 		}
 		if br != nil && !br.allow() {
 			// Fail fast; retrying the same open circuit is pointless —
 			// let the caller fail over to a replica instead.
+			rep.recordRejected(site)
 			return nil, &SiteError{Site: site, Err: ErrCircuitOpen}
 		}
 		actx, cancel := ctx, context.CancelFunc(nil)
 		if p.SiteTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, p.SiteTimeout)
 		}
-		res, err := c.ask(actx, site, req)
+		res, err := c.askOnce(actx, site, req, rep)
 		if cancel != nil {
 			cancel()
 		}
@@ -249,9 +281,11 @@ func (c *Cluster) askPolicy(ctx context.Context, site string, req askRequest) (*
 			}
 			return res, nil
 		}
+		opened := false
 		if br != nil {
-			br.failure()
+			opened = br.failure()
 		}
+		rep.recordFailure(site, err, opened)
 		lastErr = err
 		if ctx.Err() != nil {
 			// The whole-query deadline expired; further attempts are
@@ -271,10 +305,13 @@ func (c *Cluster) askPolicy(ctx context.Context, site string, req askRequest) (*
 // next replica when a site's attempts (per askPolicy) are exhausted. The
 // recombination downstream is replica-agnostic (Theorem 4.1), so whichever
 // candidate answers yields the same final result.
-func (c *Cluster) askFailover(ctx context.Context, sites []string, req askRequest) (*table.Table, error) {
+func (c *Cluster) askFailover(ctx context.Context, sites []string, req askRequest, rep *Report) (*table.Table, error) {
 	var lastErr error
-	for _, site := range sites {
-		res, err := c.askPolicy(ctx, site, req)
+	for i, site := range sites {
+		if i > 0 {
+			rep.recordFailover()
+		}
+		res, err := c.askPolicy(ctx, site, req, rep)
 		if err == nil {
 			return res, nil
 		}

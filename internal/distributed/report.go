@@ -1,0 +1,203 @@
+package distributed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mdjoin/internal/core"
+)
+
+// Report is the distributed counterpart of core.Stats: a cluster-level
+// account of one scatter call's fault handling (per-site attempts, retries,
+// backoff, circuit-breaker activity, failovers, partial degradation) plus
+// the merged execution stats of every successful site evaluation. Pass one
+// to ScatterPhasesReport / ScatterFragmentsReport; a nil *Report disables
+// collection — every record method is nil-safe, mirroring the Options.Stats
+// contract.
+//
+// The recorders synchronize internally (scatter fans out one goroutine per
+// routed phase or fragment); the exported fields are safe to read once the
+// scatter call has returned.
+type Report struct {
+	mu sync.Mutex
+
+	// Sites holds one entry per site the call touched (including failover
+	// replicas and sites that only rejected fast on an open circuit).
+	Sites map[string]*SiteReport `json:"sites"`
+
+	// Failovers counts moves to a later replica after a site's attempts
+	// were exhausted.
+	Failovers int `json:"failovers"`
+
+	// Partial reports ScatterFragments degradation: the result was
+	// recombined without DeadFragments (Policy.AllowPartial).
+	Partial bool `json:"partial,omitempty"`
+	// DeadFragments lists the fragments whose every replica failed.
+	DeadFragments []string `json:"dead_fragments,omitempty"`
+
+	// WallNanos is the scatter call's wall-clock time.
+	WallNanos int64 `json:"wall_nanos"`
+
+	// Exec is the cluster-level execution stats tree: the per-site stats of
+	// every successful attempt merged with core.Stats.Merge. Per-stage times
+	// sum across sites (CPU-style), so they can exceed WallNanos.
+	Exec core.Stats `json:"exec"`
+}
+
+// SiteReport is one site's slice of the report.
+type SiteReport struct {
+	// Attempts counts asks issued to the site; Retries counts the attempts
+	// after the first (per failover candidate pass).
+	Attempts int `json:"attempts"`
+	Retries  int `json:"retries"`
+	// Failures counts attempts that returned an error.
+	Failures int `json:"failures"`
+	// BackoffNanos totals the pre-retry backoff delays spent on this site.
+	BackoffNanos int64 `json:"backoff_nanos,omitempty"`
+	// CircuitOpened counts closed→open breaker transitions this call
+	// observed; CircuitRejected counts asks the open breaker failed fast.
+	CircuitOpened   int `json:"circuit_opened,omitempty"`
+	CircuitRejected int `json:"circuit_rejected,omitempty"`
+	// LastError is the site's most recent failure, "" if none.
+	LastError string `json:"last_error,omitempty"`
+	// Exec is the merged execution stats of the site's successful attempts.
+	Exec core.Stats `json:"exec"`
+}
+
+// NewReport returns an empty report ready to be passed to a scatter call.
+func NewReport() *Report { return &Report{Sites: map[string]*SiteReport{}} }
+
+// site returns the named site's entry, creating it. Caller holds r.mu.
+func (r *Report) site(name string) *SiteReport {
+	if r.Sites == nil {
+		r.Sites = map[string]*SiteReport{}
+	}
+	sr, ok := r.Sites[name]
+	if !ok {
+		sr = &SiteReport{}
+		r.Sites[name] = sr
+	}
+	return sr
+}
+
+// recordAttempt notes one ask issued to the site.
+func (r *Report) recordAttempt(site string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sr := r.site(site)
+	sr.Attempts++
+	if sr.Attempts > 1 {
+		sr.Retries++
+	}
+	r.mu.Unlock()
+}
+
+// recordFailure notes a failed attempt and whether it tripped the breaker
+// closed→open.
+func (r *Report) recordFailure(site string, err error, opened bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sr := r.site(site)
+	sr.Failures++
+	if err != nil {
+		sr.LastError = err.Error()
+	}
+	if opened {
+		sr.CircuitOpened++
+	}
+	r.mu.Unlock()
+}
+
+// recordRejected notes an ask the open circuit failed fast.
+func (r *Report) recordRejected(site string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sr := r.site(site)
+	sr.CircuitRejected++
+	sr.LastError = ErrCircuitOpen.Error()
+	r.mu.Unlock()
+}
+
+// recordBackoff notes pre-retry delay spent before asking the site again.
+func (r *Report) recordBackoff(site string, d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.site(site).BackoffNanos += d.Nanoseconds()
+	r.mu.Unlock()
+}
+
+// recordSuccess folds a successful attempt's execution stats into the site
+// and cluster trees.
+func (r *Report) recordSuccess(site string, st *core.Stats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.site(site).Exec.Merge(st)
+	r.Exec.Merge(st)
+	r.mu.Unlock()
+}
+
+// recordFailover notes a move to a later replica.
+func (r *Report) recordFailover() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.Failovers++
+	r.mu.Unlock()
+}
+
+// recordPartial flags the degraded-result outcome and its dead fragments.
+func (r *Report) recordPartial(dead []string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.Partial = true
+	r.DeadFragments = dead
+	r.mu.Unlock()
+}
+
+// SiteNames lists the touched sites in sorted order.
+func (r *Report) SiteNames() []string {
+	out := make([]string, 0, len(r.Sites))
+	for s := range r.Sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the report, one line for the cluster and one per site.
+func (r *Report) String() string {
+	var b strings.Builder
+	flag := ""
+	if r.Partial {
+		flag = fmt.Sprintf(" PARTIAL dead=[%s]", strings.Join(r.DeadFragments, ", "))
+	}
+	fmt.Fprintf(&b, "cluster: wall=%v failovers=%d%s %s",
+		time.Duration(r.WallNanos).Round(time.Microsecond), r.Failovers, flag, r.Exec.String())
+	for _, name := range r.SiteNames() {
+		sr := r.Sites[name]
+		fmt.Fprintf(&b, "\nsite %s: attempts=%d retries=%d failures=%d backoff=%v circuit(opened=%d rejected=%d)",
+			name, sr.Attempts, sr.Retries, sr.Failures,
+			time.Duration(sr.BackoffNanos).Round(time.Microsecond), sr.CircuitOpened, sr.CircuitRejected)
+		if sr.LastError != "" {
+			fmt.Fprintf(&b, " last_error=%q", sr.LastError)
+		}
+		fmt.Fprintf(&b, " %s", sr.Exec.String())
+	}
+	return b.String()
+}

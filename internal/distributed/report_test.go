@@ -1,0 +1,184 @@
+// Query-report tests: the Report must account for every fault-handling
+// decision the policy layer takes (attempts, retries, backoff, breaker
+// transitions, failovers, partial degradation) and carry the merged
+// execution stats of the scattered evaluations. External test package
+// because faultinject imports distributed.
+package distributed_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/distributed"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/faultinject"
+)
+
+// siteReport finds a site's entry case-insensitively.
+func siteReport(t *testing.T, rep *distributed.Report, name string) *distributed.SiteReport {
+	t.Helper()
+	for k, sr := range rep.Sites {
+		if strings.EqualFold(k, name) {
+			return sr
+		}
+	}
+	t.Fatalf("report has no entry for site %q (sites: %v)", name, rep.SiteNames())
+	return nil
+}
+
+func TestReportRetryMetrics(t *testing.T) {
+	sales, base, sites := faultSetup(t)
+	faultinject.Wrap(sites[0], faultinject.Plan{FailFirst: 1})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{MaxRetries: 2, BackoffBase: time.Millisecond})
+
+	rep := distributed.NewReport()
+	var stats core.Stats
+	got, err := cluster.ScatterFragmentsReport(context.Background(), base, sumCountPhase(), core.Options{Stats: &stats}, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != base.Len() {
+		t.Fatalf("rows = %d, want %d", got.Len(), base.Len())
+	}
+
+	sr := siteReport(t, rep, sites[0].Name)
+	if sr.Attempts != 2 || sr.Retries != 1 || sr.Failures != 1 {
+		t.Errorf("flaky site: attempts=%d retries=%d failures=%d, want 2/1/1", sr.Attempts, sr.Retries, sr.Failures)
+	}
+	if sr.BackoffNanos <= 0 {
+		t.Errorf("flaky site: BackoffNanos = %d, want > 0", sr.BackoffNanos)
+	}
+	if sr.LastError == "" {
+		t.Error("flaky site: LastError empty after a failure")
+	}
+	for _, s := range sites[1:] {
+		hr := siteReport(t, rep, s.Name)
+		if hr.Attempts != 1 || hr.Failures != 0 {
+			t.Errorf("healthy site %s: attempts=%d failures=%d, want 1/0", s.Name, hr.Attempts, hr.Failures)
+		}
+	}
+	// Cluster-level exec stats cover every fragment's scan exactly once —
+	// the failed attempt's partial counters must not leak in.
+	if rep.Exec.TuplesScanned != sales.Len() {
+		t.Errorf("Exec.TuplesScanned = %d, want %d", rep.Exec.TuplesScanned, sales.Len())
+	}
+	if rep.WallNanos <= 0 {
+		t.Errorf("WallNanos = %d, want > 0", rep.WallNanos)
+	}
+	// The caller's Options.Stats receives the same cluster-level merge.
+	if stats.Semantic() != rep.Exec.Semantic() {
+		t.Errorf("caller stats diverge from report:\n caller %s\n report %s", stats.Semantic(), rep.Exec.Semantic())
+	}
+}
+
+func TestReportCircuitAndFailover(t *testing.T) {
+	_, base, sites := faultSetup(t)
+	cluster, primaries, _ := replicatedCluster(t, sites)
+	defer cluster.Close()
+	faultinject.Wrap(primaries[0], faultinject.Plan{FailFirst: 1 << 30})
+	cluster.SetPolicy(distributed.Policy{FailureThreshold: 1})
+
+	rep := distributed.NewReport()
+	phase := sumCountPhase()
+	if _, err := cluster.ScatterFragmentsReport(context.Background(), base, phase, core.Options{}, rep); err != nil {
+		t.Fatalf("failover must mask the dead primary: %v", err)
+	}
+	if rep.Failovers < 1 {
+		t.Errorf("Failovers = %d, want ≥ 1", rep.Failovers)
+	}
+	sr := siteReport(t, rep, primaries[0].Name)
+	if sr.CircuitOpened != 1 {
+		t.Errorf("dead primary: CircuitOpened = %d, want 1", sr.CircuitOpened)
+	}
+
+	// A second scatter into the same report hits the now-open breaker:
+	// the ask is rejected fast, not attempted.
+	attempts := sr.Attempts
+	if _, err := cluster.ScatterFragmentsReport(context.Background(), base, phase, core.Options{}, rep); err != nil {
+		t.Fatal(err)
+	}
+	if sr.CircuitRejected < 1 {
+		t.Errorf("dead primary: CircuitRejected = %d after second scatter, want ≥ 1", sr.CircuitRejected)
+	}
+	if sr.Attempts != attempts {
+		t.Errorf("open circuit must not add attempts: %d → %d", attempts, sr.Attempts)
+	}
+}
+
+func TestReportPartialDegradation(t *testing.T) {
+	_, base, sites := faultSetup(t)
+	faultinject.Wrap(sites[0], faultinject.Plan{FailFirst: 1 << 30})
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.SetPolicy(distributed.Policy{AllowPartial: true})
+
+	rep := distributed.NewReport()
+	got, err := cluster.ScatterFragmentsReport(context.Background(), base, sumCountPhase(), core.Options{}, rep)
+	var perr *distributed.PartialError
+	if !errors.As(err, &perr) {
+		t.Fatalf("want PartialError, got %v", err)
+	}
+	if got == nil || got.Len() != base.Len() {
+		t.Fatal("partial result must still carry every base row")
+	}
+	if !rep.Partial {
+		t.Error("report must flag partial degradation")
+	}
+	if len(rep.DeadFragments) != 1 || !strings.EqualFold(rep.DeadFragments[0], sites[0].Name) {
+		t.Errorf("DeadFragments = %v, want [%s]", rep.DeadFragments, sites[0].Name)
+	}
+	if !strings.Contains(rep.String(), "PARTIAL") {
+		t.Errorf("String() must render the partial flag: %q", rep.String())
+	}
+}
+
+// TestScatterPhasesCallerStats: Options.Stats on a scatter no longer
+// crosses the site boundary (each concurrent site used to write the same
+// pointer — a data race); the cluster-level merge lands in the caller's
+// tree after the call.
+func TestScatterPhasesCallerStats(t *testing.T) {
+	sales, base, sites := faultSetup(t)
+	cluster, err := distributed.NewCluster(sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var routed []distributed.Routed
+	for _, s := range sites {
+		routed = append(routed, distributed.Routed{Site: s.Name, Phase: core.Phase{
+			Aggs: []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total_"+strings.ToLower(s.Name))},
+			Theta: expr.And(
+				expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+				expr.Eq(expr.QC("R", "state"), expr.S(s.Name))),
+		}})
+	}
+	var stats core.Stats
+	if _, err := cluster.ScatterPhases(context.Background(), base, routed, core.Options{Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DetailScans != len(sites) {
+		t.Errorf("DetailScans = %d, want %d (one per routed phase)", stats.DetailScans, len(sites))
+	}
+	// Each phase scans its own site's fragment; the fragments partition
+	// Sales, so the cluster-merged scan count is exactly |Sales|.
+	if stats.TuplesScanned != sales.Len() {
+		t.Errorf("TuplesScanned = %d, want %d", stats.TuplesScanned, sales.Len())
+	}
+	if !stats.IndexUsed {
+		t.Error("IndexUsed lost in the cluster merge")
+	}
+}

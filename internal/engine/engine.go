@@ -186,6 +186,27 @@ const (
 // "commercial DBMS" of the paper's era would pick and keeps the baseline
 // comparator honest.
 func Join(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind) (*table.Table, error) {
+	return JoinWithStats(l, r, lalias, ralias, on, kind, nil)
+}
+
+// JoinStats reports which strategy Join picked and its row counts — the
+// runtime counters EXPLAIN ANALYZE attaches to a Join node (the static plan
+// cannot tell hash from nested-loop, exactly the blindness the MD-join
+// tier label fixes on the core side).
+type JoinStats struct {
+	// Hash reports the equi-conjunct hash path; false means nested loop.
+	Hash bool `json:"hash"`
+	// BuildRows/ProbeRows are the hash-side build input and the outer probe
+	// input (outer and inner rows for a nested loop).
+	BuildRows int `json:"build_rows"`
+	ProbeRows int `json:"probe_rows"`
+	// Output counts emitted rows (including outer-join NULL padding).
+	Output int `json:"output"`
+}
+
+// JoinWithStats is Join recording its strategy and row counts into st
+// (nil disables collection).
+func JoinWithStats(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind, st *JoinStats) (*table.Table, error) {
 	bind := expr.NewBinding()
 	lslot := bind.AddRel(l.Schema, lalias)
 	rslot := bind.AddRel(r.Schema, ralias)
@@ -232,6 +253,11 @@ func Join(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind)
 	}
 
 	frame := make([]table.Row, 2)
+	if st != nil {
+		st.Hash = len(lk) > 0
+		st.BuildRows = r.Len()
+		st.ProbeRows = l.Len()
+	}
 	if len(lk) > 0 {
 		// Hash join on the right side.
 		idx := table.BuildIndexOrdinals(r, rk)
@@ -264,6 +290,9 @@ func Join(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind)
 				emit(lr, nil)
 			}
 		}
+		if st != nil {
+			st.Output = out.Len()
+		}
 		return out, nil
 	}
 
@@ -283,6 +312,9 @@ func Join(l, r *table.Table, lalias, ralias string, on expr.Expr, kind JoinKind)
 		if !matched && kind == LeftOuterJoin {
 			emit(lr, nil)
 		}
+	}
+	if st != nil {
+		st.Output = out.Len()
 	}
 	return out, nil
 }

@@ -41,6 +41,11 @@ type ChunkCompiled struct {
 	run  chunkKernel
 	ords []int
 	src  Expr
+	// lastBoxed records whether the most recent EvalChunk/FilterChunk run
+	// landed on a boxed result column (mixed-kind fallback or materialized
+	// constant) instead of a typed payload — the executor's tripwire for
+	// the whole-column boxed fallback.
+	lastBoxed bool
 }
 
 // CompileChunk binds an expression for columnar evaluation over the given
@@ -79,6 +84,10 @@ func (cc *ChunkCompiled) Ordinals() []int { return cc.ords }
 // Source returns the AST the kernel was compiled from.
 func (cc *ChunkCompiled) Source() Expr { return cc.src }
 
+// ResultBoxed reports whether the most recent EvalChunk/FilterChunk run
+// produced a boxed result column rather than a typed payload.
+func (cc *ChunkCompiled) ResultBoxed() bool { return cc.lastBoxed }
+
 // EvalChunk evaluates the expression over the selected positions of the
 // chunk. The result column is positional over the whole chunk but defined
 // only at positions in sel. Column references return the chunk's columns
@@ -86,6 +95,7 @@ func (cc *ChunkCompiled) Source() Expr { return cc.src }
 // scratch column.
 func (cc *ChunkCompiled) EvalChunk(ch *table.Chunk, sel []int32, scratch *table.Column) *table.Column {
 	res := cc.run(ch, sel)
+	cc.lastBoxed = res.col == nil || res.col.IsBoxed()
 	if res.col != nil {
 		return res.col
 	}
@@ -101,6 +111,7 @@ func (cc *ChunkCompiled) EvalChunk(ch *table.Chunk, sel []int32, scratch *table.
 // results drop the row).
 func (cc *ChunkCompiled) FilterChunk(ch *table.Chunk, sel []int32) []int32 {
 	res := cc.run(ch, sel)
+	cc.lastBoxed = res.col == nil || res.col.IsBoxed()
 	if res.col == nil {
 		if res.k.Kind() == table.KindBool && res.k.AsBool() {
 			return sel

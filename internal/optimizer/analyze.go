@@ -1,0 +1,121 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mdjoin/internal/core"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/table"
+)
+
+// EXPLAIN ANALYZE: run the plan with every node wrapped in a timing shim
+// and render the tree annotated with actual row counts, per-node wall time,
+// and the operator-specific runtime stats — the core.Stats metrics tree on
+// MDJoin nodes (executor tier, index probes, pushdown selectivity, boxed
+// fallbacks) and the hash/nested-loop strategy on Join nodes. The static
+// Explain shows what the optimizer intended; this shows what the executor
+// actually did.
+
+// NodeStats carries one analyzed node's runtime counters.
+type NodeStats struct {
+	// Rows is the node's output cardinality.
+	Rows int `json:"rows"`
+	// Nanos is the node's wall time, children included (the usual
+	// EXPLAIN ANALYZE total-time convention).
+	Nanos int64 `json:"nanos"`
+	// MD is the MD-join metrics tree; nil on non-MDJoin nodes.
+	MD *core.Stats `json:"md,omitempty"`
+	// Join is the join strategy report; nil on non-Join nodes.
+	Join *engine.JoinStats `json:"join,omitempty"`
+}
+
+// analyzed wraps a plan node with runtime instrumentation. It satisfies
+// Plan, so the instrumented tree executes through the ordinary path.
+type analyzed struct {
+	inner Plan
+	stats *NodeStats
+}
+
+func (a *analyzed) Children() []Plan { return a.inner.Children() }
+func (a *analyzed) Describe() string { return a.inner.Describe() }
+func (a *analyzed) Execute(cat Catalog) (*table.Table, error) {
+	start := time.Now()
+	res, err := a.inner.Execute(cat)
+	a.stats.Nanos += time.Since(start).Nanoseconds()
+	if res != nil {
+		a.stats.Rows = res.Len()
+	}
+	return res, err
+}
+
+// instrument rebuilds the tree bottom-up with every node wrapped in an
+// analyzed shim; MDJoin nodes get a fresh Stats tree injected into their
+// Options and Join nodes a JoinStats, so the operators report into the
+// shims' counters.
+func instrument(p Plan) Plan {
+	inner := rewriteChildren(p, instrument)
+	ns := &NodeStats{}
+	switch n := inner.(type) {
+	case *MDJoin:
+		opt := n.Opt
+		ns.MD = &core.Stats{}
+		opt.Stats = ns.MD
+		inner = &MDJoin{Base: n.Base, Detail: n.Detail, DetailName: n.DetailName, Phases: n.Phases, Opt: opt}
+	case *Join:
+		ns.Join = &engine.JoinStats{}
+		inner = &Join{Left: n.Left, Right: n.Right, LAlias: n.LAlias, RAlias: n.RAlias, On: n.On, Kind: n.Kind, Stats: ns.Join}
+	}
+	return &analyzed{inner: inner, stats: ns}
+}
+
+// ExplainAnalyze executes the plan against the catalog with instrumentation
+// and returns the annotated plan rendering together with the result table.
+func ExplainAnalyze(p Plan, cat Catalog) (string, *table.Table, error) {
+	ip := instrument(p)
+	res, err := ip.Execute(cat)
+	if err != nil {
+		return "", nil, err
+	}
+	return formatAnalyzed(ip), res, nil
+}
+
+// formatAnalyzed renders the instrumented tree: each node's Describe line
+// annotated with actual counters, and the operator stats indented beneath.
+func formatAnalyzed(p Plan) string {
+	var b strings.Builder
+	var rec func(Plan, int)
+	rec = func(n Plan, depth int) {
+		pad := strings.Repeat("  ", depth)
+		a, ok := n.(*analyzed)
+		if !ok {
+			b.WriteString(pad + n.Describe() + "\n")
+			for _, c := range n.Children() {
+				rec(c, depth+1)
+			}
+			return
+		}
+		fmt.Fprintf(&b, "%s%s (actual rows=%d time=%v)\n",
+			pad, a.inner.Describe(), a.stats.Rows,
+			time.Duration(a.stats.Nanos).Round(time.Microsecond))
+		if md := a.stats.MD; md != nil {
+			for _, line := range md.Lines() {
+				b.WriteString(pad + "    " + line + "\n")
+			}
+		}
+		if js := a.stats.Join; js != nil {
+			strat := "nested-loop"
+			if js.Hash {
+				strat = "hash"
+			}
+			fmt.Fprintf(&b, "%s    strategy=%s build=%d probe=%d out=%d\n",
+				pad, strat, js.BuildRows, js.ProbeRows, js.Output)
+		}
+		for _, c := range a.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(p, 0)
+	return b.String()
+}

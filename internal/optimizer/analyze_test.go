@@ -1,0 +1,99 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/engine"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func analyzeFixture() Catalog {
+	tt := table.MustFromRows(table.SchemaOf("k", "v"), []table.Row{
+		{table.Int(1), table.Float(5)},
+		{table.Int(1), table.Float(7)},
+		{table.Int(2), table.Float(9)},
+	})
+	return Catalog{"T": tt}
+}
+
+func TestExplainAnalyzeJoinStrategy(t *testing.T) {
+	cat := analyzeFixture()
+	hash := &Join{
+		Left:   &Scan{Name: "T"},
+		Right:  &Scan{Name: "T"},
+		LAlias: "l", RAlias: "r",
+		On:   expr.Eq(expr.QC("l", "k"), expr.QC("r", "k")),
+		Kind: engine.InnerJoin,
+	}
+	text, res, err := ExplainAnalyze(hash, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustExec(t, hash, cat)
+	if res.Len() != want.Len() {
+		t.Fatalf("analyzed result rows = %d, want %d", res.Len(), want.Len())
+	}
+	if !strings.Contains(text, "strategy=hash build=3 probe=3 out=5") {
+		t.Errorf("hash join line missing:\n%s", text)
+	}
+	if !strings.Contains(text, "actual rows=5") {
+		t.Errorf("root cardinality missing:\n%s", text)
+	}
+
+	// A non-equi θ has no hashable keys, so the engine falls back to the
+	// nested loop and the report must say so.
+	nl := &Join{
+		Left:   &Scan{Name: "T"},
+		Right:  &Scan{Name: "T"},
+		LAlias: "l", RAlias: "r",
+		On:   expr.Lt(expr.QC("l", "v"), expr.QC("r", "v")),
+		Kind: engine.InnerJoin,
+	}
+	text, _, err = ExplainAnalyze(nl, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "strategy=nested-loop") {
+		t.Errorf("nested-loop strategy missing:\n%s", text)
+	}
+}
+
+func TestExplainAnalyzeMDJoin(t *testing.T) {
+	cat := analyzeFixture()
+	p := &MDJoin{
+		Base:       &BaseValues{Input: &Scan{Name: "T"}, Op: "group", Dims: []string{"k"}},
+		Detail:     &Scan{Name: "T"},
+		DetailName: "T",
+		Phases: []core.Phase{{
+			Aggs:  []agg.Spec{agg.NewSpec("sum", expr.QC("R", "v"), "s")},
+			Theta: expr.Eq(expr.QC("R", "k"), expr.C("k")),
+		}},
+	}
+	text, res, err := ExplainAnalyze(p, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", res.Len(), res)
+	}
+	for _, frag := range []string{
+		"actual rows=2",
+		"tier=",            // executor tier of the phase
+		"indexed probes=",  // θ is an equijoin → hash index
+		"pushdown=",        // selectivity counters rendered
+		"typed=", "boxed=", // kernel attribution
+		"phase 0:",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("analyzed MD-join missing %q:\n%s", frag, text)
+		}
+	}
+	// The shim must not leave a Stats pointer behind on the original plan.
+	if p.Opt.Stats != nil {
+		t.Error("instrument mutated the source plan's Options")
+	}
+}

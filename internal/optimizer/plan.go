@@ -166,6 +166,9 @@ type Join struct {
 	LAlias, RAlias string
 	On             expr.Expr
 	Kind           engine.JoinKind
+	// Stats, when set, receives the strategy and row counts of the next
+	// Execute (EXPLAIN ANALYZE instrumentation).
+	Stats *engine.JoinStats
 }
 
 func (j *Join) Children() []Plan { return []Plan{j.Left, j.Right} }
@@ -188,7 +191,7 @@ func (j *Join) Execute(cat Catalog) (*table.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.Join(l, r, j.LAlias, j.RAlias, j.On, j.Kind)
+	return engine.JoinWithStats(l, r, j.LAlias, j.RAlias, j.On, j.Kind, j.Stats)
 }
 
 // ----------------------------------------------------- base-values nodes

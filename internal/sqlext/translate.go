@@ -392,24 +392,35 @@ func Run(src string, cat optimizer.Catalog) (*table.Table, error) {
 	return runQuery(q, cat)
 }
 
+// withCatalog evaluates the query's WITH-clause members (in order, each
+// seeing the previous ones) into an extended copy of the catalog; the
+// caller's map is untouched. A query without a WITH clause returns the
+// catalog as-is.
+func withCatalog(q *Query, cat optimizer.Catalog) (optimizer.Catalog, error) {
+	if len(q.With) == 0 {
+		return cat, nil
+	}
+	ext := make(optimizer.Catalog, len(cat)+len(q.With))
+	for k, v := range cat {
+		ext[k] = v
+	}
+	for _, cte := range q.With {
+		if _, exists := ext[cte.Name]; exists {
+			return nil, fmt.Errorf("sqlext: WITH name %q shadows an existing relation", cte.Name)
+		}
+		t, err := runQuery(cte.Query, ext)
+		if err != nil {
+			return nil, fmt.Errorf("sqlext: evaluating WITH %s: %w", cte.Name, err)
+		}
+		ext[cte.Name] = t
+	}
+	return ext, nil
+}
+
 func runQuery(q *Query, cat optimizer.Catalog) (*table.Table, error) {
-	if len(q.With) > 0 {
-		// Extend a copy of the catalog so the caller's map is untouched.
-		ext := make(optimizer.Catalog, len(cat)+len(q.With))
-		for k, v := range cat {
-			ext[k] = v
-		}
-		for _, cte := range q.With {
-			if _, exists := ext[cte.Name]; exists {
-				return nil, fmt.Errorf("sqlext: WITH name %q shadows an existing relation", cte.Name)
-			}
-			t, err := runQuery(cte.Query, ext)
-			if err != nil {
-				return nil, fmt.Errorf("sqlext: evaluating WITH %s: %w", cte.Name, err)
-			}
-			ext[cte.Name] = t
-		}
-		cat = ext
+	cat, err := withCatalog(q, cat)
+	if err != nil {
+		return nil, err
 	}
 	plan, err := Translate(q)
 	if err != nil {
@@ -433,4 +444,30 @@ func Explain(src string) (string, error) {
 	before := optimizer.Format(plan)
 	after := optimizer.Format(optimizer.Optimize(plan))
 	return "-- logical plan --\n" + before + "-- optimized plan --\n" + after, nil
+}
+
+// ExplainAnalyze parses, translates, optimizes, and EXECUTES the query,
+// returning the optimized plan annotated with runtime counters (actual
+// rows, per-node wall time, the MD-join metrics tree, join strategy) plus
+// the result table. Unlike Explain it needs the real catalog, since the
+// counters come from actually running the plan.
+func ExplainAnalyze(src string, cat optimizer.Catalog) (string, *table.Table, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	cat, err = withCatalog(q, cat)
+	if err != nil {
+		return "", nil, err
+	}
+	plan, err := Translate(q)
+	if err != nil {
+		return "", nil, err
+	}
+	plan = optimizer.Optimize(plan)
+	text, res, err := optimizer.ExplainAnalyze(plan, cat)
+	if err != nil {
+		return "", nil, err
+	}
+	return "-- explain analyze --\n" + text, res, nil
 }

@@ -272,3 +272,10 @@ func Query(src string, cat Catalog) (*Table, error) { return sqlext.Run(src, cat
 
 // Explain returns the logical and optimized plans for a dialect query.
 func Explain(src string) (string, error) { return sqlext.Explain(src) }
+
+// ExplainAnalyze executes a dialect query against the catalog and returns
+// the optimized plan annotated with runtime counters (actual rows, per-node
+// wall time, the MD-join metrics tree, join strategy) alongside the result.
+func ExplainAnalyze(src string, cat Catalog) (string, *Table, error) {
+	return sqlext.ExplainAnalyze(src, cat)
+}
