@@ -1,15 +1,32 @@
-# Verification entry points. `make check` is the full gate: vet, build,
-# plain tests, and the race detector (the distributed/faultinject packages
-# are goroutine-heavy, so tier-1 runs them under -race too). `make bench`
-# runs the paper's experiment benchmarks (E1–E14) with allocation counts
-# and the E12 executor guard; it is a separate target because the full
-# sweep takes minutes.
+# Verification entry points. `make check` is the full gate: formatting,
+# lint (go vet plus the project's own mdlint analyzers — see DESIGN.md
+# §8), build, plain tests, and the race detector (the
+# distributed/faultinject packages are goroutine-heavy, so tier-1 runs
+# them under -race too). `make bench` runs the paper's experiment
+# benchmarks (E1–E14) with allocation counts and the E12 executor guard;
+# it is a separate target because the full sweep takes minutes.
+# `make fuzz-smoke` gives each native fuzz target a short budget — the
+# CI slice of the continuous `go test -fuzz` runs.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-metrics bench bench-guard
+.PHONY: check fmt lint vet build test race race-metrics bench bench-guard fuzz-smoke
 
-check: vet build test race race-metrics
+check: fmt lint build test race race-metrics
+
+# gofmt emits nothing when the tree is clean; any path listed fails the
+# gate.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# mdlint loads the module against build-cache export data, so it needs a
+# build to exist; `go vet` (first) guarantees that as a side effect.
+lint: vet
+	$(GO) run ./cmd/mdlint ./...
 
 vet:
 	$(GO) vet ./...
@@ -44,3 +61,12 @@ bench: bench-guard
 
 bench-guard:
 	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestStatsOverheadGuard' -count=1 -v .
+
+# Short coverage-guided runs of each native fuzz target (the same
+# harnesses run indefinitely with `go test -fuzz ...`). One target per
+# invocation: the fuzz engine allows a single -fuzz pattern per package
+# run.
+fuzz-smoke:
+	$(GO) test ./internal/expr -run '^$$' -fuzz FuzzEvalChunkVsScalar -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sqlext -run '^$$' -fuzz FuzzParseTranslate -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/table -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)

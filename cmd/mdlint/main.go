@@ -1,0 +1,81 @@
+// mdlint runs the repo's project-specific static analyzers (see
+// internal/analyzers and DESIGN.md §8) over the module and prints every
+// finding as file:line:col: message (analyzer). Exit status 1 when
+// anything is reported, 2 on loading errors.
+//
+// Usage:
+//
+//	mdlint [packages]
+//
+// Package patterns default to ./... relative to the module root, which
+// is located from the working directory, so `go run ./cmd/mdlint` works
+// from anywhere inside the module.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"mdjoin/internal/analysis"
+	"mdjoin/internal/analyzers"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	modRoot, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return err
+	}
+	all := analyzers.All()
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, all)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(modRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: %s\n", name, pos.Line, pos.Column, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// moduleRoot locates the enclosing module from the working directory.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}

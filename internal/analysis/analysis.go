@@ -1,0 +1,116 @@
+// Package analysis is a self-contained reimplementation of the subset of
+// golang.org/x/tools/go/analysis that mdlint needs: an Analyzer owns a Run
+// function over a type-checked package (a Pass) and reports Diagnostics.
+//
+// The repo builds with no module dependencies, so instead of vendoring
+// x/tools this package keeps the same shape — Analyzer{Name, Doc, Run},
+// Pass{Fset, Files, Pkg, TypesInfo, Report} — at a fraction of the surface.
+// An analyzer written against it ports to the real go/analysis API by
+// changing imports; the driver side (package loading, the multichecker,
+// the analysistest harness) lives in load.go and analysistest/.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test failures.
+	Name string
+
+	// Doc is the one-paragraph description printed by mdlint -help: the
+	// invariant enforced and the historical bug it encodes.
+	Doc string
+
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil means every package. The fixture harness masquerades
+	// testdata packages under real import paths, so Match must be a pure
+	// function of the path.
+	Match func(pkgPath string) bool
+
+	// Run analyzes one package, reporting findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic; the driver owns collection.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the static type of e, or nil when the type checker
+// recorded none (e.g. unresolved fixture code).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// IsNamed reports whether t (after stripping pointers and aliases) is the
+// named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return IsNamed(ptr.Elem(), pkgPath, name)
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		return IsNamed(ptr.Elem(), pkgPath, name)
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsPtrToNamed reports whether t is *pkgPath.name (exactly one pointer).
+func IsPtrToNamed(t types.Type, pkgPath, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return IsNamed(ptr.Elem(), pkgPath, name)
+}
+
+// IsTestFile reports whether the file's name ends in _test.go.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// PathHasSuffix reports whether pkgPath is pkg or ends in "/"+pkg — the
+// matcher used to scope analyzers to specific packages while letting the
+// fixture harness masquerade testdata under the same paths.
+func PathHasSuffix(pkgPath, pkg string) bool {
+	return pkgPath == pkg || strings.HasSuffix(pkgPath, "/"+pkg)
+}

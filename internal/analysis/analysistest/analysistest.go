@@ -1,0 +1,174 @@
+// Package analysistest runs an analyzer over a testdata fixture package
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own
+// stdlib-backed driver.
+//
+// A fixture is a directory of .go files compiled as one package under a
+// caller-chosen import path. Masquerading matters: path-scoped analyzers
+// (ctxpoll only fires inside internal/core) and type matching by package
+// path (a `Stats` struct declared by a fixture checked as
+// "mdjoin/internal/core" IS core.Stats to the analyzers) both key off the
+// import path, so fixtures can reproduce historical bugs — including the
+// pre-PR 4 field-by-field Stats merges — without touching real packages.
+//
+// Expectations are trailing comments:
+//
+//	s.DetailScans += o.DetailScans // want `outside \(\*Stats\)\.Merge`
+//
+// Each `// want` carries one or more backquoted or double-quoted regular
+// expressions; every expectation must be matched by a diagnostic on the
+// same line and every diagnostic must match an expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"mdjoin/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds the process-wide loader rooted at the enclosing
+// module (one `go list -deps -test -export` sweep, reused by every test).
+func sharedLoader() (*analysis.Loader, error) {
+	loaderOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			loaderErr = fmt.Errorf("analysistest: go env GOMOD: %v", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == os.DevNull {
+			loaderErr = fmt.Errorf("analysistest: not inside a module")
+			return
+		}
+		loader, loaderErr = analysis.NewLoader(filepath.Dir(gomod))
+	})
+	return loader, loaderErr
+}
+
+// expectation is one want-regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantRE pulls the quoted regexps out of a `// want ...` comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run type-checks the fixture directory as asImportPath and verifies the
+// analyzer's diagnostics against the fixture's // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, asImportPath string) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Match != nil && !a.Match(asImportPath) {
+		t.Fatalf("analyzer %s does not match fixture import path %q", a.Name, asImportPath)
+	}
+
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(fixtureDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixtureDir)
+	}
+	sort.Strings(files)
+
+	pkg, err := l.CheckFiles(asImportPath, files)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	expects := collectWants(t, pkg)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !consume(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the fixture.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text[i+len("want "):], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", pos, text)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					out = append(out, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// consume marks the first unhit expectation matching the diagnostic.
+func consume(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if !e.hit && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(msg) {
+			e.hit = true
+			return true
+		}
+	}
+	return false
+}

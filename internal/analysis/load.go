@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package loading without golang.org/x/tools/go/packages: the module is
+// enumerated with `go list`, target packages are parsed and type-checked
+// from source, and their imports resolve through the build cache's export
+// data (`go list -export` emits the file per package, and the compiler
+// populates the cache offline). This gives analyzers full types.Info for
+// exactly the packages they inspect at a fraction of a source-importer's
+// cost, and with no network or module downloads.
+//
+// Test files are first-class: in-package _test.go files are checked
+// together with the package's sources, and an external foo_test package is
+// checked as its own Package against the test-augmented export data of the
+// package under test (the `ForTest` variants go list reports), so
+// export_test.go helpers resolve.
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path; external test packages get
+	// the go convention "path_test".
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Loader type-checks module packages against build-cache export data.
+type Loader struct {
+	// ModRoot is the module root directory all go list invocations run in.
+	ModRoot string
+	// IncludeTests controls whether _test.go files (in-package and
+	// external) are loaded. mdlint and the fixture harness keep it on.
+	IncludeTests bool
+
+	Fset *token.FileSet
+
+	// exports maps an import path to its export data file; testExports
+	// maps a package-under-test path to the export files of the "P [P.test]"
+	// variants keyed by the variant's (stripped) import path.
+	exports     map[string]string
+	testExports map[string]map[string]string
+
+	imp types.Importer
+}
+
+// NewLoader builds a loader rooted at modRoot, running one
+// `go list -deps -test -export` sweep to map every dependency (standard
+// library included) to its export data.
+func NewLoader(modRoot string) (*Loader, error) {
+	l := &Loader{
+		ModRoot:      modRoot,
+		IncludeTests: true,
+		Fset:         token.NewFileSet(),
+		exports:      map[string]string{},
+		testExports:  map[string]map[string]string{},
+	}
+	out, err := l.goList("-deps", "-test", "-export", "-json=ImportPath,Export,ForTest", "./...")
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Export == "" {
+			continue
+		}
+		path := p.ImportPath
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i] // "P [P.test]" → "P"
+		}
+		if p.ForTest != "" {
+			m := l.testExports[p.ForTest]
+			if m == nil {
+				m = map[string]string{}
+				l.testExports[p.ForTest] = m
+			}
+			m[path] = p.Export
+			continue
+		}
+		if _, ok := l.exports[path]; !ok {
+			l.exports[path] = p.Export
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup(nil))
+	return l, nil
+}
+
+// lookup builds an export-data resolver; overlay (may be nil) takes
+// precedence, which is how an external test package sees the
+// test-augmented variant of the package under test.
+func (l *Loader) lookup(overlay map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if f, ok := overlay[path]; ok {
+			return os.Open(f)
+		}
+		if f, ok := l.exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+}
+
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.ModRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// Load lists the patterns (default ./...) and type-checks every matched
+// package; with IncludeTests, external test packages append as their own
+// entries. Results are sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		files := append([]string{}, p.GoFiles...)
+		if l.IncludeTests {
+			files = append(files, p.TestGoFiles...)
+		}
+		for i, f := range files {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files, l.imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+
+		if l.IncludeTests && len(p.XTestGoFiles) > 0 {
+			xfiles := make([]string, len(p.XTestGoFiles))
+			for i, f := range p.XTestGoFiles {
+				xfiles[i] = filepath.Join(p.Dir, f)
+			}
+			// The external test package imports the test-augmented
+			// variant of the package under test; a dedicated importer
+			// instance overlays those export files.
+			ximp := importer.ForCompiler(l.Fset, "gc", l.lookup(l.testExports[p.ImportPath]))
+			xpkg, err := l.check(p.ImportPath+"_test", p.Dir, xfiles, ximp)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xpkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks an explicit file set as one package
+// under the given import path — the fixture harness's entry point, which
+// lets a testdata package masquerade as an internal package so
+// path-scoped analyzers and path+name type matching apply to it.
+func (l *Loader) CheckFiles(importPath string, files []string) (*Package, error) {
+	dir := ""
+	if len(files) > 0 {
+		dir = filepath.Dir(files[0])
+	}
+	return l.check(importPath, dir, files, l.imp)
+}
+
+// check parses and type-checks one package from source.
+func (l *Loader) check(importPath, dir string, files []string, imp types.Importer) (*Package, error) {
+	asts := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		af, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", f, err)
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, asts, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      asts,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}
+
+// Run applies every analyzer whose Match accepts the package, returning
+// the diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.ImportPath) {
+			continue
+		}
+		name := a.Name
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Report: func(d Diagnostic) {
+				d.Message = fmt.Sprintf("%s (%s)", d.Message, name)
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

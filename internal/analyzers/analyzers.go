@@ -1,0 +1,38 @@
+// Package analyzers holds mdlint's project-specific static analysis
+// passes. Each analyzer codifies an invariant this codebase has already
+// paid for in review time or latent bugs (see DESIGN.md §8):
+//
+//   - statsmerge:  combining two Stats/Report values field-by-field
+//     outside their Merge methods silently drops new counters.
+//   - sharedstats: a *core.Stats handed to concurrent goroutines is the
+//     PR 4 scatter race, generalized.
+//   - ctxpoll:     detail-scan loops must poll Options.Ctx or cancelled
+//     distributed callers keep scanning to completion.
+//   - hotclock:    time.Now in stats-disabled hot paths breaks the
+//     zero-overhead-when-disabled contract.
+//   - benchallocs: benchmarks without b.ReportAllocs() hide allocation
+//     regressions from the bench guards.
+package analyzers
+
+import "mdjoin/internal/analysis"
+
+// Import paths the invariants anchor on. Fixture packages masquerade
+// under the same paths, so matching is plain equality/suffix on these.
+const (
+	corePath  = "mdjoin/internal/core"
+	distPath  = "mdjoin/internal/distributed"
+	exprPath  = "mdjoin/internal/expr"
+	aggPath   = "mdjoin/internal/agg"
+	tablePath = "mdjoin/internal/table"
+)
+
+// All returns every mdlint analyzer in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		StatsMerge,
+		SharedStats,
+		CtxPoll,
+		HotClock,
+		BenchAllocs,
+	}
+}

@@ -1,0 +1,39 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mdjoin/internal/analysis/analysistest"
+)
+
+// Each fixture package is type-checked under the import path of the real
+// package it masquerades as, so path-scoped analyzers fire and
+// fixture-declared types carry the guarded identities. The statsmerge
+// core fixture is the PR acceptance check: it contains the pre-PR 4
+// field-by-field merge verbatim and the test fails unless statsmerge
+// flags every combining line.
+
+func TestStatsMergeCore(t *testing.T) {
+	analysistest.Run(t, StatsMerge, filepath.Join("testdata", "statsmerge", "core"), corePath)
+}
+
+func TestStatsMergeDistributed(t *testing.T) {
+	analysistest.Run(t, StatsMerge, filepath.Join("testdata", "statsmerge", "distributed"), distPath)
+}
+
+func TestSharedStats(t *testing.T) {
+	analysistest.Run(t, SharedStats, filepath.Join("testdata", "sharedstats", "a"), "mdjoin/fixtures/sharedstats")
+}
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, CtxPoll, filepath.Join("testdata", "ctxpoll", "core"), corePath)
+}
+
+func TestHotClock(t *testing.T) {
+	analysistest.Run(t, HotClock, filepath.Join("testdata", "hotclock", "core"), corePath)
+}
+
+func TestBenchAllocs(t *testing.T) {
+	analysistest.Run(t, BenchAllocs, filepath.Join("testdata", "benchallocs", "a"), "mdjoin/fixtures/benchallocs")
+}

@@ -1,0 +1,74 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"mdjoin/internal/analysis"
+)
+
+// BenchAllocs requires every Benchmark to call b.ReportAllocs(). The
+// repo's performance story is tracked through allocation counts as much
+// as wall time (the PR 2/PR 3 executor work is quoted in allocs/op, and
+// `make bench` runs -benchmem); a benchmark that forgets ReportAllocs
+// reports clean numbers locally and silently hides allocation
+// regressions whenever someone runs it without the flag. Any call on a
+// *testing.B — the function's own b or a b.Run sub-benchmark's — counts,
+// anywhere in the function body; a helper the benchmark delegates to must
+// be fronted by a ReportAllocs call at the Benchmark itself, keeping the
+// check decidable one function at a time.
+var BenchAllocs = &analysis.Analyzer{
+	Name: "benchallocs",
+	Doc: "flags Benchmark functions that never call b.ReportAllocs(); " +
+		"allocation counts are part of every benchmark's contract here",
+	Run: runBenchAllocs,
+}
+
+func runBenchAllocs(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "Benchmark") || !isBenchSignature(pass, fd) {
+				continue
+			}
+			if !callsReportAllocs(pass, fd.Body) {
+				pass.Reportf(fd.Pos(), "%s never calls b.ReportAllocs(); allocation counts are part of the bench contract", fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// isBenchSignature checks for the func(b *testing.B) shape.
+func isBenchSignature(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 {
+		return false
+	}
+	return analysis.IsPtrToNamed(pass.TypeOf(params.List[0].Type), "testing", "B")
+}
+
+// callsReportAllocs reports whether any ReportAllocs call on a *testing.B
+// appears in the body, including inside b.Run sub-benchmark literals.
+func callsReportAllocs(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ReportAllocs" {
+			return true
+		}
+		if analysis.IsPtrToNamed(pass.TypeOf(sel.X), "testing", "B") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,250 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mdjoin/internal/analysis"
+)
+
+// CtxPoll enforces the cancellation contract of internal/core's detail
+// scans: a loop that consumes detail tuples must poll Options.Ctx, or a
+// distributed site whose caller has timed out keeps scanning to
+// completion (the PR 1 fault-tolerance work exists precisely to avoid
+// that).
+//
+// Mechanics. A loop is a detail consumer when it
+//
+//   - calls Next() on a table.Iterator (streaming sources are unbounded),
+//   - receives from or ranges over a chan table.Row (the
+//     detail-parallel pump), or
+//   - ranges over a []table.Row inside a scan*/eval* driver function
+//     (materialized scans; helper functions like processTuple are driven
+//     by a polling loop above them and are out of scope by convention —
+//     drivers carry the obligation).
+//
+// Such a loop must poll: its body — or an enclosing loop's body in the
+// same function, which bounds inner per-batch loops — must call a polling
+// function (one whose body reaches ctx.Done()/ctx.Err(), e.g. core's
+// ctxErr, or a local closure like drainOnCancel that calls one). An
+// empty-bodied `for range ch {}` is the drain idiom that runs after
+// cancellation and is exempt.
+var CtxPoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "flags detail-scan loops in internal/core (iterator, row-channel, " +
+		"or ranged []table.Row in scan*/eval* drivers) that never poll " +
+		"Options.Ctx, so cancellation keeps aborting every executor tier",
+	Match: func(pkgPath string) bool { return analysis.PathHasSuffix(pkgPath, "internal/core") },
+	Run:   runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) error {
+	pollers := collectPollers(pass)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			driver := strings.HasPrefix(fd.Name.Name, "scan") ||
+				strings.HasPrefix(fd.Name.Name, "eval") ||
+				strings.HasPrefix(fd.Name.Name, "Scan") ||
+				strings.HasPrefix(fd.Name.Name, "Eval")
+			checkLoops(pass, fd.Body, driver, pollers, nil)
+		}
+	}
+	return nil
+}
+
+// collectPollers gathers the names that count as a ctx poll when called:
+// every function declaration or local closure whose body directly reaches
+// ctx.Done(), ctx.Err(), or (transitively, one level) calls another
+// poller. Seeded from direct polls so helpers like core's ctxErr and
+// worker-local drainOnCancel closures both qualify.
+func collectPollers(pass *analysis.Pass) map[string]bool {
+	pollers := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirectPoll(pass, fd.Body) {
+				pollers[fd.Name.Name] = true
+			}
+		}
+	}
+	// Local closures assigned to an identifier: `name := func() { ... }`.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lit, ok := as.Rhs[0].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if hasDirectPoll(pass, lit.Body) || callsAnyPoller(lit.Body, pollers) {
+				pollers[id.Name] = true
+			}
+			return true
+		})
+	}
+	return pollers
+}
+
+// hasDirectPoll reports whether the body touches the context's Done or
+// Err channel/method on a context.Context-typed receiver.
+func hasDirectPoll(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+			return true
+		}
+		if analysis.IsNamed(pass.TypeOf(sel.X), "context", "Context") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callsAnyPoller reports whether the body calls one of the named pollers.
+func callsAnyPoller(body *ast.BlockStmt, pollers map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pollers[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkLoops walks a function body. enclosingPolls carries whether any
+// enclosing loop in the same function polls per iteration — an inner
+// batch-fill loop bounded by a polling outer loop is fine.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt, driver bool, pollers map[string]bool, enclosingPolls []bool) {
+	polled := func() bool {
+		for _, p := range enclosingPolls {
+			if p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.ForStmt:
+			loopPolls := bodyPolls(pass, s.Body, pollers)
+			if !loopPolls && !polled() && consumesDetail(pass, s.Body, driver, nil) {
+				pass.Reportf(s.Pos(), "detail-scan loop never polls Options.Ctx; add a ctxErr check so cancellation can abort the scan")
+			}
+			checkLoops(pass, s.Body, driver, pollers, append(enclosingPolls, loopPolls))
+		case *ast.RangeStmt:
+			loopPolls := bodyPolls(pass, s.Body, pollers)
+			if !loopPolls && !polled() && !isDrainLoop(s) &&
+				consumesDetail(pass, s.Body, driver, s.X) {
+				pass.Reportf(s.Pos(), "detail-scan loop never polls Options.Ctx; add a ctxErr check so cancellation can abort the scan")
+			}
+			checkLoops(pass, s.Body, driver, pollers, append(enclosingPolls, loopPolls))
+		default:
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch inner := n.(type) {
+				case *ast.FuncLit:
+					// A nested function starts a fresh loop context; it
+					// inherits the driver scope of its enclosing function
+					// (go-routine workers inside eval* are still drivers).
+					checkLoops(pass, inner.Body, driver, pollers, nil)
+					return false
+				case *ast.BlockStmt:
+					checkLoops(pass, inner, driver, pollers, enclosingPolls)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// bodyPolls reports whether the loop body itself polls the context.
+func bodyPolls(pass *analysis.Pass, body *ast.BlockStmt, pollers map[string]bool) bool {
+	return hasDirectPoll(pass, body) || callsAnyPoller(body, pollers)
+}
+
+// isDrainLoop recognizes `for range ch {}` — the post-cancellation drain
+// idiom, which must NOT poll (it runs to unblock the producer).
+func isDrainLoop(s *ast.RangeStmt) bool {
+	return s.Key == nil && s.Value == nil && len(s.Body.List) == 0
+}
+
+// consumesDetail reports whether the loop consumes detail tuples: calls
+// Iterator.Next, receives from a chan table.Row, or (drivers only) ranges
+// over a []table.Row / chan table.Row.
+func consumesDetail(pass *analysis.Pass, body *ast.BlockStmt, driver bool, rangeX ast.Expr) bool {
+	if rangeX != nil {
+		t := pass.TypeOf(rangeX)
+		if isRowChan(t) {
+			return true
+		}
+		if driver && isRowSlice(t) {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // its loops are checked in their own context
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loops are classified on their own
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Next" &&
+				analysis.IsNamed(pass.TypeOf(sel.X), tablePath, "Iterator") {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW && isRowChan(pass.TypeOf(e.X)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isRowChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	return ok && analysis.IsNamed(ch.Elem(), tablePath, "Row")
+}
+
+func isRowSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && analysis.IsNamed(sl.Elem(), tablePath, "Row")
+}

@@ -1,0 +1,129 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mdjoin/internal/analysis"
+)
+
+// HotClock enforces the zero-overhead-when-disabled contract of the
+// executor hot paths (stats.go's header comment, pinned at runtime by
+// TestStatsOverheadGuard): in internal/core, internal/expr, and
+// internal/agg, time.Now/time.Since may only run when stats collection is
+// on. An unguarded clock call costs a vDSO hit per scan stage — invisible
+// in tests, real at "fast as the hardware allows" scale — and PR 4
+// removed exactly this class of call from the batch executors.
+//
+// A call is guarded when an enclosing if-statement's condition mentions
+// stats collection: a nil comparison of a *core.Stats-typed expression
+// (`if opt.Stats != nil { ... }`) or a boolean whose name contains
+// "stats" (the form available to internal/expr and internal/agg, which
+// cannot import core).
+var HotClock = &analysis.Analyzer{
+	Name: "hotclock",
+	Doc: "flags time.Now/time.Since in internal/core, internal/expr, and " +
+		"internal/agg hot paths unless guarded by a stats-enabled check; " +
+		"the disabled path must never touch the clock",
+	Match: func(pkgPath string) bool {
+		return analysis.PathHasSuffix(pkgPath, "internal/core") ||
+			analysis.PathHasSuffix(pkgPath, "internal/expr") ||
+			analysis.PathHasSuffix(pkgPath, "internal/agg")
+	},
+	Run: runHotClock,
+}
+
+func runHotClock(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		// Walk with an explicit stack of enclosing if-statements whose
+		// condition mentions stats collection; a clock call under any of
+		// them (either branch) is guarded.
+		var guards int
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch s := n.(type) {
+			case *ast.IfStmt:
+				if s.Init != nil {
+					walk(s.Init)
+				}
+				walk(s.Cond)
+				enter := 0
+				if condMentionsStats(pass, s.Cond) {
+					enter = 1
+				}
+				guards += enter
+				walk(s.Body)
+				if s.Else != nil {
+					walk(s.Else)
+				}
+				guards -= enter
+				return
+			case *ast.CallExpr:
+				if name, ok := timeClockCall(pass, s); ok && guards == 0 {
+					pass.Reportf(s.Pos(),
+						"time.%s on a hot path without a stats-enabled guard; wrap in `if stats != nil` so the disabled path never touches the clock",
+						name)
+				}
+			}
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n || c == nil {
+					return c == n
+				}
+				walk(c)
+				return false
+			})
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walk(fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// timeClockCall reports whether the call is time.Now or time.Since.
+func timeClockCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Now" && sel.Sel.Name != "Since") {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "time" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// condMentionsStats reports whether an if condition checks stats
+// collection: a nil comparison of a *core.Stats value, or any identifier
+// or field whose name contains "stats".
+func condMentionsStats(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.EQL || e.Op == token.NEQ {
+				if isStatsPtr(pass.TypeOf(e.X)) || isStatsPtr(pass.TypeOf(e.Y)) {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(e.Name), "stats") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mdjoin/internal/analysis"
+)
+
+// SharedStats flags a *core.Stats that crosses into a goroutine: captured
+// by a go-statement's function literal, or passed as an argument at a go
+// spawn site.
+//
+// History: Stats counters are plain ints with no internal locking — the
+// documented contract is one private Stats per concurrent worker, folded
+// afterwards with Stats.Merge. PR 4 found distributed askOnce passing the
+// caller's pointer into every concurrent scatter goroutine: a latent data
+// race (and double counting on retries) that had survived three PRs. The
+// safe idioms remain recognizable: reading `opt.Stats != nil` inside a
+// worker to decide whether to allocate a private tree is exempt, and
+// `&stats[wi]` (a fresh per-worker element) is not a shared pointer.
+var SharedStats = &analysis.Analyzer{
+	Name: "sharedstats",
+	Doc: "flags *core.Stats values captured by goroutine literals or passed " +
+		"at go spawn sites; concurrent sites must own private Stats merged " +
+		"with Stats.Merge afterwards",
+	Run: runSharedStats,
+}
+
+func isStatsPtr(t types.Type) bool {
+	return analysis.IsPtrToNamed(t, corePath, "Stats")
+}
+
+func runSharedStats(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+	// A pre-existing *core.Stats handed over as a spawn argument shares
+	// the pointer with the new goroutine. Fresh pointers (&expr, calls)
+	// are each worker's own.
+	for _, arg := range g.Call.Args {
+		e := ast.Unparen(arg)
+		if !isStatsPtr(pass.TypeOf(e)) {
+			continue
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			pass.Reportf(e.Pos(),
+				"*core.Stats %s passed to a goroutine; concurrent sites must own a private Stats (merge with Stats.Merge)",
+				types.ExprString(e))
+		}
+	}
+
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+
+	// Uses of a *core.Stats operand inside a nil comparison are the
+	// documented "is collection on?" check and stay legal in workers.
+	// Field names of selector expressions are typed like their field, so
+	// they are tracked separately to avoid re-reporting `x.Stats` at `Stats`.
+	exempt := map[ast.Expr]bool{}
+	selNames := map[*ast.Ident]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.SelectorExpr:
+			selNames[b.Sel] = true
+		case *ast.BinaryExpr:
+			if b.Op != token.EQL && b.Op != token.NEQ {
+				return true
+			}
+			if isNilIdent(b.Y) {
+				exempt[ast.Unparen(b.X)] = true
+			}
+			if isNilIdent(b.X) {
+				exempt[ast.Unparen(b.Y)] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			if exempt[e] || selNames[e] || !isStatsPtr(pass.TypeOf(e)) {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil || obj.Pos() == token.NoPos {
+				return true
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				pass.Reportf(e.Pos(),
+					"*core.Stats %s captured by a goroutine literal; workers must own a private Stats (merge with Stats.Merge)",
+					e.Name)
+			}
+		case *ast.SelectorExpr:
+			if exempt[e] || !isStatsPtr(pass.TypeOf(e)) {
+				return true
+			}
+			root, ok := rootIdent(e)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil || obj.Pos() == token.NoPos {
+				return true
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				pass.Reportf(e.Pos(),
+					"*core.Stats %s captured by a goroutine literal; workers must own a private Stats (merge with Stats.Merge)",
+					types.ExprString(e))
+			}
+			return false // the root ident was handled here
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps a selector/index chain to its base identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

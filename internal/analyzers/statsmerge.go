@@ -1,0 +1,142 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mdjoin/internal/analysis"
+)
+
+// StatsMerge flags code that combines two metrics trees field by field
+// outside the types' own Merge methods.
+//
+// History: before PR 4, four call sites (parallel-base, parallel-detail,
+// and both source variants) each folded worker Stats into the caller's
+// with hand-written `dst.F += src.F` lines. Every counter added to Stats
+// had to be added to all four — and wasn't: Batches and ChunksPrebuilt
+// silently vanished from parallel runs until Stats.Merge centralized the
+// fold. This analyzer makes the regression impossible to reintroduce
+// quietly: any op-assignment (or self-combining plain assignment) whose
+// left side is a field of core.Stats / core.PhaseStats /
+// distributed.Report / distributed.SiteReport and whose right side reads
+// the same field from a different value of a guarded type is reported,
+// unless it appears inside a method declared on a guarded type (the Merge
+// implementations themselves, and the nil-safe recorders that feed them).
+var StatsMerge = &analysis.Analyzer{
+	Name: "statsmerge",
+	Doc: "flags field-by-field merging of Stats/PhaseStats/Report/SiteReport " +
+		"values outside their Merge methods, so new counters cannot silently " +
+		"drop out of parallel and distributed folds",
+	Run: runStatsMerge,
+}
+
+// guardedMergeTypes are the (package path, type name) pairs whose values
+// may only be combined through their Merge methods.
+var guardedMergeTypes = [...][2]string{
+	{corePath, "Stats"},
+	{corePath, "PhaseStats"},
+	{distPath, "Report"},
+	{distPath, "SiteReport"},
+}
+
+// isGuardedMergeType reports whether t (after pointer stripping) is one of
+// the merge-guarded named types.
+func isGuardedMergeType(t types.Type) bool {
+	for _, g := range guardedMergeTypes {
+		if analysis.IsNamed(t, g[0], g[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+func runStatsMerge(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			// Tests legitimately build expected trees field by field.
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvIsGuarded(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				checkMergeAssign(pass, as)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// recvIsGuarded reports whether fd is a method on a guarded type — the
+// one place field-by-field combination is the job.
+func recvIsGuarded(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return isGuardedMergeType(pass.TypeOf(fd.Recv.List[0].Type))
+}
+
+// checkMergeAssign reports assignments of the two merge shapes:
+//
+//	dst.F += src.F            (any op-assignment)
+//	dst.F = dst.F <op> src.F  (self-combining plain assignment, e.g. ||)
+//
+// where dst and src are distinct values of guarded types and F is the
+// same field on both.
+func checkMergeAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+	if !ok || !isGuardedMergeType(pass.TypeOf(lhs.X)) {
+		return
+	}
+	field := lhs.Sel.Name
+	lhsBase := types.ExprString(lhs.X)
+
+	selfCombining := as.Tok != token.ASSIGN
+	if as.Tok == token.ASSIGN {
+		// Plain assignment only counts when the RHS also reads dst.F —
+		// a pure copy is not a merge.
+		ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == field && types.ExprString(sel.X) == lhsBase &&
+				isGuardedMergeType(pass.TypeOf(sel.X)) {
+				selfCombining = true
+				return false
+			}
+			return true
+		})
+	}
+	if !selfCombining {
+		return
+	}
+
+	ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return true
+		}
+		if types.ExprString(sel.X) == lhsBase {
+			return true
+		}
+		if !isGuardedMergeType(pass.TypeOf(sel.X)) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"field-by-field merge of %s outside the type's Merge method; use Merge so new counters stay covered",
+			field)
+		return false
+	})
+}

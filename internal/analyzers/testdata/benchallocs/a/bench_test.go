@@ -1,0 +1,49 @@
+// Fixture for benchallocs: every Benchmark must call b.ReportAllocs()
+// somewhere in its body (sub-benchmark literals included).
+package a
+
+import "testing"
+
+func BenchmarkReported(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = make([]int, 8)
+	}
+}
+
+func BenchmarkMissing(b *testing.B) { // want `BenchmarkMissing never calls b\.ReportAllocs`
+	for i := 0; i < b.N; i++ {
+		_ = make([]int, 8)
+	}
+}
+
+// BenchmarkSubOnly reports through its sub-benchmarks; a call on any
+// *testing.B in the body counts.
+func BenchmarkSubOnly(b *testing.B) {
+	b.Run("sub", func(sb *testing.B) {
+		sb.ReportAllocs()
+		for i := 0; i < sb.N; i++ {
+			_ = make([]int, 8)
+		}
+	})
+}
+
+// BenchmarkDelegating fronts a shared helper with its own ReportAllocs,
+// the pattern the real distributed benchmarks use.
+func BenchmarkDelegating(b *testing.B) {
+	b.ReportAllocs()
+	runShared(b)
+}
+
+// runShared is not Benchmark-named: no obligation of its own.
+func runShared(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = make([]int, 8)
+	}
+}
+
+// BenchmarkDelegatingBare delegates without reporting: flagged, because
+// the check stays decidable one function at a time.
+func BenchmarkDelegatingBare(b *testing.B) { // want `BenchmarkDelegatingBare never calls b\.ReportAllocs`
+	runShared(b)
+}

@@ -1,0 +1,135 @@
+// Fixture checked under "mdjoin/internal/core", the package ctxpoll is
+// scoped to. It mirrors the executor's polling vocabulary: a local
+// ctxErr helper, scan*/eval* driver functions, and the channel pump and
+// drain idioms from the parallel sources.
+package core
+
+import (
+	"context"
+
+	"mdjoin/internal/table"
+)
+
+const cancelCheckInterval = 1024
+
+// ctxErr is the poll helper, as in the real package: any loop that calls
+// it (directly or through a closure that does) satisfies the contract.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// scanDetailUnpolled streams an unbounded iterator and never looks at the
+// context: a cancelled distributed caller keeps paying for the scan.
+func scanDetailUnpolled(it table.Iterator) (int, error) {
+	n := 0
+	for { // want `detail-scan loop never polls Options\.Ctx`
+		t, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if t == nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// scanDetailPolled is the sanctioned form of the same loop.
+func scanDetailPolled(ctx context.Context, it table.Iterator) (int, error) {
+	n := 0
+	for {
+		if n%cancelCheckInterval == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return n, err
+			}
+		}
+		t, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if t == nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// pumpRows consumes a row channel without polling; the obligation applies
+// to every function, not only scan*/eval* names, because channel receives
+// are unbounded waits.
+func pumpRows(rows chan table.Row) int {
+	n := 0
+	for row := range rows { // want `detail-scan loop never polls Options\.Ctx`
+		n += len(row)
+	}
+	return n
+}
+
+// evalSourceWorker polls through a local closure, the drainOnCancel
+// pattern from the parallel sources.
+func evalSourceWorker(ctx context.Context, rows chan table.Row) int {
+	n := 0
+	cancelled := func() bool {
+		return ctxErr(ctx) != nil
+	}
+	for row := range rows {
+		if cancelled() {
+			break
+		}
+		n += len(row)
+	}
+	// The post-cancellation drain unblocks the producer and must NOT
+	// poll; the empty `for range` body is the recognized idiom.
+	for range rows {
+	}
+	return n
+}
+
+// scanBlockUnpolled ranges a materialized []table.Row inside a driver
+// function without polling: flagged.
+func scanBlockUnpolled(block []table.Row) int {
+	n := 0
+	for _, t := range block { // want `detail-scan loop never polls Options\.Ctx`
+		n += len(t)
+	}
+	return n
+}
+
+// processTuple is a helper by naming convention: its row loop is driven
+// by a polling loop in the scan above it, so it carries no obligation.
+func processTuple(block []table.Row) int {
+	n := 0
+	for _, t := range block {
+		n += len(t)
+	}
+	return n
+}
+
+// scanBatched shows the bounded-inner-loop exemption: the outer loop
+// polls every iteration, so the per-batch fill loop it bounds is fine.
+func scanBatched(ctx context.Context, it table.Iterator, batch int) (int, error) {
+	n := 0
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return n, err
+		}
+		for i := 0; i < batch; i++ {
+			t, err := it.Next()
+			if err != nil {
+				return n, err
+			}
+			if t == nil {
+				return n, nil
+			}
+			n++
+		}
+	}
+}

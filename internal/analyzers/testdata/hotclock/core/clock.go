@@ -1,0 +1,59 @@
+// Fixture checked under "mdjoin/internal/core" for hotclock's
+// zero-overhead-when-disabled contract: the clock may only run under a
+// stats-enabled guard.
+package core
+
+import "time"
+
+type Stats struct {
+	BaseNs int64
+}
+
+type Options struct {
+	Stats *Stats
+}
+
+func work() {}
+
+// evalSingleGuarded mirrors the sanctioned pattern from the real
+// evalSingle: both clock touches sit under `opt.Stats != nil`.
+func evalSingleGuarded(opt Options) {
+	var mark time.Time
+	if opt.Stats != nil {
+		mark = time.Now()
+	}
+	work()
+	if opt.Stats != nil {
+		opt.Stats.BaseNs += int64(time.Since(mark))
+	}
+}
+
+// evalSingleUnguarded reads the clock unconditionally: the disabled path
+// pays a vDSO hit per call.
+func evalSingleUnguarded(opt Options) {
+	mark := time.Now() // want `time\.Now on a hot path without a stats-enabled guard`
+	work()
+	if opt.Stats != nil {
+		opt.Stats.BaseNs += int64(time.Since(mark))
+	}
+}
+
+// chunkEvalTimed shows the boolean-flag guard available to internal/expr
+// and internal/agg, which cannot import core's Stats.
+func chunkEvalTimed(statsEnabled bool) int64 {
+	var start time.Time
+	if statsEnabled {
+		start = time.Now()
+	}
+	work()
+	var ns int64
+	if statsEnabled {
+		ns = int64(time.Since(start))
+	}
+	return ns
+}
+
+// timeBoth times unconditionally with time.Since: flagged too.
+func timeBoth(start time.Time) int64 {
+	return int64(time.Since(start)) // want `time\.Since on a hot path without a stats-enabled guard`
+}

@@ -1,0 +1,67 @@
+// Fixture for sharedstats: imports the real core package, so the flagged
+// values carry the real *core.Stats type identity.
+package a
+
+import (
+	"sync"
+
+	"mdjoin/internal/core"
+)
+
+type options struct {
+	Stats *core.Stats
+}
+
+// askOnceOld replays the pre-PR 4 scatter race: every goroutine shares
+// the caller's Stats pointer, racing its unlocked counters.
+func askOnceOld(st *core.Stats, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(s *core.Stats) {
+			defer wg.Done()
+			s.DetailScans++
+		}(st) // want `\*core\.Stats st passed to a goroutine`
+	}
+	wg.Wait()
+}
+
+// captureShared hands the same pointer over by closure capture instead.
+func captureShared(opt options, done chan struct{}) {
+	go func() {
+		opt.Stats.TuplesScanned++ // want `\*core\.Stats opt\.Stats captured by a goroutine literal`
+		close(done)
+	}()
+}
+
+// The worker idioms the executor actually uses stay legal:
+
+// perWorkerPrivate gives each goroutine a fresh element of a caller-owned
+// slice (&stats[wi] is not a shared pointer) and only reads opt.Stats in
+// the documented nil check; the fold happens afterwards via Merge.
+func perWorkerPrivate(opt options, workers int) {
+	stats := make([]core.Stats, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(st *core.Stats) {
+			defer wg.Done()
+			if opt.Stats != nil {
+				st.DetailScans++
+			}
+		}(&stats[wi])
+	}
+	wg.Wait()
+	for wi := range stats {
+		opt.Stats.Merge(&stats[wi])
+	}
+}
+
+// workerLocal allocates its private tree inside the goroutine.
+func workerLocal(done chan *core.Stats) {
+	go func() {
+		st := &core.Stats{}
+		st.DetailScans++
+		done <- st
+	}()
+}

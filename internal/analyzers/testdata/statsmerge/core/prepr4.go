@@ -1,0 +1,43 @@
+package core
+
+// evalParallelBaseOld replays the pre-PR 4 fold verbatim: every parallel
+// call site hand-copied worker counters into the caller's Stats, and
+// counters missing from the hand-written list (Batches, ChunksPrebuilt)
+// silently dropped out of parallel runs. statsmerge must flag every
+// combining line — reintroducing this code fails the build.
+func evalParallelBaseOld(dst *Stats, workers []Stats) {
+	for i := range workers {
+		src := &workers[i]
+		dst.DetailScans += src.DetailScans                               // want `field-by-field merge of DetailScans outside the type's Merge method`
+		dst.TuplesScanned += src.TuplesScanned                           // want `field-by-field merge of TuplesScanned outside the type's Merge method`
+		dst.Phases.Evals += src.Phases.Evals                             // want `field-by-field merge of Evals outside the type's Merge method`
+		dst.Phases.BaseNs += src.Phases.BaseNs                           // want `field-by-field merge of BaseNs outside the type's Merge method`
+		dst.UsedBatchedPath = dst.UsedBatchedPath || src.UsedBatchedPath // want `field-by-field merge of UsedBatchedPath outside the type's Merge method`
+	}
+}
+
+// The shapes below are all legal: none of them silently narrows a fold.
+
+// snapshotStats is a pure copy, not a merge — the RHS never reads the
+// destination's own field.
+func snapshotStats(dst, src *Stats) {
+	dst.DetailScans = src.DetailScans
+	dst.TuplesScanned = src.TuplesScanned
+}
+
+// recordScan increments a single tree in place; recorders are how
+// counters get their values in the first place.
+func recordScan(s *Stats, tuples int) {
+	if s == nil {
+		return
+	}
+	s.DetailScans++
+	s.TuplesScanned += tuples
+}
+
+// unrelated types with identical field names stay out of scope.
+type tally struct{ DetailScans int }
+
+func mergeTallies(dst, src *tally) {
+	dst.DetailScans += src.DetailScans
+}

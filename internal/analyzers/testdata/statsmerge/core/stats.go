@@ -1,0 +1,41 @@
+// Fixture checked under the import path "mdjoin/internal/core": the
+// Stats and PhaseStats declared here ARE the guarded types to the
+// analyzers, so the pre-PR 4 bug can be replayed without touching the
+// real package.
+package core
+
+type PhaseStats struct {
+	Evals  int
+	BaseNs int64
+}
+
+type Stats struct {
+	DetailScans     int
+	TuplesScanned   int
+	Batches         int
+	ChunksPrebuilt  int
+	Phases          PhaseStats
+	UsedBatchedPath bool
+}
+
+// Merge is the sanctioned fold: field-by-field combination inside a
+// method on the guarded type is its job, not a finding.
+func (s *Stats) Merge(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	s.DetailScans += o.DetailScans
+	s.TuplesScanned += o.TuplesScanned
+	s.Batches += o.Batches
+	s.ChunksPrebuilt += o.ChunksPrebuilt
+	s.Phases.Merge(&o.Phases)
+	s.UsedBatchedPath = s.UsedBatchedPath || o.UsedBatchedPath
+}
+
+func (p *PhaseStats) Merge(o *PhaseStats) {
+	if p == nil || o == nil {
+		return
+	}
+	p.Evals += o.Evals
+	p.BaseNs += o.BaseNs
+}

@@ -1,0 +1,41 @@
+// Fixture checked under "mdjoin/internal/distributed": Report and
+// SiteReport declared here are the guarded distributed metrics types.
+package distributed
+
+type SiteReport struct {
+	Site     string
+	Attempts int
+	Rows     int
+}
+
+type Report struct {
+	Retries int
+	Sites   []SiteReport
+}
+
+// Merge is the sanctioned fold.
+func (r *Report) Merge(o *Report) {
+	if r == nil || o == nil {
+		return
+	}
+	r.Retries += o.Retries
+	r.Sites = append(r.Sites, o.Sites...)
+}
+
+// MergeSite on the guarded type may combine fields directly.
+func (s *SiteReport) MergeSite(o *SiteReport) {
+	s.Attempts += o.Attempts
+	s.Rows += o.Rows
+}
+
+// foldSiteByHand re-creates the drift hazard at the distributed layer:
+// flagged so retry accounting cannot fork from SiteReport's own fold.
+func foldSiteByHand(dst, src *SiteReport) {
+	dst.Attempts += src.Attempts // want `field-by-field merge of Attempts outside the type's Merge method`
+	dst.Rows += src.Rows         // want `field-by-field merge of Rows outside the type's Merge method`
+}
+
+// foldReportByHand shows the top-level type is guarded too.
+func foldReportByHand(dst, src *Report) {
+	dst.Retries += src.Retries // want `field-by-field merge of Retries outside the type's Merge method`
+}

@@ -216,7 +216,13 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 			return
 		}
 		defer it.Close()
-		for {
+		for n := 0; ; n++ {
+			if n%cancelCheckInterval == 0 {
+				if err := ctxErr(opt.Ctx); err != nil {
+					readErr <- err
+					return
+				}
+			}
 			t, err := it.Next()
 			if err == io.EOF {
 				readErr <- nil

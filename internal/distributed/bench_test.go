@@ -43,5 +43,5 @@ func benchScatter(b *testing.B, withPolicy bool) {
 	}
 }
 
-func BenchmarkScatterFragmentsBare(b *testing.B)   { benchScatter(b, false) }
-func BenchmarkScatterFragmentsPolicy(b *testing.B) { benchScatter(b, true) }
+func BenchmarkScatterFragmentsBare(b *testing.B)   { b.ReportAllocs(); benchScatter(b, false) }
+func BenchmarkScatterFragmentsPolicy(b *testing.B) { b.ReportAllocs(); benchScatter(b, true) }

@@ -10,8 +10,8 @@ import (
 func batchFixture(t *testing.T) (*Binding, []table.Row) {
 	t.Helper()
 	b := NewBinding()
-	b.AddRel(table.SchemaOf("g"), "b")        // slot 0: pinned
-	b.AddRel(table.SchemaOf("x", "f"), "r")   // slot 1: varies over the batch
+	b.AddRel(table.SchemaOf("g"), "b")      // slot 0: pinned
+	b.AddRel(table.SchemaOf("x", "f"), "r") // slot 1: varies over the batch
 	rng := rand.New(rand.NewSource(21))
 	batch := make([]table.Row, 100)
 	for i := range batch {

@@ -1,0 +1,51 @@
+package sqlext
+
+import "testing"
+
+// Native fuzz target for the SQL front end: whatever bytes arrive, Parse
+// must either return an error or a Query that Translate can consume
+// without panicking. Seeds cover the dialect's surface (grouping
+// variables, cube/rollup/grouping sets, having, order/limit) and the
+// malformed shapes from TestParseErrors, so the mutator starts inside
+// the grammar rather than at random ASCII. Run continuously with
+//
+//	go test ./internal/sqlext -fuzz FuzzParseTranslate
+//
+// or for the CI smoke slice, make fuzz-smoke.
+func FuzzParseTranslate(f *testing.F) {
+	seeds := []string{
+		"select cust, sum(sale) as total, count(*) as n from Sales group by cust",
+		"select prod, month, state, sum(sale) as total from Sales analyze by cube(prod, month, state)",
+		"select prod, month, sum(sale) as total from Sales analyze by rollup(prod, month)",
+		"select prod, state, count(*) as n from Sales analyze by grouping sets ((prod), (state))",
+		"select cust, sum(X.sale) as x_total from Sales group by cust : X such that X.cust = cust and X.state = 'NY'",
+		"select cust, sum(R.sale) from Sales group by cust : R such that R.cust = cust",
+		"select cust, sum(sale) as total from Sales group by cust having sum(sale) > 90",
+		"select cust, sum(sale) as total from Sales group by cust order by total desc limit 2",
+		"select cust from Sales where sale between 10 and 20 group by cust",
+		"select cust from Sales where not (sale < 5) and (state = 'NY' or state = 'NJ') group by cust",
+		"select cust from Sales where sale + 1 * 2 > 3 group by cust",
+		// Malformed shapes: the error paths must stay panic-free too.
+		"select",
+		"select from Sales",
+		"select x from Sales where",
+		"select sum(sale from Sales",
+		"select x from Sales such that",
+		"select x from Sales where 'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input; the only contract is no panic
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned nil query without error", src)
+		}
+		// Translation of any accepted query must not panic; returning an
+		// error (unknown aggregate, unbound variable, ...) is fine.
+		_, _ = Translate(q)
+	})
+}

@@ -1,0 +1,70 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native fuzz target for the CSV loader: any byte string must either be
+// rejected with an error or produce a structurally sound table whose
+// WriteCSV output loads back with the same shape. Values are not
+// compared — ParseValue narrows on re-read by design ("1" written from a
+// string cell loads as an int, NaN never equals itself) — the round-trip
+// contract is schema and row count. Run continuously with
+//
+//	go test ./internal/table -fuzz FuzzReadCSV
+//
+// or for the CI smoke slice, make fuzz-smoke.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("cust,prod,sale\nc1,p1,10\nc2,p2,3.5\n")
+	f.Add("a,b\n1,2\nNULL,ALL\n")
+	f.Add("x\ntrue\nfalse\n'quoted'\n")
+	f.Add("a,a\n1,2\n")             // duplicate column names
+	f.Add("\"a,b\",c\n\"1,5\",2\n") // quoted separators
+	f.Add("a,b\n1\n")               // width mismatch: must error
+	f.Add("a;b\n1;2\n")             // no commas: one wide column
+	f.Add("")                       // empty: header read must error
+	f.Add("a,b\r\n1,2\r\n")         // CRLF
+	f.Add("héllo,wörld\n\"multi\nline\",x\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejected input; the only contract is no panic
+		}
+		width := tab.Schema.Len()
+		if width == 0 {
+			t.Fatalf("accepted CSV produced an empty schema")
+		}
+		for i, r := range tab.Rows {
+			if len(r) != width {
+				t.Fatalf("row %d has %d fields, schema has %d", i, len(r), width)
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tab); err != nil {
+			t.Fatalf("WriteCSV of a loaded table failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written CSV failed: %v", err)
+		}
+		if got, want := back.Schema.Len(), width; got != want {
+			t.Fatalf("round-trip schema width %d, want %d", got, want)
+		}
+		for i, name := range tab.Schema.Names() {
+			// encoding/csv normalizes \r\n to \n inside quoted fields, so
+			// compare names modulo that rewrite.
+			want := strings.ReplaceAll(name, "\r\n", "\n")
+			got := back.Schema.Names()[i]
+			if !strings.EqualFold(got, want) {
+				t.Fatalf("round-trip column %d name %q, want %q", i, got, want)
+			}
+		}
+		if back.Len() != tab.Len() {
+			t.Fatalf("round-trip row count %d, want %d", back.Len(), tab.Len())
+		}
+	})
+}
