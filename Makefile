@@ -11,7 +11,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt lint vet build test race race-metrics bench bench-guard fuzz-smoke
+.PHONY: check fmt lint vet build test race race-metrics bench bench-guard fuzz-smoke serve-smoke
 
 check: fmt lint build test race race-metrics
 
@@ -61,6 +61,15 @@ bench: bench-guard
 
 bench-guard:
 	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestStatsOverheadGuard' -count=1 -v .
+	MDJOIN_BENCH_GUARD=1 $(GO) test ./internal/server -run TestServerOverheadGuard -count=1 -v
+
+# End-to-end smoke of the mdserve lifecycle with the real binaries:
+# build, serve generated Sales data, query (plain and EXPLAIN ANALYZE)
+# through `mdq -server`, then SIGTERM with queries in flight and assert
+# a clean drain. The in-process torture suite lives in internal/server;
+# this target covers what httptest cannot — sockets, signals, processes.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Short coverage-guided runs of each native fuzz target (the same
 # harnesses run indefinitely with `go test -fuzz ...`). One target per

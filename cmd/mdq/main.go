@@ -1,36 +1,46 @@
 // Command mdq runs analyze-by dialect queries (Section 5 of the paper)
-// against CSV files.
+// against CSV files, either locally or through a running mdserve.
 //
 // Usage:
 //
 //	mdq -q "select cust, sum(sale) as total from Sales group by cust" Sales=sales.csv
 //	mdq -f query.sql Sales=sales.csv Payments=payments.csv
 //	mdq -explain -q "..." Sales=sales.csv
+//	mdq -server http://localhost:8080 -q "..."
+//	mdq -server http://localhost:8080 -analyze -q "..." Sales=sales.csv
 //
 // Each positional argument binds a relation name to a CSV file (the first
 // record is the header). Results print as an aligned grid; -csv emits CSV
-// instead.
+// instead. With -server the query is sent to an mdserve instance: any
+// NAME=FILE.csv arguments are uploaded first (PUT /tables/{name}), then
+// the query runs remotely with the deadline from -timeout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"mdjoin"
 )
 
 func main() {
 	var (
-		query   = flag.String("q", "", "query text")
-		file    = flag.String("f", "", "file containing the query")
-		explain = flag.Bool("explain", false, "print the logical and optimized plans instead of executing")
-		analyze = flag.Bool("analyze", false, "execute and print the plan annotated with runtime counters (EXPLAIN ANALYZE)")
-		asCSV   = flag.Bool("csv", false, "emit the result as CSV")
+		query     = flag.String("q", "", "query text")
+		file      = flag.String("f", "", "file containing the query")
+		explain   = flag.Bool("explain", false, "print the logical and optimized plans instead of executing")
+		analyze   = flag.Bool("analyze", false, "execute and print the plan annotated with runtime counters (EXPLAIN ANALYZE)")
+		asCSV     = flag.Bool("csv", false, "emit the result as CSV")
+		serverURL = flag.String("server", "", "mdserve base URL; run the query remotely instead of loading CSVs locally")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline to request from the server (0 = server default)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mdq [-explain|-analyze] [-csv] (-q QUERY | -f FILE) NAME=FILE.csv ...\n")
+		fmt.Fprintf(os.Stderr, "usage: mdq [-server URL] [-explain|-analyze] [-csv] (-q QUERY | -f FILE) NAME=FILE.csv ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,6 +56,14 @@ func main() {
 	if src == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *serverURL != "" {
+		if *explain {
+			fatal(fmt.Errorf("-explain is local-only; use -analyze against a server"))
+		}
+		runRemote(strings.TrimRight(*serverURL, "/"), src, flag.Args(), *analyze, *asCSV, *timeout)
+		return
 	}
 
 	if *explain {
@@ -93,6 +111,97 @@ func main() {
 		return
 	}
 	fmt.Print(out)
+}
+
+// runRemote executes the query through an mdserve instance: uploads any
+// NAME=FILE.csv bindings, then POSTs the query. Plain results come back
+// as CSV (rendered as a grid unless -csv); -analyze requests the JSON
+// envelope and prints the annotated plan.
+func runRemote(base, src string, bindings []string, analyze, asCSV bool, timeout time.Duration) {
+	client := &http.Client{}
+	for _, arg := range bindings {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad table binding %q (want NAME=FILE.csv)", arg))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, base+"/tables/"+name, f)
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		resp, err := client.Do(req)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("uploading %s: %w", name, err))
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("uploading %s: %s", name, serverError(resp)))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	params := []string{}
+	if timeout > 0 {
+		params = append(params, "timeout="+timeout.String())
+	}
+	if analyze {
+		params = append(params, "analyze=1")
+	} else {
+		params = append(params, "format=csv")
+	}
+	url := base + "/query?" + strings.Join(params, "&")
+	resp, err := client.Post(url, "text/plain", strings.NewReader(src))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("server: %s", serverError(resp)))
+	}
+
+	if analyze {
+		var envelope struct {
+			Analyze string `json:"analyze"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			fatal(fmt.Errorf("decoding response: %w", err))
+		}
+		fmt.Println(envelope.Analyze)
+		return
+	}
+	if asCSV {
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	out, err := mdjoin.ReadCSV(resp.Body)
+	if err != nil {
+		fatal(fmt.Errorf("decoding result: %w", err))
+	}
+	fmt.Print(out)
+}
+
+// serverError renders an mdserve error response (the JSON envelope when
+// present, the raw body otherwise).
+func serverError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var envelope struct {
+		RequestID string `json:"request_id"`
+		Error     string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err == nil && envelope.Error != "" {
+		if envelope.RequestID != "" {
+			return fmt.Sprintf("%s (status %d, request %s)", envelope.Error, resp.StatusCode, envelope.RequestID)
+		}
+		return fmt.Sprintf("%s (status %d)", envelope.Error, resp.StatusCode)
+	}
+	return fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 }
 
 func fatal(err error) {

@@ -1,0 +1,149 @@
+// Command mdserve serves analyze-by dialect queries over HTTP with the
+// hardening layers of internal/server: per-query deadlines, admission
+// control over a server-wide memory pool, per-request panic isolation,
+// and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	mdserve -addr :8080 Sales=sales.csv Payments=payments.csv
+//
+// Each positional argument preloads a relation from CSV; further tables
+// can be registered at runtime with PUT /tables/{name}. Queries go to
+// /query (?q= on GET, text body on POST) with optional ?timeout=,
+// ?analyze=1, ?stats=1, and ?format=csv. /healthz is liveness, /readyz
+// flips to 503 once a drain begins, /stats reports admission and cache
+// counters.
+//
+// On the first SIGTERM or SIGINT the server stops admitting queries,
+// waits up to -drain-timeout for in-flight ones, cancels stragglers, and
+// exits; a second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mdjoin/internal/server"
+	"mdjoin/internal/table"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxConc      = flag.String("max-concurrent", "8", "maximum concurrently executing queries")
+		budget       = flag.String("memory-budget", "0", "server-wide aggregate-state pool in bytes (suffixes K/M/G; 0 = unbounded)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout=")
+		admitWait    = flag.Duration("admit-wait", 100*time.Millisecond, "how long an un-admittable query queues before 429")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight queries on shutdown")
+		maxRows      = flag.Int("max-response-rows", 1_000_000, "result-size cap (413 beyond)")
+		cacheSize    = flag.Int("plan-cache", 128, "prepared-plan LRU capacity")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mdserve [flags] [NAME=FILE.csv ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	conc, err := strconv.Atoi(*maxConc)
+	if err != nil || conc < 1 {
+		log.Fatalf("mdserve: bad -max-concurrent %q", *maxConc)
+	}
+	pool, err := parseBytes(*budget)
+	if err != nil {
+		log.Fatalf("mdserve: bad -memory-budget %q: %v", *budget, err)
+	}
+
+	s := server.New(server.Config{
+		MaxConcurrent:     conc,
+		MemoryBudgetBytes: pool,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		AdmitWait:         *admitWait,
+		DrainTimeout:      *drainTimeout,
+		MaxResponseRows:   *maxRows,
+		PlanCacheSize:     *cacheSize,
+	})
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			log.Fatalf("mdserve: bad table binding %q (want NAME=FILE.csv)", arg)
+		}
+		t, err := table.ReadCSVFile(path)
+		if err != nil {
+			log.Fatalf("mdserve: loading %s: %v", path, err)
+		}
+		s.RegisterTable(name, t)
+		log.Printf("mdserve: registered %s (%d rows)", name, t.Len())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("mdserve: serving on %s (concurrency %d, pool %d bytes, per-query budget %d bytes)",
+		*addr, conc, pool, s.QueryBudgetBytes())
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("mdserve: %v", err)
+	case got := <-sig:
+		log.Printf("mdserve: %v: draining (grace %v)", got, *drainTimeout)
+	}
+
+	// A second signal forces exit without waiting for the drain.
+	go func() {
+		got := <-sig
+		log.Fatalf("mdserve: %v during drain: aborting", got)
+	}()
+
+	cancelled, err := s.Drain(context.Background())
+	if err != nil {
+		log.Printf("mdserve: drain: %v", err)
+	}
+	if cancelled > 0 {
+		log.Printf("mdserve: drain cancelled %d in-flight queries", cancelled)
+	} else {
+		log.Printf("mdserve: drained cleanly")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("mdserve: shutdown: %v", err)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// parseBytes parses a byte count with optional K/M/G (binary) suffix.
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size")
+	}
+	return n * mult, nil
+}

@@ -12,6 +12,9 @@
 //     zero-overhead-when-disabled contract.
 //   - benchallocs: benchmarks without b.ReportAllocs() hide allocation
 //     regressions from the bench guards.
+//   - reqctx:      request-path code in internal/server must derive its
+//     contexts from r.Context() or deadlines, disconnects, and drain
+//     cancellation stop propagating.
 package analyzers
 
 import "mdjoin/internal/analysis"
@@ -19,11 +22,12 @@ import "mdjoin/internal/analysis"
 // Import paths the invariants anchor on. Fixture packages masquerade
 // under the same paths, so matching is plain equality/suffix on these.
 const (
-	corePath  = "mdjoin/internal/core"
-	distPath  = "mdjoin/internal/distributed"
-	exprPath  = "mdjoin/internal/expr"
-	aggPath   = "mdjoin/internal/agg"
-	tablePath = "mdjoin/internal/table"
+	corePath   = "mdjoin/internal/core"
+	distPath   = "mdjoin/internal/distributed"
+	exprPath   = "mdjoin/internal/expr"
+	aggPath    = "mdjoin/internal/agg"
+	tablePath  = "mdjoin/internal/table"
+	serverPath = "mdjoin/internal/server"
 )
 
 // All returns every mdlint analyzer in reporting order.
@@ -34,5 +38,6 @@ func All() []*analysis.Analyzer {
 		CtxPoll,
 		HotClock,
 		BenchAllocs,
+		ReqCtx,
 	}
 }

@@ -37,3 +37,7 @@ func TestHotClock(t *testing.T) {
 func TestBenchAllocs(t *testing.T) {
 	analysistest.Run(t, BenchAllocs, filepath.Join("testdata", "benchallocs", "a"), "mdjoin/fixtures/benchallocs")
 }
+
+func TestReqCtx(t *testing.T) {
+	analysistest.Run(t, ReqCtx, filepath.Join("testdata", "reqctx", "server"), serverPath)
+}

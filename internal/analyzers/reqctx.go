@@ -1,0 +1,137 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mdjoin/internal/analysis"
+)
+
+// ReqCtx enforces mdserve's deadline-propagation contract: every context
+// used on a request path must descend from r.Context(). The serving
+// layers (internal/server) exist to make deadlines, client disconnects,
+// and drain cancellation flow into Options.Ctx; a handler that builds
+// its context from context.Background()/TODO() silently detaches the
+// query from all three — it keeps scanning after the client is gone and
+// blocks graceful drain until its own timer fires, which is exactly the
+// failure mode the torture tests pin down.
+//
+// Mechanics. A function is on the request path when it has an
+// *http.Request parameter (handlers and the helpers they thread the
+// request through). Inside such functions — closures included — the
+// analyzer flags:
+//
+//   - any call to context.Background() or context.TODO(), and
+//   - context.WithCancel/WithDeadline/WithTimeout in a function that
+//     never touches the request's Context() — deriving a fresh context
+//     tree instead of extending the request's.
+//
+// Lifecycle code without an *http.Request in scope (server construction,
+// Drain, signal handling) legitimately owns root contexts and is out of
+// scope by design.
+var ReqCtx = &analysis.Analyzer{
+	Name: "reqctx",
+	Doc: "flags request-path code in internal/server that uses " +
+		"context.Background()/TODO() or derives contexts without " +
+		"r.Context(), so per-query deadlines, client disconnects, and " +
+		"drain cancellation keep propagating into Options.Ctx",
+	Match: func(pkgPath string) bool { return analysis.PathHasSuffix(pkgPath, "internal/server") },
+	Run:   runReqCtx,
+}
+
+func runReqCtx(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasRequestParam(pass, fd.Type) {
+				continue
+			}
+			usesRequestCtx := callsRequestContext(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch contextCallName(pass, call) {
+				case "Background", "TODO":
+					pass.Reportf(call.Pos(), "request path builds context.%s; derive from r.Context() so deadlines, disconnects, and drain cancellation propagate", contextCallName(pass, call))
+				case "WithCancel", "WithDeadline", "WithTimeout":
+					// A Background/TODO parent is already reported at the
+					// inner call; one finding per detachment.
+					if !usesRequestCtx && !parentIsFreshContext(pass, call) {
+						pass.Reportf(call.Pos(), "request path derives a context without r.Context(); the query detaches from the request's deadline and drain cancellation")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasRequestParam reports whether the signature carries an *http.Request.
+func hasRequestParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, fld := range ft.Params.List {
+		if analysis.IsNamed(pass.TypeOf(fld.Type), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRequestContext reports whether the body calls Context() on an
+// *http.Request-typed receiver anywhere.
+func callsRequestContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			return true
+		}
+		if analysis.IsNamed(pass.TypeOf(sel.X), "net/http", "Request") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// parentIsFreshContext reports whether the With* call's parent argument
+// is a direct context.Background()/TODO() call.
+func parentIsFreshContext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := contextCallName(pass, inner)
+	return name == "Background" || name == "TODO"
+}
+
+// contextCallName returns the function name when call is a selector into
+// the context package ("Background", "WithTimeout", ...), else "".
+func contextCallName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	pn, ok := obj.(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,72 @@
+// Fixture checked under "mdjoin/internal/server", the package reqctx is
+// scoped to. It mirrors the serving vocabulary: handler methods with
+// (http.ResponseWriter, *http.Request) signatures, request-threading
+// helpers, and the lifecycle functions that legitimately own root
+// contexts.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type server struct {
+	baseCtx context.Context
+}
+
+func run(ctx context.Context) {}
+
+// handleGood is the sanctioned shape: the query context descends from
+// r.Context(), so the client's deadline and the drain cancellation both
+// propagate into the executor.
+func (s *server) handleGood(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	run(ctx)
+}
+
+// handleDetached builds the query context from Background: the query
+// outlives the client and stalls graceful drain.
+func (s *server) handleDetached(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `request path builds context\.Background`
+	defer cancel()
+	run(ctx)
+}
+
+// handleTODO parks the request on a placeholder context.
+func (s *server) handleTODO(w http.ResponseWriter, r *http.Request) {
+	run(context.TODO()) // want `request path builds context\.TODO`
+}
+
+// handleServerRooted derives from the server's lifecycle context instead
+// of the request's: drain cancellation works, the client deadline and
+// disconnect do not.
+func (s *server) handleServerRooted(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(s.baseCtx) // want `request path derives a context without r\.Context\(\)`
+	defer cancel()
+	run(ctx)
+}
+
+// handleClosureDetached hides the detachment inside a closure; the
+// request path includes the handler's function literals.
+func (s *server) handleClosureDetached(w http.ResponseWriter, r *http.Request) {
+	go func() {
+		run(context.Background()) // want `request path builds context\.Background`
+	}()
+}
+
+// helperWithRequest threads the request like readQueryText does; it is
+// on the request path even without a ResponseWriter.
+func helperWithRequest(r *http.Request, d time.Duration) context.Context {
+	ctx, _ := context.WithTimeout(context.Background(), d) // want `request path builds context\.Background`
+	return ctx
+}
+
+// drain is lifecycle code: no *http.Request in scope, so owning a root
+// context is its job, not a finding.
+func (s *server) drain() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	run(ctx)
+}

@@ -1,0 +1,31 @@
+package core
+
+// BudgetShare carves a per-query MemoryBudgetBytes out of a server-wide
+// aggregate-state pool shared by up to slots concurrent queries — the
+// admission-control arithmetic mdserve applies: every admitted query may
+// partition its MD-joins down to its share (Theorem 4.1's bounded-memory
+// evaluation), so the sum of in-flight budgets never exceeds the pool.
+//
+// The share is the pool divided evenly across the slots, floored at one
+// byte so MemoryBudgetBytes stays positive (baseRowsForBudget always
+// admits at least one base row per pass, so even a degenerate share
+// still evaluates — it just maximizes partition passes). A non-positive
+// pool means "no budget": the helper returns 0 and queries run
+// unbounded.
+func BudgetShare(poolBytes int64, slots int) int {
+	if poolBytes <= 0 {
+		return 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	share := poolBytes / int64(slots)
+	if share < 1 {
+		share = 1
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if share > int64(maxInt) {
+		return maxInt
+	}
+	return int(share)
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// Cancellation must not leak goroutines: when a query's context is
+// cancelled mid-scan, every worker and reader goroutine the parallel
+// strategies spawned has to exit. These tests pin that with a
+// before/after runtime.NumGoroutine bracket (settle loop, since workers
+// need a moment to observe the cancellation and unwind) around a
+// deterministic mid-scan cancellation: a gate aggregate blocks the scan
+// inside State.Add until the test has cancelled the context, so the
+// cancellation always lands while workers are mid-flight — never before
+// the scan starts or after it finished.
+
+// checkGoroutines snapshots the goroutine count and returns a closure
+// that fails the test if the count has not settled back by the deadline.
+func checkGoroutines(t *testing.T) func() {
+	t.Helper()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d goroutines, %d at start\n%s",
+					runtime.NumGoroutine(), base, buf[:n])
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// gateAgg is a test aggregate whose states block inside Add until the
+// gate opens, signalling entry exactly once — the hook that lets a test
+// cancel a context while the detail scan is provably in flight.
+type gateAgg struct {
+	name    string
+	entered chan struct{}
+	gate    chan struct{}
+	once    sync.Once
+}
+
+func newGateAgg(name string) *gateAgg {
+	g := &gateAgg{name: name, entered: make(chan struct{}), gate: make(chan struct{})}
+	agg.Register(g)
+	return g
+}
+
+func (g *gateAgg) Name() string                  { return g.name }
+func (g *gateAgg) NewState() agg.State           { return &gateState{g: g} }
+func (g *gateAgg) Reaggregate() (agg.Func, bool) { return nil, false }
+
+type gateState struct {
+	g *gateAgg
+	n int64
+}
+
+func (s *gateState) Add(table.Value) {
+	s.g.once.Do(func() { close(s.g.entered) })
+	<-s.g.gate
+	s.n++
+}
+func (s *gateState) Merge(o agg.State)   { s.n += o.(*gateState).n }
+func (s *gateState) Result() table.Value { return table.Int(s.n) }
+
+// gatePhases builds a single-phase MD-join over the gate aggregate.
+func gatePhases(g *gateAgg) []Phase {
+	return []Phase{{
+		Aggs:  []agg.Spec{agg.NewSpec(g.name, expr.QC("R", "v"), "gated")},
+		Theta: expr.Eq(expr.QC("R", "k"), expr.C("k")),
+	}}
+}
+
+// gateTables builds a small base (k ∈ 0..3) and detail (n rows round-robin
+// over the keys) for the gate fixture.
+func gateTables(n int) (*table.Table, *table.Table) {
+	base := table.New(table.SchemaOf("k"))
+	for k := 0; k < 4; k++ {
+		base.Append(table.Row{table.Int(int64(k))})
+	}
+	detail := table.New(table.SchemaOf("k", "v"))
+	for i := 0; i < n; i++ {
+		detail.Append(table.Row{table.Int(int64(i % 4)), table.Int(int64(i))})
+	}
+	return base, detail
+}
+
+// runGated launches eval in a goroutine, waits for the scan to enter the
+// gate, cancels the context, opens the gate, and returns eval's error.
+func runGated(t *testing.T, g *gateAgg, eval func(ctx context.Context) error) error {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- eval(ctx) }()
+	select {
+	case <-g.entered:
+	case err := <-done:
+		t.Fatalf("eval returned before the scan reached the gate: %v", err)
+	}
+	cancel()
+	close(g.gate)
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("eval did not return after cancellation")
+		return nil
+	}
+}
+
+func TestCancelMidParallelDetailNoLeak(t *testing.T) {
+	g := newGateAgg("testgate_pd")
+	base, detail := gateTables(64 * 1024)
+	settle := checkGoroutines(t)
+	err := runGated(t, g, func(ctx context.Context) error {
+		_, err := Eval(base, detail, gatePhases(g), Options{Ctx: ctx, DetailParallelism: 4})
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	settle()
+}
+
+func TestCancelMidSourceParallelDetailNoLeak(t *testing.T) {
+	g := newGateAgg("testgate_spd")
+	base, detail := gateTables(64 * 1024)
+	settle := checkGoroutines(t)
+	err := runGated(t, g, func(ctx context.Context) error {
+		_, err := EvalSource(base, table.NewTableSource(detail), gatePhases(g),
+			Options{Ctx: ctx, DetailParallelism: 4})
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	settle()
+}
+
+// TestCancelMidPartitionedNoLeak cancels inside the first partition pass
+// of a partitioned+parallel composition (Theorem 4.1 partitioning with
+// per-pass base parallelism), pinning that neither the pass's workers
+// nor any later pass survive the cancellation.
+func TestCancelMidPartitionedNoLeak(t *testing.T) {
+	g := newGateAgg("testgate_part")
+	base, detail := gateTables(64 * 1024)
+	settle := checkGoroutines(t)
+	err := runGated(t, g, func(ctx context.Context) error {
+		_, err := Eval(base, detail, gatePhases(g),
+			Options{Ctx: ctx, MaxBaseRows: 2, Parallelism: 2})
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	settle()
+}
+
+// TestCancelledContextFailsFast pins the fail-fast contract: an
+// already-cancelled Options.Ctx must abort Eval/EvalSource BEFORE phase
+// compilation and arena allocation. The phases deliberately contain an
+// unknown aggregate — if compilation ran first, the error would be the
+// compile error, not context.Canceled.
+func TestCancelledContextFailsFast(t *testing.T) {
+	base, detail := gateTables(8)
+	phases := []Phase{{
+		Aggs:  []agg.Spec{agg.NewSpec("no_such_aggregate", expr.QC("R", "v"), "x")},
+		Theta: expr.Eq(expr.QC("R", "k"), expr.C("k")),
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	stats := &Stats{}
+	if _, err := Eval(base, detail, phases, Options{Ctx: ctx, Stats: stats}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Eval: want context.Canceled before compile, got %v", err)
+	}
+	if stats.CompileNanos != 0 || stats.ArenaBytes != 0 {
+		t.Fatalf("fail-fast ran compile/allocation: compileNanos=%d arenaBytes=%d",
+			stats.CompileNanos, stats.ArenaBytes)
+	}
+	if _, err := EvalSource(base, table.NewTableSource(detail), phases, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalSource: want context.Canceled before compile, got %v", err)
+	}
+	// Sanity: with a live context the same phases do fail in compile.
+	if _, err := Eval(base, detail, phases, Options{}); err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("want compile error with live ctx, got %v", err)
+	}
+}
+
+func TestBudgetShare(t *testing.T) {
+	for _, tc := range []struct {
+		pool  int64
+		slots int
+		want  int
+	}{
+		{0, 8, 0},             // no pool → unbounded
+		{-5, 8, 0},            // negative pool → unbounded
+		{1 << 20, 8, 1 << 17}, // even carve
+		{1 << 20, 0, 1 << 20}, // degenerate slots clamp to 1
+		{7, 8, 1},             // floor at one byte
+	} {
+		if got := BudgetShare(tc.pool, tc.slots); got != tc.want {
+			t.Errorf("BudgetShare(%d, %d) = %d, want %d", tc.pool, tc.slots, got, tc.want)
+		}
+	}
+	// Shares of a pool never sum past the pool.
+	const pool, slots = 1<<30 + 12345, 7
+	if total := int64(BudgetShare(pool, slots)) * slots; total > pool {
+		t.Errorf("shares sum past the pool: %d > %d", total, pool)
+	}
+}

@@ -170,6 +170,14 @@ func Eval(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) 
 	if opt.Parallelism > 1 && opt.DetailParallelism > 1 {
 		return nil, fmt.Errorf("core: Parallelism and DetailParallelism are mutually exclusive")
 	}
+	// Fail fast on an already-cancelled context: a caller whose deadline
+	// has expired (a timed-out mdserve request, a distributed site whose
+	// caller gave up) must not pay for plan compilation, index builds, or
+	// arena allocation just to discover the cancellation on the first
+	// scan poll.
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, err
+	}
 	if opt.MaxBaseRows == 0 && opt.MemoryBudgetBytes > 0 {
 		opt.MaxBaseRows = baseRowsForBudget(b, phases, opt.MemoryBudgetBytes)
 	}

@@ -26,6 +26,11 @@ func EvalSource(b *table.Table, src table.Source, phases []Phase, opt Options) (
 	if opt.Parallelism > 1 && opt.DetailParallelism > 1 {
 		return nil, errConflictingParallelism()
 	}
+	// Fail fast before compile and arena allocation — same contract as
+	// Eval (see the comment there).
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, err
+	}
 	if opt.MaxBaseRows == 0 && opt.MemoryBudgetBytes > 0 {
 		opt.MaxBaseRows = baseRowsForBudget(b, phases, opt.MemoryBudgetBytes)
 	}

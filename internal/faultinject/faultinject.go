@@ -59,13 +59,21 @@ type Injector struct {
 	injected int
 }
 
+// New returns a standalone injector applying plan to successive
+// Intercept calls — for wrapping any evaluator-shaped function, not just
+// a distributed site. mdserve's torture tests use it to make the query
+// executor stall, fail, or panic on demand.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
 // Wrap installs plan around the site's current evaluator and returns the
 // injector for inspecting counters. Call before the site joins a cluster.
 func Wrap(s *distributed.Site, plan Plan) *Injector {
-	inj := &Injector{plan: plan}
+	inj := New(plan)
 	inner := s.Evaluator()
 	s.SetEvaluator(func(ctx context.Context, base *table.Table, phases []core.Phase, opt core.Options) (*table.Table, error) {
-		if err := inj.intercept(ctx); err != nil {
+		if err := inj.Intercept(ctx); err != nil {
 			return nil, err
 		}
 		return inner(ctx, base, phases, opt)
@@ -88,9 +96,10 @@ func (inj *Injector) Injected() int {
 	return inj.injected
 }
 
-// intercept applies the plan to one request; a nil return lets the real
-// evaluator run.
-func (inj *Injector) intercept(ctx context.Context) error {
+// Intercept applies the plan to one request; a nil return lets the real
+// evaluator run. It counts the request, then (in order) delays, stalls
+// or drops, fails, or panics per the plan.
+func (inj *Injector) Intercept(ctx context.Context) error {
 	inj.mu.Lock()
 	inj.requests++
 	n := inj.requests

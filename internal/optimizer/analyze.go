@@ -73,10 +73,29 @@ func instrument(p Plan) Plan {
 // ExplainAnalyze executes the plan against the catalog with instrumentation
 // and returns the annotated plan rendering together with the result table.
 func ExplainAnalyze(p Plan, cat Catalog) (string, *table.Table, error) {
+	return ExplainAnalyzeInto(p, cat, nil)
+}
+
+// ExplainAnalyzeInto is ExplainAnalyze with every instrumented MD-join's
+// metrics additionally merged into stats (when non-nil) — the per-query
+// Stats a serving layer returns alongside the annotated rendering.
+func ExplainAnalyzeInto(p Plan, cat Catalog, stats *core.Stats) (string, *table.Table, error) {
 	ip := instrument(p)
 	res, err := ip.Execute(cat)
 	if err != nil {
 		return "", nil, err
+	}
+	if stats != nil {
+		var rec func(Plan)
+		rec = func(n Plan) {
+			if a, ok := n.(*analyzed); ok && a.stats.MD != nil {
+				stats.Merge(a.stats.MD)
+			}
+			for _, c := range n.Children() {
+				rec(c)
+			}
+		}
+		rec(ip)
 	}
 	return formatAnalyzed(ip), res, nil
 }

@@ -1,0 +1,24 @@
+package optimizer
+
+import "mdjoin/internal/core"
+
+// WithExecOptions returns a copy of the plan tree with apply mapped over
+// every MDJoin node's Options. The input tree is never mutated, so a plan
+// held in a cache (sqlext.Prepared, mdserve's plan LRU) can be shared by
+// concurrent executions: each request clones the tree and stamps its own
+// per-request execution parameters — context, stats sink, memory budget —
+// onto the clone. Leaf nodes (Scan, Literal) are shared between the clone
+// and the original; they are read-only under Execute.
+func WithExecOptions(p Plan, apply func(core.Options) core.Options) Plan {
+	var rec func(Plan) Plan
+	rec = func(n Plan) Plan {
+		n = rewriteChildren(n, rec)
+		if m, ok := n.(*MDJoin); ok {
+			cp := *m
+			cp.Opt = apply(m.Opt)
+			return &cp
+		}
+		return n
+	}
+	return rec(p)
+}

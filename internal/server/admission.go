@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission errors, mapped to HTTP statuses by the query handler.
+var (
+	// ErrOverloaded means the bounded queue wait expired with no free
+	// slot or memory share — the query is shed (429 + Retry-After).
+	ErrOverloaded = errors.New("server: overloaded; admission wait exceeded")
+	// ErrBudgetTooLarge means a single query's memory budget exceeds the
+	// entire server-wide pool: it can never be admitted (413).
+	ErrBudgetTooLarge = errors.New("server: query memory budget exceeds the server-wide pool")
+)
+
+// admission is the server's admission controller: a counting semaphore
+// over concurrent queries plus a byte pool from which each admitted
+// query reserves its MemoryBudgetBytes — the server-side application of
+// Theorem 4.1's bounded-memory evaluation. A query that cannot get both
+// a slot and its byte share immediately waits (bounded) for releases,
+// then sheds. The pool guarantees by construction that the sum of
+// admitted budgets never exceeds the configured server-wide budget;
+// peakBytes records the high-water mark so tests can assert it.
+type admission struct {
+	maxSlots int
+	maxBytes int64 // 0 → slot-only admission, no byte accounting
+
+	mu        sync.Mutex
+	slots     int
+	bytes     int64 // free bytes of the pool
+	peakBytes int64
+	waitCh    chan struct{} // closed and replaced on every release
+}
+
+func newAdmission(slots int, poolBytes int64) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if poolBytes < 0 {
+		poolBytes = 0
+	}
+	return &admission{
+		maxSlots: slots,
+		maxBytes: poolBytes,
+		slots:    slots,
+		bytes:    poolBytes,
+		waitCh:   make(chan struct{}),
+	}
+}
+
+// acquire blocks until a concurrency slot and need bytes of the pool are
+// both available, waiting at most wait; the returned release is
+// idempotent. A ctx cancellation while queued returns ctx.Err() (the
+// query's deadline expired before it was admitted).
+func (a *admission) acquire(ctx context.Context, need int64, wait time.Duration) (release func(), err error) {
+	if need < 0 {
+		need = 0
+	}
+	if a.maxBytes > 0 && need > a.maxBytes {
+		return nil, ErrBudgetTooLarge
+	}
+	var timeout <-chan time.Time
+	for {
+		a.mu.Lock()
+		if a.slots > 0 && (a.maxBytes == 0 || a.bytes >= need) {
+			a.slots--
+			if a.maxBytes > 0 {
+				a.bytes -= need
+				if used := a.maxBytes - a.bytes; used > a.peakBytes {
+					a.peakBytes = used
+				}
+			}
+			a.mu.Unlock()
+			var once sync.Once
+			return func() { once.Do(func() { a.release(need) }) }, nil
+		}
+		ch := a.waitCh
+		a.mu.Unlock()
+		if timeout == nil {
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case <-ch:
+			// A release fired; retry.
+		case <-timeout:
+			return nil, ErrOverloaded
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (a *admission) release(need int64) {
+	a.mu.Lock()
+	a.slots++
+	if a.maxBytes > 0 {
+		a.bytes += need
+	}
+	close(a.waitCh)
+	a.waitCh = make(chan struct{})
+	a.mu.Unlock()
+}
+
+// usedBytes reports the bytes currently reserved by admitted queries.
+func (a *admission) usedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.maxBytes == 0 {
+		return 0
+	}
+	return a.maxBytes - a.bytes
+}
+
+// peak reports the high-water mark of reserved bytes.
+func (a *admission) peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peakBytes
+}
+
+// active reports how many slots are currently held.
+func (a *admission) active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.maxSlots - a.slots
+}

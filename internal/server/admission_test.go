@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, a *admission, need int64) func() {
+	t.Helper()
+	release, err := a.acquire(context.Background(), need, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("acquire(%d): %v", need, err)
+	}
+	return release
+}
+
+func TestAdmissionSlotsAndBytes(t *testing.T) {
+	a := newAdmission(2, 100)
+	r1 := mustAcquire(t, a, 50)
+	r2 := mustAcquire(t, a, 50)
+	if used := a.usedBytes(); used != 100 {
+		t.Errorf("used = %d, want 100", used)
+	}
+
+	// No slot and no bytes left: the bounded wait expires into shedding.
+	if _, err := a.acquire(context.Background(), 50, 10*time.Millisecond); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full acquire: err = %v, want ErrOverloaded", err)
+	}
+
+	r1()
+	r3 := mustAcquire(t, a, 50)
+	r2()
+	r3()
+	if used, active := a.usedBytes(), a.active(); used != 0 || active != 0 {
+		t.Errorf("after release: used = %d, active = %d, want 0/0", used, active)
+	}
+	if peak := a.peak(); peak != 100 {
+		t.Errorf("peak = %d, want 100", peak)
+	}
+}
+
+func TestAdmissionReleaseIsIdempotent(t *testing.T) {
+	a := newAdmission(1, 100)
+	release := mustAcquire(t, a, 100)
+	release()
+	release() // double release must not free a second slot or share
+	if used, active := a.usedBytes(), a.active(); used != 0 || active != 0 {
+		t.Errorf("after double release: used = %d, active = %d", used, active)
+	}
+	r := mustAcquire(t, a, 100)
+	if _, err := a.acquire(context.Background(), 100, 5*time.Millisecond); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("slot leaked by double release: err = %v", err)
+	}
+	r()
+}
+
+func TestAdmissionQueuedWaiterAdmitsOnRelease(t *testing.T) {
+	a := newAdmission(1, 0)
+	release := mustAcquire(t, a, 0)
+	got := make(chan error, 1)
+	go func() {
+		r, err := a.acquire(context.Background(), 0, 5*time.Second)
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never admitted after release")
+	}
+}
+
+func TestAdmissionCtxCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 0)
+	release := mustAcquire(t, a, 0)
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := a.acquire(ctx, 0, 10*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued cancel: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAdmissionPeakNeverExceedsPool hammers the pool from many
+// goroutines and asserts the invariant the carve exists for: the sum of
+// admitted budgets (tracked by the high-water mark) never passes the
+// pool.
+func TestAdmissionPeakNeverExceedsPool(t *testing.T) {
+	const (
+		pool  = 1000
+		slots = 4
+		need  = pool / slots
+	)
+	a := newAdmission(slots, pool)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.acquire(context.Background(), need, 10*time.Second)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			release()
+		}()
+	}
+	wg.Wait()
+	if used := a.usedBytes(); used != 0 {
+		t.Errorf("used after storm = %d, want 0", used)
+	}
+	if peak := a.peak(); peak <= 0 || peak > pool {
+		t.Errorf("peak = %d, want in (0, %d]", peak, pool)
+	}
+}

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mdjoin/internal/core"
+	"mdjoin/internal/sqlext"
+	"mdjoin/internal/table"
+)
+
+// queryResponse is the JSON envelope of a successful query.
+type queryResponse struct {
+	RequestID   string      `json:"request_id"`
+	Columns     []string    `json:"columns"`
+	Rows        [][]any     `json:"rows"`
+	RowCount    int         `json:"row_count"`
+	ElapsedMs   float64     `json:"elapsed_ms"`
+	CachedPlan  bool        `json:"cached_plan"`
+	BudgetBytes int         `json:"budget_bytes,omitempty"`
+	Stats       *core.Stats `json:"stats,omitempty"`
+	Analyze     string      `json:"analyze,omitempty"`
+}
+
+// errorResponse is the JSON envelope of a failed query.
+type errorResponse struct {
+	RequestID string `json:"request_id"`
+	Status    int    `json:"status"`
+	Error     string `json:"error"`
+}
+
+// panicError marks a recovered query panic so the status mapper can
+// distinguish "the executor blew up" (500, server's fault) from ordinary
+// query errors (400, client's fault).
+type panicError struct{ val any }
+
+func (e panicError) Error() string {
+	return fmt.Sprintf("query panicked: %v", e.val)
+}
+
+// handleQuery serves /query: the query text comes from ?q= (GET) or the
+// request body (POST); ?timeout= overrides the default deadline,
+// ?analyze=1 adds the EXPLAIN ANALYZE rendering, ?stats=1 adds the
+// merged per-query Stats, ?format=csv returns bare CSV instead of the
+// JSON envelope.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := s.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+
+	if s.draining.Load() {
+		s.refuse(w, id, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Register as in-flight before re-checking the drain flag: Drain's
+	// wait loop only sees queries that are already counted, so a query
+	// racing BeginDrain either rejects itself here or is waited for.
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	if s.draining.Load() {
+		s.refuse(w, id, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	src, ok := s.readQueryText(w, r, id)
+	if !ok {
+		return
+	}
+	params := r.URL.Query()
+	timeout, err := s.queryTimeout(params.Get("timeout"))
+	if err != nil {
+		s.refuse(w, id, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// The query context: the client connection (r.Context) bounded by the
+	// deadline, additionally cancelled when the drain deadline fires.
+	qctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	prep, cached, err := s.preparePlan(src)
+	if err != nil {
+		s.refuse(w, id, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	budget := s.QueryBudgetBytes()
+	release, err := s.adm.acquire(qctx, int64(budget), s.cfg.AdmitWait)
+	if err != nil {
+		s.refuseErr(w, id, err)
+		return
+	}
+	defer release()
+
+	analyze := isOn(params.Get("analyze"))
+	wantStats := analyze || isOn(params.Get("stats"))
+	stats := &core.Stats{}
+	opt := core.Options{MemoryBudgetBytes: budget}
+	if wantStats {
+		opt.Stats = stats
+	}
+
+	start := time.Now()
+	res, analyzeText, err := s.execute(qctx, prep, opt, analyze)
+	if err != nil {
+		s.refuseErr(w, id, err)
+		return
+	}
+	if res.Len() > s.cfg.MaxResponseRows {
+		s.refuse(w, id, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("result has %d rows, over the %d-row response limit; add a LIMIT clause", res.Len(), s.cfg.MaxResponseRows))
+		return
+	}
+
+	if params.Get("format") == "csv" && !analyze {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := table.WriteCSV(w, res); err != nil {
+			// Headers are gone; all we can do is abort the stream.
+			s.m.failed.Add(1)
+			return
+		}
+		s.m.served.Add(1)
+		return
+	}
+
+	resp := queryResponse{
+		RequestID:   id,
+		Columns:     res.Schema.Names(),
+		Rows:        jsonRows(res),
+		RowCount:    res.Len(),
+		ElapsedMs:   float64(time.Since(start).Microseconds()) / 1000,
+		CachedPlan:  cached,
+		BudgetBytes: budget,
+		Analyze:     analyzeText,
+	}
+	if wantStats {
+		resp.Stats = stats
+	}
+	s.m.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs the prepared query with per-request panic isolation: a
+// panicking aggregate or operator is recovered into a panicError so this
+// request answers 500 while every other request keeps running.
+func (s *Server) execute(ctx context.Context, prep *sqlext.Prepared, opt core.Options, analyze bool) (res *table.Table, analyzeText string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.m.panics.Add(1)
+			res, analyzeText, err = nil, "", panicError{val: p}
+		}
+	}()
+	if h := s.hook(); h != nil {
+		if err := h(ctx); err != nil {
+			return nil, "", err
+		}
+	}
+	cat := s.snapshot()
+	if analyze {
+		analyzeText, res, err = prep.ExplainAnalyzeContext(ctx, cat, opt)
+		return res, analyzeText, err
+	}
+	res, err = prep.ExecContext(ctx, cat, opt)
+	return res, "", err
+}
+
+// preparePlan resolves the query text through the plan LRU, compiling on
+// miss. The bool reports whether the plan came from the cache.
+func (s *Server) preparePlan(src string) (*sqlext.Prepared, bool, error) {
+	if prep, ok := s.plans.get(src); ok {
+		return prep, true, nil
+	}
+	prep, err := sqlext.Prepare(src)
+	if err != nil {
+		return nil, false, err
+	}
+	s.plans.put(src, prep)
+	return prep, false, nil
+}
+
+// readQueryText extracts the query: ?q= on GET, the body (size-capped)
+// on POST. On failure it writes the error response and returns ok=false.
+func (s *Server) readQueryText(w http.ResponseWriter, r *http.Request, id string) (string, bool) {
+	if r.Method == http.MethodGet {
+		src := r.URL.Query().Get("q")
+		if src == "" {
+			s.refuse(w, id, http.StatusBadRequest, "missing query: pass ?q= or POST the text")
+			return "", false
+		}
+		return src, true
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxQueryBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.refuse(w, id, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("query text exceeds the %d-byte limit", s.cfg.MaxQueryBytes))
+		} else {
+			s.refuse(w, id, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return "", false
+	}
+	if len(body) == 0 {
+		s.refuse(w, id, http.StatusBadRequest, "missing query: pass ?q= or POST the text")
+		return "", false
+	}
+	return string(body), true
+}
+
+// queryTimeout parses ?timeout= (a Go duration like "250ms", or a bare
+// number of milliseconds), clamped to (0, MaxTimeout]; empty means the
+// server default.
+func (s *Server) queryTimeout(raw string) (time.Duration, error) {
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		ms, merr := strconv.ParseInt(raw, 10, 64)
+		if merr != nil {
+			return 0, fmt.Errorf("bad timeout %q: want a duration like 250ms or a millisecond count", raw)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q: must be positive", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// refuseErr maps an execution or admission error to its HTTP status and
+// writes the error envelope.
+func (s *Server) refuseErr(w http.ResponseWriter, id string, err error) {
+	var pe panicError
+	switch {
+	case errors.As(err, &pe):
+		s.refuse(w, id, http.StatusInternalServerError,
+			fmt.Sprintf("internal error (request %s): %v", id, err))
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		s.refuse(w, id, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrBudgetTooLarge):
+		s.refuse(w, id, http.StatusRequestEntityTooLarge, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.refuse(w, id, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		if s.draining.Load() {
+			s.refuse(w, id, http.StatusServiceUnavailable, "query cancelled: server is draining")
+		} else {
+			s.refuse(w, id, http.StatusServiceUnavailable, "query cancelled")
+		}
+	default:
+		s.refuse(w, id, http.StatusBadRequest, err.Error())
+	}
+}
+
+// refuse writes the error envelope and bumps the failure counters.
+func (s *Server) refuse(w http.ResponseWriter, id string, status int, msg string) {
+	s.m.failed.Add(1)
+	switch status {
+	case http.StatusTooManyRequests:
+		s.m.shed.Add(1)
+	case http.StatusRequestEntityTooLarge:
+		s.m.tooLarge.Add(1)
+	case http.StatusGatewayTimeout:
+		s.m.timedOut.Add(1)
+	case http.StatusServiceUnavailable:
+		s.m.cancelled.Add(1)
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{RequestID: id, Status: status, Error: msg})
+}
+
+// handleListTables serves GET /tables: the registered relations with
+// their shapes.
+func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	type tableInfo struct {
+		Name    string   `json:"name"`
+		Rows    int      `json:"rows"`
+		Columns []string `json:"columns"`
+	}
+	cat := s.snapshot()
+	infos := make([]tableInfo, 0, len(cat))
+	for name, t := range cat {
+		infos = append(infos, tableInfo{Name: name, Rows: t.Len(), Columns: t.Schema.Names()})
+	}
+	// Deterministic order for clients and tests.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].Name < infos[j-1].Name; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handlePutTable serves POST/PUT /tables/{name}: the body is a CSV
+// relation (header row first) registered under the path name.
+func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
+	id := s.nextRequestID()
+	w.Header().Set("X-Request-Id", id)
+	if s.draining.Load() {
+		s.refuse(w, id, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.PathValue("name")
+	t, err := table.ReadCSV(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.refuse(w, id, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds the %d-byte limit", s.cfg.MaxUploadBytes))
+			return
+		}
+		s.refuse(w, id, http.StatusBadRequest, "parsing CSV: "+err.Error())
+		return
+	}
+	s.RegisterTable(name, t)
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "rows": t.Len()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleStats serves GET /stats: admission, cache, and lifetime counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.plans.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining":       s.draining.Load(),
+		"active_queries": s.adm.active(),
+		"admission": map[string]any{
+			"max_concurrent":      s.cfg.MaxConcurrent,
+			"pool_bytes":          s.cfg.MemoryBudgetBytes,
+			"query_budget_bytes":  s.QueryBudgetBytes(),
+			"reserved_bytes":      s.adm.usedBytes(),
+			"peak_reserved_bytes": s.adm.peak(),
+		},
+		"plan_cache": map[string]any{"hits": hits, "misses": misses, "size": size},
+		"queries": map[string]any{
+			"served":    s.m.served.Load(),
+			"failed":    s.m.failed.Load(),
+			"shed":      s.m.shed.Load(),
+			"too_large": s.m.tooLarge.Load(),
+			"timed_out": s.m.timedOut.Load(),
+			"cancelled": s.m.cancelled.Load(),
+			"panics":    s.m.panics.Load(),
+		},
+	})
+}
+
+// jsonRows converts a result table to JSON-ready rows: NULL → null, ALL →
+// "ALL" (the CSV literal convention), ints/floats/bools/strings as their
+// native JSON types.
+func jsonRows(t *table.Table) [][]any {
+	rows := make([][]any, t.Len())
+	for i, r := range t.Rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			row[j] = jsonValue(v)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func jsonValue(v table.Value) any {
+	switch v.Kind() {
+	case table.KindNull:
+		return nil
+	case table.KindAll:
+		return "ALL"
+	case table.KindInt:
+		return v.AsInt()
+	case table.KindFloat:
+		return v.AsFloat()
+	case table.KindBool:
+		return v.AsBool()
+	default:
+		return v.String()
+	}
+}
+
+// isOn interprets a boolean query parameter: any value but "", "0", and
+// "false" enables the flag.
+func isOn(v string) bool {
+	return v != "" && v != "0" && v != "false"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

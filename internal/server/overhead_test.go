@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"mdjoin/internal/core"
+	"mdjoin/internal/optimizer"
+	"mdjoin/internal/sqlext"
+	"mdjoin/internal/workload"
+)
+
+// TestServerOverheadGuard is the serving-layer performance tripwire: an
+// E12-class aggregation (20k-row Sales detail, ~1000 result groups)
+// issued through a localhost mdserve — admission, context plumbing, plan
+// cache, JSON-free CSV marshalling — must stay within 2× of calling
+// sqlext directly in-process. Timing comparisons are noisy, so the guard
+// is opt-in via MDJOIN_BENCH_GUARD like the executor guards.
+func TestServerOverheadGuard(t *testing.T) {
+	if os.Getenv("MDJOIN_BENCH_GUARD") == "" {
+		t.Skip("set MDJOIN_BENCH_GUARD=1 (or run `make bench`) to run the serving overhead guard")
+	}
+
+	sales := workload.Sales(workload.SalesConfig{
+		Rows: 20000, Customers: 84, Products: 50,
+		Years: 2, FirstYear: 1996, States: 10, Seed: 7,
+	})
+	const query = "select cust, month, sum(sale) as total from Sales group by cust, month"
+
+	// Direct baseline: prepared once, executed in-process — the floor the
+	// serving layers sit on.
+	prep, err := sqlext.Prepare(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := optimizer.Catalog{"Sales": sales}
+	direct := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.ExecContext(nil, cat, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	s := New(Config{})
+	s.RegisterTable("Sales", sales)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + "/query?format=csv"
+	runServed := func() error {
+		resp, err := client.Post(url, "text/plain", strings.NewReader(query))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm the plan cache so the served path measures steady state.
+	if err := runServed(); err != nil {
+		t.Fatal(err)
+	}
+	served := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := runServed(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	t.Logf("direct: %v, served: %v", direct, served)
+	if lim := direct.NsPerOp() * 2; served.NsPerOp() > lim {
+		t.Errorf("serving overhead regressed: %d ns/op > %d ns/op (direct %d × 2)",
+			served.NsPerOp(), lim, direct.NsPerOp())
+	}
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"mdjoin/internal/sqlext"
+)
+
+// planCache is an LRU over prepared plans keyed by exact query text, so
+// repeated queries skip the parse/translate/optimize front end. Entries
+// are *sqlext.Prepared, which are immutable and safe to share across
+// concurrent requests (every execution clones the plan before stamping
+// per-request options), so a cache hit costs one map lookup and a list
+// splice under a mutex.
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	prep *sqlext.Prepared
+}
+
+// newPlanCache returns a cache holding at most max plans; max < 1
+// disables caching (every get misses, puts are dropped).
+func newPlanCache(max int) *planCache {
+	return &planCache{
+		max:   max,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+func (c *planCache) get(key string) (*sqlext.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).prep, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *planCache) put(key string, prep *sqlext.Prepared) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).prep = prep
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, prep: prep})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,291 @@
+// Package server implements mdserve's query service: a stdlib-only
+// HTTP/JSON front end that accepts analyze-by dialect queries against
+// registered catalogs and is engineered first for robustness under
+// hostile conditions — slow queries, overload storms, panicking
+// aggregates, and shutdown under load.
+//
+// The hardening layers, outermost first:
+//
+//   - Per-query deadlines: every request derives a context from the HTTP
+//     request with a server-default (or ?timeout=) deadline, threaded
+//     into Options.Ctx so detail scans abort mid-flight at expiry (504).
+//   - Admission control: a slot semaphore bounds concurrent queries and
+//     a server-wide memory pool carves each admitted query's
+//     MemoryBudgetBytes (core.BudgetShare), so the sum of in-flight
+//     budgets never exceeds the pool. A query that cannot be admitted
+//     waits a bounded time, then is shed with 429 + Retry-After; a query
+//     whose budget exceeds the entire pool gets 413.
+//   - Failure isolation: each request recovers its own panics into a 500
+//     carrying the request ID while the server keeps serving; parse and
+//     translate errors come back 400 with the parser's positions;
+//     response size is bounded.
+//   - Graceful drain: BeginDrain stops admitting new queries (503 +
+//     Retry-After, /readyz flips), Drain waits for in-flight queries up
+//     to the drain deadline and then cancels the stragglers through the
+//     same context plumbing; /healthz and /readyz expose the lifecycle.
+//
+// A plan LRU keyed by query text caches sqlext.Prepared plans (immutable
+// and shared; every execution clones before stamping per-request
+// options), so the steady-state request cost is admission + execution.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdjoin/internal/core"
+	"mdjoin/internal/optimizer"
+	"mdjoin/internal/table"
+)
+
+// Config carries the server's robustness knobs. The zero value is usable:
+// every field has a production-shaped default applied by New.
+type Config struct {
+	// MaxConcurrent bounds how many queries execute at once; further
+	// admissions queue (bounded by AdmitWait) and then shed. Default 8.
+	MaxConcurrent int
+
+	// MemoryBudgetBytes is the server-wide aggregate-state pool. Each
+	// admitted query reserves its share (pool / MaxConcurrent, the
+	// core.BudgetShare carve) and runs with that MemoryBudgetBytes, so
+	// concurrent queries never budget past the pool in sum. 0 disables
+	// byte accounting (slot-only admission, unbounded query memory).
+	MemoryBudgetBytes int64
+
+	// DefaultTimeout is the per-query deadline when the request does not
+	// pass ?timeout=. Default 30s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps ?timeout= so a client cannot opt out of deadlines.
+	// Default 5m.
+	MaxTimeout time.Duration
+
+	// AdmitWait bounds how long an un-admittable query queues for a slot
+	// and memory share before being shed with 429. Default 100ms.
+	AdmitWait time.Duration
+
+	// DrainTimeout is how long Drain waits for in-flight queries before
+	// cancelling them. Default 10s.
+	DrainTimeout time.Duration
+
+	// MaxQueryBytes caps the query text size (413 beyond). Default 1MiB.
+	MaxQueryBytes int64
+
+	// MaxUploadBytes caps a CSV table upload (413 beyond). Default 64MiB.
+	MaxUploadBytes int64
+
+	// MaxResponseRows caps result cardinality: larger results are refused
+	// with 413 and a hint to add a LIMIT clause, instead of streaming an
+	// unbounded payload. Default 1,000,000.
+	MaxResponseRows int
+
+	// PlanCacheSize bounds the prepared-plan LRU. Default 128; negative
+	// disables caching.
+	PlanCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.AdmitWait <= 0 {
+		c.AdmitWait = 100 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxQueryBytes <= 0 {
+		c.MaxQueryBytes = 1 << 20
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxResponseRows <= 0 {
+		c.MaxResponseRows = 1_000_000
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 128
+	}
+	return c
+}
+
+// metrics are the server's lifetime counters, exposed by /stats.
+type metrics struct {
+	served    atomic.Uint64 // queries answered 200
+	failed    atomic.Uint64 // 4xx/5xx answers of any kind
+	shed      atomic.Uint64 // 429 overload rejections
+	tooLarge  atomic.Uint64 // 413 rejections (query size, budget, result size)
+	timedOut  atomic.Uint64 // 504 deadline expiries
+	cancelled atomic.Uint64 // 503 drain/client cancellations
+	panics    atomic.Uint64 // recovered query panics (500)
+}
+
+// Server is the query service. Create with New, expose via Handler, shut
+// down with BeginDrain + Drain.
+type Server struct {
+	cfg   Config
+	adm   *admission
+	plans *planCache
+	mux   *http.ServeMux
+
+	// baseCtx is the ancestor of every query context; cancelAll fires at
+	// the drain deadline and propagates into in-flight scans.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu  sync.Mutex // guards cat (copy-on-write: handlers snapshot)
+	cat optimizer.Catalog
+
+	draining atomic.Bool
+	active   atomic.Int64 // queries past the drain gate, not yet done
+	reqSeq   atomic.Uint64
+
+	m metrics
+
+	// execHook, when non-nil, runs immediately before each query executes
+	// — the seam the torture tests use (via faultinject.Intercept) to
+	// stall, fail, or panic the executor on demand. Guarded by mu so
+	// tests can swap it under live traffic.
+	execHook func(ctx context.Context) error
+}
+
+// setExecHook installs (or clears) the pre-execution hook.
+func (s *Server) setExecHook(fn func(ctx context.Context) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.execHook = fn
+}
+
+func (s *Server) hook() func(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execHook
+}
+
+// New builds a Server with cfg (zero fields defaulted) and an empty
+// catalog.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.MemoryBudgetBytes),
+		plans: newPlanCache(cfg.PlanCacheSize),
+		cat:   optimizer.Catalog{},
+	}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /tables", s.handleListTables)
+	s.mux.HandleFunc("POST /tables/{name}", s.handlePutTable)
+	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP serves the API with a last-resort recovery wrapper: a panic
+// outside the query execution path (marshalling, handler bugs) answers
+// 500 instead of killing the connection's goroutine state machine.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.m.panics.Add(1)
+			// Best effort: if the handler already wrote, this is a no-op.
+			http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// RegisterTable publishes (or replaces) a relation in the catalog. The
+// catalog is copy-on-write: in-flight queries keep the snapshot they
+// started with.
+func (s *Server) RegisterTable(name string, t *table.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make(optimizer.Catalog, len(s.cat)+1)
+	for k, v := range s.cat {
+		next[k] = v
+	}
+	next[name] = t
+	s.cat = next
+}
+
+// snapshot returns the current catalog map; callers must not mutate it.
+func (s *Server) snapshot() optimizer.Catalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cat
+}
+
+// QueryBudgetBytes reports the per-query memory share admission reserves
+// — what each admitted query runs with as MemoryBudgetBytes.
+func (s *Server) QueryBudgetBytes() int {
+	return core.BudgetShare(s.cfg.MemoryBudgetBytes, s.cfg.MaxConcurrent)
+}
+
+// Draining reports whether the server has stopped admitting queries.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain stops admitting new queries: /query answers 503 +
+// Retry-After and /readyz flips to 503. In-flight queries continue.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain gracefully shuts down query processing: it calls BeginDrain,
+// waits up to Config.DrainTimeout for in-flight queries to finish, then
+// cancels the stragglers through the shared base context and waits for
+// them to unwind. It returns how many queries had to be cancelled (0
+// means a fully graceful drain). ctx aborts the grace wait early (the
+// stragglers are still cancelled and awaited). An error means cancelled
+// queries failed to unwind — a stuck executor, which the context-poll
+// machinery is supposed to make impossible.
+func (s *Server) Drain(ctx context.Context) (cancelledQueries int, err error) {
+	s.BeginDrain()
+	grace := time.NewTimer(s.cfg.DrainTimeout)
+	defer grace.Stop()
+wait:
+	for s.active.Load() > 0 {
+		select {
+		case <-grace.C:
+			break wait
+		case <-ctx.Done():
+			break wait
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancelledQueries = int(s.active.Load())
+	s.cancelAll()
+	// Cancelled queries abort at the next context poll; give them a hard
+	// bound to unwind so a wedged executor surfaces as an error instead
+	// of hanging shutdown forever.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.active.Load() > 0 {
+		if time.Now().After(deadline) {
+			return cancelledQueries, fmt.Errorf("server: %d queries still running after drain cancellation", s.active.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cancelledQueries, nil
+}
+
+// nextRequestID returns a process-unique request identifier, echoed in
+// the X-Request-Id header and every JSON envelope so a panic report can
+// be correlated with server logs.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("q%08d", s.reqSeq.Add(1))
+}

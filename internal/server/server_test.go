@@ -1,0 +1,349 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mdjoin/internal/sqlext"
+	"mdjoin/internal/table"
+	"mdjoin/internal/workload"
+)
+
+// testSales is a small seeded Sales relation shared by the functional
+// tests.
+func testSales() *table.Table {
+	return workload.Sales(workload.SalesConfig{
+		Rows: 2000, Customers: 50, Products: 20,
+		Years: 2, FirstYear: 1996, States: 5, Seed: 1,
+	})
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	s.RegisterTable("Sales", testSales())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends query text to /query with the given raw URL params and
+// returns the status, body, and headers.
+func post(t *testing.T, ts *httptest.Server, query, params string) (int, []byte, http.Header) {
+	t.Helper()
+	url := ts.URL + "/query"
+	if params != "" {
+		url += "?" + params
+	}
+	resp, err := http.Post(url, "text/plain", strings.NewReader(query))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+func decodeQuery(t *testing.T, body []byte) queryResponse {
+	t.Helper()
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decoding envelope: %v\n%s", err, body)
+	}
+	return qr
+}
+
+func decodeError(t *testing.T, body []byte) errorResponse {
+	t.Helper()
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("decoding error envelope: %v\n%s", err, body)
+	}
+	return er
+}
+
+const groupQuery = "select cust, sum(sale) as total from Sales group by cust"
+
+func TestQueryJSONEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	status, body, hdr := post(t, ts, groupQuery, "")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	qr := decodeQuery(t, body)
+	if qr.RequestID == "" || hdr.Get("X-Request-Id") != qr.RequestID {
+		t.Errorf("request id: envelope %q, header %q", qr.RequestID, hdr.Get("X-Request-Id"))
+	}
+	if want := []string{"cust", "total"}; len(qr.Columns) != 2 || qr.Columns[0] != want[0] || qr.Columns[1] != want[1] {
+		t.Errorf("columns = %v, want %v", qr.Columns, want)
+	}
+	if qr.RowCount == 0 || qr.RowCount != len(qr.Rows) {
+		t.Errorf("row_count = %d with %d rows", qr.RowCount, len(qr.Rows))
+	}
+	if qr.CachedPlan {
+		t.Error("first execution reported a cached plan")
+	}
+	// cust is an int column: it must arrive as a JSON number.
+	if _, ok := qr.Rows[0][0].(float64); !ok {
+		t.Errorf("cust value decoded as %T, want number", qr.Rows[0][0])
+	}
+
+	// Same text again: plan comes from the LRU.
+	status, body, _ = post(t, ts, groupQuery, "")
+	if status != http.StatusOK {
+		t.Fatalf("second query status = %d", status)
+	}
+	if qr := decodeQuery(t, body); !qr.CachedPlan {
+		t.Error("second execution did not hit the plan cache")
+	}
+}
+
+func TestQueryGETAndCSV(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query?format=csv&q=" + strings.ReplaceAll(groupQuery, " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("content type = %q", ct)
+	}
+	out, err := table.ReadCSV(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing CSV result: %v", err)
+	}
+	if out.Len() == 0 || out.Schema.Len() != 2 {
+		t.Errorf("CSV result %d rows × %d cols", out.Len(), out.Schema.Len())
+	}
+}
+
+func TestQueryAnalyze(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, _ := post(t, ts, groupQuery, "analyze=1")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	qr := decodeQuery(t, body)
+	if !strings.Contains(qr.Analyze, "-- explain analyze --") {
+		t.Errorf("analyze text missing header:\n%s", qr.Analyze)
+	}
+	if !strings.Contains(qr.Analyze, "actual rows=") {
+		t.Errorf("analyze text missing runtime counters:\n%s", qr.Analyze)
+	}
+	if qr.Stats == nil || qr.Stats.DetailScans == 0 {
+		t.Errorf("analyze envelope missing merged stats: %+v", qr.Stats)
+	}
+	if qr.RowCount == 0 {
+		t.Error("analyze dropped the result rows")
+	}
+}
+
+func TestParseErrorIs400WithPosition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, _ := post(t, ts, "select cust frum Sales group by cust", "")
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	er := decodeError(t, body)
+	if !strings.Contains(er.Error, "offset") {
+		t.Errorf("parse error lost its position: %q", er.Error)
+	}
+}
+
+func TestUnknownTableIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body, _ := post(t, ts, "select cust, sum(sale) as total from Nope group by cust", "")
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+}
+
+func TestBadTimeoutIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, raw := range []string{"banana", "-3s", "0"} {
+		status, body, _ := post(t, ts, groupQuery, "timeout="+raw)
+		if status != http.StatusBadRequest {
+			t.Errorf("timeout=%q: status = %d, body %s", raw, status, body)
+		}
+	}
+	// Millisecond shorthand and Go durations both admit.
+	for _, raw := range []string{"2500", "2s"} {
+		if status, body, _ := post(t, ts, groupQuery, "timeout="+raw); status != http.StatusOK {
+			t.Errorf("timeout=%q: status = %d, body %s", raw, status, body)
+		}
+	}
+}
+
+func TestResponseRowLimitIs413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxResponseRows: 5})
+	status, body, _ := post(t, ts, groupQuery, "")
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	if er := decodeError(t, body); !strings.Contains(er.Error, "LIMIT") {
+		t.Errorf("over-limit error should hint at LIMIT: %q", er.Error)
+	}
+	// A query under the cap still works.
+	if status, body, _ := post(t, ts, groupQuery+" order by total desc limit 3", ""); status != http.StatusOK {
+		t.Fatalf("limited query status = %d, body %s", status, body)
+	}
+}
+
+func TestQueryTextLimitIs413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxQueryBytes: 64})
+	status, body, _ := post(t, ts, groupQuery+" -- "+strings.Repeat("x", 200), "")
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+}
+
+func TestTableUploadAndList(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	csv := "k,v\n1,10\n2,20\n1,30\n"
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/tables/T", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+
+	lr, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Body.Close()
+	var infos []struct {
+		Name string `json:"name"`
+		Rows int    `json:"rows"`
+	}
+	if err := json.NewDecoder(lr.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "Sales" || infos[1].Name != "T" || infos[1].Rows != 3 {
+		t.Fatalf("table list = %+v", infos)
+	}
+
+	status, body, _ := post(t, ts, "select k, sum(v) as total from T group by k", "")
+	if status != http.StatusOK {
+		t.Fatalf("query against uploaded table: %d %s", status, body)
+	}
+	if qr := decodeQuery(t, body); qr.RowCount != 2 {
+		t.Errorf("row_count = %d, want 2", qr.RowCount)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Errorf("healthz = %d", c)
+	}
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Errorf("readyz = %d", c)
+	}
+
+	s.BeginDrain()
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Errorf("healthz while draining = %d (liveness must stay up)", c)
+	}
+	if c := get("/readyz"); c != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d", c)
+	}
+	status, body, hdr := post(t, ts, groupQuery, "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining: %d %s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining rejection missing Retry-After")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{MemoryBudgetBytes: 1 << 20, MaxConcurrent: 4})
+	post(t, ts, groupQuery, "")
+	post(t, ts, groupQuery, "")
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Draining  bool `json:"draining"`
+		Admission struct {
+			QueryBudgetBytes int64 `json:"query_budget_bytes"`
+			ReservedBytes    int64 `json:"reserved_bytes"`
+			PeakReserved     int64 `json:"peak_reserved_bytes"`
+		} `json:"admission"`
+		PlanCache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"plan_cache"`
+		Queries struct {
+			Served uint64 `json:"served"`
+		} `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Served != 2 || st.PlanCache.Hits != 1 || st.PlanCache.Misses != 1 {
+		t.Errorf("counters: %+v", st)
+	}
+	if st.Admission.QueryBudgetBytes != int64(1<<20)/4 {
+		t.Errorf("query budget = %d", st.Admission.QueryBudgetBytes)
+	}
+	if st.Admission.ReservedBytes != 0 {
+		t.Errorf("reserved bytes after idle = %d, want 0", st.Admission.ReservedBytes)
+	}
+	if st.Admission.PeakReserved <= 0 {
+		t.Errorf("peak reserved = %d, want > 0", st.Admission.PeakReserved)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(2)
+	prep := func(src string) {
+		p, err := sqlext.Prepare(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.put(src, p)
+	}
+	prep("select cust, sum(sale) as a from Sales group by cust")
+	prep("select prod, sum(sale) as b from Sales group by prod")
+	if _, ok := c.get("select cust, sum(sale) as a from Sales group by cust"); !ok {
+		t.Fatal("first plan evicted too early")
+	}
+	prep("select state, sum(sale) as c from Sales group by state")
+	// LRU: the prod plan (least recently used) must be gone, cust kept.
+	if _, ok := c.get("select prod, sum(sale) as b from Sales group by prod"); ok {
+		t.Error("LRU kept the least recently used plan past capacity")
+	}
+	if _, ok := c.get("select cust, sum(sale) as a from Sales group by cust"); !ok {
+		t.Error("LRU evicted the recently used plan")
+	}
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mdjoin/internal/faultinject"
+)
+
+// The torture suite drives the server through its failure modes with the
+// deterministic faultinject harness wired into the exec hook: stalled
+// executors must surface as deadline 504s, injected panics as isolated
+// 500s, admission storms as 429 shedding with exact byte accounting, and
+// drain-under-load as a clean shutdown with no leaked goroutines.
+
+// checkGoroutines snapshots the goroutine count and returns a closure
+// that fails the test if the count has not settled back by the deadline.
+func checkGoroutines(t *testing.T) func() {
+	t.Helper()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d goroutines, %d at start\n%s",
+					runtime.NumGoroutine(), base, buf[:n])
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestStalledQueryHitsDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	inj := faultinject.New(faultinject.Plan{Stall: true})
+	s.setExecHook(inj.Intercept)
+
+	start := time.Now()
+	status, body, _ := post(t, ts, groupQuery, "timeout=100ms")
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("stalled query: status = %d, body %s", status, body)
+	}
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("stalled query answered in %v, before its 100ms deadline", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("stalled query took %v; the deadline did not cut it off", elapsed)
+	}
+	if inj.Injected() != 1 {
+		t.Errorf("injector faulted %d times, want 1", inj.Injected())
+	}
+
+	// The stall consumed one request, not the server: with the hook gone
+	// the next query runs normally.
+	s.setExecHook(nil)
+	if status, body, _ := post(t, ts, groupQuery, ""); status != http.StatusOK {
+		t.Fatalf("post-stall query: status = %d, body %s", status, body)
+	}
+}
+
+func TestPanicIsIsolatedPerRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	inj := faultinject.New(faultinject.Plan{PanicFirst: 1})
+	s.setExecHook(inj.Intercept)
+
+	// Five concurrent queries; exactly the injector's first victim gets a
+	// 500, the other four complete normally while it unwinds.
+	const n = 5
+	statuses := make([]int, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], bodies[i], _ = post(t, ts, groupQuery, "")
+		}(i)
+	}
+	wg.Wait()
+
+	var oks, fails int
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			oks++
+		case http.StatusInternalServerError:
+			fails++
+			er := decodeError(t, bodies[i])
+			if !strings.Contains(er.Error, "panicked") || !strings.Contains(er.Error, er.RequestID) {
+				t.Errorf("panic response should carry the panic and its request id: %+v", er)
+			}
+		default:
+			t.Errorf("query %d: unexpected status %d: %s", i, st, bodies[i])
+		}
+	}
+	if fails != 1 || oks != n-1 {
+		t.Fatalf("want exactly 1 panic failure and %d successes, got %d/%d", n-1, fails, oks)
+	}
+	if got := s.m.panics.Load(); got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+
+	// The server keeps serving after the panic.
+	if status, body, _ := post(t, ts, groupQuery, ""); status != http.StatusOK {
+		t.Fatalf("post-panic query: status = %d, body %s", status, body)
+	}
+}
+
+func TestBudgetStormShedsAndAccountsToZero(t *testing.T) {
+	const pool = 1 << 20
+	s, ts := newTestServer(t, Config{
+		MaxConcurrent:     2,
+		MemoryBudgetBytes: pool,
+		AdmitWait:         20 * time.Millisecond,
+	})
+	// Every admitted query holds its slot (and byte share) for 150ms, so
+	// a 12-query burst over 2 slots must shed most of the field.
+	inj := faultinject.New(faultinject.Plan{Delay: 150 * time.Millisecond})
+	s.setExecHook(inj.Intercept)
+
+	const n = 12
+	statuses := make([]int, n)
+	headers := make([]http.Header, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _, headers[i] = post(t, ts, groupQuery, "")
+		}(i)
+	}
+	wg.Wait()
+
+	var served, shed int
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			served++
+		case http.StatusTooManyRequests:
+			shed++
+			if headers[i].Get("Retry-After") == "" {
+				t.Error("429 missing Retry-After")
+			}
+		default:
+			t.Errorf("query %d: unexpected status %d", i, st)
+		}
+	}
+	if served < 2 {
+		t.Errorf("storm served %d queries, want ≥ 2 (the slot count)", served)
+	}
+	if shed == 0 {
+		t.Error("storm shed nothing; admission control is not bounding the burst")
+	}
+
+	// Accounting: the pool must return to zero, and the high-water mark
+	// must show real carving without ever exceeding the pool.
+	if used := s.adm.usedBytes(); used != 0 {
+		t.Errorf("reserved bytes after storm = %d, want 0", used)
+	}
+	if s.adm.active() != 0 {
+		t.Errorf("active slots after storm = %d, want 0", s.adm.active())
+	}
+	peak := s.adm.peak()
+	if peak <= 0 || peak > pool {
+		t.Errorf("peak reserved = %d, want in (0, %d]", peak, pool)
+	}
+	if share := int64(s.QueryBudgetBytes()); peak%share != 0 {
+		t.Errorf("peak %d is not a multiple of the per-query share %d", peak, share)
+	}
+}
+
+func TestOversizedBudgetIs413(t *testing.T) {
+	// A pool smaller than one per-query share cannot exist through
+	// Config (the share is pool/slots), so drive admission directly.
+	a := newAdmission(2, 100)
+	if _, err := a.acquire(context.Background(), 101, time.Millisecond); err != ErrBudgetTooLarge {
+		t.Fatalf("oversized acquire: err = %v, want ErrBudgetTooLarge", err)
+	}
+}
+
+func TestDrainUnderLoadCancelsInFlight(t *testing.T) {
+	settle := checkGoroutines(t)
+
+	s := New(Config{DrainTimeout: 50 * time.Millisecond})
+	s.RegisterTable("Sales", testSales())
+	ts := httptest.NewServer(s.Handler())
+	inj := faultinject.New(faultinject.Plan{Delay: 30 * time.Second})
+	s.setExecHook(inj.Intercept)
+
+	const n = 3
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _, _ = post(t, ts, groupQuery, "timeout=60s")
+		}(i)
+	}
+	// Wait until all three are provably in flight.
+	for deadline := time.Now().Add(5 * time.Second); s.active.Load() < n; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d queries in flight", s.active.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	cancelled, err := s.Drain(context.Background())
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if cancelled != n {
+		t.Errorf("drain cancelled %d queries, want %d", cancelled, n)
+	}
+	if waited := time.Since(start); waited < 50*time.Millisecond || waited > 5*time.Second {
+		t.Errorf("drain took %v, want ≥ the 50ms grace and well under the queries' 30s delay", waited)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != http.StatusServiceUnavailable {
+			t.Errorf("query %d: status %d, want 503 (cancelled by drain)", i, st)
+		}
+	}
+
+	// New work is refused after the drain.
+	if status, _, _ := post(t, ts, groupQuery, ""); status != http.StatusServiceUnavailable {
+		t.Errorf("post-drain query: status = %d, want 503", status)
+	}
+
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	settle()
+}
+
+func TestDrainLetsInFlightFinish(t *testing.T) {
+	settle := checkGoroutines(t)
+
+	s := New(Config{DrainTimeout: 10 * time.Second})
+	s.RegisterTable("Sales", testSales())
+	ts := httptest.NewServer(s.Handler())
+	inj := faultinject.New(faultinject.Plan{Delay: 100 * time.Millisecond})
+	s.setExecHook(inj.Intercept)
+
+	const n = 3
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _, _ = post(t, ts, groupQuery, "")
+		}(i)
+	}
+	for deadline := time.Now().Add(5 * time.Second); s.active.Load() < n; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d queries in flight", s.active.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelled, err := s.Drain(context.Background())
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if cancelled != 0 {
+		t.Errorf("graceful drain cancelled %d queries, want 0", cancelled)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if st != http.StatusOK {
+			t.Errorf("query %d: status %d, want 200 (finished within the grace)", i, st)
+		}
+	}
+
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	settle()
+}

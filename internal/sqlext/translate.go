@@ -383,51 +383,10 @@ func qualifyToDetail(e expr.Expr, from string) expr.Expr {
 // Run parses, translates, optimizes, and executes a dialect query against
 // the catalog. WITH-clause members are evaluated first (in order, each
 // seeing the previous ones) into an extended catalog. It is the one-call
-// entry point cmd/mdq and the examples use.
+// entry point cmd/mdq and the examples use; callers that need a deadline
+// or per-request execution parameters use RunContext.
 func Run(src string, cat optimizer.Catalog) (*table.Table, error) {
-	q, err := Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return runQuery(q, cat)
-}
-
-// withCatalog evaluates the query's WITH-clause members (in order, each
-// seeing the previous ones) into an extended copy of the catalog; the
-// caller's map is untouched. A query without a WITH clause returns the
-// catalog as-is.
-func withCatalog(q *Query, cat optimizer.Catalog) (optimizer.Catalog, error) {
-	if len(q.With) == 0 {
-		return cat, nil
-	}
-	ext := make(optimizer.Catalog, len(cat)+len(q.With))
-	for k, v := range cat {
-		ext[k] = v
-	}
-	for _, cte := range q.With {
-		if _, exists := ext[cte.Name]; exists {
-			return nil, fmt.Errorf("sqlext: WITH name %q shadows an existing relation", cte.Name)
-		}
-		t, err := runQuery(cte.Query, ext)
-		if err != nil {
-			return nil, fmt.Errorf("sqlext: evaluating WITH %s: %w", cte.Name, err)
-		}
-		ext[cte.Name] = t
-	}
-	return ext, nil
-}
-
-func runQuery(q *Query, cat optimizer.Catalog) (*table.Table, error) {
-	cat, err := withCatalog(q, cat)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := Translate(q)
-	if err != nil {
-		return nil, err
-	}
-	plan = optimizer.Optimize(plan)
-	return plan.Execute(cat)
+	return RunContext(nil, src, cat, core.Options{})
 }
 
 // Explain parses, translates and optimizes a query, returning the plan
@@ -452,22 +411,5 @@ func Explain(src string) (string, error) {
 // the result table. Unlike Explain it needs the real catalog, since the
 // counters come from actually running the plan.
 func ExplainAnalyze(src string, cat optimizer.Catalog) (string, *table.Table, error) {
-	q, err := Parse(src)
-	if err != nil {
-		return "", nil, err
-	}
-	cat, err = withCatalog(q, cat)
-	if err != nil {
-		return "", nil, err
-	}
-	plan, err := Translate(q)
-	if err != nil {
-		return "", nil, err
-	}
-	plan = optimizer.Optimize(plan)
-	text, res, err := optimizer.ExplainAnalyze(plan, cat)
-	if err != nil {
-		return "", nil, err
-	}
-	return "-- explain analyze --\n" + text, res, nil
+	return ExplainAnalyzeContext(nil, src, cat, core.Options{})
 }

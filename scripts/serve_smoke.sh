@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the mdserve lifecycle: build the
+# server and client, start against generated Sales data, run a query and
+# an EXPLAIN ANALYZE query through `mdq -server`, then SIGTERM with
+# queries in flight and assert the drain is clean (in-flight work
+# finishes, the process exits 0). This is the CI-facing slice of the
+# torture suite: it exercises the real binaries, real sockets, and real
+# signals instead of httptest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+PORT=${MDSERVE_PORT:-18466}
+URL="http://127.0.0.1:$PORT"
+
+echo "== generating Sales data"
+awk 'BEGIN {
+    srand(7)
+    print "cust,prod,day,month,year,state,sale"
+    states = "NY NJ CT CA IL TX WA FL MA PA"
+    split(states, st, " ")
+    for (i = 0; i < 20000; i++) {
+        printf "%d,%d,%d,%d,%d,%s,%.2f\n",
+            int(rand()*80)+1, int(rand()*50)+1, int(rand()*28)+1,
+            int(rand()*12)+1, 1996+int(rand()*2), st[int(rand()*10)+1],
+            rand()*1000
+    }
+}' > "$TMP/sales.csv"
+
+echo "== building mdserve and mdq"
+go build -o "$TMP/mdserve" ./cmd/mdserve
+go build -o "$TMP/mdq" ./cmd/mdq
+
+echo "== starting mdserve on $URL"
+"$TMP/mdserve" -addr "127.0.0.1:$PORT" -drain-timeout 5s \
+    -memory-budget 256M Sales="$TMP/sales.csv" >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+QUERY='select cust, sum(sale) as total from Sales group by cust order by total desc limit 5'
+
+echo "== waiting for readiness"
+ready=0
+for _ in $(seq 1 100); do
+    if "$TMP/mdq" -server "$URL" -q "$QUERY" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died during startup"; cat "$TMP/server.log"; exit 1; }
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo "FAIL: server never became ready"; cat "$TMP/server.log"; exit 1; }
+
+echo "== query through mdq -server"
+"$TMP/mdq" -server "$URL" -q "$QUERY" | tee "$TMP/result.txt"
+grep -q "cust" "$TMP/result.txt" || { echo "FAIL: result missing header"; exit 1; }
+[ "$(wc -l < "$TMP/result.txt")" -ge 6 ] || { echo "FAIL: expected 5 result rows"; exit 1; }
+
+echo "== EXPLAIN ANALYZE through mdq -server -analyze"
+"$TMP/mdq" -server "$URL" -analyze -q "$QUERY" > "$TMP/analyze.txt"
+grep -q -- "-- explain analyze --" "$TMP/analyze.txt" || { echo "FAIL: missing analyze header"; cat "$TMP/analyze.txt"; exit 1; }
+grep -q "actual rows=" "$TMP/analyze.txt" || { echo "FAIL: missing runtime counters"; cat "$TMP/analyze.txt"; exit 1; }
+
+echo "== uploading a second table and querying it"
+printf 'k,v\n1,10\n2,20\n1,30\n' > "$TMP/t.csv"
+"$TMP/mdq" -server "$URL" -q 'select k, sum(v) as total from T group by k' T="$TMP/t.csv" > "$TMP/t_result.txt"
+grep -q "k" "$TMP/t_result.txt" || { echo "FAIL: uploaded-table query failed"; exit 1; }
+
+echo "== SIGTERM with queries in flight"
+HEAVY='select cust, prod, month, sum(sale) as total from Sales group by cust, prod, month'
+for i in 1 2 3; do
+    "$TMP/mdq" -server "$URL" -timeout 30s -q "$HEAVY" >"$TMP/inflight.$i.txt" 2>"$TMP/inflight.$i.err" &
+    eval "Q$i=\$!"
+done
+sleep 0.05 # let the queries reach the server
+kill -TERM "$SERVER_PID"
+
+drain_rc=0
+wait "$SERVER_PID" || drain_rc=$?
+SERVER_PID=""
+if [ "$drain_rc" -ne 0 ]; then
+    echo "FAIL: server exited $drain_rc on SIGTERM"; cat "$TMP/server.log"; exit 1
+fi
+grep -q "drain" "$TMP/server.log" || { echo "FAIL: server log missing drain"; cat "$TMP/server.log"; exit 1; }
+
+# The in-flight queries must have been answered: either they finished
+# inside the grace (exit 0 with rows) or were cleanly cancelled by the
+# drain (mdq reports the server's 503 envelope) — never a hang or a torn
+# connection.
+for i in 1 2 3; do
+    rc=0
+    wait "$(eval echo "\$Q$i")" || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        grep -q "cust" "$TMP/inflight.$i.txt" || { echo "FAIL: in-flight query $i returned no rows"; exit 1; }
+    else
+        grep -q "draining\|cancelled" "$TMP/inflight.$i.err" || {
+            echo "FAIL: in-flight query $i failed without a clean drain envelope:"
+            cat "$TMP/inflight.$i.err"; exit 1
+        }
+    fi
+done
+
+echo "== post-drain: server is gone"
+if "$TMP/mdq" -server "$URL" -q "$QUERY" >/dev/null 2>&1; then
+    echo "FAIL: server still answering after drain"; exit 1
+fi
+
+echo "PASS: serve smoke"
