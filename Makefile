@@ -52,15 +52,18 @@ race-metrics:
 # guards (also runnable alone via bench-guard) assert on the E12 workload
 # that (a) the row-batch executor over the flat hash index is no slower
 # than the tuple-at-a-time map-index baseline, (b) the columnar chunk
-# executor is no slower than the boxed row-batch tier, and (c) enabling
-# Options.Stats costs no more than 5% over a Stats==nil run — the
-# regression tripwires for the executor hot path and its instrumentation.
+# executor stays 1.7x under the boxed row-batch tier (the PR 7 probe
+# pipeline ratchet) with zero boxed-fallback elements, (c) the morsel
+# scheduler stays 1.2x under the static split on the skewed-survival
+# workload, and (d) enabling Options.Stats costs no more than 5% over a
+# Stats==nil run — the regression tripwires for the executor hot path,
+# its probe pipeline, and its instrumentation.
 bench: bench-guard
 	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 5x -run '^$$' .
 	$(GO) test ./internal/distributed -bench ScatterFragments -benchtime 20x -run '^$$'
 
 bench-guard:
-	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestStatsOverheadGuard' -count=1 -v .
+	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestMorselSkewGuard|TestStatsOverheadGuard' -count=1 -v .
 	MDJOIN_BENCH_GUARD=1 $(GO) test ./internal/server -run TestServerOverheadGuard -count=1 -v
 
 # End-to-end smoke of the mdserve lifecycle with the real binaries:

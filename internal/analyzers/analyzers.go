@@ -15,6 +15,8 @@
 //   - reqctx:      request-path code in internal/server must derive its
 //     contexts from r.Context() or deadlines, disconnects, and drain
 //     cancellation stop propagating.
+//   - boxedkey:    per-row boxed []table.Value key gathers in core loops
+//     undo the PR 7 columnar probe pipeline.
 package analyzers
 
 import "mdjoin/internal/analysis"
@@ -39,5 +41,6 @@ func All() []*analysis.Analyzer {
 		HotClock,
 		BenchAllocs,
 		ReqCtx,
+		BoxedKey,
 	}
 }

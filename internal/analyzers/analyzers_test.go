@@ -41,3 +41,7 @@ func TestBenchAllocs(t *testing.T) {
 func TestReqCtx(t *testing.T) {
 	analysistest.Run(t, ReqCtx, filepath.Join("testdata", "reqctx", "server"), serverPath)
 }
+
+func TestBoxedKey(t *testing.T) {
+	analysistest.Run(t, BoxedKey, filepath.Join("testdata", "boxedkey", "core"), corePath)
+}

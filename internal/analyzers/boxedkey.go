@@ -1,0 +1,140 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mdjoin/internal/analysis"
+)
+
+// BoxedKey guards the PR 7 probe pipeline: on the chunk executor's
+// equi-key path, join keys are hashed as whole columns (typed vectors and
+// dictionary codes), never materialized per row as boxed table.Value
+// slices. Re-introducing a per-row `key[k] = col.Value(i)` gather — the
+// pre-PR 7 probe loop — silently restores a Value construction and its
+// interface traffic for every selected position of every chunk, the exact
+// cost the columnar hash kernels exist to avoid. The analyzer flags, in
+// internal/core and inside any loop, stores of (*table.Column).Value
+// results into []table.Value elements and appends of them to
+// []table.Value slices.
+//
+// The cube-rewrite probe path legitimately gathers boxed keys (ALL
+// substitution masks mutate a boxed key copy per probe); functions that
+// must do so carry an `mdlint:boxedkey <reason>` directive line in their
+// doc comment.
+var BoxedKey = &analysis.Analyzer{
+	Name: "boxedkey",
+	Doc: "flags per-row boxed []table.Value key materialization inside " +
+		"internal/core chunk-path loops; equi-keys hash as columns, and " +
+		"sanctioned boxed gathers carry an mdlint:boxedkey directive",
+	Match: func(pkgPath string) bool {
+		return analysis.PathHasSuffix(pkgPath, "internal/core")
+	},
+	Run: runBoxedKey,
+}
+
+func runBoxedKey(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hasBoxedKeyDirective(fd.Doc) {
+				continue
+			}
+			checkBoxedKey(pass, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// hasBoxedKeyDirective reports whether the doc comment carries a line
+// starting with the mdlint:boxedkey opt-out. Checked on the raw comment
+// list because ast.CommentGroup.Text strips directive-shaped lines.
+func hasBoxedKeyDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(line, "mdlint:boxedkey") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBoxedKey walks a function body, tracking whether the current node
+// sits inside a loop. Function literals inherit the flag: a closure
+// declared in a loop body still runs per iteration.
+func checkBoxedKey(pass *analysis.Pass, n ast.Node, inLoop bool) {
+	switch s := n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		inLoop = true
+	case *ast.AssignStmt:
+		if inLoop {
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) || !isColumnValueCall(pass, rhs) {
+					continue
+				}
+				if ix, ok := ast.Unparen(s.Lhs[i]).(*ast.IndexExpr); ok && isBoxedValueSlice(pass.TypeOf(ix.X)) {
+					pass.Reportf(s.Pos(),
+						"per-row boxed key materialization in a loop: Column.Value stored into a []table.Value; hash the column with the probe pipeline instead (or add an mdlint:boxedkey directive)")
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if inLoop && isBuiltinAppend(pass, s) && len(s.Args) > 1 && isBoxedValueSlice(pass.TypeOf(s.Args[0])) {
+			for _, arg := range s.Args[1:] {
+				if isColumnValueCall(pass, arg) {
+					pass.Reportf(s.Pos(),
+						"per-row boxed key materialization in a loop: Column.Value appended to a []table.Value; hash the column with the probe pipeline instead (or add an mdlint:boxedkey directive)")
+					break
+				}
+			}
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n || c == nil {
+			return c == n
+		}
+		checkBoxedKey(pass, c, inLoop)
+		return false
+	})
+}
+
+// isColumnValueCall reports whether e is a (*table.Column).Value(...) call.
+func isColumnValueCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Value" {
+		return false
+	}
+	recv := pass.TypeOf(sel.X)
+	return analysis.IsPtrToNamed(recv, tablePath, "Column") ||
+		analysis.IsNamed(recv, tablePath, "Column")
+}
+
+// isBoxedValueSlice reports whether t is []table.Value.
+func isBoxedValueSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && analysis.IsNamed(sl.Elem(), tablePath, "Value")
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,120 @@
+// Fixture checked under "mdjoin/internal/core": the pre-PR 7 probe
+// gather loop, the shape boxedkey exists to keep out of the executor.
+// probeBatchGather is that loop verbatim; the test fails unless the
+// analyzer flags its per-row Value stores while leaving the directive-
+// carrying cube gather and the non-loop/non-key negatives alone.
+package core
+
+import "mdjoin/internal/table"
+
+type probeIndex interface {
+	ProbeAppend(dst []int, key []table.Value) []int
+}
+
+// probeBatchGather re-boxes every selected position's key columns into a
+// []table.Value before probing — one Value construction per key column
+// per row, the cost the columnar hash kernels replaced.
+func probeBatchGather(ix probeIndex, keyCols []*table.Column, sel []int32, frame []table.Row, batch []table.Row) int {
+	key := make([]table.Value, len(keyCols))
+	var probeBuf []int
+	hits := 0
+	for _, si := range sel {
+		i := int(si)
+		dead := false
+		for kix := range key {
+			kc := keyCols[kix]
+			if kc.IsNull(i) {
+				dead = true
+			}
+			key[kix] = kc.Value(i) // want `per-row boxed key materialization`
+		}
+		if dead {
+			continue
+		}
+		frame[1] = batch[si]
+		probeBuf = ix.ProbeAppend(probeBuf[:0], key)
+		hits += len(probeBuf)
+	}
+	return hits
+}
+
+// gatherByAppend builds the boxed key by appending instead of indexing;
+// same materialization, same diagnostic.
+func gatherByAppend(cols []*table.Column, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		var key []table.Value
+		for _, c := range cols {
+			key = append(key, c.Value(i)) // want `per-row boxed key materialization`
+		}
+		total += len(key)
+	}
+	return total
+}
+
+// gatherInClosure stores through a func literal declared in the loop; the
+// closure still runs per iteration, so the store is still per-row.
+func gatherInClosure(cols []*table.Column, key []table.Value, n int) {
+	for i := 0; i < n; i++ {
+		load := func(k int) {
+			key[k] = cols[k].Value(i) // want `per-row boxed key materialization`
+		}
+		for k := range cols {
+			load(k)
+		}
+	}
+}
+
+// probeCubeGather mutates the gathered boxed key through ALL-substitution
+// masks — the sanctioned use, opted out by directive.
+//
+//mdlint:boxedkey cube rewriting mutates a boxed key copy per probe mask
+func probeCubeGather(ix probeIndex, keyCols []*table.Column, sel []int32, cubePos []int) int {
+	key := make([]table.Value, len(keyCols))
+	var probeBuf []int
+	hits := 0
+	for _, si := range sel {
+		i := int(si)
+		for kix := range key {
+			key[kix] = keyCols[kix].Value(i)
+		}
+		for _, cp := range cubePos {
+			key[cp] = table.All()
+			probeBuf = ix.ProbeAppend(probeBuf[:0], key)
+			hits += len(probeBuf)
+		}
+	}
+	return hits
+}
+
+// loadHeaderKey gathers once, outside any loop: a per-query constant key
+// is not a per-row cost.
+func loadHeaderKey(cols []*table.Column, key []table.Value) {
+	key[0] = cols[0].Value(0)
+	key[1] = cols[1].Value(0)
+}
+
+// scalarUse binds Column.Value to a plain variable in a loop; only the
+// []table.Value gather is the probe-pipeline violation.
+func scalarUse(c *table.Column, n int) int {
+	live := 0
+	for i := 0; i < n; i++ {
+		v := c.Value(i)
+		if v.Kind() != table.KindNull {
+			live++
+		}
+	}
+	return live
+}
+
+// appendOrdinals appends non-Value data inside a loop; the append rule
+// only fires for Column.Value into []table.Value.
+func appendOrdinals(c *table.Column, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if !c.IsNull(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

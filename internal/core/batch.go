@@ -304,3 +304,14 @@ func flushPhaseStats(stats *Stats, pi, tested, matched, probes, hits int) {
 	ph.IndexProbes += probes
 	ph.IndexHits += hits
 }
+
+// flushFilterStats adds one batch's fingerprint pre-filter counters —
+// same amortization contract as flushPhaseStats.
+func flushFilterStats(stats *Stats, pi, checked, skipped int) {
+	if stats == nil {
+		return
+	}
+	ph := stats.phase(pi)
+	ph.FilterChecked += checked
+	ph.FilterSkipped += skipped
+}

@@ -43,6 +43,10 @@ type chunkPhase struct {
 	keyScr  []table.Column
 	argCols []*table.Column
 	argScr  []table.Column
+	// prober vectorizes plain-equality probes against the flat index
+	// (nil for cube-rewritten keys or non-flat probe targets, which keep
+	// the boxed per-row gather).
+	prober *table.Prober
 	// union of detail-column ordinals all programs read; the batch driver
 	// transposes only these.
 	ords []int
@@ -93,6 +97,11 @@ func newChunkPhase(pp *phasePlan) *chunkPhase {
 			}
 			cpk.keys[i] = cc
 			addOrds(cc)
+		}
+		if len(pp.cubePos) == 0 {
+			if ix, ok := pp.index.(*table.Index); ok {
+				cpk.prober = table.NewProber(ix)
+			}
 		}
 	}
 	n := len(pp.specs)
@@ -278,16 +287,99 @@ func processPhaseChunk(b *table.Table, cp *compiledPhase, frame []table.Row, bat
 			countKernel(stats.phase(cp.pi), cc, len(sel))
 		}
 	}
+	if cpk.prober != nil {
+		probeChunkVectorized(b, cp, frame, batch, sel, stats)
+		return
+	}
+	probeChunkBoxed(b, cp, frame, batch, sel, stats)
+}
+
+// probeChunkVectorized is the plain-equality probe pipeline: the prober
+// hashes the key columns wholesale (typed vectors and dictionary codes,
+// no boxed key per row), classifies each position, and the loop below
+// only dispatches on the classification — probing the index through the
+// fingerprint pre-filter for live positions and feeding matches into the
+// arena states. Pair, probe, and hit accounting is identical to the
+// scalar reference path; the filter counters are vectorized-only
+// diagnostics and stay out of Stats.Semantic.
+func probeChunkVectorized(b *table.Table, cp *compiledPhase, frame []table.Row, batch []table.Row, sel []int32, stats *Stats) {
+	cpk := cp.chunk
+	pr := cpk.prober
+	pr.Begin(len(batch))
+	for kix, kc := range cpk.keyCols {
+		pr.FoldKeyCol(kix, kc, sel)
+	}
+	tested, matched, probes, hits := 0, 0, 0, 0
+	checked, skipped := 0, 0
+	for _, si := range sel {
+		i := int(si)
+		switch pr.State(i) {
+		case table.ProbeDead:
+			// NULL key: strict equality with NULL is never true.
+			continue
+		case table.ProbeDegen:
+			// Detail-side ALL matches every base value under =^; full loop.
+			frame[1] = batch[si]
+			for bi, br := range b.Rows {
+				if !cp.bAlive[bi] {
+					continue
+				}
+				tested++
+				if feedPair(cp, br, bi, frame, i) {
+					matched++
+				}
+			}
+		case table.ProbeMiss:
+			// Dictionary translation proved no base row matches: account
+			// the probe (the scalar path probes and gets zero hits) but
+			// never touch the index.
+			probes++
+			skipped++
+		default: // ProbeLive
+			var skip bool
+			cp.probeBuf, skip = pr.ProbeAppend(cp.probeBuf[:0], i)
+			probes++
+			hits += len(cp.probeBuf)
+			if skip {
+				skipped++
+			} else {
+				checked++
+			}
+			if len(cp.probeBuf) == 0 {
+				continue
+			}
+			frame[1] = batch[si]
+			for _, bi := range cp.probeBuf {
+				if !cp.bAlive[bi] {
+					continue
+				}
+				tested++
+				if feedPair(cp, b.Rows[bi], bi, frame, i) {
+					matched++
+				}
+			}
+		}
+	}
+	frame[0], frame[1] = nil, nil
+	flushPhaseStats(stats, cp.pi, tested, matched, probes, hits)
+	flushFilterStats(stats, cp.pi, checked, skipped)
+}
+
+// probeChunkBoxed is the per-row gather fallback for phases the prober
+// cannot serve: cube-rewritten keys (probeCubeBatched mutates the
+// gathered key through 2^k ALL-substitution masks) and non-flat probe
+// targets. Keys box back into []table.Value through Column.Value.
+//
+//mdlint:boxedkey cube rewriting mutates a boxed key copy per probe mask
+func probeChunkBoxed(b *table.Table, cp *compiledPhase, frame []table.Row, batch []table.Row, sel []int32, stats *Stats) {
+	cpk := cp.chunk
 	nk := len(cpk.keys)
 	if cap(cp.keyBuf) < nk {
 		cp.keyBuf = make([]table.Value, nk)
 	}
 	key := cp.keyBuf[:nk]
 
-	// Fused probe-and-feed loop: gather the key from the typed columns
-	// (NULL/ALL come from the validity bitmaps), probe the flat index,
-	// fold matches into the arena states.
-	probes, hits := 0, 0
+	tested, matched, probes, hits := 0, 0, 0, 0
 	for _, si := range sel {
 		i := int(si)
 		degenerate, dead := false, false

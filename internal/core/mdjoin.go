@@ -118,7 +118,16 @@ type Options struct {
 	// DetailParallelism, when > 1, partitions R across that many
 	// goroutines and merges per-partition aggregate states — the
 	// alternative parallelization enabled by mergeable aggregates.
+	// Workers pull morsels (a few chunks of R) from a shared atomic
+	// cursor, so skewed pushdown selectivity or straggling workers
+	// cannot idle the rest of the pool.
 	DetailParallelism int
+
+	// StaticDetailSplit restores the pre-morsel detail parallelism: R is
+	// split into p contiguous ranges up front, one per worker. Kept as
+	// the reference scheduler the skew benchmarks diff the morsel queue
+	// against; production callers should leave it false.
+	StaticDetailSplit bool
 
 	// Stats, when non-nil, receives the execution metrics tree (flat
 	// counters plus per-phase tier/index/pushdown/kernel detail). A nil

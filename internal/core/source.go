@@ -199,9 +199,11 @@ func evalSourceParallelBase(b *table.Table, src table.Source, phases []Phase, op
 }
 
 // evalSourceParallelDetail pumps a single scan through a channel to p
-// state-merging workers. One reader goroutine owns the iterator; workers
-// own private phase states (merged at the end), so the only shared state
-// is the channel.
+// state-merging workers. One reader goroutine owns the iterator and
+// slices the stream into batch-sized morsels; workers pull whole morsels
+// (the source-side analogue of evalParallelDetail's cursor queue — the
+// channel is the queue), own private phase states (merged at the end),
+// and share nothing else.
 func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
 	p := opt.DetailParallelism
 	if p <= 1 {
@@ -211,16 +213,20 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 	if err != nil {
 		return nil, err
 	}
-	rows := make(chan table.Row, 4*p)
+	morsels := make(chan []table.Row, 2*p)
 	readErr := make(chan error, 1)
 	go func() {
-		defer close(rows)
+		defer close(morsels)
 		it, err := src.Scan()
 		if err != nil {
 			readErr <- err
 			return
 		}
 		defer it.Close()
+		// Each morsel is a fresh slice: workers hold theirs while the
+		// reader fills the next (source iterators hand over row ownership,
+		// so buffering is safe).
+		buf := make([]table.Row, 0, batchSize)
 		for n := 0; ; n++ {
 			if n%cancelCheckInterval == 0 {
 				if err := ctxErr(opt.Ctx); err != nil {
@@ -230,6 +236,9 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 			}
 			t, err := it.Next()
 			if err == io.EOF {
+				if len(buf) > 0 {
+					morsels <- buf
+				}
 				readErr <- nil
 				return
 			}
@@ -237,7 +246,11 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 				readErr <- err
 				return
 			}
-			rows <- t
+			buf = append(buf, t)
+			if len(buf) == batchSize {
+				morsels <- buf
+				buf = make([]table.Row, 0, batchSize)
+			}
 		}
 	}()
 
@@ -246,7 +259,7 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 	plans, err := compilePhases(b, src.Schema(), phases, opt)
 	if err != nil {
 		// Drain so the reader goroutine can finish.
-		for range rows {
+		for range morsels {
 		}
 		<-readErr
 		return nil, err
@@ -270,45 +283,33 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 			drainOnCancel := func() bool {
 				if err := ctxErr(opt.Ctx); err != nil {
 					errs[wi] = err
-					for range rows {
+					for range morsels {
 					}
 					return true
 				}
 				return false
 			}
 			if len(cps) > 0 && !cps[0].scalar {
-				// Batched: accumulate channel rows into a private buffer
-				// and flush full batches through the vectorized executor.
-				if drainOnCancel() {
-					return
-				}
+				// Batched: each morsel is already one batch.
 				d := newBatchDriver(src.Schema(), cps)
-				buf := make([]table.Row, 0, batchSize)
-				for t := range rows {
-					buf = append(buf, t)
-					if len(buf) == batchSize {
-						d.processBatch(b, cps, buf, nil, st)
-						buf = buf[:0]
-						if drainOnCancel() {
-							return
-						}
+				for m := range morsels {
+					if drainOnCancel() {
+						return
 					}
-				}
-				if len(buf) > 0 {
-					d.processBatch(b, cps, buf, nil, st)
+					d.processBatch(b, cps, m, nil, st)
 				}
 				workers[wi] = cps
 				return
 			}
 			frame := make([]table.Row, 2)
 			var key []table.Value
-			n := 0
-			for t := range rows {
-				if n%cancelCheckInterval == 0 && drainOnCancel() {
+			for m := range morsels {
+				if drainOnCancel() {
 					return
 				}
-				n++
-				key = processTuple(b, cps, frame, key, t, st)
+				for _, t := range m {
+					key = processTuple(b, cps, frame, key, t, st)
+				}
 			}
 			workers[wi] = cps
 		}(wi)

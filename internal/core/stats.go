@@ -74,6 +74,15 @@ type PhaseStats struct {
 	// counters.
 	PairsTested  int `json:"pairs_tested"`
 	PairsMatched int `json:"pairs_matched"`
+	// FilterChecked/FilterSkipped split the vectorized prober's index
+	// probes by how they resolved: checked probes reached the full hash
+	// array, skipped probes short-circuited — the 8-bit tag fingerprint
+	// proved the key absent, or dictionary translation already had (a
+	// string missing from the index dictionary, a non-string key against
+	// an all-string column). Both still count in IndexProbes; these are
+	// tier-specific diagnostics and deliberately absent from Semantic().
+	FilterChecked int `json:"filter_checked,omitempty"`
+	FilterSkipped int `json:"filter_skipped,omitempty"`
 }
 
 // Stats is the execution metrics tree: flat whole-query counters plus one
@@ -167,6 +176,8 @@ func (s *Stats) Merge(o *Stats) {
 		p.BoxedElems += op.BoxedElems
 		p.PairsTested += op.PairsTested
 		p.PairsMatched += op.PairsMatched
+		p.FilterChecked += op.FilterChecked
+		p.FilterSkipped += op.FilterSkipped
 	}
 }
 
@@ -263,6 +274,9 @@ func (s *Stats) Lines() []string {
 		access := "nested-loop"
 		if p.IndexUsed {
 			access = fmt.Sprintf("indexed probes=%d hits=%d", p.IndexProbes, p.IndexHits)
+			if p.FilterChecked > 0 || p.FilterSkipped > 0 {
+				access += fmt.Sprintf(" filter(checked=%d skipped=%d)", p.FilterChecked, p.FilterSkipped)
+			}
 		}
 		push := "pushdown=off"
 		if p.PushdownIn > 0 {

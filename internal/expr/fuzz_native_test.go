@@ -86,6 +86,8 @@ func FuzzEvalChunkVsScalar(f *testing.F) {
 	f.Add([]byte{11, 5, 0, 0, 3})                        // (r.i + 3)
 	f.Add([]byte{9, 8, 5, 3, 7, 5, 4})                   // ((r.bl IS NULL) AND (NOT r.mix))
 	f.Add([]byte{15, 6, 5, 2, 2, 1})                     // (r.s =^ "ca")
+	f.Add([]byte{15, 0, 5, 2, 2, 1})                     // (r.s = "ca"): dict-code equality
+	f.Add([]byte{15, 0, 5, 2, 5, 2})                     // (r.s = r.s): dict vs dict column
 	f.Add([]byte{14, 5, 1, 12, 5, 0, 0, 2})              // (r.f / (r.i - 2))
 	f.Add([]byte{10, 15, 2, 5, 4, 3, 8, 13, 1, 8, 1, 8}) // nested mixed tree
 

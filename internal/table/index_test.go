@@ -79,6 +79,68 @@ func TestFlatIndexMatchesMapIndex(t *testing.T) {
 	}
 }
 
+// TestFlatIndexDictKeyedVsMapIndex pins the dict-keyed build: a key
+// column holding only strings makes the flat index hash dictionary codes
+// instead of values, and boxed probes translate through the dictionary —
+// including probes whose key is a non-string (Int, Float, NULL, ALL,
+// Bool), which can never match a string and must return empty exactly
+// like the map-backed reference.
+func TestFlatIndexDictKeyedVsMapIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	words := []string{"ak", "ca", "ny", "tx", "wa"}
+	for trial := 0; trial < 30; trial++ {
+		tt := New(SchemaOf("s1", "s2", "v"))
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			tt.Append(Row{
+				Str(words[rng.Intn(len(words))]),
+				Str(words[rng.Intn(len(words))]),
+				Int(int64(i)),
+			})
+		}
+		cols := []int{0, 1}
+		if trial%2 == 0 {
+			cols = []int{rng.Intn(2)}
+		}
+		flat := BuildIndexOrdinals(tt, cols)
+		ref := BuildMapIndex(tt, cols)
+
+		mkKey := func() Value {
+			switch rng.Intn(8) {
+			case 0:
+				return Int(int64(rng.Intn(5)))
+			case 1:
+				return Float(float64(rng.Intn(5)))
+			case 2:
+				return Null()
+			case 3:
+				return All()
+			case 4:
+				return Bool(true)
+			case 5:
+				return Str("zz") // absent from the dictionary
+			default:
+				return Str(words[rng.Intn(len(words))])
+			}
+		}
+		for p := 0; p < 40; p++ {
+			key := make([]Value, len(cols))
+			for j := range key {
+				key[j] = mkKey()
+			}
+			got, want := flat.Probe(key), ref.Probe(key)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d key %v: flat %v vs map %v", trial, key, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d key %v: flat %v vs map %v", trial, key, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestFlatIndexEmptyTable(t *testing.T) {
 	tt := New(SchemaOf("a"))
 	ix := BuildIndexOrdinals(tt, []int{0})

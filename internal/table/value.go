@@ -263,6 +263,81 @@ func hashValue(h uint64, v Value) uint64 {
 	return v.hashInto(h)
 }
 
+// FNV-1a parameters shared by the row hash (hashInto) and the columnar
+// key kernels below.
+const (
+	fnvBasis uint64 = 14695981039346656037
+	fnvPrime uint64 = 1099511628211
+)
+
+// Columnar key hashing: the flat Index hashes each key column
+// independently and folds the per-column hashes together with
+// combineHash, so the chunk executor can hash whole typed vectors
+// ([]int64, []float64, dictionary codes) without boxing a Value per row.
+// Each per-column kernel below agrees exactly with
+// hashSingle(v) = hashValue(fnvBasis, v) for the corresponding value, so
+// the typed vector path and the boxed ProbeAppend path land in the same
+// slot. (Dictionary-encoded index columns are the exception: they hash
+// by dictionary code via hashCodeKey, and the boxed path translates the
+// string through the index's dictionary first.)
+
+// hashSingle hashes one value as a standalone single-column key.
+func hashSingle(v Value) uint64 { return hashValue(fnvBasis, v) }
+
+// hashIntKey hashes an int64 exactly as hashSingle(Int(i)): through the
+// integral-float normalization, so Int(3) and Float(3.0) collide.
+func hashIntKey(i int64) uint64 {
+	h := fnvBasis ^ uint64(KindFloat)
+	h *= fnvPrime
+	h ^= uint64(int64(float64(i)))
+	return h * fnvPrime
+}
+
+// hashFloatKey hashes a float64 exactly as hashSingle(Float(f)).
+func hashFloatKey(f float64) uint64 {
+	h := fnvBasis ^ uint64(KindFloat)
+	h *= fnvPrime
+	if f == math.Trunc(f) && !math.IsInf(f, 0) {
+		h ^= uint64(int64(f))
+	} else {
+		h ^= math.Float64bits(f)
+	}
+	return h * fnvPrime
+}
+
+// hashStringKey hashes a string exactly as hashSingle(Str(s)).
+func hashStringKey(s string) uint64 {
+	h := fnvBasis ^ uint64(KindString)
+	h *= fnvPrime
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// hashBoolKey hashes a bool exactly as hashSingle(Bool(b)).
+func hashBoolKey(b bool) uint64 {
+	h := fnvBasis ^ uint64(KindBool)
+	h *= fnvPrime
+	if b {
+		h ^= 1
+	}
+	return h * fnvPrime
+}
+
+// hashCodeKey hashes a dictionary code for a dict-keyed index column.
+// Codes are index-local (assigned by BuildIndexOrdinals in row order), so
+// any injective mix works; probe-side codes are translated into the
+// index's code space before hashing.
+func hashCodeKey(c int32) uint64 {
+	return (fnvBasis ^ uint64(uint32(c))) * fnvPrime
+}
+
+// combineHash folds one column's key hash into the multi-column
+// accumulator (seed the accumulator with fnvBasis).
+func combineHash(h, hv uint64) uint64 { return (h ^ hv) * fnvPrime }
+
 // ParseValue converts raw text (e.g. a CSV field) into the narrowest value:
 // the literals NULL and ALL, then int, float, bool, falling back to string.
 func ParseValue(s string) Value {
