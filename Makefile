@@ -13,7 +13,7 @@ FUZZTIME ?= 10s
 
 .PHONY: check fmt lint vet build test race race-metrics bench bench-guard fuzz-smoke serve-smoke
 
-check: fmt lint build test race race-metrics
+check: fmt lint build test race race-metrics race-shared
 
 # gofmt emits nothing when the tree is clean; any path listed fails the
 # gate.
@@ -48,6 +48,14 @@ race-metrics:
 	$(GO) test -race -count=1 -run 'TestStats|TestPhaseStats|TestPartitionedParallelCompose|TestEmptyRelationsParallel' ./internal/core
 	$(GO) test -race -count=1 -run 'TestReport|TestScatterPhasesCallerStats' ./internal/distributed
 
+# The shared-scan torture suite: concurrent queries merged into one detail
+# scan while one caller cancels and another panics mid-scan — the survivors
+# must complete with byte-identical results. Rerun under the race detector
+# with caching disabled so a cached `race` pass cannot mask a fresh race in
+# the coordinator or the merged driver's eviction path.
+race-shared:
+	$(GO) test -race -count=1 -run 'TestMergedScan|TestSharedExecutor|TestEvalBundles' ./internal/core
+
 # All E1–E14 experiment benchmarks with -benchmem, then the guards. The
 # guards (also runnable alone via bench-guard) assert on the E12 workload
 # that (a) the row-batch executor over the flat hash index is no slower
@@ -63,7 +71,7 @@ bench: bench-guard
 	$(GO) test ./internal/distributed -bench ScatterFragments -benchtime 20x -run '^$$'
 
 bench-guard:
-	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestMorselSkewGuard|TestStatsOverheadGuard' -count=1 -v .
+	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestMorselSkewGuard|TestStatsOverheadGuard|TestSharedScanGuard' -count=1 -v .
 	MDJOIN_BENCH_GUARD=1 $(GO) test ./internal/server -run TestServerOverheadGuard -count=1 -v
 
 # End-to-end smoke of the mdserve lifecycle with the real binaries:

@@ -2,7 +2,9 @@ package mdjoin_test
 
 import (
 	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"mdjoin/internal/agg"
 	"mdjoin/internal/core"
@@ -210,6 +212,108 @@ func TestMorselSkewGuard(t *testing.T) {
 	if lim := static.NsPerOp() * 10 / 12; morsel.NsPerOp() > lim {
 		t.Errorf("morsel scheduler lost its skew advantage: %d ns/op > %d ns/op (static %d / 1.2)",
 			morsel.NsPerOp(), lim, static.NsPerOp())
+	}
+}
+
+// TestSharedScanGuard is the cross-query shared-scan tripwire: when N
+// concurrent queries target the same detail relation through a
+// core.SharedExecutor, the physical detail-scan count must follow the
+// number of DISTINCT relations, not the number of queries. The guard is
+// deterministic — it asserts on the coordinator's ShareStats (groups run,
+// scans saved) and on result/Stats fidelity, never on timing — but runs
+// behind the same opt-in gate as the other guards because it spins up
+// concurrent query bursts. The throughput side of this story is e17 in
+// mdbench (BENCH_pr8.json).
+func TestSharedScanGuard(t *testing.T) {
+	if os.Getenv("MDJOIN_BENCH_GUARD") == "" {
+		t.Skip("set MDJOIN_BENCH_GUARD=1 (or run `make bench`) to run the shared-scan guard")
+	}
+
+	const nq = 8
+	detail := benchSales(20000, 12)
+	full, err := cube.DistinctBase(detail, "cust", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &table.Table{Schema: full.Schema, Rows: full.Rows}
+	if base.Len() > 500 {
+		base.Rows = base.Rows[:500]
+	}
+	specs := []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")}
+	theta := expr.And(
+		expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+		expr.Eq(expr.QC("R", "month"), expr.C("month")))
+	phases := []core.Phase{{Aggs: specs, Theta: theta}}
+
+	want, err := core.Eval(base, detail, phases, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst 1: nq concurrent queries over ONE relation. MaxBatch = nq
+	// closes the group deterministically on the last arrival; the long
+	// window only matters if a submitter stalls.
+	se := core.NewSharedExecutor(2*time.Second, nq)
+	var wg sync.WaitGroup
+	stats := make([]core.Stats, nq)
+	for i := 0; i < nq; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := se.Eval(base, detail, phases, core.Options{Stats: &stats[i]})
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if d := want.Diff(got); d != "" {
+				t.Errorf("query %d result diverged from solo evaluation: %s", i, d)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := se.Snapshot()
+	if st.GroupsRun != 1 {
+		t.Errorf("one relation, %d queries: %d merged scans, want 1", nq, st.GroupsRun)
+	}
+	if st.ScansSaved != nq-1 {
+		t.Errorf("scans saved = %d, want %d", st.ScansSaved, nq-1)
+	}
+	for i := range stats {
+		// Per-caller Stats keep the semantic contract: each query reports
+		// its own single scan of R regardless of the physical merge.
+		if stats[i].DetailScans != 1 {
+			t.Errorf("query %d Stats.DetailScans = %d, want 1", i, stats[i].DetailScans)
+		}
+	}
+
+	// Burst 2: the same nq queries, each over its own copy of the
+	// relation. Nothing can merge: scan count scales with relations.
+	distinct := make([]*table.Table, nq)
+	for i := range distinct {
+		distinct[i] = &table.Table{Schema: detail.Schema, Rows: detail.Rows}
+	}
+	se2 := core.NewSharedExecutor(30*time.Millisecond, nq)
+	for i := 0; i < nq; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := se2.Eval(base, distinct[i], phases, core.Options{})
+			if err != nil {
+				t.Errorf("distinct query %d: %v", i, err)
+				return
+			}
+			if d := want.Diff(got); d != "" {
+				t.Errorf("distinct query %d result diverged: %s", i, d)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st2 := se2.Snapshot()
+	if st2.GroupsRun != nq {
+		t.Errorf("%d distinct relations: %d merged scans, want %d", nq, st2.GroupsRun, nq)
+	}
+	if st2.ScansSaved != 0 {
+		t.Errorf("distinct relations saved %d scans, want 0", st2.ScansSaved)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"mdjoin"
@@ -54,7 +55,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e16 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e17 or all")
 	flag.Parse()
 
 	experiments := []struct {
@@ -78,6 +79,7 @@ func main() {
 		{"e14", "Theorem 4.1 over a disk-resident detail: memory/scan trade", e14},
 		{"e15", "probe pipeline: fingerprint pre-filter on low-hit-rate θ", e15},
 		{"e16", "probe pipeline: morsel scheduler vs static split under skew", e16},
+		{"e17", "cross-query shared scans: concurrent queries over one R vs N relations", e17},
 	}
 
 	ran := false
@@ -740,6 +742,109 @@ func e16() {
 		fmt.Println(" the morsel cursor redistributes the hot quarter across the pool, and")
 		fmt.Println(" workers share the prebuilt chunk mirror instead of re-transposing)")
 	}
+}
+
+// ---------------------------------------------------------------- e17
+
+func e17() {
+	n := rows(100000)
+	const nq = 8       // concurrent queries per burst
+	const rounds = 4   // bursts per configuration
+	const measures = 8 // fact-table measure columns
+	parent := sales(n, 17)
+	// A wide multi-measure fact table (the usual OLAP detail shape),
+	// derived per query session: a plain table carries no prebuilt chunk
+	// mirror, so every scan re-transposes each batch — the per-batch cost
+	// a merged scan pays once for the whole group while solo queries pay
+	// it once each.
+	cols := []string{"cust", "month"}
+	for m := 1; m <= measures; m++ {
+		cols = append(cols, fmt.Sprintf("m%d", m))
+	}
+	wide := table.New(table.SchemaOf(cols...))
+	ci := parent.Schema.MustColIndex("cust")
+	mi := parent.Schema.MustColIndex("month")
+	si := parent.Schema.MustColIndex("sale")
+	for _, r := range parent.Rows {
+		row := table.Row{r[ci], r[mi]}
+		sale := r[si].AsFloat()
+		for m := 1; m <= measures; m++ {
+			row = append(row, table.Float(sale*float64(m)))
+		}
+		wide.Append(row)
+	}
+	sameR := wide
+	distinctR := make([]*table.Table, nq)
+	for i := range distinctR {
+		distinctR[i] = &table.Table{Schema: wide.Schema, Rows: wide.Rows}
+	}
+	full := must(cube.DistinctBase(wide, "cust", "month"))
+	base := &table.Table{Schema: full.Schema, Rows: full.Rows}
+	if base.Len() > 60 {
+		base.Rows = base.Rows[:60]
+	}
+	// E12-class probe (indexed equi-keys on B) aggregating every measure.
+	specs := []agg.Spec{agg.NewSpec("count", nil, "n")}
+	for m := 1; m <= measures; m++ {
+		specs = append(specs, agg.NewSpec("sum", expr.QC("R", fmt.Sprintf("m%d", m)), fmt.Sprintf("t%d", m)))
+	}
+	phases := []core.Phase{{
+		Aggs: specs,
+		Theta: expr.And(
+			expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+			expr.Eq(expr.QC("R", "month"), expr.C("month"))),
+	}}
+	opt := core.Options{DetailParallelism: runtime.GOMAXPROCS(0)}
+
+	// burst launches one round of nq concurrent queries, query i against
+	// rel(i), and waits them out.
+	burst := func(se *core.SharedExecutor, rel func(int) *table.Table) {
+		var wg sync.WaitGroup
+		for i := 0; i < nq; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if se != nil {
+					must(se.Eval(base, rel(i), phases, opt))
+					return
+				}
+				must(core.Eval(base, rel(i), phases, opt))
+			}(i)
+		}
+		wg.Wait()
+	}
+	run := func(label string, se *core.SharedExecutor, rel func(int) *table.Table) time.Duration {
+		return record(label, n, nil, func() {
+			for r := 0; r < rounds; r++ {
+				burst(se, rel)
+			}
+		})
+	}
+
+	same := func(int) *table.Table { return sameR }
+	each := func(i int) *table.Table { return distinctR[i] }
+
+	solo := run(fmt.Sprintf("share-solo-n%d", nq), nil, same)
+	seSame := core.NewSharedExecutor(2*time.Millisecond, nq)
+	merged := run(fmt.Sprintf("share-merged-n%d", nq), seSame, same)
+	seDist := core.NewSharedExecutor(2*time.Millisecond, nq)
+	dist := run(fmt.Sprintf("share-distinct-n%d", nq), seDist, each)
+
+	qps := func(d time.Duration) float64 {
+		return float64(nq*rounds) / d.Seconds()
+	}
+	fmt.Printf("%d queries/burst x %d bursts, |R| = %d (derived: no chunk mirror), |B| = %d, GOMAXPROCS = %d\n",
+		nq, rounds, n, base.Len(), runtime.GOMAXPROCS(0))
+	fmt.Printf("%22s %14s %12s %14s\n", "configuration", "wall", "queries/s", "merged scans")
+	st := seSame.Snapshot()
+	sd := seDist.Snapshot()
+	fmt.Printf("%22s %14v %12.1f %14s\n", "solo (no coordinator)", solo, qps(solo), "-")
+	fmt.Printf("%22s %14v %12.1f %14d\n", "shared, one R", merged, qps(merged), st.GroupsRun)
+	fmt.Printf("%22s %14v %12.1f %14d\n", fmt.Sprintf("shared, %d relations", nq), dist, qps(dist), sd.GroupsRun)
+	fmt.Printf("one-R speedup over solo: %.1fx; scans saved: %d of %d submissions\n",
+		float64(solo)/float64(merged), st.ScansSaved, st.Submitted)
+	fmt.Printf("(scan count follows distinct relations, not query count: %d groups for one R, %d for %d relations)\n",
+		st.GroupsRun, sd.GroupsRun, nq)
 }
 
 // ------------------------------------------------------------- format

@@ -48,6 +48,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight queries on shutdown")
 		maxRows      = flag.Int("max-response-rows", 1_000_000, "result-size cap (413 beyond)")
 		cacheSize    = flag.Int("plan-cache", 128, "prepared-plan LRU capacity")
+		shareWindow  = flag.Duration("share-window", 2*time.Millisecond, "collection window for cross-query shared detail scans")
+		shareOff     = flag.Bool("share-off", false, "disable cross-query shared scans")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mdserve [flags] [NAME=FILE.csv ...]\n")
@@ -64,6 +66,10 @@ func main() {
 		log.Fatalf("mdserve: bad -memory-budget %q: %v", *budget, err)
 	}
 
+	window := *shareWindow
+	if *shareOff {
+		window = 0
+	}
 	s := server.New(server.Config{
 		MaxConcurrent:     conc,
 		MemoryBudgetBytes: pool,
@@ -73,6 +79,7 @@ func main() {
 		DrainTimeout:      *drainTimeout,
 		MaxResponseRows:   *maxRows,
 		PlanCacheSize:     *cacheSize,
+		ShareWindow:       window,
 	})
 	for _, arg := range flag.Args() {
 		name, path, ok := strings.Cut(arg, "=")
@@ -90,8 +97,12 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("mdserve: serving on %s (concurrency %d, pool %d bytes, per-query budget %d bytes)",
-		*addr, conc, pool, s.QueryBudgetBytes())
+	share := "off"
+	if window > 0 {
+		share = window.String()
+	}
+	log.Printf("mdserve: serving on %s (concurrency %d, pool %d bytes, per-query budget %d bytes, share window %s)",
+		*addr, conc, pool, s.QueryBudgetBytes(), share)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -133,3 +133,87 @@ func scanBatched(ctx context.Context, it table.Iterator, batch int) (int, error)
 		}
 	}
 }
+
+// The merged-scan coordinator shapes (PR 8): one worker loop claims
+// morsels of a shared relation for several callers at once, and a window
+// collector waits for submissions. Both are unbounded waits over detail
+// rows, so both carry the polling obligation.
+
+// evalMergedUnpolled mirrors the merged-scan worker without the per-batch
+// eviction check: the claim loop itself consumes nothing, but the batch
+// it claims is ranged with no poll anywhere in the function, so a
+// cancelled caller's phases ride along to the end of the relation.
+func evalMergedUnpolled(rows []table.Row, claim func(int) int, batch int) int {
+	n := 0
+	for {
+		off := claim(batch)
+		if off >= len(rows) {
+			return n
+		}
+		hi := off + batch
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		for _, t := range rows[off:hi] { // want `detail-scan loop never polls Options\.Ctx`
+			n += len(t)
+		}
+	}
+}
+
+// evalMergedPolled is the sanctioned merged worker: every morsel claim
+// re-checks eviction through a closure that polls the bundle's ctx, which
+// bounds the per-batch range below it.
+func evalMergedPolled(ctx context.Context, rows []table.Row, claim func(int) int, batch int) int {
+	n := 0
+	evicted := func() bool {
+		return ctxErr(ctx) != nil
+	}
+	for {
+		if evicted() {
+			return n
+		}
+		off := claim(batch)
+		if off >= len(rows) {
+			return n
+		}
+		hi := off + batch
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		for _, t := range rows[off:hi] {
+			n += len(t)
+		}
+	}
+}
+
+// scanShareWindowUnpolled is the window-collector mistake: the loop waits
+// on the submission channel alone, so a coordinator whose server is
+// draining blocks until the next query happens to arrive.
+func scanShareWindowUnpolled(subs chan table.Row, windowFull func() bool) []table.Row {
+	var buf []table.Row
+	for { // want `detail-scan loop never polls Options\.Ctx`
+		row := <-subs
+		buf = append(buf, row)
+		if windowFull() {
+			return buf
+		}
+	}
+}
+
+// scanShareWindowPolled selects on the context alongside the submission
+// channel: whichever of cancellation or a full window comes first ends
+// the collection.
+func scanShareWindowPolled(ctx context.Context, subs chan table.Row, windowFull func() bool) []table.Row {
+	var buf []table.Row
+	for {
+		select {
+		case <-ctx.Done():
+			return buf
+		case row := <-subs:
+			buf = append(buf, row)
+			if windowFull() {
+				return buf
+			}
+		}
+	}
+}

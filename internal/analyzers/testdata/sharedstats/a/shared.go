@@ -65,3 +65,67 @@ func workerLocal(done chan *core.Stats) {
 		done <- st
 	}()
 }
+
+// The merged-scan coordinator shapes (PR 8): several callers submit
+// bundles to one shared detail scan, and their Stats ride along in the
+// submissions. The scatter step is where the pointer wants to leak.
+
+// submission is one caller's entry in a merged-scan group.
+type submission struct {
+	opt  options
+	done chan struct{}
+}
+
+// scatterIntoCallers replays the tempting merged-scan bug: the group
+// runner spawns a goroutine per bundle and writes each CALLER's Stats
+// from it — every submitter's pointer crosses into a goroutine the
+// submitter never synchronizes with.
+func scatterIntoCallers(subs []submission) {
+	var wg sync.WaitGroup
+	for i := range subs {
+		sub := subs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub.opt.Stats.DetailScans++ // want `\*core\.Stats sub\.opt\.Stats captured by a goroutine literal`
+			close(sub.done)
+		}()
+	}
+	wg.Wait()
+}
+
+// mergedRun is the sanctioned coordinator shape: the run owns a scratch
+// row per worker, handed out through an accessor, and the scatter into
+// each caller's Stats happens after Wait on the coordinator goroutine.
+type mergedRun struct {
+	scratch []core.Stats
+}
+
+func (r *mergedRun) wstats(wi int) *core.Stats { return &r.scratch[wi] }
+
+// runMergedGroup must stay diagnostic-free: workers bind a private
+// scratch row via the accessor (the captured *mergedRun is not a
+// *core.Stats), and per-caller semantics are folded in sequentially once
+// the workers are done.
+func runMergedGroup(subs []submission, workers int) {
+	run := &mergedRun{scratch: make([]core.Stats, workers)}
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			st := run.wstats(wi)
+			st.TuplesScanned++
+		}(wi)
+	}
+	wg.Wait()
+	for i := range subs {
+		if subs[i].opt.Stats == nil {
+			continue
+		}
+		subs[i].opt.Stats.DetailScans++
+		for wi := range run.scratch {
+			subs[i].opt.Stats.Merge(&run.scratch[wi])
+		}
+	}
+}

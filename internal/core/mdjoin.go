@@ -40,7 +40,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"mdjoin/internal/agg"
 	"mdjoin/internal/expr"
@@ -139,8 +138,17 @@ type Options struct {
 	// the vectorized path, every cancelCheckInterval tuples on the scalar
 	// path); cancellation aborts the evaluation with ctx.Err(). This is
 	// what lets a distributed site abandon work whose caller has timed out
-	// instead of scanning to completion.
+	// instead of scanning to completion. Under a merged multi-query scan
+	// the poll is per bundle: cancellation evicts this caller's phases
+	// without aborting the shared scan.
 	Ctx context.Context
+
+	// Shared, when non-nil, routes mergeable evaluations through the
+	// cross-query shared-scan coordinator (shared.go): bundles arriving
+	// within its window that target the same detail table run as one
+	// merged scan. Plan nodes (optimizer.MDJoin) honor it; calling
+	// Eval/EvalSource directly bypasses it.
+	Shared *SharedExecutor
 }
 
 // cancelCheckInterval bounds how many detail tuples are processed between
@@ -171,35 +179,15 @@ func MDJoin(b, r *table.Table, aggs []agg.Spec, theta expr.Expr) (*table.Table, 
 
 // Eval evaluates a generalized MD-join MD(b, r, (l₁..l_k), (θ₁..θ_k)): all
 // phases share the detail scan(s), appending their aggregate columns to B
-// in phase order.
+// in phase order. It is a thin wrapper over the three-stage bundle API:
+// compile one bundle, run it (a one-bundle merged scan on the plan-sharing
+// strategies — see bundle.go).
 func Eval(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
-	if len(phases) == 0 {
-		return nil, fmt.Errorf("core: MD-join needs at least one phase")
-	}
-	if opt.Parallelism > 1 && opt.DetailParallelism > 1 {
-		return nil, fmt.Errorf("core: Parallelism and DetailParallelism are mutually exclusive")
-	}
-	// Fail fast on an already-cancelled context: a caller whose deadline
-	// has expired (a timed-out mdserve request, a distributed site whose
-	// caller gave up) must not pay for plan compilation, index builds, or
-	// arena allocation just to discover the cancellation on the first
-	// scan poll.
-	if err := ctxErr(opt.Ctx); err != nil {
+	bu, err := Compile(b, r, phases, opt)
+	if err != nil {
 		return nil, err
 	}
-	if opt.MaxBaseRows == 0 && opt.MemoryBudgetBytes > 0 {
-		opt.MaxBaseRows = baseRowsForBudget(b, phases, opt.MemoryBudgetBytes)
-	}
-	if opt.MaxBaseRows > 0 && opt.MaxBaseRows < b.Len() {
-		return evalPartitioned(b, r, phases, opt)
-	}
-	if opt.Parallelism > 1 {
-		return evalParallelBase(b, r, phases, opt)
-	}
-	if opt.DetailParallelism > 1 {
-		return evalParallelDetail(b, r, phases, opt)
-	}
-	return evalSingle(b, r, phases, opt)
+	return bu.Run()
 }
 
 // baseRowsForBudget estimates how many base rows fit in the given byte
@@ -447,18 +435,6 @@ func newPhaseExecs(plans []*phasePlan, nBase int) []*compiledPhase {
 	return out
 }
 
-// bindPhases compiles every phase and prepares one worker's execution
-// state — the single-worker convenience over compilePhases+newPhaseExecs.
-func bindPhases(b *table.Table, rSchema *table.Schema, phases []Phase, opt Options) ([]*compiledPhase, error) {
-	plans, err := compilePhases(b, rSchema, phases, opt)
-	if err != nil {
-		return nil, err
-	}
-	cps := newPhaseExecs(plans, b.Len())
-	recordArenas(opt.Stats, cps)
-	return cps, nil
-}
-
 // recordArenas adds the workers' aggregate-state footprint to the tree.
 func recordArenas(stats *Stats, cps []*compiledPhase) {
 	if stats == nil {
@@ -487,40 +463,6 @@ func recordTiers(stats *Stats, cps []*compiledPhase) {
 			ph.Tier = TierRowBatch
 		}
 	}
-}
-
-// evalSingle is the single-threaded, fully resident evaluation: one scan of
-// R shared by all phases (Algorithm 3.1 plus Sections 4.2/4.3/4.5).
-func evalSingle(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
-	schema, err := outSchema(b, phases)
-	if err != nil {
-		return nil, err
-	}
-	var mark time.Time
-	if opt.Stats != nil {
-		mark = time.Now()
-	}
-	cps, err := bindPhases(b, r.Schema, phases, opt)
-	if err != nil {
-		return nil, err
-	}
-	if opt.Stats != nil {
-		opt.Stats.CompileNanos += time.Since(mark).Nanoseconds()
-		mark = time.Now()
-	}
-	if err := scanDetail(opt.Ctx, b, r, cps, opt.Stats); err != nil {
-		return nil, err
-	}
-	if opt.Stats != nil {
-		opt.Stats.ScanNanos += time.Since(mark).Nanoseconds()
-		opt.Stats.DetailScans++
-		mark = time.Now()
-	}
-	out := assemble(schema, b, cps)
-	if opt.Stats != nil {
-		opt.Stats.AssembleNanos += time.Since(mark).Nanoseconds()
-	}
-	return out, nil
 }
 
 // scanDetail performs the detail scan over a materialized table, updating

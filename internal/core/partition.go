@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"mdjoin/internal/table"
 )
@@ -106,204 +105,31 @@ func evalParallelBase(b, r *table.Table, phases []Phase, opt Options) (*table.Ta
 // morselRows is the morsel size of the detail-parallel scheduler: the
 // contiguous row range a worker claims per cursor bump. A few chunks
 // amortizes the claim (one atomic add per morsel) while staying small
-// enough that a skewed tail redistributes across the pool.
+// enough that a skewed tail redistributes across the pool. The morsel
+// queue itself lives in the merged driver (merged.go): detail parallelism
+// is the one-bundle case of the merged multi-query scan.
 const morselRows = 4 * batchSize
-
-// evalParallelDetail partitions the detail relation across p workers, each
-// accumulating private aggregate states over the full base table, then
-// merges states — the parallelization that mergeable aggregates enable
-// (the complement of Theorem 4.1, analogous to partitioned hash
-// aggregation in [Gra93]).
-//
-// Scheduling is morsel-driven: workers claim contiguous chunk-aligned
-// morsels from a shared atomic cursor, so a worker whose morsels carry
-// most of the surviving tuples (skewed pushdown selectivity) simply
-// claims fewer of them, while the rest of the pool drains the remainder
-// instead of idling. Chunk alignment keeps the parent table's prebuilt
-// columnar mirror usable: workers address it by offset and never
-// transpose — the static split's sub-slice tables lost that.
-func evalParallelDetail(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
-	if opt.StaticDetailSplit {
-		return evalParallelDetailStatic(b, r, phases, opt)
-	}
-	p := opt.DetailParallelism
-	n := r.Len()
-	if p > n && n > 0 {
-		p = n
-	}
-	morsel := morselRows
-	// Shrink the morsel (chunk-aligned, at least one chunk) when R is too
-	// small to give every worker a full-size one: p workers on 8k rows
-	// should run 8 chunk-sized morsels, not 2 of 4 chunks.
-	if need := (n + p - 1) / p; p > 1 && need < morsel {
-		morsel = (need + batchSize - 1) / batchSize * batchSize
-		if morsel < batchSize {
-			morsel = batchSize
-		}
-	}
-	nMorsels := (n + morsel - 1) / morsel
-	if p > nMorsels {
-		p = nMorsels
-	}
-	if p <= 1 {
-		// Empty R, a single morsel, or morsel ≥ r.Len(): nothing to
-		// schedule — evalSingle covers every degenerate shape.
-		return evalSingle(b, r, phases, opt)
-	}
-
-	schema, err := outSchema(b, phases)
-	if err != nil {
-		return nil, err
-	}
-
-	// Compile once, before any goroutine starts: the plans (base index,
-	// compiled θ pieces, liveness bitmap) are read-only and shared by every
-	// worker, so the index is built a single time and IndexUsed is recorded
-	// without a race. Only the arena-backed states are per-worker.
-	plans, err := compilePhases(b, r.Schema, phases, opt)
-	if err != nil {
-		return nil, err
-	}
-
-	// The parent table's columnar mirror is shared read-only across
-	// workers, addressed by row offset. Guard the offset arithmetic: every
-	// chunk but the last must hold exactly batchSize rows.
-	prebuilt := r.CachedChunks(batchSize)
-	for ci, ch := range prebuilt {
-		lo := ci * batchSize
-		want := batchSize
-		if n-lo < want {
-			want = n - lo
-		}
-		if ch.Len() != want {
-			prebuilt = nil
-			break
-		}
-	}
-
-	var cursor atomic.Int64
-	workers := make([][]*compiledPhase, p)
-	errs := make([]error, p)
-	stats := make([]Stats, p)
-	var wg sync.WaitGroup
-	for wi := 0; wi < p; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			// Workers get private stats and states (merged below).
-			var st *Stats
-			if opt.Stats != nil {
-				st = &stats[wi]
-			}
-			cps := newPhaseExecs(plans, b.Len())
-			recordTiers(st, cps)
-			recordArenas(st, cps)
-			// Publish before the first claim: a worker that loses every
-			// morsel race still contributes its (empty) states to the
-			// merge rather than a nil entry.
-			workers[wi] = cps
-			if len(cps) > 0 && !cps[0].scalar {
-				d := newBatchDriver(r.Schema, cps)
-				for {
-					lo := int(cursor.Add(int64(morsel))) - morsel
-					if lo >= n {
-						return
-					}
-					hi := lo + morsel
-					if hi > n {
-						hi = n
-					}
-					for off := lo; off < hi; off += batchSize {
-						if err := ctxErr(opt.Ctx); err != nil {
-							errs[wi] = err
-							return
-						}
-						end := off + batchSize
-						if end > hi {
-							end = hi
-						}
-						var ch *table.Chunk
-						if d.columnar && prebuilt != nil {
-							ch = prebuilt[off/batchSize]
-						}
-						d.processBatch(b, cps, r.Rows[off:end], ch, st)
-					}
-				}
-			}
-			frame := make([]table.Row, 2)
-			var key []table.Value
-			cnt := 0
-			for {
-				lo := int(cursor.Add(int64(morsel))) - morsel
-				if lo >= n {
-					return
-				}
-				hi := lo + morsel
-				if hi > n {
-					hi = n
-				}
-				for _, t := range r.Rows[lo:hi] {
-					if cnt%cancelCheckInterval == 0 {
-						if err := ctxErr(opt.Ctx); err != nil {
-							errs[wi] = err
-							return
-						}
-					}
-					cnt++
-					key = processTuple(b, cps, frame, key, t, st)
-				}
-			}
-		}(wi)
-	}
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if opt.Stats != nil {
-		opt.Stats.DetailScans++ // one logical scan, split across workers
-		for wi := range stats {
-			opt.Stats.Merge(&stats[wi])
-		}
-	}
-
-	// Merge worker states into worker 0, arena against arena.
-	merged := workers[0]
-	for _, w := range workers[1:] {
-		for pi := range merged {
-			merged[pi].states.Merge(w[pi].states)
-		}
-	}
-	return assemble(schema, b, merged), nil
-}
 
 // evalParallelDetailStatic is the pre-morsel reference scheduler
 // (Options.StaticDetailSplit): R is split into p contiguous ranges up
 // front, one per worker. A range whose tuples dominate the surviving work
 // turns its worker into a straggler the others cannot help — exactly the
 // skew the morsel queue exists to absorb; the skew bench guard diffs the
-// two.
-func evalParallelDetailStatic(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
+// two. The bundle arrives with shared plans already compiled.
+func evalParallelDetailStatic(bu *Bundle) (*table.Table, error) {
+	b, r, opt := bu.base, bu.detail, bu.opt
 	p := opt.DetailParallelism
 	if p > r.Len() && r.Len() > 0 {
 		p = r.Len()
 	}
 	if p <= 1 {
-		return evalSingle(b, r, phases, opt)
+		// Degenerate split (|R| ≤ 1): run as a one-bundle merged scan.
+		bu.opt.StaticDetailSplit = false
+		bu.opt.DetailParallelism = 0
+		rs := EvalBundles([]*Bundle{bu})
+		return rs[0].Table, rs[0].Err
 	}
-
-	schema, err := outSchema(b, phases)
-	if err != nil {
-		return nil, err
-	}
-
-	// Compile once, before any goroutine starts (see evalParallelDetail).
-	plans, err := compilePhases(b, r.Schema, phases, opt)
-	if err != nil {
-		return nil, err
-	}
+	schema, plans := bu.schema, bu.plans
 
 	bounds := splitBounds(r.Len(), p)
 	workers := make([][]*compiledPhase, len(bounds))

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdjoin/internal/table"
+)
+
+// SharedExecutor: the cross-query shared-scan coordinator.
+//
+// Concurrent queries frequently target the same detail relation; each one
+// alone is a generalized MD-join sharing a single scan across its phases
+// (Section 4.3), and the merged driver (merged.go) extends that sharing
+// across queries. The coordinator supplies the missing piece: *when* to
+// merge. Submitted bundles are grouped by detail-table identity — the
+// catalog hands every query the same *table.Table for a named relation,
+// so pointer identity is the detail-relation fingerprint — and each
+// group's first arrival opens a short collection window. When the window
+// closes (or the group hits MaxBatch), the whole group runs as one merged
+// scan and results scatter back to the blocked submitters.
+//
+// Fairness versus admission control: the window only delays a query by at
+// most Window, and a merged group occupies the workers of a single scan
+// rather than one scan per query — so under concurrency the coordinator
+// *reduces* pressure on the admission slots it runs under. Cancellation
+// composes per caller: a submitter whose ctx dies during the window or the
+// scan is evicted from its group's bundle list or merged scan without
+// disturbing the others; a panic out of one bundle's phases surfaces as
+// *PanicError to that submitter alone.
+type SharedExecutor struct {
+	window   time.Duration
+	maxBatch int
+
+	mu     sync.Mutex
+	groups map[*table.Table]*shareGroup
+
+	// Monotonic counters, exported via Snapshot for /stats and the
+	// shared-scan bench guard.
+	submitted     atomic.Int64 // bundles routed through the coordinator
+	soloRuns      atomic.Int64 // bundles that bypassed it (unmergeable or window off)
+	groupsRun     atomic.Int64 // merged scans started (any size)
+	mergedBundles atomic.Int64 // bundles served by those scans
+	scansSaved    atomic.Int64 // detail scans avoided: Σ (group size − 1)
+}
+
+// shareGroup is one detail relation's open collection window.
+type shareGroup struct {
+	detail  *table.Table
+	entries []shareEntry
+	timer   *time.Timer
+	closed  bool
+}
+
+// shareEntry pairs a collected bundle with its submitter's result channel.
+type shareEntry struct {
+	bu  *Bundle
+	res chan BundleResult
+}
+
+// defaultMaxBatch bounds how many bundles one merged scan serves. Each
+// bundle adds its own index probes and arena feeds to every batch, so an
+// unbounded group would trade scan count for a batch loop that no longer
+// fits in cache; past a dozen-odd queries a second scan is the better deal.
+const defaultMaxBatch = 16
+
+// NewSharedExecutor returns a coordinator collecting bundles for the given
+// window. window <= 0 disables batching: every submission runs solo (the
+// -share-off escape hatch reuses this). maxBatch <= 0 selects the default.
+func NewSharedExecutor(window time.Duration, maxBatch int) *SharedExecutor {
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
+	return &SharedExecutor{
+		window:   window,
+		maxBatch: maxBatch,
+		groups:   map[*table.Table]*shareGroup{},
+	}
+}
+
+// Eval compiles one generalized MD-join and executes it through the
+// coordinator — the shared-scan counterpart of core.Eval. Compilation
+// (θ analysis, index build, pushdown split) happens on the caller's
+// goroutine before the window, so only the scan itself is shared.
+func (se *SharedExecutor) Eval(b, r *table.Table, phases []Phase, opt Options) (*table.Table, error) {
+	bu, err := Compile(b, r, phases, opt)
+	if err != nil {
+		return nil, err
+	}
+	return se.Run(bu)
+}
+
+// Run submits a compiled bundle. Mergeable bundles wait out the collection
+// window (joining an already-open group costs only the window's remainder)
+// and run merged; everything else — source bundles, partitioned or
+// base-parallel strategies, or a nil/disabled coordinator — runs solo with
+// identical results and Stats.
+func (se *SharedExecutor) Run(bu *Bundle) (*table.Table, error) {
+	if se == nil || se.window <= 0 || !bu.Mergeable() {
+		if se != nil {
+			se.soloRuns.Add(1)
+		}
+		return bu.Run()
+	}
+	se.submitted.Add(1)
+	e := shareEntry{bu: bu, res: make(chan BundleResult, 1)}
+
+	se.mu.Lock()
+	g := se.groups[bu.detail]
+	if g == nil {
+		g = &shareGroup{detail: bu.detail}
+		se.groups[bu.detail] = g
+		// The first arrival arms the window; the timer goroutine runs the
+		// group when it fires (unless MaxBatch closed it first).
+		g.timer = time.AfterFunc(se.window, func() { se.closeAndRun(g) })
+	}
+	g.entries = append(g.entries, e)
+	full := len(g.entries) >= se.maxBatch
+	if full {
+		se.detachLocked(g)
+	}
+	se.mu.Unlock()
+
+	if full {
+		g.timer.Stop()
+		se.runGroup(g)
+	}
+	r := <-e.res
+	return r.Table, r.Err
+}
+
+// closeAndRun is the timer path: claim the group if MaxBatch has not
+// already, then run it.
+func (se *SharedExecutor) closeAndRun(g *shareGroup) {
+	se.mu.Lock()
+	claimed := !g.closed
+	if claimed {
+		se.detachLocked(g)
+	}
+	se.mu.Unlock()
+	if claimed {
+		se.runGroup(g)
+	}
+}
+
+// detachLocked closes the group and removes it from the open-groups map so
+// later arrivals open a fresh window. Callers hold se.mu.
+func (se *SharedExecutor) detachLocked(g *shareGroup) {
+	g.closed = true
+	if se.groups[g.detail] == g {
+		delete(se.groups, g.detail)
+	}
+}
+
+// runGroup executes a closed group as one merged scan and delivers each
+// submitter's result. The delivery guarantee is absolute: even if the
+// merged driver itself fails (a panic a single-bundle group propagates,
+// or one escaping the per-bundle isolation), every submitter is unblocked
+// with a *PanicError rather than left waiting on a dead group.
+func (se *SharedExecutor) runGroup(g *shareGroup) {
+	delivered := 0
+	defer func() {
+		if p := recover(); p != nil {
+			err := &PanicError{Val: p}
+			for _, e := range g.entries[delivered:] {
+				e.res <- BundleResult{Err: err}
+			}
+		}
+	}()
+	se.groupsRun.Add(1)
+	se.mergedBundles.Add(int64(len(g.entries)))
+	se.scansSaved.Add(int64(len(g.entries) - 1))
+	bundles := make([]*Bundle, len(g.entries))
+	for i, e := range g.entries {
+		bundles[i] = e.bu
+	}
+	results := EvalBundles(bundles)
+	for i, e := range g.entries {
+		e.res <- results[i]
+		delivered++
+	}
+}
+
+// ShareStats is a point-in-time snapshot of the coordinator's counters.
+type ShareStats struct {
+	Submitted     int64 `json:"submitted"`      // bundles that entered a window
+	SoloRuns      int64 `json:"solo_runs"`      // bundles that bypassed the coordinator
+	GroupsRun     int64 `json:"groups_run"`     // merged scans started
+	MergedBundles int64 `json:"merged_bundles"` // bundles served by merged scans
+	ScansSaved    int64 `json:"scans_saved"`    // detail scans avoided by merging
+}
+
+// Snapshot reads the counters. Safe for concurrent use.
+func (se *SharedExecutor) Snapshot() ShareStats {
+	if se == nil {
+		return ShareStats{}
+	}
+	return ShareStats{
+		Submitted:     se.submitted.Load(),
+		SoloRuns:      se.soloRuns.Load(),
+		GroupsRun:     se.groupsRun.Load(),
+		MergedBundles: se.mergedBundles.Load(),
+		ScansSaved:    se.scansSaved.Load(),
+	}
+}
+
+// Window reports the configured collection window (0 when batching is off).
+func (se *SharedExecutor) Window() time.Duration {
+	if se == nil {
+		return 0
+	}
+	return se.window
+}

@@ -18,32 +18,14 @@ import (
 //
 // All Options are honored. Base-partitioned strategies issue one Scan per
 // partition or worker; detail parallelism pumps a single scan through a
-// channel to state-merging workers.
+// channel to state-merging workers. Like Eval, this is a thin wrapper over
+// the bundle API: compile one bundle, run it.
 func EvalSource(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
-	if len(phases) == 0 {
-		return nil, errNoPhases()
-	}
-	if opt.Parallelism > 1 && opt.DetailParallelism > 1 {
-		return nil, errConflictingParallelism()
-	}
-	// Fail fast before compile and arena allocation — same contract as
-	// Eval (see the comment there).
-	if err := ctxErr(opt.Ctx); err != nil {
+	bu, err := CompileSource(b, src, phases, opt)
+	if err != nil {
 		return nil, err
 	}
-	if opt.MaxBaseRows == 0 && opt.MemoryBudgetBytes > 0 {
-		opt.MaxBaseRows = baseRowsForBudget(b, phases, opt.MemoryBudgetBytes)
-	}
-	if opt.MaxBaseRows > 0 && opt.MaxBaseRows < b.Len() {
-		return evalSourcePartitioned(b, src, phases, opt)
-	}
-	if opt.Parallelism > 1 {
-		return evalSourceParallelBase(b, src, phases, opt)
-	}
-	if opt.DetailParallelism > 1 {
-		return evalSourceParallelDetail(b, src, phases, opt)
-	}
-	return evalSourceSingle(b, src, phases, opt)
+	return bu.Run()
 }
 
 // scanSource streams one pass of the source through the phases. The
@@ -80,19 +62,28 @@ func scanSource(ctx context.Context, b *table.Table, src table.Source, cps []*co
 	}
 }
 
-func evalSourceSingle(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
-	schema, err := outSchema(b, phases)
+// evalSourceOne compiles and runs one sequential source pass — the per-
+// fragment call of the recursive source strategies below.
+func evalSourceOne(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
+	opt.Parallelism = 0
+	opt.DetailParallelism = 0
+	bu, err := CompileSource(b, src, phases, opt)
 	if err != nil {
 		return nil, err
 	}
+	return evalSourceSingle(bu)
+}
+
+// evalSourceSingle streams one pass of the source through the bundle's
+// precompiled phases on the calling goroutine.
+func evalSourceSingle(bu *Bundle) (*table.Table, error) {
+	b, src, opt := bu.base, bu.src, bu.opt
 	var mark time.Time
 	if opt.Stats != nil {
 		mark = time.Now()
 	}
-	cps, err := bindPhases(b, src.Schema(), phases, opt)
-	if err != nil {
-		return nil, err
-	}
+	cps := newPhaseExecs(bu.plans, b.Len())
+	recordArenas(opt.Stats, cps)
 	if opt.Stats != nil {
 		opt.Stats.CompileNanos += time.Since(mark).Nanoseconds()
 		mark = time.Now()
@@ -105,7 +96,7 @@ func evalSourceSingle(b *table.Table, src table.Source, phases []Phase, opt Opti
 		opt.Stats.DetailScans++
 		mark = time.Now()
 	}
-	out := assemble(schema, b, cps)
+	out := assemble(bu.schema, b, cps)
 	if opt.Stats != nil {
 		opt.Stats.AssembleNanos += time.Since(mark).Nanoseconds()
 	}
@@ -156,7 +147,7 @@ func evalSourceParallelBase(b *table.Table, src table.Source, phases []Phase, op
 		p = b.Len()
 	}
 	if p <= 1 {
-		return evalSourceSingle(b, src, phases, opt)
+		return evalSourceOne(b, src, phases, opt)
 	}
 	sub := opt
 	sub.Parallelism = 0
@@ -177,7 +168,7 @@ func evalSourceParallelBase(b *table.Table, src table.Source, phases []Phase, op
 				wopt.Stats = &stats[wi]
 			}
 			part := &table.Table{Schema: b.Schema, Rows: b.Rows[lo:hi]}
-			results[wi], errs[wi] = evalSourceSingle(part, src, phases, wopt)
+			results[wi], errs[wi] = evalSourceOne(part, src, phases, wopt)
 		}(wi, bd[0], bd[1])
 	}
 	wg.Wait()
@@ -204,15 +195,13 @@ func evalSourceParallelBase(b *table.Table, src table.Source, phases []Phase, op
 // (the source-side analogue of evalParallelDetail's cursor queue — the
 // channel is the queue), own private phase states (merged at the end),
 // and share nothing else.
-func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, opt Options) (*table.Table, error) {
+func evalSourceParallelDetail(bu *Bundle) (*table.Table, error) {
+	b, src, opt := bu.base, bu.src, bu.opt
 	p := opt.DetailParallelism
 	if p <= 1 {
-		return evalSourceSingle(b, src, phases, opt)
+		return evalSourceSingle(bu)
 	}
-	schema, err := outSchema(b, phases)
-	if err != nil {
-		return nil, err
-	}
+	schema, plans := bu.schema, bu.plans
 	morsels := make(chan []table.Row, 2*p)
 	readErr := make(chan error, 1)
 	go func() {
@@ -254,17 +243,9 @@ func evalSourceParallelDetail(b *table.Table, src table.Source, phases []Phase, 
 		}
 	}()
 
-	// Compile once, before any worker starts: plans are read-only and
-	// shared; each worker gets private arena states below.
-	plans, err := compilePhases(b, src.Schema(), phases, opt)
-	if err != nil {
-		// Drain so the reader goroutine can finish.
-		for range morsels {
-		}
-		<-readErr
-		return nil, err
-	}
-
+	// Plans were compiled once by CompileSource, before any worker starts:
+	// they are read-only and shared; each worker gets private arena states
+	// below.
 	workers := make([][]*compiledPhase, p)
 	errs := make([]error, p)
 	stats := make([]Stats, p)

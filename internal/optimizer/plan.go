@@ -280,6 +280,12 @@ func (m *MDJoin) Execute(cat Catalog) (*table.Table, error) {
 	if opt.RAlias == "" {
 		opt.RAlias = m.DetailName
 	}
+	if opt.Shared != nil {
+		// Cross-query shared scans: compile here, let the coordinator
+		// batch this evaluation with concurrent queries over the same
+		// detail table (same merged machinery, same results and Stats).
+		return opt.Shared.Eval(b, r, m.Phases, opt)
+	}
 	return core.Eval(b, r, m.Phases, opt)
 }
 

@@ -1,0 +1,172 @@
+package optimizer
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+// execCounter wraps a subtree and counts how many times it executes. Its
+// rendering is position-independent, so identical instances compare equal
+// under ShareCommon's structural key.
+type execCounter struct {
+	n     *atomic.Int32
+	inner Plan
+}
+
+func (e *execCounter) Children() []Plan { return []Plan{e.inner} }
+func (e *execCounter) Describe() string { return "ExecCounter" }
+func (e *execCounter) Execute(cat Catalog) (*table.Table, error) {
+	e.n.Add(1)
+	return e.inner.Execute(cat)
+}
+
+// TestShareCommonCacheHitExecutesOnce pins the cache-hit path: a subtree
+// occurring three times must execute exactly once, with the later
+// occurrences served from the materialization cache.
+func TestShareCommonCacheHitExecutesOnce(t *testing.T) {
+	cat := testCatalog(31, 200)
+	var n atomic.Int32
+	mk := func() Plan { return &execCounter{n: &n, inner: &Scan{Name: "Sales"}} }
+	plan := &Union{Inputs: []Plan{mk(), mk(), mk()}}
+
+	want := mustExec(t, plan, cat)
+	if got := n.Load(); got != 3 {
+		t.Fatalf("unshared plan executed the subtree %d times, want 3", got)
+	}
+
+	n.Store(0)
+	shared, err := ShareCommon(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("ShareCommon executed the repeated subtree %d times, want 1 (cache hits after the first)", got)
+	}
+	got := mustExec(t, shared, cat)
+	if got2 := n.Load(); got2 != 1 {
+		t.Errorf("executing the shared plan re-ran the subtree (%d executions total)", got2)
+	}
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("sharing changed the result: %s", d)
+	}
+}
+
+// TestShareCommonPropagatesExecutionError: a repeated subtree that fails
+// to execute must surface its error out of ShareCommon, not panic or
+// return a half-rewritten plan.
+func TestShareCommonPropagatesExecutionError(t *testing.T) {
+	cat := testCatalog(32, 50)
+	bad := func() Plan {
+		return &Select{Input: &Scan{Name: "Missing"}, Pred: expr.Eq(expr.C("year"), expr.I(1997))}
+	}
+	plan := &Union{Inputs: []Plan{bad(), bad()}}
+
+	shared, err := ShareCommon(plan, cat)
+	if err == nil {
+		t.Fatal("ShareCommon swallowed the execution error of a shared subtree")
+	}
+	if !strings.Contains(err.Error(), "Missing") {
+		t.Errorf("error %q does not name the unknown relation", err)
+	}
+	if shared != nil {
+		t.Errorf("got a non-nil plan alongside the error:\n%s", Format(shared))
+	}
+}
+
+// TestShareCommonPropagatesNestedError drives the error through the
+// nested path: the failing shared subtree sits inside another shared
+// subtree, so the error must thread through the child-rewrite closure of
+// the outer materialization rather than be dropped by it.
+func TestShareCommonPropagatesNestedError(t *testing.T) {
+	cat := testCatalog(33, 50)
+	inner := func() Plan {
+		return &Select{Input: &Scan{Name: "Missing"}, Pred: expr.Eq(expr.C("year"), expr.I(1997))}
+	}
+	outer := func() Plan {
+		return &GroupBy{
+			Input: inner(),
+			Keys:  []string{"cust"},
+			Aggs:  []agg.Spec{agg.NewSpec("count", nil, "n")},
+		}
+	}
+	// Both the GroupBy and its inner Select repeat; rewriting the outer
+	// shared subtree recurses into the inner one, which errors.
+	plan := &Union{Inputs: []Plan{outer(), outer()}}
+
+	shared, err := ShareCommon(plan, cat)
+	if err == nil {
+		t.Fatal("nested shared-subtree error was swallowed")
+	}
+	if !strings.Contains(err.Error(), "Missing") {
+		t.Errorf("error %q does not name the unknown relation", err)
+	}
+	if shared != nil {
+		t.Errorf("got a non-nil plan alongside the error:\n%s", Format(shared))
+	}
+}
+
+// benchSharePlan builds the dependent double MD-join whose filtered
+// detail subtree repeats three times — the shape ShareCommon exists for.
+func benchSharePlan() Plan {
+	filtered := func() Plan {
+		return &Select{
+			Input: &Scan{Name: "Sales"},
+			Pred:  expr.Eq(expr.C("year"), expr.I(1997)),
+		}
+	}
+	inner := &MDJoin{
+		Base:       &BaseValues{Input: filtered(), Op: "group", Dims: []string{"cust"}},
+		Detail:     filtered(),
+		DetailName: "Sales",
+		Phases: []core.Phase{{
+			Aggs:  []agg.Spec{agg.NewSpec("avg", expr.QC("Sales", "sale"), "avg_sale")},
+			Theta: expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+		}},
+	}
+	return &MDJoin{
+		Base:       inner,
+		Detail:     filtered(),
+		DetailName: "Sales",
+		Phases: []core.Phase{{
+			Aggs: []agg.Spec{agg.NewSpec("count", nil, "n_above")},
+			Theta: expr.And(
+				expr.Eq(expr.QC("Sales", "cust"), expr.C("cust")),
+				expr.Gt(expr.QC("Sales", "sale"), expr.C("avg_sale"))),
+		}},
+	}
+}
+
+// BenchmarkShareCommon compares executing the repeated-subtree plan as-is
+// against sharing first: the shared run pays ShareCommon's rewrite and
+// one materialization instead of three subtree executions.
+func BenchmarkShareCommon(b *testing.B) {
+	cat := testCatalog(34, 20_000)
+	plan := benchSharePlan()
+
+	b.Run("unshared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Execute(cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			shared, err := ShareCommon(plan, cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := shared.Execute(cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -85,13 +85,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
-	prep, cached, err := s.preparePlan(src)
+	analyze := isOn(params.Get("analyze"))
+	budget := s.QueryBudgetBytes()
+	prep, cached, err := s.preparePlan(planKey{src: src, analyze: analyze, budgetBytes: budget})
 	if err != nil {
 		s.refuse(w, id, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	budget := s.QueryBudgetBytes()
 	release, err := s.adm.acquire(qctx, int64(budget), s.cfg.AdmitWait)
 	if err != nil {
 		s.refuseErr(w, id, err)
@@ -99,10 +100,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	analyze := isOn(params.Get("analyze"))
 	wantStats := analyze || isOn(params.Get("stats"))
 	stats := &core.Stats{}
-	opt := core.Options{MemoryBudgetBytes: budget}
+	opt := core.Options{MemoryBudgetBytes: budget, Shared: s.shared}
 	if wantStats {
 		opt.Stats = stats
 	}
@@ -171,17 +171,19 @@ func (s *Server) execute(ctx context.Context, prep *sqlext.Prepared, opt core.Op
 	return res, "", err
 }
 
-// preparePlan resolves the query text through the plan LRU, compiling on
-// miss. The bool reports whether the plan came from the cache.
-func (s *Server) preparePlan(src string) (*sqlext.Prepared, bool, error) {
-	if prep, ok := s.plans.get(src); ok {
+// preparePlan resolves the query through the plan LRU, compiling on miss.
+// The key carries the execution-affecting request options alongside the
+// text (see planKey). The bool reports whether the plan came from the
+// cache.
+func (s *Server) preparePlan(key planKey) (*sqlext.Prepared, bool, error) {
+	if prep, ok := s.plans.get(key); ok {
 		return prep, true, nil
 	}
-	prep, err := sqlext.Prepare(src)
+	prep, err := sqlext.Prepare(key.src)
 	if err != nil {
 		return nil, false, err
 	}
-	s.plans.put(src, prep)
+	s.plans.put(key, prep)
 	return prep, false, nil
 }
 
@@ -242,8 +244,17 @@ func (s *Server) queryTimeout(raw string) (time.Duration, error) {
 // writes the error envelope.
 func (s *Server) refuseErr(w http.ResponseWriter, id string, err error) {
 	var pe panicError
+	var cpe *core.PanicError
 	switch {
 	case errors.As(err, &pe):
+		s.refuse(w, id, http.StatusInternalServerError,
+			fmt.Sprintf("internal error (request %s): %v", id, err))
+	case errors.As(err, &cpe):
+		// A panic inside a merged shared scan is recovered by the merged
+		// driver (so the other queries in the group keep running) and
+		// surfaces here as an error value rather than through execute's
+		// recover — count and report it like any other query panic.
+		s.m.panics.Add(1)
 		s.refuse(w, id, http.StatusInternalServerError,
 			fmt.Sprintf("internal error (request %s): %v", id, err))
 	case errors.Is(err, ErrOverloaded):
@@ -348,7 +359,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // handleStats serves GET /stats: admission, cache, and lifetime counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.plans.stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"draining":       s.draining.Load(),
 		"active_queries": s.adm.active(),
 		"admission": map[string]any{
@@ -368,7 +379,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"cancelled": s.m.cancelled.Load(),
 			"panics":    s.m.panics.Load(),
 		},
-	})
+	}
+	if s.shared != nil {
+		sh := s.shared.Snapshot()
+		body["shared_scans"] = map[string]any{
+			"window_ms":      float64(s.shared.Window().Microseconds()) / 1000,
+			"submitted":      sh.Submitted,
+			"solo_runs":      sh.SoloRuns,
+			"groups_run":     sh.GroupsRun,
+			"merged_bundles": sh.MergedBundles,
+			"scans_saved":    sh.ScansSaved,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // jsonRows converts a result table to JSON-ready rows: NULL → null, ALL →

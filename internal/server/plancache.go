@@ -7,9 +7,22 @@ import (
 	"mdjoin/internal/sqlext"
 )
 
-// planCache is an LRU over prepared plans keyed by exact query text, so
-// repeated queries skip the parse/translate/optimize front end. Entries
-// are *sqlext.Prepared, which are immutable and safe to share across
+// planKey identifies a cached plan: the exact query text plus every
+// request option that feeds plan construction or stamping-time strategy
+// choices. Caching on text alone once returned a plan optimized under one
+// request's memory budget to a request running with a different share
+// (config reloads change the carve), and conflated analyze and plain
+// executions of the same text; keying on the full tuple keeps a hit
+// exactly as good as a fresh Prepare for that request.
+type planKey struct {
+	src         string
+	analyze     bool
+	budgetBytes int
+}
+
+// planCache is an LRU over prepared plans keyed by planKey, so repeated
+// queries skip the parse/translate/optimize front end. Entries are
+// *sqlext.Prepared, which are immutable and safe to share across
 // concurrent requests (every execution clones the plan before stamping
 // per-request options), so a cache hit costs one map lookup and a list
 // splice under a mutex.
@@ -17,14 +30,14 @@ type planCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
-	byKey map[string]*list.Element
+	byKey map[planKey]*list.Element
 
 	hits   uint64
 	misses uint64
 }
 
 type cacheEntry struct {
-	key  string
+	key  planKey
 	prep *sqlext.Prepared
 }
 
@@ -34,11 +47,11 @@ func newPlanCache(max int) *planCache {
 	return &planCache{
 		max:   max,
 		ll:    list.New(),
-		byKey: make(map[string]*list.Element),
+		byKey: make(map[planKey]*list.Element),
 	}
 }
 
-func (c *planCache) get(key string) (*sqlext.Prepared, bool) {
+func (c *planCache) get(key planKey) (*sqlext.Prepared, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -50,7 +63,7 @@ func (c *planCache) get(key string) (*sqlext.Prepared, bool) {
 	return nil, false
 }
 
-func (c *planCache) put(key string, prep *sqlext.Prepared) {
+func (c *planCache) put(key planKey, prep *sqlext.Prepared) {
 	if c.max < 1 {
 		return
 	}

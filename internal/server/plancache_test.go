@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"mdjoin/internal/sqlext"
+)
+
+// TestPlanKeyDistinguishesOptions is the regression test for keying the
+// LRU on query text alone: two requests with the same text but different
+// execution-affecting options (analyze flag, budget share) must resolve
+// to distinct cache entries, while an exact repeat must hit.
+func TestPlanKeyDistinguishesOptions(t *testing.T) {
+	c := newPlanCache(8)
+	prep, err := sqlext.Prepare(groupQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := planKey{src: groupQuery, budgetBytes: 1 << 20}
+	c.put(plain, prep)
+
+	if _, ok := c.get(plain); !ok {
+		t.Error("exact key repeat missed the cache")
+	}
+	if _, ok := c.get(planKey{src: groupQuery, analyze: true, budgetBytes: 1 << 20}); ok {
+		t.Error("analyze variant hit the plain entry")
+	}
+	if _, ok := c.get(planKey{src: groupQuery, budgetBytes: 2 << 20}); ok {
+		t.Error("different budget share hit the old entry")
+	}
+	if _, ok := c.get(planKey{src: "select cust from Sales group by cust", budgetBytes: 1 << 20}); ok {
+		t.Error("different text hit the cache")
+	}
+
+	// The variants coexist: caching one must not evict or shadow another.
+	c.put(planKey{src: groupQuery, analyze: true, budgetBytes: 1 << 20}, prep)
+	if _, ok := c.get(plain); !ok {
+		t.Error("plain entry lost after caching the analyze variant")
+	}
+	hits, misses, size := c.stats()
+	if size != 2 {
+		t.Errorf("cache size = %d, want 2 (plain + analyze entries)", size)
+	}
+	if hits == 0 || misses == 0 {
+		t.Errorf("stats hits=%d misses=%d, want both non-zero", hits, misses)
+	}
+}
+
+// TestPlanCacheOptionKeyOverHTTP drives the same property through the
+// handler: a plain execution must not satisfy a later analyze execution
+// of the same text from the cache (their keys differ), but each variant
+// caches for its own repeats.
+func TestPlanCacheOptionKeyOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	if status, body, _ := post(t, ts, groupQuery, ""); status != http.StatusOK {
+		t.Fatalf("plain query status = %d, body %s", status, body)
+	} else if decodeQuery(t, body).CachedPlan {
+		t.Error("first plain execution reported a cached plan")
+	}
+
+	status, body, _ := post(t, ts, groupQuery, "analyze=1")
+	if status != http.StatusOK {
+		t.Fatalf("analyze query status = %d, body %s", status, body)
+	}
+	if decodeQuery(t, body).CachedPlan {
+		t.Error("analyze execution was served from the plain query's cache entry")
+	}
+
+	status, body, _ = post(t, ts, groupQuery, "analyze=1")
+	if status != http.StatusOK {
+		t.Fatalf("repeat analyze status = %d", status)
+	}
+	if !decodeQuery(t, body).CachedPlan {
+		t.Error("repeat analyze execution missed its own cache entry")
+	}
+}

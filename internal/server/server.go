@@ -86,6 +86,15 @@ type Config struct {
 	// PlanCacheSize bounds the prepared-plan LRU. Default 128; negative
 	// disables caching.
 	PlanCacheSize int
+
+	// ShareWindow enables cross-query shared scans: queries arriving
+	// within this window whose MD-joins target the same detail relation
+	// run as one merged scan (core.SharedExecutor). Every query pays up
+	// to ShareWindow of extra latency in exchange for one detail scan per
+	// relation per window under concurrency. 0 (the default) disables
+	// sharing — it is an explicit opt-in (mdserve's -share-window flag)
+	// because the window tax is a bad deal for an idle server.
+	ShareWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +147,13 @@ type Server struct {
 	plans *planCache
 	mux   *http.ServeMux
 
+	// shared is the cross-query shared-scan coordinator (nil when
+	// Config.ShareWindow is zero): concurrent queries over one detail
+	// relation merge into a single scan, composing with admission (each
+	// query still holds its slot and budget share) and with per-request
+	// cancellation (a dead caller is evicted from the merged scan).
+	shared *core.SharedExecutor
+
 	// baseCtx is the ancestor of every query context; cancelAll fires at
 	// the drain deadline and propagates into in-flight scans.
 	baseCtx   context.Context
@@ -181,6 +197,9 @@ func New(cfg Config) *Server {
 		adm:   newAdmission(cfg.MaxConcurrent, cfg.MemoryBudgetBytes),
 		plans: newPlanCache(cfg.PlanCacheSize),
 		cat:   optimizer.Catalog{},
+	}
+	if cfg.ShareWindow > 0 {
+		s.shared = core.NewSharedExecutor(cfg.ShareWindow, 0)
 	}
 	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()

@@ -331,19 +331,19 @@ func TestPlanCacheEviction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c.put(src, p)
+		c.put(planKey{src: src}, p)
 	}
 	prep("select cust, sum(sale) as a from Sales group by cust")
 	prep("select prod, sum(sale) as b from Sales group by prod")
-	if _, ok := c.get("select cust, sum(sale) as a from Sales group by cust"); !ok {
+	if _, ok := c.get(planKey{src: "select cust, sum(sale) as a from Sales group by cust"}); !ok {
 		t.Fatal("first plan evicted too early")
 	}
 	prep("select state, sum(sale) as c from Sales group by state")
 	// LRU: the prod plan (least recently used) must be gone, cust kept.
-	if _, ok := c.get("select prod, sum(sale) as b from Sales group by prod"); ok {
+	if _, ok := c.get(planKey{src: "select prod, sum(sale) as b from Sales group by prod"}); ok {
 		t.Error("LRU kept the least recently used plan past capacity")
 	}
-	if _, ok := c.get("select cust, sum(sale) as a from Sales group by cust"); !ok {
+	if _, ok := c.get(planKey{src: "select cust, sum(sale) as a from Sales group by cust"}); !ok {
 		t.Error("LRU evicted the recently used plan")
 	}
 }

@@ -143,6 +143,9 @@ func (p *Prepared) extendCatalog(ctx context.Context, cat optimizer.Catalog, opt
 func (p *Prepared) stamp(ctx context.Context, opt core.Options) optimizer.Plan {
 	return optimizer.WithExecOptions(p.plan, func(o core.Options) core.Options {
 		o.Ctx = ctx
+		// The shared-scan coordinator is a per-process service, never a
+		// plan-level choice: the request's always applies.
+		o.Shared = opt.Shared
 		if opt.Stats != nil {
 			o.Stats = opt.Stats
 		}
