@@ -11,9 +11,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt lint vet build test race race-metrics bench bench-guard fuzz-smoke serve-smoke
+.PHONY: check fmt lint vet build test race race-metrics race-shared race-incremental bench bench-guard fuzz-smoke serve-smoke
 
-check: fmt lint build test race race-metrics race-shared
+check: fmt lint build test race race-metrics race-shared race-incremental
 
 # gofmt emits nothing when the tree is clean; any path listed fails the
 # gate.
@@ -56,6 +56,15 @@ race-metrics:
 race-shared:
 	$(GO) test -race -count=1 -run 'TestMergedScan|TestSharedExecutor|TestEvalBundles' ./internal/core
 
+# The incremental-maintenance suite under the race detector: concurrent
+# appenders racing snapshotters over one live materialization (with fault
+# injection), plus the differential and windowed tests, rerun with caching
+# disabled so a cached `race` pass cannot mask a fresh race in the
+# arena-swap or poison paths. The view layer that builds on Incremental is
+# covered by ./internal/server in `race`.
+race-incremental:
+	$(GO) test -race -count=1 -run 'TestIncremental' ./internal/core
+
 # All E1–E14 experiment benchmarks with -benchmem, then the guards. The
 # guards (also runnable alone via bench-guard) assert on the E12 workload
 # that (a) the row-batch executor over the flat hash index is no slower
@@ -63,15 +72,17 @@ race-shared:
 # executor stays 1.7x under the boxed row-batch tier (the PR 7 probe
 # pipeline ratchet) with zero boxed-fallback elements, (c) the morsel
 # scheduler stays 1.2x under the static split on the skewed-survival
-# workload, and (d) enabling Options.Stats costs no more than 5% over a
-# Stats==nil run — the regression tripwires for the executor hot path,
-# its probe pipeline, and its instrumentation.
+# workload, (d) enabling Options.Stats costs no more than 5% over a
+# Stats==nil run, and (e) folding a 1% delta into a live
+# core.Incremental stays 10x under re-evaluating the accumulated
+# relation — the regression tripwires for the executor hot path, its
+# probe pipeline, its instrumentation, and incremental maintenance.
 bench: bench-guard
 	$(GO) test -bench 'BenchmarkE' -benchmem -benchtime 5x -run '^$$' .
 	$(GO) test ./internal/distributed -bench ScatterFragments -benchtime 20x -run '^$$'
 
 bench-guard:
-	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestMorselSkewGuard|TestStatsOverheadGuard|TestSharedScanGuard' -count=1 -v .
+	MDJOIN_BENCH_GUARD=1 $(GO) test -run 'TestE12(Batch|Columnar)Guard|TestMorselSkewGuard|TestStatsOverheadGuard|TestSharedScanGuard|TestIncrementalDeltaGuard' -count=1 -v .
 	MDJOIN_BENCH_GUARD=1 $(GO) test ./internal/server -run TestServerOverheadGuard -count=1 -v
 
 # End-to-end smoke of the mdserve lifecycle with the real binaries:
@@ -87,6 +98,7 @@ serve-smoke:
 # invocation: the fuzz engine allows a single -fuzz pattern per package
 # run.
 fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzIncrementalVsBatch -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/expr -run '^$$' -fuzz FuzzEvalChunkVsScalar -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sqlext -run '^$$' -fuzz FuzzParseTranslate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/table -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)

@@ -317,6 +317,85 @@ func TestSharedScanGuard(t *testing.T) {
 	}
 }
 
+// TestIncrementalDeltaGuard is the incremental-maintenance tripwire: on
+// the E12 workload, folding a 1% delta into a live core.Incremental
+// (Append + Snapshot) must be at least 10× cheaper than re-evaluating the
+// MD-join over the full accumulated relation — the whole point of the
+// operator. Isolated runs measure 20×+ (e18 in mdbench, BENCH_pr9.json):
+// the append touches delta×|B| candidate pairs plus the snapshot assembly
+// while the re-evaluation touches |R|×|B|, so losing the ratio means the
+// append path started rescanning history (or the snapshot started
+// re-aggregating from scratch). 10× leaves noise headroom on a 100×
+// data-size gap. Same opt-in gate as TestE12BatchGuard.
+func TestIncrementalDeltaGuard(t *testing.T) {
+	if os.Getenv("MDJOIN_BENCH_GUARD") == "" {
+		t.Skip("set MDJOIN_BENCH_GUARD=1 (or run `make bench`) to run the incremental maintenance guard")
+	}
+
+	detail := benchSales(20000, 12)
+	delta := benchSales(200, 99).Rows // 1% of the backfill
+	full, err := cube.DistinctBase(detail, "cust", "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &table.Table{Schema: full.Schema, Rows: full.Rows}
+	if base.Len() > 1000 {
+		base.Rows = base.Rows[:1000]
+	}
+	phases := []core.Phase{{
+		Aggs: []agg.Spec{agg.NewSpec("sum", expr.QC("R", "sale"), "total")},
+		Theta: expr.And(
+			expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+			expr.Eq(expr.QC("R", "month"), expr.C("month"))),
+	}}
+
+	// Incremental side: one live materialization backfilled with the
+	// detail, then each iteration folds the delta and assembles a
+	// snapshot. The folds accumulate (the state after i iterations holds
+	// i copies of the delta), which only makes the guard harder: per-fold
+	// work depends on the delta and |B|, not on what came before.
+	inc, err := core.NewIncremental(base, detail.Schema, phases, core.Options{}, core.IncrementalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Append(detail.Rows); err != nil {
+		t.Fatal(err)
+	}
+	incremental := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := inc.Append(delta); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := inc.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Full side: the refresh a view without incremental maintenance pays —
+	// re-evaluate over the accumulated relation (backfill + one delta).
+	acc := &table.Table{
+		Schema: detail.Schema,
+		Rows:   append(detail.Rows[:detail.Len():detail.Len()], delta...),
+	}
+	reeval := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Eval(base, acc, phases, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	t.Logf("incremental append+snapshot: %v, full re-evaluation: %v (%.1fx)",
+		incremental, reeval, float64(reeval.NsPerOp())/float64(incremental.NsPerOp()))
+	if lim := reeval.NsPerOp() / 10; incremental.NsPerOp() > lim {
+		t.Errorf("incremental maintenance lost its advantage: %d ns/op > %d ns/op (re-evaluation %d / 10)",
+			incremental.NsPerOp(), lim, reeval.NsPerOp())
+	}
+}
+
 // TestStatsOverheadGuard is the observability tripwire: the per-phase
 // metrics instrumentation must cost (near) nothing. The hot paths
 // accumulate counters in locals and flush behind a single nil check per

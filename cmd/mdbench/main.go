@@ -55,7 +55,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e17 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e18 or all")
 	flag.Parse()
 
 	experiments := []struct {
@@ -80,6 +80,7 @@ func main() {
 		{"e15", "probe pipeline: fingerprint pre-filter on low-hit-rate θ", e15},
 		{"e16", "probe pipeline: morsel scheduler vs static split under skew", e16},
 		{"e17", "cross-query shared scans: concurrent queries over one R vs N relations", e17},
+		{"e18", "incremental maintenance: 1% delta append vs full re-evaluation", e18},
 	}
 
 	ran := false
@@ -845,6 +846,80 @@ func e17() {
 		float64(solo)/float64(merged), st.ScansSaved, st.Submitted)
 	fmt.Printf("(scan count follows distinct relations, not query count: %d groups for one R, %d for %d relations)\n",
 		st.GroupsRun, sd.GroupsRun, nq)
+}
+
+// ---------------------------------------------------------------- e18
+
+func e18() {
+	n := rows(50000)
+	deltaRows := n / 100 // 1% of the backfill per round
+	const roundsN = 8
+	detail := sales(n, 18)
+	full := must(cube.DistinctBase(detail, "cust", "month"))
+	base := &table.Table{Schema: full.Schema, Rows: full.Rows}
+	if base.Len() > 1000 {
+		base.Rows = base.Rows[:1000]
+	}
+	// E12-class shape: indexed equi-keys on B's cube dimensions.
+	phases := []core.Phase{{
+		Aggs: []agg.Spec{
+			agg.NewSpec("count", nil, "n"),
+			agg.NewSpec("sum", expr.QC("R", "sale"), "total"),
+		},
+		Theta: expr.And(
+			expr.Eq(expr.QC("R", "cust"), expr.C("cust")),
+			expr.Eq(expr.QC("R", "month"), expr.C("month"))),
+	}}
+	opt := core.Options{}
+
+	// Deltas come from a disjoint pool so each round appends fresh rows.
+	pool := sales(deltaRows*roundsN, 99)
+	delta := func(r int) []table.Row {
+		return pool.Rows[r*deltaRows : (r+1)*deltaRows]
+	}
+
+	inc := must(core.NewIncremental(base, detail.Schema, phases, opt, core.IncrementalConfig{}))
+	check(inc.Append(detail.Rows))
+	acc := &table.Table{Schema: detail.Schema, Rows: detail.Rows}
+
+	// Incremental side: each round folds the delta through the probe
+	// pipeline and assembles a snapshot — work proportional to the delta
+	// plus |B|, never to the accumulated history.
+	var incSnap *table.Table
+	dInc := record(fmt.Sprintf("inc-append-%drows", deltaRows), n, nil, func() {
+		for r := 0; r < roundsN; r++ {
+			check(inc.Append(delta(r)))
+			incSnap = must(inc.Snapshot())
+		}
+	})
+
+	// Full side: the same deltas, but each round re-evaluates the MD-join
+	// over everything accumulated so far — the cost a view without
+	// incremental maintenance pays on every refresh.
+	var fullSnap *table.Table
+	dFull := record(fmt.Sprintf("full-reeval-%drows", deltaRows), n, nil, func() {
+		for r := 0; r < roundsN; r++ {
+			acc = &table.Table{
+				Schema: acc.Schema,
+				Rows:   append(acc.Rows[:len(acc.Rows):len(acc.Rows)], delta(r)...),
+			}
+			fullSnap = must(core.Eval(base, acc, phases, opt))
+		}
+	})
+	if d := fullSnap.Diff(incSnap); d != "" {
+		fmt.Fprintln(os.Stderr, "mdbench: incremental snapshot diverged from re-evaluation:\n"+d)
+		os.Exit(1)
+	}
+
+	perInc := dInc / roundsN
+	perFull := dFull / roundsN
+	fmt.Printf("backfill |R| = %d, |B| = %d, delta = %d rows (1%%), %d rounds\n",
+		n, base.Len(), deltaRows, roundsN)
+	fmt.Printf("%24s %16s %16s\n", "maintenance strategy", "total", "per delta")
+	fmt.Printf("%24s %16v %16v\n", "incremental append", dInc, perInc)
+	fmt.Printf("%24s %16v %16v\n", "full re-evaluation", dFull, perFull)
+	fmt.Printf("speedup per delta: %.1fx (snapshots verified identical)\n",
+		float64(perFull)/float64(perInc))
 }
 
 // ------------------------------------------------------------- format

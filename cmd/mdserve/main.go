@@ -8,11 +8,15 @@
 //	mdserve -addr :8080 Sales=sales.csv Payments=payments.csv
 //
 // Each positional argument preloads a relation from CSV; further tables
-// can be registered at runtime with PUT /tables/{name}. Queries go to
-// /query (?q= on GET, text body on POST) with optional ?timeout=,
-// ?analyze=1, ?stats=1, and ?format=csv. /healthz is liveness, /readyz
-// flips to 503 once a drain begins, /stats reports admission and cache
-// counters.
+// can be registered at runtime with PUT /tables/{name}, and append-only
+// deltas stream in via PUT /tables/{name}/append. Queries go to /query
+// (?q= on GET, text body on POST) with optional ?timeout=, ?analyze=1,
+// ?stats=1, and ?format=csv. Materialized MD-join views live under
+// /views: POST /views/{name} with a query body compiles its MD-join into
+// an incrementally-maintained materialization that every append folds
+// into, GET /views/{name} reads it without re-scanning the detail
+// relation. /healthz is liveness, /readyz flips to 503 once a drain
+// begins, /stats reports admission, cache, and view counters.
 //
 // On the first SIGTERM or SIGINT the server stops admitting queries,
 // waits up to -drain-timeout for in-flight ones, cancels stragglers, and
@@ -50,6 +54,8 @@ func main() {
 		cacheSize    = flag.Int("plan-cache", 128, "prepared-plan LRU capacity")
 		shareWindow  = flag.Duration("share-window", 2*time.Millisecond, "collection window for cross-query shared detail scans")
 		shareOff     = flag.Bool("share-off", false, "disable cross-query shared scans")
+		maxViews     = flag.Int("max-views", 16, "maximum materialized views (409 beyond)")
+		viewPool     = flag.String("view-pool", "0", "memory pool for materialized views in bytes (suffixes K/M/G; 0 = unbounded)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mdserve [flags] [NAME=FILE.csv ...]\n")
@@ -64,6 +70,10 @@ func main() {
 	pool, err := parseBytes(*budget)
 	if err != nil {
 		log.Fatalf("mdserve: bad -memory-budget %q: %v", *budget, err)
+	}
+	viewPoolBytes, err := parseBytes(*viewPool)
+	if err != nil {
+		log.Fatalf("mdserve: bad -view-pool %q: %v", *viewPool, err)
 	}
 
 	window := *shareWindow
@@ -80,6 +90,8 @@ func main() {
 		MaxResponseRows:   *maxRows,
 		PlanCacheSize:     *cacheSize,
 		ShareWindow:       window,
+		MaxViews:          *maxViews,
+		ViewPoolBytes:     viewPoolBytes,
 	})
 	for _, arg := range flag.Args() {
 		name, path, ok := strings.Cut(arg, "=")

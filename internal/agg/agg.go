@@ -146,42 +146,44 @@ func (sumFunc) Name() string              { return "sum" }
 func (sumFunc) NewState() State           { return &sumState{} }
 func (sumFunc) Reaggregate() (Func, bool) { return sumFunc{}, true }
 
+// sumState counts its inputs instead of latching seen/isFloat booleans:
+// n is the number of numeric inputs, nf the number of float inputs, so
+// both flags stay invertible under Subtract/Unmerge (a window that evicts
+// its last float legitimately reverts the result kind to Int, matching a
+// batch evaluation over the surviving inputs).
 type sumState struct {
-	seen    bool
-	isFloat bool
-	i       int64
-	f       float64
+	n  int64
+	nf int64
+	i  int64
+	f  float64
 }
 
 func (s *sumState) Add(v table.Value) {
 	switch v.Kind() {
 	case table.KindInt:
-		s.seen = true
+		s.n++
 		s.i += v.AsInt()
 		s.f += float64(v.AsInt())
 	case table.KindFloat:
-		s.seen = true
-		s.isFloat = true
+		s.n++
+		s.nf++
 		s.f += v.AsFloat()
 	}
 }
 
 func (s *sumState) Merge(o State) {
 	os := o.(*sumState)
-	if !os.seen {
-		return
-	}
-	s.seen = true
-	s.isFloat = s.isFloat || os.isFloat
+	s.n += os.n
+	s.nf += os.nf
 	s.i += os.i
 	s.f += os.f
 }
 
 func (s *sumState) Result() table.Value {
-	if !s.seen {
+	if s.n == 0 {
 		return table.Null()
 	}
-	if s.isFloat {
+	if s.nf > 0 {
 		return table.Float(s.f)
 	}
 	return table.Int(s.i)

@@ -75,11 +75,22 @@ func (a *Arena) Len() int {
 // Specs returns the number of specs per row.
 func (a *Arena) Specs() int { return a.k }
 
+// Sized is implemented by states that carry growing buffers (holistic
+// aggregates: retained multisets, reservoirs, distinct sets) so memory
+// accounting can see the growth. SizeBytes reports the state's current
+// footprint including its buffers; states without it are charged their
+// fixed struct size.
+type Sized interface {
+	State
+	SizeBytes() int64
+}
+
 // SizeBytes estimates the arena's memory footprint: the interface header
-// block plus one backing struct per state, sized from the first row's
-// states (bulk-allocated specs share one struct type across rows; holistic
-// states that grow their own buffers are undercounted — this is a fixed
-// per-state estimate, not a heap walk).
+// block plus one backing struct per state. Specs whose states implement
+// Sized are walked state by state (their buffers grow with the data —
+// this is what keeps mdserve's per-view accounting honest for holistic
+// aggregates); the rest are charged the struct size of the first row's
+// state, shared across rows by bulk allocation.
 func (a *Arena) SizeBytes() int64 {
 	n := a.Len()
 	total := int64(len(a.states)) * 16 // interface headers
@@ -89,6 +100,14 @@ func (a *Arena) SizeBytes() int64 {
 	for j := 0; j < a.k; j++ {
 		st := a.states[j]
 		if st == nil {
+			continue
+		}
+		if _, ok := st.(Sized); ok {
+			for i := 0; i < n; i++ {
+				if sz, ok := a.states[i*a.k+j].(Sized); ok {
+					total += sz.SizeBytes()
+				}
+			}
 			continue
 		}
 		t := reflect.TypeOf(st)

@@ -31,14 +31,14 @@ func (s *countState) AddFloat(float64) { s.n++ }
 // result kind stays Int until a float is seen.
 
 func (s *sumState) AddInt(v int64) {
-	s.seen = true
+	s.n++
 	s.i += v
 	s.f += float64(v)
 }
 
 func (s *sumState) AddFloat(v float64) {
-	s.seen = true
-	s.isFloat = true
+	s.n++
+	s.nf++
 	s.f += v
 }
 

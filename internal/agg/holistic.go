@@ -2,6 +2,7 @@ package agg
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 
 	"mdjoin/internal/table"
@@ -29,6 +30,10 @@ func (s *medianState) Add(v table.Value) {
 
 func (s *medianState) Merge(o State) {
 	s.vals = append(s.vals, o.(*medianState).vals...)
+}
+
+func (s *medianState) SizeBytes() int64 {
+	return int64(reflectStateSize(s)) + int64(cap(s.vals))*8
 }
 
 func (s *medianState) Result() table.Value {
@@ -96,13 +101,70 @@ func (s *reservoirState) Add(v table.Value) {
 
 func (s *reservoirState) Merge(o State) {
 	os := o.(*reservoirState)
-	// Feed the other reservoir's sample through Add, weighting by its
-	// acceptance ratio; adequate for the benchmark use and keeps the state
-	// bounded.
-	for _, v := range os.vals {
-		s.Add(table.Float(v))
+	if os.n == 0 {
+		return
 	}
-	s.n += os.n - int64(len(os.vals))
+	// A reservoir that never overflowed is not a sample — it IS its
+	// stream, so replaying it through Add runs Vitter's algorithm over
+	// the concatenated streams exactly.
+	if os.n == int64(len(os.vals)) {
+		for _, v := range os.vals {
+			s.Add(table.Float(v))
+		}
+		return
+	}
+	if s.n == int64(len(s.vals)) {
+		// Symmetric case: the receiver is complete but the other side
+		// overflowed. Restart from the other side's sample and replay the
+		// receiver's (complete) stream into it.
+		mine := s.vals
+		s.vals = append(make([]float64, 0, s.cap), os.vals...)
+		s.n = os.n
+		for _, v := range mine {
+			s.Add(table.Float(v))
+		}
+		return
+	}
+	// Both sides overflowed: draw the merged sample weight-proportionally
+	// without replacement. Each remaining slot of a side's sample stands
+	// for streamLen/sampleLen original values; every output slot picks a
+	// side with probability proportional to its remaining weight, then a
+	// uniform victim within it. Replaying one sample through Add instead
+	// (the old code) caps the other stream's influence at sampleLen
+	// candidates no matter how long its stream was, skewing quantiles
+	// toward the receiver's partition under parallel merges.
+	na, nb := s.n, os.n
+	a := append(make([]float64, 0, len(s.vals)), s.vals...)
+	b := append(make([]float64, 0, len(os.vals)), os.vals...)
+	ewa := float64(na) / float64(len(a))
+	ewb := float64(nb) / float64(len(b))
+	wa, wb := float64(na), float64(nb)
+	merged := s.vals[:0]
+	for len(merged) < s.cap && (len(a) > 0 || len(b) > 0) {
+		fromA := len(b) == 0
+		if len(a) > 0 && len(b) > 0 {
+			fromA = s.rng.Float64()*(wa+wb) < wa
+		}
+		if fromA {
+			i := s.rng.Intn(len(a))
+			merged = append(merged, a[i])
+			a[i] = a[len(a)-1]
+			a = a[:len(a)-1]
+			wa -= ewa
+		} else {
+			i := s.rng.Intn(len(b))
+			merged = append(merged, b[i])
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			wb -= ewb
+		}
+	}
+	s.vals = merged
+	s.n = na + nb
+}
+
+func (s *reservoirState) SizeBytes() int64 {
+	return int64(reflectStateSize(s)) + int64(cap(s.vals))*8
 }
 
 func (s *reservoirState) Result() table.Value {
@@ -148,6 +210,11 @@ func (s *modeState) Merge(o State) {
 	}
 }
 
+func (s *modeState) SizeBytes() int64 {
+	// map entry ≈ key (table.Value, 48 bytes) + count + bucket overhead.
+	return int64(reflectStateSize(s)) + int64(len(s.counts))*64
+}
+
 func (s *modeState) Result() table.Value {
 	var best table.Value
 	var bestN int64 = -1
@@ -188,4 +255,19 @@ func (s *cdState) Merge(o State) {
 	}
 }
 
+func (s *cdState) SizeBytes() int64 {
+	return int64(reflectStateSize(s)) + int64(len(s.seen))*56
+}
+
 func (s *cdState) Result() table.Value { return table.Int(int64(len(s.seen))) }
+
+// reflectStateSize is the state's own struct size, shared by the Sized
+// implementations above so buffer estimates sit on top of a consistent
+// fixed part.
+func reflectStateSize(s State) uintptr {
+	t := reflect.TypeOf(s)
+	if t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Size()
+}

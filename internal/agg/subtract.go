@@ -1,0 +1,85 @@
+// Subtraction support for incremental maintenance: a windowed MD-join
+// materialization (core.Incremental) retires expired detail tuples by
+// subtracting them from live states instead of re-aggregating the
+// surviving window. Only invertible aggregates qualify — count, sum, and
+// avg, whose states are sums of per-input contributions. min/max and the
+// holistic aggregates are not invertible (removing the current minimum
+// says nothing about the next one), so windowed evaluation over them
+// falls back to window-partitioned arenas.
+package agg
+
+import "mdjoin/internal/table"
+
+// Subtractor is implemented by states whose Add is invertible: Subtract
+// removes one previously Added value and Unmerge removes a previously
+// Merged accumulator, both restoring the state byte-for-byte (for
+// integer inputs; float subtraction is exact only when the intermediate
+// sums are — the usual IEEE caveat).
+type Subtractor interface {
+	State
+	// Subtract removes one value previously folded in with Add. NULL
+	// inputs are ignored, mirroring Add.
+	Subtract(v table.Value)
+	// Unmerge removes another accumulator previously folded in with
+	// Merge (or whose inputs were Added individually).
+	Unmerge(o State)
+}
+
+// IsSubtractable reports whether fn's states support Subtract/Unmerge.
+func IsSubtractable(fn Func) bool {
+	_, ok := fn.NewState().(Subtractor)
+	return ok
+}
+
+func (s *countState) Subtract(v table.Value) {
+	if !v.IsNull() {
+		s.n--
+	}
+}
+
+func (s *countState) Unmerge(o State) { s.n -= o.(*countState).n }
+
+func (s *sumState) Subtract(v table.Value) {
+	switch v.Kind() {
+	case table.KindInt:
+		s.n--
+		s.i -= v.AsInt()
+		s.f -= float64(v.AsInt())
+	case table.KindFloat:
+		s.n--
+		s.nf--
+		s.f -= v.AsFloat()
+	}
+}
+
+func (s *sumState) Unmerge(o State) {
+	os := o.(*sumState)
+	s.n -= os.n
+	s.nf -= os.nf
+	s.i -= os.i
+	s.f -= os.f
+}
+
+func (s *avgState) Subtract(v table.Value) {
+	if !v.IsNumeric() {
+		return
+	}
+	s.n--
+	s.sum -= v.AsFloat()
+}
+
+func (s *avgState) Unmerge(o State) {
+	os := o.(*avgState)
+	s.n -= os.n
+	s.sum -= os.sum
+}
+
+// Unmerge subtracts another arena of identical shape, state by state —
+// the bulk inverse of Merge, used by windowed incremental eviction. It
+// panics (through the type assertion) if any state is not a Subtractor;
+// callers gate on IsSubtractable per spec before choosing this path.
+func (a *Arena) Unmerge(o *Arena) {
+	for i, st := range a.states {
+		st.(Subtractor).Unmerge(o.states[i])
+	}
+}

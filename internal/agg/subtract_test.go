@@ -1,0 +1,207 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdjoin/internal/expr"
+	"mdjoin/internal/table"
+)
+
+func randValue(rng *rand.Rand) table.Value {
+	switch rng.Intn(5) {
+	case 0:
+		return table.Null()
+	case 1:
+		return table.Float(float64(rng.Intn(1000)) / 4) // exactly representable
+	default:
+		return table.Int(int64(rng.Intn(2000) - 1000))
+	}
+}
+
+// TestSubtractableFuncs pins which built-ins advertise invertibility: the
+// incremental executor's window-mode choice hangs off this set.
+func TestSubtractableFuncs(t *testing.T) {
+	want := map[string]bool{
+		"count": true, "sum": true, "avg": true,
+		"min": false, "max": false, "median": false, "approx_median": false,
+		"mode": false, "count_distinct": false, "first": false, "last": false,
+		"var": false, "stddev": false,
+	}
+	for name, sub := range want {
+		fn := MustLookup(name)
+		if got := IsSubtractable(fn); got != sub {
+			t.Errorf("IsSubtractable(%s) = %v, want %v", name, got, sub)
+		}
+	}
+}
+
+// TestAddSubtractIdentity is the property test: for every subtractable
+// aggregate, any prefix of Adds followed by Add(x); Subtract(x) yields the
+// same Result as the prefix alone — for any x, including NULL, at every
+// point in the stream.
+func TestAddSubtractIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range Names() {
+		fn := MustLookup(name)
+		if !IsSubtractable(fn) {
+			continue
+		}
+		for trial := 0; trial < 200; trial++ {
+			ref := fn.NewState()
+			st := fn.NewState().(Subtractor)
+			for i, k := 0, rng.Intn(20); i < k; i++ {
+				v := randValue(rng)
+				ref.Add(v)
+				st.Add(v)
+			}
+			x := randValue(rng)
+			st.Add(x)
+			st.Subtract(x)
+			if got, want := st.Result(), ref.Result(); !got.Equal(want) {
+				t.Fatalf("%s trial %d: Add(%v);Subtract(%v) broke identity: got %v, want %v",
+					name, trial, x, x, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeUnmergeIdentity is the bulk version: Merge(o); Unmerge(o)
+// restores Result, including through Arena.Unmerge.
+func TestMergeUnmergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bind := expr.NewBinding()
+	bind.AddRel(table.SchemaOf("w"), "r")
+	specs, err := CompileSpecs([]Spec{
+		NewSpec("count", nil, "n"),
+		NewSpec("sum", expr.C("w"), "s"),
+		NewSpec("avg", expr.C("w"), "a"),
+	}, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 17
+	base := NewArena(specs, rows)
+	delta := NewArena(specs, rows)
+	want := make([]table.Value, 0, rows*len(specs))
+	for bi := 0; bi < rows; bi++ {
+		for j := range specs {
+			for i, k := 0, rng.Intn(8); i < k; i++ {
+				base.At(bi, j).Add(randValue(rng))
+			}
+			want = append(want, base.At(bi, j).Result())
+			for i, k := 0, rng.Intn(8); i < k; i++ {
+				delta.At(bi, j).Add(randValue(rng))
+			}
+		}
+	}
+	base.Merge(delta)
+	base.Unmerge(delta)
+	i := 0
+	for bi := 0; bi < rows; bi++ {
+		for j := range specs {
+			if got := base.At(bi, j).Result(); !got.Equal(want[i]) {
+				t.Fatalf("row %d spec %d: Merge;Unmerge broke identity: got %v, want %v", bi, j, got, want[i])
+			}
+			i++
+		}
+	}
+}
+
+// TestSumSubtractRestoresIntKind pins the counter refactor: evicting the
+// only float input reverts the sum's result kind to Int, exactly what a
+// batch evaluation over the surviving inputs reports.
+func TestSumSubtractRestoresIntKind(t *testing.T) {
+	st := MustLookup("sum").NewState().(Subtractor)
+	st.Add(table.Int(3))
+	st.Add(table.Float(1.5))
+	st.Subtract(table.Float(1.5))
+	got := st.Result()
+	if got.Kind() != table.KindInt || got.AsInt() != 3 {
+		t.Fatalf("sum after evicting the only float = %v (kind %v), want Int 3", got, got.Kind())
+	}
+}
+
+// TestReservoirMergeWeightProportional is the statistical pin for the
+// weight-proportional reservoir merge: two partitions with disjoint value
+// ranges and equal stream lengths must contribute ~equally to the merged
+// sample regardless of merge direction. The old replay-through-Add merge
+// capped the donor stream's influence at its sample size, collapsing its
+// share to ~cap/(n+cap) (about 5% here) and dragging the merged median to
+// the receiver's partition.
+func TestReservoirMergeWeightProportional(t *testing.T) {
+	const n, cap = 10000, 256
+	fresh := func(seed int64) State { return ApproxMedian{Capacity: cap, Seed: seed}.NewState() }
+	feed := func(st State, lo float64) {
+		for i := 0; i < n; i++ {
+			st.Add(table.Float(lo + float64(i%100)))
+		}
+	}
+	for _, dir := range []string{"a<-b", "b<-a"} {
+		a, b := fresh(1), fresh(2)
+		feed(a, 0)    // partition A: values in [0, 100)
+		feed(b, 1000) // partition B: values in [1000, 1100)
+		recv, donor := a, b
+		if dir == "b<-a" {
+			recv, donor = b, a
+		}
+		recv.Merge(donor)
+		rs := recv.(*reservoirState)
+		if rs.n != 2*n {
+			t.Fatalf("%s: merged stream length = %d, want %d", dir, rs.n, 2*n)
+		}
+		if len(rs.vals) != cap {
+			t.Fatalf("%s: merged sample size = %d, want %d", dir, len(rs.vals), cap)
+		}
+		hi := 0
+		for _, v := range rs.vals {
+			if v >= 1000 {
+				hi++
+			}
+		}
+		frac := float64(hi) / float64(len(rs.vals))
+		if frac < 0.35 || frac > 0.65 {
+			t.Errorf("%s: partition B holds %.0f%% of the merged sample, want ~50%%", dir, frac*100)
+		}
+	}
+}
+
+// TestReservoirMergeVsSinglePassQuantiles compares the merged-across-
+// partitions estimate against a single-pass reservoir and the exact
+// median over a skewed stream: both estimates must land within the same
+// tolerance band of the truth.
+func TestReservoirMergeVsSinglePassQuantiles(t *testing.T) {
+	const n, parts, cap = 40000, 8, 512
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, n)
+	for i := range vals {
+		// Skewed: squaring a uniform draw piles mass near zero.
+		u := rng.Float64()
+		vals[i] = u * u * 1000
+	}
+	single := ApproxMedian{Capacity: cap, Seed: 3}.NewState()
+	partials := make([]State, parts)
+	for i := range partials {
+		partials[i] = ApproxMedian{Capacity: cap, Seed: int64(20 + i)}.NewState()
+	}
+	for i, v := range vals {
+		single.Add(table.Float(v))
+		partials[i%parts].Add(table.Float(v))
+	}
+	merged := partials[0]
+	for _, p := range partials[1:] {
+		merged.Merge(p)
+	}
+	exact := MustLookup("median").NewState()
+	for _, v := range vals {
+		exact.Add(table.Float(v))
+	}
+	truth := exact.Result().AsFloat()
+	const tol = 40 // generous: reservoir error at cap=512 is well inside this
+	if got := single.Result().AsFloat(); got < truth-tol || got > truth+tol {
+		t.Errorf("single-pass estimate %.1f outside ±%d of exact %.1f", got, tol, truth)
+	}
+	if got := merged.Result().AsFloat(); got < truth-tol || got > truth+tol {
+		t.Errorf("merged estimate %.1f outside ±%d of exact %.1f", got, tol, truth)
+	}
+}

@@ -1,0 +1,139 @@
+package core_test
+
+// The incremental torture test lives in the external test package because
+// it drives internal/faultinject, which itself imports core (it wraps
+// distributed-site evaluators) — in-package it would be an import cycle.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mdjoin/internal/agg"
+	"mdjoin/internal/core"
+	"mdjoin/internal/expr"
+	"mdjoin/internal/faultinject"
+	"mdjoin/internal/table"
+)
+
+// TestIncrementalTorture is the race suite (make race-incremental):
+// concurrent appenders — some of whose deltas are vetoed by a fault
+// injector before they reach the materialization — racing snapshotters,
+// plus a windowed sibling absorbing appends and Advances concurrently.
+// The append-only materialization must end byte-identical to a batch
+// Eval over exactly the successfully-appended rows.
+func TestIncrementalTorture(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := table.New(table.SchemaOf("g1"))
+	for g1 := 0; g1 < 6; g1++ {
+		b.Append(table.Row{table.Int(int64(g1))})
+	}
+	rSchema := table.SchemaOf("g1", "w")
+	pool := make([]table.Row, 512)
+	for i := range pool {
+		pool[i] = table.Row{table.Int(int64(rng.Intn(7))), table.Int(int64(rng.Intn(100)))}
+	}
+	phases := []core.Phase{{
+		Aggs: []agg.Spec{
+			agg.NewSpec("count", nil, "n"),
+			agg.NewSpec("sum", expr.QC("R", "w"), "total"),
+			agg.NewSpec("min", expr.QC("R", "w"), "lo"),
+			agg.NewSpec("max", expr.QC("R", "w"), "hi"),
+		},
+		Theta: expr.Eq(expr.QC("R", "g1"), expr.C("g1")),
+	}}
+	inc, err := core.NewIncremental(b, rSchema, phases, core.Options{}, core.IncrementalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := core.NewIncremental(b, rSchema, phases, core.Options{}, core.IncrementalConfig{WindowBuckets: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOutage := errors.New("injected append outage")
+	inj := faultinject.New(faultinject.Plan{FailFirst: 5, Err: errOutage})
+
+	const appenders, rounds = 4, 40
+	var mu sync.Mutex // guards applied
+	var applied []table.Row
+	var appendWG, snapWG sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		appendWG.Add(1)
+		go func(a int) {
+			defer appendWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + a)))
+			for i := 0; i < rounds; i++ {
+				delta := make([]table.Row, 1+rng.Intn(8))
+				for j := range delta {
+					delta[j] = pool[rng.Intn(len(pool))]
+				}
+				if err := inj.Intercept(context.Background()); err != nil {
+					continue // injected outage: this delta never happened
+				}
+				if err := inc.Append(delta); err != nil {
+					t.Errorf("appender %d: %v", a, err)
+					return
+				}
+				mu.Lock()
+				applied = append(applied, delta...)
+				mu.Unlock()
+				if err := windowed.Append(delta); err != nil {
+					t.Errorf("windowed appender %d: %v", a, err)
+					return
+				}
+				if i%10 == 9 {
+					if err := windowed.Advance(); err != nil {
+						t.Errorf("advancer %d: %v", a, err)
+						return
+					}
+				}
+			}
+		}(a)
+	}
+	stop := make(chan struct{})
+	for s := 0; s < 2; s++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := inc.Snapshot(); err != nil {
+					t.Errorf("snapshotter: %v", err)
+					return
+				}
+				if _, err := windowed.Snapshot(); err != nil {
+					t.Errorf("windowed snapshotter: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	appendWG.Wait()
+	close(stop)
+	snapWG.Wait()
+	if inj.Injected() == 0 {
+		t.Error("fault injector never fired")
+	}
+	got, err := inc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accT := table.New(rSchema)
+	accT.Rows = applied
+	want, err := core.Eval(b, accT, phases, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("torture materialization diverges from batch over applied rows: %s", d)
+	}
+	if inc.Rows() != len(applied) {
+		t.Fatalf("Rows() = %d, want %d applied", inc.Rows(), len(applied))
+	}
+}

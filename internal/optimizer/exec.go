@@ -22,3 +22,34 @@ func WithExecOptions(p Plan, apply func(core.Options) core.Options) Plan {
 	}
 	return rec(p)
 }
+
+// CollectMDJoins returns every MDJoin node of the tree in pre-order.
+// mdserve's materialized views use this to find the (single) operator a
+// view query incrementalizes.
+func CollectMDJoins(p Plan) []*MDJoin {
+	var out []*MDJoin
+	Walk(p, func(n Plan) {
+		if m, ok := n.(*MDJoin); ok {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// ReplacePlanNode returns a copy of the tree with the node identical to
+// old (pointer identity) replaced by repl. The input tree is never
+// mutated (interior nodes are rebuilt, leaves shared), so a cached plan
+// survives the grafting. This is how a view read substitutes the
+// incrementally-maintained MD-join result (as a Literal) into the rest of
+// its query plan — sorts, projections, limits around the operator still
+// execute normally.
+func ReplacePlanNode(p, old, repl Plan) Plan {
+	var rec func(Plan) Plan
+	rec = func(n Plan) Plan {
+		if n == old {
+			return repl
+		}
+		return rewriteChildren(n, rec)
+	}
+	return rec(p)
+}

@@ -370,6 +370,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"peak_reserved_bytes": s.adm.peak(),
 		},
 		"plan_cache": map[string]any{"hits": hits, "misses": misses, "size": size},
+		"views": map[string]any{
+			"count":             len(s.viewsSnapshot()),
+			"max_views":         s.cfg.MaxViews,
+			"pool_bytes":        s.cfg.ViewPoolBytes,
+			"view_budget_bytes": s.ViewBudgetBytes(),
+			"appends":           s.m.appends.Load(),
+			"evicted":           s.m.viewsEvicted.Load(),
+		},
 		"queries": map[string]any{
 			"served":    s.m.served.Load(),
 			"failed":    s.m.failed.Load(),

@@ -95,6 +95,18 @@ type Config struct {
 	// sharing — it is an explicit opt-in (mdserve's -share-window flag)
 	// because the window tax is a bad deal for an idle server.
 	ShareWindow time.Duration
+
+	// MaxViews bounds how many materialized views the server maintains
+	// (POST /views/{name}); further creations are refused with 409.
+	// Default 16.
+	MaxViews int
+
+	// ViewPoolBytes is the server-wide memory pool for materialized
+	// views. Each view may grow to its share (pool / MaxViews, the same
+	// core.BudgetShare carve admission uses); an append that pushes a view
+	// past its share evicts the view rather than let maintenance state
+	// grow unboundedly. 0 disables view byte accounting.
+	ViewPoolBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +137,9 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize == 0 {
 		c.PlanCacheSize = 128
 	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = 16
+	}
 	return c
 }
 
@@ -137,6 +152,9 @@ type metrics struct {
 	timedOut  atomic.Uint64 // 504 deadline expiries
 	cancelled atomic.Uint64 // 503 drain/client cancellations
 	panics    atomic.Uint64 // recovered query panics (500)
+
+	appends      atomic.Uint64 // accepted /tables/{name}/append batches
+	viewsEvicted atomic.Uint64 // views dropped by failed or over-budget maintenance
 }
 
 // Server is the query service. Create with New, expose via Handler, shut
@@ -159,8 +177,14 @@ type Server struct {
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 
-	mu  sync.Mutex // guards cat (copy-on-write: handlers snapshot)
-	cat optimizer.Catalog
+	mu    sync.Mutex // guards cat (copy-on-write: handlers snapshot) and views
+	cat   optimizer.Catalog
+	views map[string]*view
+
+	// appendMu serializes table appends and view creation: the catalog
+	// extension and every dependent view fold commit as one unit, so a
+	// view is never offset from its detail table's row stream.
+	appendMu sync.Mutex
 
 	draining atomic.Bool
 	active   atomic.Int64 // queries past the drain gate, not yet done
@@ -208,6 +232,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /tables", s.handleListTables)
 	s.mux.HandleFunc("POST /tables/{name}", s.handlePutTable)
 	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
+	s.mux.HandleFunc("POST /tables/{name}/append", s.handleAppendTable)
+	s.mux.HandleFunc("PUT /tables/{name}/append", s.handleAppendTable)
+	s.mux.HandleFunc("GET /views", s.handleListViews)
+	s.mux.HandleFunc("POST /views/{name}", s.handleCreateView)
+	s.mux.HandleFunc("PUT /views/{name}", s.handleCreateView)
+	s.mux.HandleFunc("GET /views/{name}", s.handleReadView)
+	s.mux.HandleFunc("DELETE /views/{name}", s.handleDeleteView)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)

@@ -63,6 +63,17 @@ func prepareQuery(src string, q *Query) (*Prepared, error) {
 // WITH members).
 func (p *Prepared) Src() string { return p.src }
 
+// Plan returns the optimized plan tree. The tree is immutable and shared
+// across executions; callers that transform it (mdserve's materialized
+// views graft a Literal over the MD-join node) must rebuild rather than
+// mutate — optimizer.ReplacePlanNode and WithExecOptions both do.
+func (p *Prepared) Plan() optimizer.Plan { return p.plan }
+
+// HasWith reports whether the query carries WITH-clause members. Their
+// results are materialized per execution, so callers freezing a plan
+// against a fixed catalog (materialized views) reject them.
+func (p *Prepared) HasWith() bool { return len(p.with) > 0 }
+
 // ExecContext executes the prepared query against the catalog. ctx is
 // threaded into every MD-join's Options.Ctx (superseding opt.Ctx when
 // both are given), so cancellation aborts detail scans mid-flight; an

@@ -137,11 +137,18 @@ func fillDefaults(cfg SalesConfig) SalesConfig {
 }
 
 // picker returns a function drawing values in [0, n) — uniform, or zipfian
-// with parameter s when s > 1.
+// with parameter s when s > 1. A one-value domain short-circuits before
+// rand.NewZipf sees imax = 0, and a nil Zipf (NewZipf rejects s <= 1 or
+// imax < 1 with nil rather than panicking) falls back to uniform instead
+// of nil-dereferencing on the first draw.
 func picker(rng *rand.Rand, n int, s float64) func() int {
+	if n <= 1 {
+		return func() int { return 0 }
+	}
 	if s > 1 {
-		z := rand.NewZipf(rng, s, 1, uint64(n-1))
-		return func() int { return int(z.Uint64()) }
+		if z := rand.NewZipf(rng, s, 1, uint64(n-1)); z != nil {
+			return func() int { return int(z.Uint64()) }
+		}
 	}
 	return func() int { return rng.Intn(n) }
 }

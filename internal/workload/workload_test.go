@@ -101,3 +101,27 @@ func TestSalesDefaults(t *testing.T) {
 		t.Errorf("default rows = %d, want 10000", s.Len())
 	}
 }
+
+// TestPickerDegenerateDomains is the regression test for the picker
+// edges: a one-value domain must not reach rand.NewZipf with imax = 0
+// (it panicked with a division by zero before the guard), and a skew at
+// exactly the Zipf validity boundary (NewZipf rejects s <= 1 with nil)
+// must fall back to uniform instead of nil-dereferencing.
+func TestPickerDegenerateDomains(t *testing.T) {
+	for _, cfg := range []SalesConfig{
+		{Rows: 100, Customers: 1, ZipfS: 1.0, Seed: 5},
+		{Rows: 100, Customers: 1, ZipfS: 2.0, Seed: 5},
+		{Rows: 100, Customers: 1, Products: 1, ZipfS: 1.5, Seed: 5},
+	} {
+		s := Sales(cfg)
+		if s.Len() != cfg.Rows {
+			t.Fatalf("rows = %d, want %d", s.Len(), cfg.Rows)
+		}
+		ci := s.Col("cust")
+		for _, r := range s.Rows {
+			if c := r[ci].AsInt(); c != 1 {
+				t.Fatalf("one-customer domain produced cust %d", c)
+			}
+		}
+	}
+}

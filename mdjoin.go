@@ -219,6 +219,24 @@ func SplitJoin(left, right *Table, baseCols []string) (*Table, error) {
 	return core.SplitJoin(left, right, baseCols)
 }
 
+// Incremental is a live MD-join materialization for append-only detail
+// streams: Append folds new R rows into retained aggregate state and
+// Snapshot assembles the current result without rescanning history.
+type Incremental = core.Incremental
+
+// IncrementalConfig selects windowed maintenance (see core.IncrementalConfig).
+type IncrementalConfig = core.IncrementalConfig
+
+// Rollup is a coarser cuboid maintained from an Incremental's deltas
+// rather than from R (Theorem 4.5); obtain one with Incremental.Rollup.
+type Rollup = core.Rollup
+
+// NewIncremental compiles MD(b, ·, phases) once into a live
+// materialization over a detail stream with the given schema.
+func NewIncremental(b *Table, rSchema *Schema, phases []Phase, opt Options, cfg IncrementalConfig) (*Incremental, error) {
+	return core.NewIncremental(b, rSchema, phases, opt, cfg)
+}
+
 // ------------------------------------------------------------------- cube
 
 // Base-values builders (the operations of the analyze-by clause).
