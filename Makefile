@@ -11,9 +11,14 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check fmt lint vet build test race race-metrics race-shared race-incremental bench bench-guard fuzz-smoke serve-smoke
+.PHONY: check check-nolint fmt lint vet build test race race-metrics race-shared race-incremental bench bench-guard fuzz-smoke serve-smoke
 
 check: fmt lint build test race race-metrics race-shared race-incremental
+
+# The CI check job runs this variant: lint is its own CI job (with the
+# build cache persisted across runs, since mdlint loads the module
+# against export data), so the main gate does not pay for it twice.
+check-nolint: fmt build test race race-metrics race-shared race-incremental
 
 # gofmt emits nothing when the tree is clean; any path listed fails the
 # gate.
@@ -25,8 +30,10 @@ fmt:
 
 # mdlint loads the module against build-cache export data, so it needs a
 # build to exist; `go vet` (first) guarantees that as a side effect.
+# -timing prints the per-pass wall-time table so a slow analyzer is
+# visible the moment it lands.
 lint: vet
-	$(GO) run ./cmd/mdlint ./...
+	$(GO) run ./cmd/mdlint -timing ./...
 
 vet:
 	$(GO) vet ./...
@@ -98,6 +105,7 @@ serve-smoke:
 # invocation: the fuzz engine allows a single -fuzz pattern per package
 # run.
 fuzz-smoke:
+	$(GO) test ./internal/analysis -run '^$$' -fuzz FuzzCFGBuild -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzIncrementalVsBatch -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/expr -run '^$$' -fuzz FuzzEvalChunkVsScalar -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sqlext -run '^$$' -fuzz FuzzParseTranslate -fuzztime $(FUZZTIME)

@@ -1,36 +1,47 @@
 // mdlint runs the repo's project-specific static analyzers (see
-// internal/analyzers and DESIGN.md §8) over the module and prints every
-// finding as file:line:col: message (analyzer). Exit status 1 when
-// anything is reported, 2 on loading errors.
+// internal/analyzers and DESIGN.md §8 and §12) over the module and
+// prints every finding as file:line:col: message (analyzer). Exit
+// status 1 when anything is reported, 2 on loading errors.
 //
 // Usage:
 //
-//	mdlint [packages]
+//	mdlint [-timing] [packages]
 //
 // Package patterns default to ./... relative to the module root, which
 // is located from the working directory, so `go run ./cmd/mdlint` works
 // from anywhere inside the module.
+//
+// Packages are analyzed in dependency order under one shared fact store,
+// so cross-package facts (e.g. lockhold's BlockingFacts about core's
+// exported functions) are always exported before their importers are
+// checked. -timing prints per-analyzer wall time to stderr, aggregated
+// across all packages, slowest first.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"mdjoin/internal/analysis"
 	"mdjoin/internal/analyzers"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	timing := flag.Bool("timing", false, "print per-analyzer wall time to stderr")
+	flag.Parse()
+	if err := run(flag.Args(), *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "mdlint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string) error {
+func run(patterns []string, timing bool) error {
 	modRoot, err := moduleRoot()
 	if err != nil {
 		return err
@@ -43,14 +54,14 @@ func run(patterns []string) error {
 	if err != nil {
 		return err
 	}
-	all := analyzers.All()
+	runner := analysis.NewRunner()
+	results, err := runner.Run(pkgs, analyzers.All())
+	if err != nil {
+		return err
+	}
 	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, all)
-		if err != nil {
-			return err
-		}
-		for _, d := range diags {
+	for _, pkg := range pkgs { // report in import-path order, not analysis order
+		for _, d := range results[pkg] {
 			pos := pkg.Fset.Position(d.Pos)
 			name := pos.Filename
 			if rel, err := filepath.Rel(modRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
@@ -60,11 +71,27 @@ func run(patterns []string) error {
 			findings++
 		}
 	}
+	if timing {
+		printTimings(runner)
+	}
 	if findings > 0 {
 		fmt.Fprintf(os.Stderr, "mdlint: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
 	return nil
+}
+
+// printTimings writes the per-analyzer wall-time table, slowest first.
+func printTimings(r *analysis.Runner) {
+	names := make([]string, 0, len(r.Timings))
+	for name := range r.Timings {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.Timings[names[i]] > r.Timings[names[j]] })
+	fmt.Fprintln(os.Stderr, "mdlint: per-analyzer wall time:")
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "  %-14s %v\n", name, r.Timings[name].Round(100*time.Microsecond))
+	}
 }
 
 // moduleRoot locates the enclosing module from the working directory.

@@ -128,6 +128,7 @@ func (countFunc) Name() string              { return "count" }
 func (countFunc) NewState() State           { return &countState{} }
 func (countFunc) Reaggregate() (Func, bool) { return sumFunc{}, true }
 
+//mdlint:sizedexempt a single counter; the struct size is the footprint
 type countState struct{ n int64 }
 
 func (s *countState) Add(v table.Value) {
@@ -151,6 +152,8 @@ func (sumFunc) Reaggregate() (Func, bool) { return sumFunc{}, true }
 // both flags stay invertible under Subtract/Unmerge (a window that evicts
 // its last float legitimately reverts the result kind to Int, matching a
 // batch evaluation over the surviving inputs).
+//
+//mdlint:sizedexempt four scalar fields; the struct size is the footprint
 type sumState struct {
 	n  int64
 	nf int64
@@ -203,6 +206,7 @@ func (maxFunc) Name() string              { return "max" }
 func (maxFunc) NewState() State           { return &extState{min: false} }
 func (maxFunc) Reaggregate() (Func, bool) { return maxFunc{}, true }
 
+//mdlint:sizedexempt retains one value regardless of input size
 type extState struct {
 	min  bool
 	seen bool
@@ -249,6 +253,7 @@ func (avgFunc) NewState() State { return &avgState{} }
 // (see cube planner) or aggregate from detail.
 func (avgFunc) Reaggregate() (Func, bool) { return nil, false }
 
+//mdlint:sizedexempt two scalar fields; the struct size is the footprint
 type avgState struct {
 	n   int64
 	sum float64
@@ -291,6 +296,7 @@ func (f varFunc) Name() string {
 func (f varFunc) NewState() State         { return &varState{pop: f.pop} }
 func (varFunc) Reaggregate() (Func, bool) { return nil, false }
 
+//mdlint:sizedexempt Welford accumulators are fixed-size scalars
 type varState struct {
 	pop  bool
 	n    int64
@@ -343,6 +349,7 @@ func (stddevFunc) Name() string              { return "stddev" }
 func (stddevFunc) NewState() State           { return &stddevState{varState{pop: false}} }
 func (stddevFunc) Reaggregate() (Func, bool) { return nil, false }
 
+//mdlint:sizedexempt embeds the fixed-size varState and nothing else
 type stddevState struct{ varState }
 
 func (s *stddevState) Merge(o State) { s.varState.Merge(&o.(*stddevState).varState) }
@@ -366,6 +373,7 @@ func (firstFunc) Name() string              { return "first" }
 func (firstFunc) NewState() State           { return &firstState{} }
 func (firstFunc) Reaggregate() (Func, bool) { return firstFunc{}, true }
 
+//mdlint:sizedexempt retains one value regardless of input size
 type firstState struct {
 	seen bool
 	v    table.Value
@@ -396,6 +404,7 @@ func (lastFunc) Name() string              { return "last" }
 func (lastFunc) NewState() State           { return &lastState{} }
 func (lastFunc) Reaggregate() (Func, bool) { return lastFunc{}, true }
 
+//mdlint:sizedexempt retains one value regardless of input size
 type lastState struct {
 	seen bool
 	v    table.Value

@@ -1,0 +1,180 @@
+package analysis
+
+// A deliberately small may-alias + goroutine-escape analysis for one
+// function body. Alias classes are a union-find over local variables
+// merged on direct copies (a := b, a = b, a := &b); escape records where
+// a variable crosses into a spawned goroutine — captured free by a
+// go-statement function literal, or passed as an argument to the spawned
+// call. Both are conservative over-approximations: good enough to ask
+// "can this arena be touched from two goroutines at once?" without a
+// whole-program points-to analysis.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Escape summarizes goroutine-crossing for one function body.
+type Escape struct {
+	info   *types.Info
+	parent map[*types.Var]*types.Var // union-find
+	// spawned maps a variable to the go-statement sites through which it
+	// becomes reachable from another goroutine.
+	spawned map[*types.Var][]*ast.GoStmt
+	// outsideUse maps a variable to a use site outside any go literal.
+	outsideUse map[*types.Var]ast.Node
+}
+
+// NewEscape analyzes body (typically a FuncDecl.Body).
+func NewEscape(body *ast.BlockStmt, info *types.Info) *Escape {
+	e := &Escape{
+		info:       info,
+		parent:     map[*types.Var]*types.Var{},
+		spawned:    map[*types.Var][]*ast.GoStmt{},
+		outsideUse: map[*types.Var]ast.Node{},
+	}
+
+	// Pass 1: alias classes from direct copies.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			lv := e.varOf(as.Lhs[i])
+			rv := e.varOf(stripAddr(as.Rhs[i]))
+			if lv != nil && rv != nil {
+				e.union(lv, rv)
+			}
+		}
+		return true
+	})
+
+	// Pass 2: go statements — record captured/passed variables; and uses
+	// outside any go literal.
+	var goLits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for _, arg := range gs.Call.Args {
+			e.markSpawned(arg, gs)
+		}
+		switch fn := ast.Unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			goLits = append(goLits, fn)
+			// Free variables: idents used inside the literal but declared
+			// outside it.
+			ast.Inspect(fn.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if v, ok := e.info.Uses[id].(*types.Var); ok {
+					if v.Pos() < fn.Pos() || v.Pos() > fn.End() {
+						e.spawned[e.find(v)] = append(e.spawned[e.find(v)], gs)
+					}
+				}
+				return true
+			})
+		case *ast.SelectorExpr:
+			// go x.M(...): the receiver crosses too.
+			e.markSpawned(fn.X, gs)
+		}
+		return true
+	})
+
+	inGoLit := func(n ast.Node) bool {
+		for _, lit := range goLits {
+			if n.Pos() >= lit.Pos() && n.End() <= lit.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := e.info.Uses[id].(*types.Var); ok && !inGoLit(id) {
+			r := e.find(v)
+			if _, dup := e.outsideUse[r]; !dup {
+				e.outsideUse[r] = id
+			}
+		}
+		return true
+	})
+	return e
+}
+
+// markSpawned records every variable syntactically rooted in expr as
+// reachable from the goroutine spawned at gs.
+func (e *Escape) markSpawned(expr ast.Expr, gs *ast.GoStmt) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := e.info.Uses[id].(*types.Var); ok {
+				e.spawned[e.find(v)] = append(e.spawned[e.find(v)], gs)
+			}
+		}
+		return true
+	})
+}
+
+// SpawnSites returns the go statements through which v (or an alias of v)
+// becomes reachable from another goroutine.
+func (e *Escape) SpawnSites(v *types.Var) []*ast.GoStmt {
+	return e.spawned[e.find(v)]
+}
+
+// SharedAcrossGoroutines reports whether v is reachable from a spawned
+// goroutine and also used by the spawning function outside any go
+// literal — i.e. two goroutines may hold it at once.
+func (e *Escape) SharedAcrossGoroutines(v *types.Var) bool {
+	r := e.find(v)
+	_, used := e.outsideUse[r]
+	return used && len(e.spawned[r]) > 0
+}
+
+func (e *Escape) varOf(expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := e.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := e.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func stripAddr(expr ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(expr).(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		return u.X
+	}
+	return expr
+}
+
+func (e *Escape) find(v *types.Var) *types.Var {
+	for {
+		p, ok := e.parent[v]
+		if !ok || p == v {
+			return v
+		}
+		// Path halving.
+		if gp, ok := e.parent[p]; ok {
+			e.parent[v] = gp
+		}
+		v = p
+	}
+}
+
+func (e *Escape) union(a, b *types.Var) {
+	ra, rb := e.find(a), e.find(b)
+	if ra != rb {
+		e.parent[ra] = rb
+	}
+}

@@ -33,6 +33,11 @@ type Analyzer struct {
 	// function of the path.
 	Match func(pkgPath string) bool
 
+	// FactsAllPackages makes the driver run the analyzer (with reporting
+	// suppressed) even on packages Match rejects, so it can export facts
+	// about them for the packages it does report on.
+	FactsAllPackages bool
+
 	// Run analyzes one package, reporting findings via pass.Report.
 	Run func(*Pass) error
 }
@@ -47,6 +52,29 @@ type Pass struct {
 
 	// Report delivers one diagnostic; the driver owns collection.
 	Report func(Diagnostic)
+
+	// facts is the driver's cross-package fact store; nil when the
+	// analyzer runs without one (facts silently no-op).
+	facts *Facts
+}
+
+// ExportObjectFact attaches fact to obj for retrieval by later runs of
+// the same analyzer on importing packages. The driver must process
+// packages in dependency order (Runner does).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) error {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact decodes into fact the fact previously exported for
+// obj by this analyzer, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.imp(p.Analyzer.Name, obj, fact)
 }
 
 // Diagnostic is one finding at a source position.

@@ -76,6 +76,17 @@ var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // analyzer's diagnostics against the fixture's // want comments.
 func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, asImportPath string) {
 	t.Helper()
+	RunWithDeps(t, a, fixtureDir, asImportPath)
+}
+
+// RunWithDeps is Run for analyzers with cross-package facts: the named
+// real module packages are analyzed first (reporting suppressed by the
+// runner's Match gating, facts retained), then the fixture runs against
+// the populated fact store. A lockhold fixture that calls
+// core.(*SharedExecutor).Run only flags it when the core pass exported a
+// BlockingFact for it — which is exactly what this arranges.
+func RunWithDeps(t *testing.T, a *analysis.Analyzer, fixtureDir, asImportPath string, deps ...string) {
+	t.Helper()
 	l, err := sharedLoader()
 	if err != nil {
 		t.Fatal(err)
@@ -104,8 +115,19 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, asImportPath string) {
 		t.Fatalf("loading fixture: %v", err)
 	}
 
+	runner := analysis.NewRunner()
+	if len(deps) > 0 {
+		depPkgs, err := l.Load(deps...)
+		if err != nil {
+			t.Fatalf("loading fact dependencies: %v", err)
+		}
+		if _, err := runner.Run(depPkgs, []*analysis.Analyzer{a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	expects := collectWants(t, pkg)
-	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	diags, err := runner.RunPackage(pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +135,71 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, asImportPath string) {
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
 		if !consume(expects, pos, d.Message) {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s\n%s%s",
+				pos, d.Message, sourceContext(pos.Filename, pos.Line),
+				nearMisses(expects, pos, d.Message))
 		}
 	}
 	for _, e := range expects {
 		if !e.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none\n%s%s",
+				e.file, e.line, e.raw, sourceContext(e.file, e.line),
+				strayDiags(pkg, diags, e.file))
 		}
 	}
+}
+
+// sourceContext renders the offending fixture line (with its neighbors)
+// so a mismatch is diagnosable from the test log alone.
+func sourceContext(file string, line int) string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return ""
+	}
+	lines := strings.Split(string(data), "\n")
+	var b strings.Builder
+	for n := line - 1; n <= line+1; n++ {
+		if n < 1 || n > len(lines) {
+			continue
+		}
+		marker := "  "
+		if n == line {
+			marker = "> "
+		}
+		fmt.Fprintf(&b, "\t%s%4d | %s\n", marker, n, lines[n-1])
+	}
+	return b.String()
+}
+
+// nearMisses explains an unexpected diagnostic in terms of the closest
+// expectations: same-line want regexps that failed to match, or wants on
+// other lines of the same file that would have matched the message.
+func nearMisses(expects []*expectation, pos token.Position, msg string) string {
+	var b strings.Builder
+	for _, e := range expects {
+		if e.hit || e.file != pos.Filename {
+			continue
+		}
+		switch {
+		case e.line == pos.Line:
+			fmt.Fprintf(&b, "\twant at %s:%d does not match: %q\n", e.file, e.line, e.raw)
+		case e.re.MatchString(msg):
+			fmt.Fprintf(&b, "\twant at %s:%d matches this message but is on a different line\n", e.file, e.line)
+		}
+	}
+	return b.String()
+}
+
+// strayDiags lists the diagnostics reported in the expectation's file, so
+// an off-by-one-line or reworded expectation shows its candidate.
+func strayDiags(pkg *analysis.Package, diags []analysis.Diagnostic, file string) string {
+	var b strings.Builder
+	for _, d := range diags {
+		if pos := pkg.Fset.Position(d.Pos); pos.Filename == file {
+			fmt.Fprintf(&b, "\tdiagnostic at %s:%d: %s\n", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	return b.String()
 }
 
 // collectWants parses every // want comment in the fixture.

@@ -1,0 +1,538 @@
+package analysis
+
+// Control-flow graphs over go/ast function bodies — the substrate the
+// dataflow-capable analyzers (lockhold, releasepath, poisoncheck) run on.
+//
+// The shape mirrors golang.org/x/tools/go/cfg at a fraction of the
+// surface: a CFG is a list of basic blocks, each holding the statements
+// (and branch-condition expressions) that execute in order, with Succs
+// and Preds mirroring each other. Branching statements (if, for, range,
+// switch, select, goto, labeled break/continue) split blocks; return and
+// panic(...) edges lead to the synthetic Exit block. Unreachable blocks
+// are pruned after construction, so every surviving block is reachable
+// from Entry — the invariant FuzzCFGBuild holds the builder to.
+//
+// Panic edges are deliberately coarse: any call may panic, so instead of
+// multiplying edges per call site, analyses that care about abnormal exit
+// (releasepath) treat a deferred statement as covering every path — a
+// defer runs on panic unwinding too — and treat non-deferred cleanup as
+// skippable by any intervening call.
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Block is one basic block: Nodes execute in order, then control moves to
+// one of Succs. The Exit block has no successors; a block whose Nodes end
+// in a return or panic has Exit as its only successor.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "body", "if.then", "for.head", ...
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is Entry; Exit is always present
+	Entry  *Block
+	Exit   *Block
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+
+	// branch targets: innermost-first stacks for break/continue, plus
+	// label-resolved targets.
+	breaks    []*targets
+	labels    map[string]*labelInfo
+	curLabel  string // pending label for the next breakable statement
+	unreached bool   // current block is syntactically unreachable
+	cur       *Block
+}
+
+// targets is one breakable/continuable region.
+type targets struct {
+	label     string
+	brk, cont *Block // cont nil for switch/select
+}
+
+// labelInfo tracks a goto/labeled-branch target.
+type labelInfo struct {
+	block *Block // the label's block (created on first reference or definition)
+}
+
+// BuildCFG constructs the CFG of a function body. A nil body yields a
+// two-block graph (entry → exit).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelInfo{},
+	}
+	entry := b.newBlock("entry")
+	b.cfg.Entry = entry
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.cfg.Exit)
+	b.prune()
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge connects from → to unless from is nil (dead flow) or the edge
+// already exists.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock begins a fresh block and makes it current, linking from the
+// previous current block when flow can fall through.
+func (b *cfgBuilder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	if !b.unreached {
+		b.edge(b.cur, blk)
+	}
+	b.unreached = false
+	b.cur = blk
+	return blk
+}
+
+// terminate marks the current flow as ended (return/goto/panic): the next
+// started block gets no fall-through edge.
+func (b *cfgBuilder) terminate() { b.unreached = true }
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// add appends a node to the current block (starting a fresh one after a
+// terminator so stray statements still live somewhere — they are pruned
+// as unreachable unless a label points at them).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.unreached {
+		b.startBlockDetached("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// startBlockDetached begins a block with no incoming fall-through edge.
+func (b *cfgBuilder) startBlockDetached(kind string) *Block {
+	blk := b.newBlock(kind)
+	b.unreached = false
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		condUnreached := b.unreached
+		join := b.newBlock("if.join")
+
+		thenBlk := b.newBlock("if.then")
+		if !condUnreached {
+			b.edge(condBlk, thenBlk)
+		}
+		b.unreached = condUnreached
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		if !b.unreached {
+			b.edge(b.cur, join)
+		}
+
+		if s.Else != nil {
+			elseBlk := b.newBlock("if.else")
+			if !condUnreached {
+				b.edge(condBlk, elseBlk)
+			}
+			b.unreached = condUnreached
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			if !b.unreached {
+				b.edge(b.cur, join)
+			}
+		} else if !condUnreached {
+			b.edge(condBlk, join)
+		}
+		b.unreached = false
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock("for.head")
+		if s.Cond != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		}
+		exit := b.newBlock("for.exit")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+		}
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		b.pushTargets(label, exit, post)
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		b.unreached = false
+		b.cur = body
+		b.stmt(s.Body)
+		if !b.unreached {
+			b.edge(b.cur, post)
+		}
+		b.popTargets()
+		b.unreached = false
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.startBlock("range.head")
+		head.Nodes = append(head.Nodes, s)
+		exit := b.newBlock("range.exit")
+		b.edge(head, exit)
+		b.pushTargets(label, exit, head)
+		body := b.newBlock("range.body")
+		b.edge(head, body)
+		b.unreached = false
+		b.cur = body
+		b.stmt(s.Body)
+		if !b.unreached {
+			b.edge(b.cur, head)
+		}
+		b.popTargets()
+		b.unreached = false
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.switchLike(s)
+
+	case *ast.LabeledStmt:
+		info := b.labelInfo(s.Label.Name)
+		if !b.unreached {
+			b.edge(b.cur, info.block)
+		}
+		b.unreached = false
+		b.cur = info.block
+		b.curLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				b.edge(b.cur, b.cfg.Exit)
+				b.terminate()
+			}
+		}
+
+	case nil:
+		// Empty else or statement: nothing.
+
+	default:
+		// Declarations, assignments, go/defer/send/incdec/empty: straight-line.
+		if _, ok := s.(*ast.EmptyStmt); !ok {
+			b.add(s)
+		}
+	}
+}
+
+// switchLike handles switch, type switch, and select: one head block, one
+// block per clause, all joining at a shared exit (the break target).
+func (b *cfgBuilder) switchLike(s ast.Stmt) {
+	label := b.takeLabel()
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	head := b.cur
+	headUnreached := b.unreached
+	exit := b.newBlock("switch.exit")
+	b.pushTargets(label, exit, nil)
+
+	// Clause blocks first, so fallthrough can target the next one.
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock("switch.case")
+		if !headUnreached {
+			b.edge(head, blocks[i])
+		}
+	}
+	for i, c := range clauses {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				blocks[i].Nodes = append(blocks[i].Nodes, e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				blocks[i].Nodes = append(blocks[i].Nodes, c.Comm)
+			} else {
+				hasDefault = true
+			}
+			list = c.Body
+		}
+		b.unreached = headUnreached
+		b.cur = blocks[i]
+		for _, st := range list {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				if i+1 < len(blocks) && !b.unreached {
+					b.edge(b.cur, blocks[i+1])
+				}
+				b.terminate()
+				continue
+			}
+			b.stmt(st)
+		}
+		if !b.unreached {
+			b.edge(b.cur, exit)
+		}
+	}
+	// A switch/select without a default can skip every clause (no tag
+	// matches); select without default blocks, but modelling the
+	// fall-past edge keeps the analyses conservative either way.
+	if !hasDefault && !headUnreached {
+		b.edge(head, exit)
+	}
+	b.popTargets()
+	b.unreached = false
+	b.cur = exit
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		if t := b.findTargets(s.Label); t != nil {
+			b.edge(b.cur, t.brk)
+		}
+		b.terminate()
+	case "continue":
+		if t := b.findTargets(s.Label); t != nil && t.cont != nil {
+			b.edge(b.cur, t.cont)
+		}
+		b.terminate()
+	case "goto":
+		if s.Label != nil {
+			b.edge(b.cur, b.labelInfo(s.Label.Name).block)
+		}
+		b.terminate()
+	case "fallthrough":
+		// Handled inside switchLike; a stray one terminates flow.
+		b.terminate()
+	}
+}
+
+func (b *cfgBuilder) labelInfo(name string) *labelInfo {
+	if info, ok := b.labels[name]; ok {
+		return info
+	}
+	info := &labelInfo{block: b.newBlock("label." + name)}
+	b.labels[name] = info
+	return info
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushTargets(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, &targets{label: label, brk: brk, cont: cont})
+}
+
+func (b *cfgBuilder) popTargets() { b.breaks = b.breaks[:len(b.breaks)-1] }
+
+// findTargets resolves a break/continue: unlabeled → innermost; labeled →
+// the region carrying that label. For continue, the innermost region with
+// a cont target (switch/select are break-only).
+func (b *cfgBuilder) findTargets(label *ast.Ident) *targets {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		t := b.breaks[i]
+		if label != nil {
+			if t.label == label.Name {
+				return t
+			}
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// prune removes blocks unreachable from Entry (except Exit, which is kept
+// even when no return reaches it — an infinite loop) and renumbers.
+func (b *cfgBuilder) prune() {
+	cfg := b.cfg
+	reach := map[*Block]bool{cfg.Entry: true}
+	stack := []*Block{cfg.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	reach[cfg.Exit] = true
+	keep := cfg.Blocks[:0]
+	for _, blk := range cfg.Blocks {
+		if reach[blk] {
+			keep = append(keep, blk)
+			continue
+		}
+		// Drop the dead block's edges from survivors' pred lists.
+		for _, s := range blk.Succs {
+			s.Preds = removeBlock(s.Preds, blk)
+		}
+		for _, p := range blk.Preds {
+			p.Succs = removeBlock(p.Succs, blk)
+		}
+	}
+	cfg.Blocks = keep
+	for i, blk := range cfg.Blocks {
+		blk.Index = i
+	}
+}
+
+func removeBlock(list []*Block, b *Block) []*Block {
+	out := list[:0]
+	for _, x := range list {
+		if x != b {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// NodeBlock locates the block (and node index within it) whose node
+// contains the query node's position — sub-expressions of a statement
+// resolve to the statement's slot. When several block nodes contain the
+// position (a RangeStmt head node spans its whole body), the smallest
+// wins, so body statements resolve to body blocks. Returns ok=false for
+// nodes outside the graph (e.g. inside a nested function literal's body).
+func (c *CFG) NodeBlock(q ast.Node) (*Block, int, bool) {
+	var (
+		bestBlk  *Block
+		bestIdx  int
+		bestSpan = int64(-1)
+	)
+	for _, blk := range c.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= q.Pos() && q.End() <= n.End() {
+				if containsInNestedFunc(n, q) {
+					continue
+				}
+				span := int64(n.End() - n.Pos())
+				if bestSpan < 0 || span < bestSpan {
+					bestBlk, bestIdx, bestSpan = blk, i, span
+				}
+			}
+		}
+	}
+	return bestBlk, bestIdx, bestSpan >= 0
+}
+
+// containsInNestedFunc reports whether q sits inside a function literal
+// nested under n (nested bodies have their own CFGs).
+func containsInNestedFunc(n, q ast.Node) bool {
+	if n == q {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := x.(*ast.FuncLit); ok && lit != q {
+			if lit.Body != nil && lit.Body.Pos() <= q.Pos() && q.End() <= lit.Body.End() {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// String renders the graph for debugging and test failures.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "%s ->", blk)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " %s", s)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

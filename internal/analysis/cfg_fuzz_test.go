@@ -1,0 +1,240 @@
+package analysis
+
+// FuzzCFGBuild decodes fuzz bytes into a random — but by construction
+// well-typed — function body, builds its CFG, and checks the structural
+// invariants every analyzer depends on: no panics, Succs/Preds mirrored,
+// no duplicate edges, every surviving block reachable from Entry, and
+// every top-level statement resolvable through NodeBlock.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// stmtGen consumes fuzz bytes to emit statements over the fixed
+// parameters (x, y int, sl []int, ch chan int). Every construct is legal
+// Go on its own: labels are only emitted with a guaranteed labeled break,
+// fallthrough only in non-final clauses, loop-only branches only inside
+// loops.
+type stmtGen struct {
+	data  []byte
+	pos   int
+	label int
+	sb    strings.Builder
+}
+
+func (g *stmtGen) next() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *stmtGen) stmts(depth, inLoop int) {
+	n := int(g.next()%3) + 1
+	for i := 0; i < n; i++ {
+		g.stmt(depth, inLoop)
+	}
+}
+
+func (g *stmtGen) stmt(depth, inLoop int) {
+	choice := g.next()
+	if depth <= 0 {
+		choice %= 3 // leaf statements only
+	}
+	switch choice % 12 {
+	case 0:
+		g.sb.WriteString("x = x + 1\n")
+	case 1:
+		g.sb.WriteString("y = x\n")
+	case 2:
+		g.sb.WriteString("return\n")
+	case 3:
+		g.sb.WriteString("if x < y {\n")
+		g.stmts(depth-1, inLoop)
+		if g.next()%2 == 0 {
+			g.sb.WriteString("} else {\n")
+			g.stmts(depth-1, inLoop)
+		}
+		g.sb.WriteString("}\n")
+	case 4:
+		g.sb.WriteString("for x < y {\n")
+		g.stmts(depth-1, inLoop+1)
+		g.sb.WriteString("}\n")
+	case 5:
+		g.sb.WriteString("for i := 0; i < x; i++ {\n")
+		g.stmts(depth-1, inLoop+1)
+		g.sb.WriteString("}\n")
+	case 6:
+		g.sb.WriteString("for _, v := range sl {\nx = v\n")
+		g.stmts(depth-1, inLoop+1)
+		g.sb.WriteString("}\n")
+	case 7:
+		// Expression switch; fallthrough is legal because the default
+		// clause is last in source order.
+		g.sb.WriteString("switch x {\ncase 0:\n")
+		g.stmts(depth-1, inLoop)
+		if g.next()%2 == 0 {
+			g.sb.WriteString("fallthrough\n")
+		}
+		g.sb.WriteString("case 1:\n")
+		g.stmts(depth-1, inLoop)
+		if g.next()%2 == 0 {
+			g.sb.WriteString("fallthrough\n")
+		}
+		g.sb.WriteString("default:\n")
+		g.stmts(depth-1, inLoop)
+		g.sb.WriteString("}\n")
+	case 8:
+		g.sb.WriteString("select {\ncase v := <-ch:\nx = v\n")
+		g.stmts(depth-1, inLoop)
+		if g.next()%2 == 0 {
+			g.sb.WriteString("default:\n")
+			g.stmts(depth-1, inLoop)
+		}
+		g.sb.WriteString("}\n")
+	case 9:
+		if inLoop > 0 {
+			if g.next()%2 == 0 {
+				g.sb.WriteString("break\n")
+			} else {
+				g.sb.WriteString("continue\n")
+			}
+		} else {
+			g.sb.WriteString("panic(\"p\")\n")
+		}
+	case 10:
+		// Labeled loop with a guaranteed labeled break so the label is
+		// always used (an unused label is a compile error).
+		g.label++
+		l := fmt.Sprintf("L%d", g.label)
+		fmt.Fprintf(&g.sb, "%s: for x < y {\nif x > y {\nbreak %s\n}\n", l, l)
+		g.stmts(depth-1, inLoop+1)
+		if g.next()%2 == 0 {
+			fmt.Fprintf(&g.sb, "continue %s\n", l)
+		}
+		g.sb.WriteString("}\n")
+	case 11:
+		g.sb.WriteString("{\n")
+		g.stmts(depth-1, inLoop)
+		g.sb.WriteString("}\n")
+	}
+}
+
+func genSource(data []byte) string {
+	g := &stmtGen{data: data}
+	g.sb.WriteString("package p\nfunc fuzzed(x, y int, sl []int, ch chan int) {\n")
+	g.stmts(3, 0)
+	g.sb.WriteString("}\n")
+	return g.sb.String()
+}
+
+// verifyCFG returns a description of the first violated invariant.
+func verifyCFG(c *CFG) error {
+	if len(c.Blocks) == 0 || c.Blocks[0] != c.Entry {
+		return fmt.Errorf("entry is not Blocks[0]")
+	}
+	if len(c.Exit.Succs) != 0 {
+		return fmt.Errorf("exit has successors")
+	}
+	for _, blk := range c.Blocks {
+		seen := map[*Block]bool{}
+		for _, s := range blk.Succs {
+			if seen[s] {
+				return fmt.Errorf("%s: duplicate successor %s", blk, s)
+			}
+			seen[s] = true
+			n := 0
+			for _, p := range s.Preds {
+				if p == blk {
+					n++
+				}
+			}
+			if n != 1 {
+				return fmt.Errorf("edge %s->%s appears %d times in preds", blk, s, n)
+			}
+		}
+		for _, p := range blk.Preds {
+			n := 0
+			for _, s := range p.Succs {
+				if s == blk {
+					n++
+				}
+			}
+			if n != 1 {
+				return fmt.Errorf("edge %s<-%s appears %d times in succs", blk, p, n)
+			}
+		}
+	}
+	reach := map[*Block]bool{c.Entry: true}
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for _, blk := range c.Blocks {
+		if !reach[blk] && blk != c.Exit {
+			return fmt.Errorf("unreachable block %s survived pruning", blk)
+		}
+	}
+	return nil
+}
+
+func FuzzCFGBuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 0, 2, 4, 1, 9, 0, 7, 1, 2, 3})
+	f.Add([]byte{10, 2, 9, 1, 5, 1, 9, 0, 8, 1, 2, 0, 11, 1, 2})
+	f.Add([]byte{7, 0, 0, 0, 7, 1, 1, 1, 6, 2, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := genSource(data)
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			t.Fatalf("generator emitted invalid syntax: %v\n%s", err, src)
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{}
+		if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+			t.Fatalf("generator emitted ill-typed code: %v\n%s", err, src)
+		}
+		fd := file.Decls[0].(*ast.FuncDecl)
+		c := BuildCFG(fd.Body)
+		if err := verifyCFG(c); err != nil {
+			t.Fatalf("%v\nsource:\n%s\ncfg:\n%s", err, src, c)
+		}
+		// Every top-level statement of the body must resolve to a block,
+		// unless it was pruned as dead code.
+		for _, s := range fd.Body.List {
+			c.NodeBlock(s) // must not panic; dead statements return ok=false
+		}
+		// Reaching defs and must-precede must also run without panicking.
+		rd := NewReachingDefs(c, info, fd.Type.Params.List)
+		for _, s := range fd.Body.List {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						rd.DefsAt(id, v)
+					}
+				}
+				return true
+			})
+		}
+	})
+}

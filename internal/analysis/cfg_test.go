@@ -1,0 +1,534 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (a full file), type-checks it without imports, and
+// returns the named function plus the bookkeeping the analyses need.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info, fset
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil, nil, nil
+}
+
+// checkEdges asserts the CFG invariants FuzzCFGBuild also holds the
+// builder to: Succs/Preds mirror exactly, no duplicate edges, Exit has no
+// successors, and every block is reachable from Entry.
+func checkEdges(t *testing.T, c *CFG) {
+	t.Helper()
+	if len(c.Exit.Succs) != 0 {
+		t.Errorf("exit has successors: %v", c.Exit.Succs)
+	}
+	for _, blk := range c.Blocks {
+		seen := map[*Block]bool{}
+		for _, s := range blk.Succs {
+			if seen[s] {
+				t.Errorf("%s: duplicate successor %s", blk, s)
+			}
+			seen[s] = true
+			found := 0
+			for _, p := range s.Preds {
+				if p == blk {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Errorf("edge %s->%s mirrored %d times in preds", blk, s, found)
+			}
+		}
+		for _, p := range blk.Preds {
+			found := 0
+			for _, s := range p.Succs {
+				if s == blk {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Errorf("pred edge %s<-%s mirrored %d times in succs", blk, p, found)
+			}
+		}
+	}
+	reach := map[*Block]bool{c.Entry: true}
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for _, blk := range c.Blocks {
+		if !reach[blk] && blk != c.Exit {
+			t.Errorf("unreachable block survived pruning: %s\n%s", blk, c)
+		}
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f(a bool) int {
+	x := 0
+	if a {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+	// entry(cond) branches to then and else, both join, join returns.
+	if got := len(c.Entry.Succs); got != 2 {
+		t.Fatalf("entry should branch 2 ways, got %d\n%s", got, c)
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+	// The for head must reach both its body and its exit.
+	var head *Block
+	for _, blk := range c.Blocks {
+		if blk.Kind == "for.head" {
+			head = blk
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("for.head missing or wrong arity\n%s", c)
+	}
+}
+
+func TestCFGInfiniteLoop(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f() {
+	for {
+	}
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+	if len(c.Exit.Preds) != 0 {
+		t.Errorf("infinite loop should leave exit unreached, got preds %v", c.Exit.Preds)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r += 2
+	default:
+		r = 9
+	}
+	return r
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+	// case 1 falls through to case 2: some switch.case block has another
+	// switch.case as successor.
+	found := false
+	for _, blk := range c.Blocks {
+		if blk.Kind != "switch.case" {
+			continue
+		}
+		for _, s := range blk.Succs {
+			if s.Kind == "switch.case" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no fallthrough edge between case blocks\n%s", c)
+	}
+}
+
+func TestCFGGotoAndDeadCode(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f(a bool) int {
+	if a {
+		goto done
+	}
+	return 1
+done:
+	return 2
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+
+	fd2, _, _ := parseFunc(t, `package p
+func g() int {
+	return 1
+	// unreachable below
+}`, "g")
+	c2 := BuildCFG(fd2.Body)
+	checkEdges(t, c2)
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f(a bool) int {
+	if a {
+		panic("no")
+	}
+	return 1
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+	// The panic block's only successor must be exit.
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(blk.Succs) != 1 || blk.Succs[0] != c.Exit {
+						t.Errorf("panic block should go straight to exit\n%s", c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCFGSelectNoDefault(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+}
+
+func TestNodeBlockRangeBody(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, "f")
+	c := BuildCFG(fd.Body)
+	checkEdges(t, c)
+	// Find the `s += x` assignment and assert it resolves to range.body,
+	// not the head block whose RangeStmt node spans the whole loop.
+	var assign ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == "+=" {
+			assign = as
+		}
+		return true
+	})
+	blk, _, ok := c.NodeBlock(assign)
+	if !ok {
+		t.Fatalf("NodeBlock missed the body assignment\n%s", c)
+	}
+	if blk.Kind != "range.body" {
+		t.Errorf("body assignment resolved to %s, want range.body\n%s", blk, c)
+	}
+}
+
+func TestNodeBlockSkipsFuncLit(t *testing.T) {
+	fd, _, _ := parseFunc(t, `package p
+func f() func() int {
+	g := func() int {
+		y := 5
+		return y
+	}
+	return g
+}`, "f")
+	c := BuildCFG(fd.Body)
+	var inner ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, isID := as.Lhs[0].(*ast.Ident); isID && id.Name == "y" {
+				inner = as
+			}
+		}
+		return true
+	})
+	if _, _, ok := c.NodeBlock(inner); ok {
+		t.Errorf("node inside nested func literal should not resolve to an outer block")
+	}
+}
+
+func TestReachingDefsBranches(t *testing.T) {
+	src := `package p
+func f(a bool) int {
+	x := 1
+	if a {
+		x = 2
+	}
+	return x
+}`
+	fd, info, _ := parseFunc(t, src, "f")
+	c := BuildCFG(fd.Body)
+	rd := NewReachingDefs(c, info, fd.Type.Params.List)
+
+	var xVar *types.Var
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == ":=" {
+			if id, isID := as.Lhs[0].(*ast.Ident); isID {
+				xVar = info.Defs[id].(*types.Var)
+			}
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	defs := rd.DefsAt(ret, xVar)
+	if len(defs) != 2 {
+		t.Fatalf("both x defs should reach the return, got %d: %v\n%s", len(defs), defs, c)
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	src := `package p
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`
+	fd, info, _ := parseFunc(t, src, "f")
+	c := BuildCFG(fd.Body)
+	rd := NewReachingDefs(c, info, nil)
+
+	var xVar *types.Var
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == ":=" {
+			xVar = info.Defs[as.Lhs[0].(*ast.Ident)].(*types.Var)
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	defs := rd.DefsAt(ret, xVar)
+	if len(defs) != 1 {
+		t.Fatalf("straight-line redefinition should kill, got %d defs", len(defs))
+	}
+	if as, ok := defs[0].Site.(*ast.AssignStmt); !ok || as.Tok.String() != "=" {
+		t.Errorf("surviving def should be the plain assignment, got %T", defs[0].Site)
+	}
+}
+
+func TestMustPrecede(t *testing.T) {
+	isCheck := func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "check"
+	}
+	findUse := func(body *ast.BlockStmt) ast.Node {
+		var use ast.Node
+		ast.Inspect(body, func(n ast.Node) bool {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+						use = es
+					}
+				}
+			}
+			return true
+		})
+		return use
+	}
+
+	fd, _, _ := parseFunc(t, `package p
+func check() {}
+func use() {}
+func f(a bool) {
+	if a {
+		check()
+	} else {
+		check()
+	}
+	use()
+}`, "f")
+	c := BuildCFG(fd.Body)
+	if !c.MustPrecede(isCheck, findUse(fd.Body)) {
+		t.Errorf("check on every path should dominate use\n%s", c)
+	}
+
+	fd2, _, _ := parseFunc(t, `package p
+func check() {}
+func use() {}
+func g(a bool) {
+	if a {
+		check()
+	}
+	use()
+}`, "g")
+	c2 := BuildCFG(fd2.Body)
+	if c2.MustPrecede(isCheck, findUse(fd2.Body)) {
+		t.Errorf("check on one path must not dominate use\n%s", c2)
+	}
+}
+
+func TestEscapeSharedAcrossGoroutines(t *testing.T) {
+	src := `package p
+func f() {
+	shared := make([]int, 4)
+	fresh := make([]int, 4)
+	go func() {
+		shared[0] = 1
+	}()
+	shared[1] = 2
+	_ = fresh
+}`
+	fd, info, _ := parseFunc(t, src, "f")
+	esc := NewEscape(fd.Body, info)
+	vars := map[string]*types.Var{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				vars[id.Name] = v
+			}
+		}
+		return true
+	})
+	if !esc.SharedAcrossGoroutines(vars["shared"]) {
+		t.Errorf("shared is captured by the goroutine and used outside: must be shared")
+	}
+	if esc.SharedAcrossGoroutines(vars["fresh"]) {
+		t.Errorf("fresh never crosses a goroutine")
+	}
+}
+
+func TestEscapeAliasThroughCopy(t *testing.T) {
+	src := `package p
+func f() {
+	orig := make([]int, 4)
+	alias := orig
+	go func() {
+		alias[0] = 1
+	}()
+	orig[1] = 2
+}`
+	fd, info, _ := parseFunc(t, src, "f")
+	esc := NewEscape(fd.Body, info)
+	var origVar *types.Var
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "orig" {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				origVar = v
+			}
+		}
+		return true
+	})
+	if !esc.SharedAcrossGoroutines(origVar) {
+		t.Errorf("orig aliases the captured variable: must be shared")
+	}
+}
+
+type testFact struct {
+	Names []string
+}
+
+func (*testFact) AFact() {}
+
+func TestFactsRoundTrip(t *testing.T) {
+	facts := NewFacts()
+	pkg := types.NewPackage("example.com/p", "p")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	fn := types.NewFunc(token.NoPos, pkg, "Blocking", sig)
+
+	if err := facts.export("lockhold", fn, &testFact{Names: []string{"a", "b"}}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var got testFact
+	if !facts.imp("lockhold", fn, &got) {
+		t.Fatalf("fact not found after export")
+	}
+	if len(got.Names) != 2 || got.Names[0] != "a" {
+		t.Errorf("fact mangled in transit: %+v", got)
+	}
+	var other testFact
+	if facts.imp("releasepath", fn, &other) {
+		t.Errorf("facts must be scoped per analyzer")
+	}
+}
+
+func TestSortDeps(t *testing.T) {
+	base := types.NewPackage("example.com/base", "base")
+	mid := types.NewPackage("example.com/mid", "mid")
+	mid.SetImports([]*types.Package{base})
+	top := types.NewPackage("example.com/top", "top")
+	top.SetImports([]*types.Package{mid})
+
+	pkgs := []*Package{
+		{ImportPath: "example.com/top", Pkg: top},
+		{ImportPath: "example.com/base", Pkg: base},
+		{ImportPath: "example.com/mid", Pkg: mid},
+	}
+	got := SortDeps(pkgs)
+	order := make([]string, len(got))
+	for i, p := range got {
+		order[i] = p.ImportPath
+	}
+	want := "example.com/base,example.com/mid,example.com/top"
+	if strings.Join(order, ",") != want {
+		t.Errorf("topo order = %v, want %s", order, want)
+	}
+}

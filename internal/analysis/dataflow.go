@@ -1,0 +1,284 @@
+package analysis
+
+// Dataflow over the CFG: a generic iterative forward solver plus the two
+// concrete analyses the passes share — reaching definitions (which
+// assignments of a variable can reach a use) and a must-precede query
+// (does every path from entry pass a mark before a node). Both are
+// per-function and flow-sensitive; neither follows calls — cross-function
+// knowledge travels through facts instead (see facts.go).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ForwardDataflow runs an iterative forward analysis to a fixed point.
+// boundary seeds the entry block; join merges predecessor out-states;
+// transfer advances a state across one block's nodes; equal bounds the
+// iteration. Returns each block's entry state.
+func ForwardDataflow[S any](c *CFG, boundary S, join func(S, S) S, transfer func(*Block, S) S, equal func(S, S) bool) map[*Block]S {
+	in := make(map[*Block]S, len(c.Blocks))
+	out := make(map[*Block]S, len(c.Blocks))
+	seen := make(map[*Block]bool, len(c.Blocks))
+	in[c.Entry] = boundary
+
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		s := in[blk]
+		if blk != c.Entry {
+			first := true
+			for _, p := range blk.Preds {
+				if !seen[p] {
+					continue
+				}
+				if first {
+					s = out[p]
+					first = false
+				} else {
+					s = join(s, out[p])
+				}
+			}
+			if first {
+				continue // no processed predecessor yet
+			}
+			in[blk] = s
+		}
+		next := transfer(blk, s)
+		if seen[blk] && equal(out[blk], next) {
+			continue
+		}
+		seen[blk] = true
+		out[blk] = next
+		for _, succ := range blk.Succs {
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// ----------------------------------------------------------------- defs
+
+// Def is one definition site of a variable: the assignment, declaration,
+// or range clause that (re)binds it.
+type Def struct {
+	Var  *types.Var
+	Site ast.Node // AssignStmt, ValueSpec, RangeStmt, Field (param), ...
+}
+
+// ReachingDefs computes, for each block entry, the set of definitions of
+// each variable that may reach it. Definitions inside nested function
+// literals are excluded — a closure's assignments are its own CFG's
+// problem (and the escape analysis flags the sharing).
+type ReachingDefs struct {
+	cfg  *CFG
+	info *types.Info
+	defs []Def
+	// siteDefs caches which def indices each block node generates.
+	siteDefs  map[ast.Node][]int
+	entryDefs []int
+	in        map[*Block][]uint64
+}
+
+// NewReachingDefs builds the analysis for one function body's CFG.
+// params are the function's parameter/receiver fields, treated as
+// definitions at entry.
+func NewReachingDefs(cfg *CFG, info *types.Info, params []*ast.Field) *ReachingDefs {
+	rd := &ReachingDefs{cfg: cfg, info: info, siteDefs: map[ast.Node][]int{}}
+	byVar := map[*types.Var][]int{}
+	addDef := func(v *types.Var, site ast.Node) int {
+		i := len(rd.defs)
+		rd.defs = append(rd.defs, Def{Var: v, Site: site})
+		byVar[v] = append(byVar[v], i)
+		return i
+	}
+	for _, f := range params {
+		for _, name := range f.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				rd.entryDefs = append(rd.entryDefs, addDef(v, f))
+			}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			for _, v := range defsOf(info, n) {
+				rd.siteDefs[n] = append(rd.siteDefs[n], addDef(v, n))
+			}
+		}
+	}
+
+	words := (len(rd.defs) + 63) / 64
+	gen := func(blk *Block, in []uint64) []uint64 {
+		out := append(make([]uint64, 0, words), in...)
+		apply := func(idxs []int) {
+			for _, i := range idxs {
+				// Kill every other def of the same var, then set this one.
+				for _, j := range byVar[rd.defs[i].Var] {
+					out[j/64] &^= 1 << (j % 64)
+				}
+				out[i/64] |= 1 << (i % 64)
+			}
+		}
+		if blk == cfg.Entry {
+			apply(rd.entryDefs)
+		}
+		for _, n := range blk.Nodes {
+			apply(rd.siteDefs[n])
+		}
+		return out
+	}
+	boundary := make([]uint64, words)
+	rd.in = ForwardDataflow(cfg, boundary,
+		func(a, b []uint64) []uint64 {
+			out := append(make([]uint64, 0, words), a...)
+			for i := range out {
+				out[i] |= b[i]
+			}
+			return out
+		},
+		gen,
+		func(a, b []uint64) bool {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		})
+	return rd
+}
+
+// defsOf extracts the variables a single CFG node (re)binds, skipping
+// nested function literals.
+func defsOf(info *types.Info, n ast.Node) []*types.Var {
+	var out []*types.Var
+	bind := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if d, ok := info.Defs[id]; ok {
+			obj = d
+		} else if u, ok := info.Uses[id]; ok {
+			obj = u
+		}
+		if v, ok := obj.(*types.Var); ok {
+			out = append(out, v)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			bind(lhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						bind(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			bind(n.Key)
+		}
+		if n.Value != nil {
+			bind(n.Value)
+		}
+	case *ast.IncDecStmt:
+		bind(n.X)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			return defsOf(info, n.Init)
+		}
+	}
+	return out
+}
+
+// DefsAt returns the definitions of v that may reach the given node
+// (resolved to its containing block slot; defs earlier in the same block
+// shadow incoming ones).
+func (rd *ReachingDefs) DefsAt(q ast.Node, v *types.Var) []Def {
+	blk, idx, ok := rd.cfg.NodeBlock(q)
+	if !ok {
+		return nil
+	}
+	live := append([]uint64(nil), rd.in[blk]...)
+	if live == nil {
+		live = make([]uint64, (len(rd.defs)+63)/64)
+	}
+	applyDef := func(di int) {
+		for j, d := range rd.defs {
+			if d.Var == rd.defs[di].Var {
+				live[j/64] &^= 1 << (j % 64)
+			}
+		}
+		live[di/64] |= 1 << (di % 64)
+	}
+	if blk == rd.cfg.Entry {
+		// The solver applies param defs inside Entry's transfer, so the
+		// in-state lacks them; replay for the in-block view.
+		for _, di := range rd.entryDefs {
+			applyDef(di)
+		}
+	}
+	for i := 0; i < idx; i++ {
+		for _, di := range rd.siteDefs[blk.Nodes[i]] {
+			applyDef(di)
+		}
+	}
+	var out []Def
+	for i, d := range rd.defs {
+		if d.Var == v && live[i/64]&(1<<(i%64)) != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------- must-precede
+
+// MustPrecede reports whether every path from the CFG entry to node q
+// passes a node satisfying mark before reaching q. Marks in the same
+// block count only when they appear at an earlier node index. Used for
+// dominance-style checks like "the poison check must precede the first
+// arena touch".
+func (c *CFG) MustPrecede(mark func(ast.Node) bool, q ast.Node) bool {
+	blk, idx, ok := c.NodeBlock(q)
+	if !ok {
+		return false
+	}
+	for i := 0; i < idx; i++ {
+		if mark(blk.Nodes[i]) {
+			return true
+		}
+	}
+	// in[b] = true iff every path from entry to b's start passes a mark.
+	in := ForwardDataflow(c, false,
+		func(a, b bool) bool { return a && b },
+		func(b *Block, s bool) bool {
+			if s {
+				return true
+			}
+			for _, n := range b.Nodes {
+				if mark(n) {
+					return true
+				}
+			}
+			return false
+		},
+		func(a, b bool) bool { return a == b })
+	return in[blk]
+}

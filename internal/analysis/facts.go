@@ -1,0 +1,92 @@
+package analysis
+
+// Cross-package facts, in the spirit of go/analysis facts: a pass running
+// on package P may attach a serializable fact to one of P's exported
+// objects; a later run of the same pass on a package importing P can
+// retrieve it. The Runner processes packages in dependency order (see
+// load.go) so exports always precede imports, and the store round-trips
+// every fact through gob at export time — a fact that does not serialize
+// is a bug in the pass, caught immediately rather than on the first
+// cross-process run.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"sync"
+)
+
+// Fact is a serializable annotation attached to a types.Object. Concrete
+// fact types must be gob-encodable, should be pointers, and mark
+// themselves with AFact.
+type Fact interface {
+	AFact()
+}
+
+// Facts stores per-object facts for one driver invocation, keyed by the
+// owning analyzer so two passes' facts never collide.
+type Facts struct {
+	mu sync.Mutex
+	m  map[factKey][]byte
+}
+
+type factKey struct {
+	analyzer string
+	obj      string // stable object path, see objKey
+	typ      string // concrete fact type name
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{m: map[factKey][]byte{}}
+}
+
+// objKey derives a stable cross-package key for an object. Package-level
+// functions and methods use the types.Func full name ("pkg.F",
+// "(*pkg.T).M"); everything else is "pkgpath.Name".
+func objKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName(), true
+	}
+	return obj.Pkg().Path() + "." + obj.Name(), true
+}
+
+func (f *Facts) export(analyzer string, obj types.Object, fact Fact) error {
+	key, ok := objKey(obj)
+	if !ok {
+		return fmt.Errorf("fact on object without package: %v", obj)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return fmt.Errorf("fact %T on %s does not gob-encode: %v", fact, key, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.m[factKey{analyzer, key, fmt.Sprintf("%T", fact)}] = buf.Bytes()
+	return nil
+}
+
+func (f *Facts) imp(analyzer string, obj types.Object, fact Fact) bool {
+	key, ok := objKey(obj)
+	if !ok {
+		return false
+	}
+	f.mu.Lock()
+	raw, ok := f.m[factKey{analyzer, key, fmt.Sprintf("%T", fact)}]
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(raw)).Decode(fact) == nil
+}
+
+// Len reports how many facts are stored (for tests and -timing output).
+func (f *Facts) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Package loading without golang.org/x/tools/go/packages: the module is
@@ -254,11 +255,36 @@ func (l *Loader) check(importPath, dir string, files []string, imp types.Importe
 }
 
 // Run applies every analyzer whose Match accepts the package, returning
-// the diagnostics sorted by position.
+// the diagnostics sorted by position. Facts do not persist beyond the
+// call; drivers that need cross-package facts use a Runner.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	r := NewRunner()
+	return r.RunPackage(pkg, analyzers)
+}
+
+// Runner drives analyzers over a set of packages with a shared fact
+// store and per-analyzer wall-clock accounting.
+type Runner struct {
+	Facts *Facts
+	// Timings accumulates per-analyzer wall time across every package the
+	// runner has processed.
+	Timings map[string]time.Duration
+}
+
+// NewRunner returns a Runner with a fresh fact store.
+func NewRunner() *Runner {
+	return &Runner{Facts: NewFacts(), Timings: map[string]time.Duration{}}
+}
+
+// RunPackage applies every analyzer whose Match accepts the package.
+// Analyzers still run (with reporting suppressed) on unmatched packages
+// when they declare FactsAllPackages, so facts about a package's exported
+// objects exist before its importers are analyzed.
+func (r *Runner) RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(pkg.ImportPath) {
+		matched := a.Match == nil || a.Match(pkg.ImportPath)
+		if !matched && !a.FactsAllPackages {
 			continue
 		}
 		name := a.Name
@@ -268,15 +294,71 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.Info,
+			facts:     r.Facts,
 			Report: func(d Diagnostic) {
 				d.Message = fmt.Sprintf("%s (%s)", d.Message, name)
 				diags = append(diags, d)
 			},
 		}
-		if err := a.Run(pass); err != nil {
+		if !matched {
+			pass.Report = func(Diagnostic) {}
+		}
+		start := time.Now()
+		err := a.Run(pass)
+		r.Timings[a.Name] += time.Since(start)
+		if err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// Run processes packages in dependency order (so exported facts precede
+// their importers) and returns all diagnostics grouped per package in
+// the sorted order.
+func (r *Runner) Run(pkgs []*Package, analyzers []*Analyzer) (map[*Package][]Diagnostic, error) {
+	out := make(map[*Package][]Diagnostic, len(pkgs))
+	for _, pkg := range SortDeps(pkgs) {
+		diags, err := r.RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out[pkg] = diags
+	}
+	return out, nil
+}
+
+// SortDeps orders packages so every package follows the loaded packages
+// it (transitively) imports; ties break by import path for determinism.
+func SortDeps(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Pkg.Path()] = p
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+
+	var out []*Package
+	state := map[*Package]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return // visiting (cycle via test variants) or done
+		}
+		state[p] = 1
+		imps := append([]*types.Package(nil), p.Pkg.Imports()...)
+		sort.Slice(imps, func(i, j int) bool { return imps[i].Path() < imps[j].Path() })
+		for _, imp := range imps {
+			if dep, ok := byPath[imp.Path()]; ok && dep != p {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
 }

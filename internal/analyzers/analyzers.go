@@ -17,6 +17,24 @@
 //     cancellation stop propagating.
 //   - boxedkey:    per-row boxed []table.Value key gathers in core loops
 //     undo the PR 7 columnar probe pipeline.
+//
+// The dataflow-capable passes (CFG + reaching definitions + escape
+// lattice + cross-package blocking facts, see DESIGN.md §12):
+//
+//   - lockhold:      blocking calls while a sync mutex is held in
+//     internal/server stall every request behind a lock instead of the
+//     admission controller.
+//   - releasepath:   an admission slot acquired in internal/server must
+//     be released on every CFG path, deferred so panics release it too.
+//   - arenaowner:    an agg.Arena shared across goroutines may only be
+//     combined via Merge/Unmerge — the PR 4 scatter race, aggregate-
+//     state edition.
+//   - poisoncheck:   exported core.Incremental methods must check the
+//     poison error before touching arenas and poison on error paths
+//     that follow mutation.
+//   - sizedcomplete: every agg.State must implement agg.Sized or carry
+//     an //mdlint:sizedexempt directive, keeping memory accounting
+//     honest.
 package analyzers
 
 import "mdjoin/internal/analysis"
@@ -42,5 +60,10 @@ func All() []*analysis.Analyzer {
 		BenchAllocs,
 		ReqCtx,
 		BoxedKey,
+		LockHold,
+		ReleasePath,
+		ArenaOwner,
+		PoisonCheck,
+		SizedComplete,
 	}
 }

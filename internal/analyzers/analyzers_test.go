@@ -45,3 +45,27 @@ func TestReqCtx(t *testing.T) {
 func TestBoxedKey(t *testing.T) {
 	analysistest.Run(t, BoxedKey, filepath.Join("testdata", "boxedkey", "core"), corePath)
 }
+
+// TestLockHold pre-analyzes the real core package so the fixture's call
+// to (*core.SharedExecutor).Run classifies through an imported
+// BlockingFact — the cross-package half of the pass under test.
+func TestLockHold(t *testing.T) {
+	analysistest.RunWithDeps(t, LockHold, filepath.Join("testdata", "lockhold", "server"), serverPath,
+		"mdjoin/internal/core")
+}
+
+func TestReleasePath(t *testing.T) {
+	analysistest.Run(t, ReleasePath, filepath.Join("testdata", "releasepath", "server"), serverPath)
+}
+
+func TestArenaOwner(t *testing.T) {
+	analysistest.Run(t, ArenaOwner, filepath.Join("testdata", "arenaowner", "core"), corePath)
+}
+
+func TestPoisonCheck(t *testing.T) {
+	analysistest.Run(t, PoisonCheck, filepath.Join("testdata", "poisoncheck", "core"), corePath)
+}
+
+func TestSizedComplete(t *testing.T) {
+	analysistest.Run(t, SizedComplete, filepath.Join("testdata", "sizedcomplete", "agg"), aggPath)
+}

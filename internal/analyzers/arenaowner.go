@@ -1,0 +1,167 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mdjoin/internal/analysis"
+)
+
+// ArenaOwner enforces single-writer ownership of aggregate arenas: an
+// *agg.Arena that is reachable from a spawned goroutine while the parent
+// (or a sibling) still holds it may only be combined through
+// Merge/Unmerge — never scattered into directly. Arena states are plain
+// structs with no internal locking; two goroutines folding into the same
+// arena is the PR 4 shared-Stats race wearing aggregate-state clothes.
+//
+// The legal pattern is merged.go's worker-scratch scatter: each worker
+// allocates its own arenas inside the goroutine, folds locally, and the
+// parent merges after wg.Wait. Those arenas are born inside the literal,
+// so the escape analysis never marks them shared and the pass stays
+// silent.
+//
+// Detection is the analysis package's variable-level escape lattice: a
+// variable of arena type (or a slice of arenas) that is captured by or
+// passed into a go statement AND used outside any go literal is shared;
+// any method call on it from inside a go literal other than
+// Merge/Unmerge is reported.
+var ArenaOwner = &analysis.Analyzer{
+	Name: "arenaowner",
+	Doc: "flags direct folds into an agg.Arena shared across goroutines; " +
+		"cross-goroutine combination must go through Merge/Unmerge " +
+		"(worker-scratch arenas born inside the goroutine are fine)",
+	Run: runArenaOwner,
+}
+
+func runArenaOwner(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkArenaBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkArenaBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Quick reject: no go statement, no cross-goroutine sharing.
+	hasGo := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			hasGo = true
+			return false
+		}
+		return !hasGo
+	})
+	if !hasGo {
+		return
+	}
+
+	esc := analysis.NewEscape(body, pass.TypesInfo)
+
+	// Collect the arena-typed variables this body touches.
+	arenaVars := map[*types.Var]bool{}
+	collect := func(id *ast.Ident) {
+		var v *types.Var
+		if d, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v != nil && isArenaBearing(v.Type()) {
+			arenaVars[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			collect(id)
+		}
+		return true
+	})
+
+	shared := map[*types.Var]bool{}
+	for v := range arenaVars {
+		if esc.SharedAcrossGoroutines(v) {
+			shared[v] = true
+		}
+	}
+	if len(shared) == 0 {
+		return
+	}
+
+	// Inside every go-statement function literal, method calls rooted at a
+	// shared arena variable must be Merge or Unmerge.
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			root := rootArenaVar(pass, sel.X, shared)
+			if root == nil {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Merge", "Unmerge":
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s on arena %q shared with the spawning goroutine: give each worker its own arena and combine with Merge/Unmerge (the merged.go worker-scratch pattern)",
+				sel.Sel.Name, root.Name())
+			return true
+		})
+		return true
+	})
+	return
+}
+
+// isArenaBearing reports whether t is *agg.Arena, agg.Arena, or a
+// slice/array of either.
+func isArenaBearing(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isArenaBearing(u.Elem())
+	case *types.Array:
+		return isArenaBearing(u.Elem())
+	}
+	return analysis.IsNamed(t, aggPath, "Arena")
+}
+
+// rootArenaVar resolves a method receiver expression to a shared arena
+// variable: the variable itself, an index into a shared slice, or a
+// pointer deref. Field selectors (run.states) are owned by their struct
+// and out of variable-level scope.
+func rootArenaVar(pass *analysis.Pass, e ast.Expr, shared map[*types.Var]bool) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && shared[v] {
+			return v
+		}
+	case *ast.IndexExpr:
+		return rootArenaVar(pass, e.X, shared)
+	case *ast.StarExpr:
+		return rootArenaVar(pass, e.X, shared)
+	}
+	return nil
+}

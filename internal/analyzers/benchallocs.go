@@ -2,25 +2,30 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
+	"strconv"
 	"strings"
 
 	"mdjoin/internal/analysis"
 )
 
-// BenchAllocs requires every Benchmark to call b.ReportAllocs(). The
-// repo's performance story is tracked through allocation counts as much
-// as wall time (the PR 2/PR 3 executor work is quoted in allocs/op, and
-// `make bench` runs -benchmem); a benchmark that forgets ReportAllocs
-// reports clean numbers locally and silently hides allocation
-// regressions whenever someone runs it without the flag. Any call on a
-// *testing.B — the function's own b or a b.Run sub-benchmark's — counts,
-// anywhere in the function body; a helper the benchmark delegates to must
-// be fronted by a ReportAllocs call at the Benchmark itself, keeping the
-// check decidable one function at a time.
+// BenchAllocs requires every benchmark — Benchmark functions AND each
+// b.Run sub-benchmark — to call b.ReportAllocs(). The repo's performance
+// story is tracked through allocation counts as much as wall time (the
+// PR 2/PR 3 executor work is quoted in allocs/op, and `make bench` runs
+// -benchmem); a benchmark that forgets ReportAllocs reports clean
+// numbers locally and silently hides allocation regressions whenever
+// someone runs it without the flag. ReportAllocs does not inherit across
+// b.Run (each sub-benchmark is its own *testing.B), so each sub-literal
+// is checked as its own unit; a parent that only dispatches b.Run calls
+// carries no obligation of its own. A helper the benchmark delegates to
+// must be fronted by a ReportAllocs call at the benchmark itself,
+// keeping the check decidable one function at a time.
 var BenchAllocs = &analysis.Analyzer{
 	Name: "benchallocs",
-	Doc: "flags Benchmark functions that never call b.ReportAllocs(); " +
-		"allocation counts are part of every benchmark's contract here",
+	Doc: "flags Benchmark functions and b.Run sub-benchmarks that never " +
+		"call b.ReportAllocs(); allocation counts are part of every " +
+		"benchmark's contract here",
 	Run: runBenchAllocs,
 }
 
@@ -34,12 +39,70 @@ func runBenchAllocs(pass *analysis.Pass) error {
 			if !strings.HasPrefix(fd.Name.Name, "Benchmark") || !isBenchSignature(pass, fd) {
 				continue
 			}
-			if !callsReportAllocs(pass, fd.Body) {
-				pass.Reportf(fd.Pos(), "%s never calls b.ReportAllocs(); allocation counts are part of the bench contract", fd.Name.Name)
-			}
+			checkBenchUnit(pass, fd.Name.Name, fd.Pos(), fd.Body)
 		}
 	}
 	return nil
+}
+
+// checkBenchUnit verifies one benchmark unit (a Benchmark body or a
+// b.Run sub-literal): units with sub-benchmarks recurse and are
+// themselves exempt (pure dispatchers), leaf units must call
+// ReportAllocs on a *testing.B.
+func checkBenchUnit(pass *analysis.Pass, label string, pos token.Pos, body *ast.BlockStmt) {
+	type sub struct {
+		call *ast.CallExpr
+		lit  *ast.FuncLit
+	}
+	var subs []sub
+	hasReport := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit := subBenchLit(pass, call); lit != nil {
+			// The literal is its own benchmark unit; its ReportAllocs does
+			// not vouch for this one (and vice versa).
+			subs = append(subs, sub{call, lit})
+			return false
+		}
+		if isReportAllocsCall(pass, call) {
+			hasReport = true
+		}
+		return true
+	})
+	for _, s := range subs {
+		checkBenchUnit(pass, subBenchLabel(label, s.call), s.call.Pos(), s.lit.Body)
+	}
+	if len(subs) == 0 && !hasReport {
+		pass.Reportf(pos, "%s never calls b.ReportAllocs(); allocation counts are part of the bench contract", label)
+	}
+}
+
+// subBenchLit matches b.Run(name, func(b *testing.B) {...}) and returns
+// the sub-benchmark literal.
+func subBenchLit(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Run" || len(call.Args) != 2 {
+		return nil
+	}
+	if !analysis.IsPtrToNamed(pass.TypeOf(sel.X), "testing", "B") {
+		return nil
+	}
+	lit, _ := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+	return lit
+}
+
+// subBenchLabel names a sub-benchmark for diagnostics: the string
+// literal name when b.Run got one, the parent's label otherwise.
+func subBenchLabel(parent string, call *ast.CallExpr) string {
+	if bl, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && bl.Kind == token.STRING {
+		if name, err := strconv.Unquote(bl.Value); err == nil {
+			return parent + "/" + name
+		}
+	}
+	return parent + "/<sub>"
 }
 
 // isBenchSignature checks for the func(b *testing.B) shape.
@@ -51,24 +114,11 @@ func isBenchSignature(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 	return analysis.IsPtrToNamed(pass.TypeOf(params.List[0].Type), "testing", "B")
 }
 
-// callsReportAllocs reports whether any ReportAllocs call on a *testing.B
-// appears in the body, including inside b.Run sub-benchmark literals.
-func callsReportAllocs(pass *analysis.Pass, body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "ReportAllocs" {
-			return true
-		}
-		if analysis.IsPtrToNamed(pass.TypeOf(sel.X), "testing", "B") {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
+// isReportAllocsCall matches a ReportAllocs call on any *testing.B.
+func isReportAllocsCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ReportAllocs" {
+		return false
+	}
+	return analysis.IsPtrToNamed(pass.TypeOf(sel.X), "testing", "B")
 }

@@ -1,0 +1,258 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mdjoin/internal/analysis"
+)
+
+// Blocking-call knowledge shared by lockhold. A call is blocking when it
+// can wait on something other than the CPU: channel operations, selects
+// without a default, context-channel receives, outbound/inbound HTTP,
+// sync waits, and this repo's own long-running evaluations (Eval*, plan
+// Execute, incremental folds). Knowledge crosses package boundaries as
+// BlockingFact annotations: analyzing a package exports a fact for every
+// blocking exported function, and importers classify call sites by
+// looking the callee's fact up — so a server handler calling
+// core.(*SharedExecutor).Run is caught even though nothing about the
+// call's name says "blocking".
+
+// BlockingFact marks a function that may block; Reason names the root
+// cause for diagnostics ("channel receive", "calls core.EvalBundles").
+type BlockingFact struct {
+	Reason string
+}
+
+// AFact marks BlockingFact as a serializable analysis fact.
+func (*BlockingFact) AFact() {}
+
+// calleeOf resolves a call's static callee, nil for builtins, function
+// values, and interface-typed dynamic calls without a recorded object.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// seedBlocking classifies callees that block by contract rather than by
+// body: stdlib waits, HTTP traffic, and the repo's evaluation entry
+// points (which are "blocking" in the holds-a-lock sense — minutes of
+// fold work — even when they never park on a channel).
+func seedBlocking(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	name := fn.Name()
+	switch path {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if name == "Wait" {
+			return "sync wait", true
+		}
+	case "net/http":
+		// Only the operations that wait on the network: client round
+		// trips and server lifecycle. Header bookkeeping (w.Header().Set,
+		// WriteHeader) is in-memory and would drown real findings.
+		switch name {
+		case "Do", "Get", "Post", "Head", "PostForm",
+			"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS", "Shutdown":
+			return "net/http " + name, true
+		}
+	}
+	recv := recvTypeName(fn)
+	if analysis.PathHasSuffix(path, "internal/core") {
+		if strings.HasPrefix(name, "Eval") {
+			return "core." + name + " evaluation", true
+		}
+		if recv == "Incremental" {
+			switch name {
+			case "Append", "Advance", "Snapshot", "Rollup":
+				return "incremental " + name + " fold", true
+			}
+		}
+	}
+	if analysis.PathHasSuffix(path, "internal/optimizer") && name == "Execute" {
+		return "plan Execute", true
+	}
+	return "", false
+}
+
+// recvTypeName returns the name of a method's receiver type ("" for
+// package-level functions), pointers stripped.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// selectsWithDefault collects the comm statements of every select that
+// has a default clause — their channel operations cannot block.
+func selectsWithDefault(f *ast.File) map[ast.Node]bool {
+	exempt := map[ast.Node]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					exempt[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// blockSite is one blocking operation found inside a CFG node.
+type blockSite struct {
+	pos    token.Pos
+	reason string
+}
+
+// blockingIn scans one CFG node for blocking operations. Function
+// literals are skipped (they block whoever calls them, not this path),
+// as are go statements (spawning never blocks) and defers (they run at
+// return, when this function's locks are released). localBlocking is the
+// package fixpoint; commExempt the select-with-default comm statements.
+func blockingIn(pass *analysis.Pass, node ast.Node, localBlocking map[*types.Func]string, commExempt map[ast.Node]bool) []blockSite {
+	var out []blockSite
+	isChan := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		_, ok := t.Underlying().(*types.Chan)
+		return ok
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if commExempt[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			out = append(out, blockSite{n.Pos(), "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isChan(n.X) {
+				out = append(out, blockSite{n.Pos(), "channel receive"})
+			}
+		case *ast.RangeStmt:
+			// Only the range expression belongs to this node's block; the
+			// body has its own blocks.
+			if isChan(n.X) {
+				out = append(out, blockSite{n.Pos(), "range over channel"})
+			}
+			if node == n {
+				return false
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(pass, n)
+			if fn == nil {
+				return true
+			}
+			if reason, ok := seedBlocking(fn); ok {
+				out = append(out, blockSite{n.Pos(), reason})
+				return true
+			}
+			if reason, ok := localBlocking[fn]; ok {
+				out = append(out, blockSite{n.Pos(), reason})
+				return true
+			}
+			var fact BlockingFact
+			if pass.ImportObjectFact(fn, &fact) {
+				out = append(out, blockSite{n.Pos(), fact.Reason})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// computeBlocking finds every function declared in the package that may
+// block — directly (channel op, select without default, seeded or
+// fact-blocking call) or by calling another local blocking function —
+// and exports BlockingFacts for the exported ones. Test files are
+// skipped: nothing imports a test function.
+func computeBlocking(pass *analysis.Pass) map[*types.Func]string {
+	type fnDecl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+		file *ast.File
+	}
+	var decls []fnDecl
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, fnDecl{fn, fd.Body, f})
+			}
+		}
+	}
+	blocking := map[*types.Func]string{}
+	exempts := map[*ast.File]map[ast.Node]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, done := blocking[d.fn]; done {
+				continue
+			}
+			exempt := exempts[d.file]
+			if exempt == nil {
+				exempt = selectsWithDefault(d.file)
+				exempts[d.file] = exempt
+			}
+			if sites := blockingIn(pass, d.body, blocking, exempt); len(sites) > 0 {
+				blocking[d.fn] = sites[0].reason
+				changed = true
+			}
+		}
+	}
+	for fn, reason := range blocking {
+		if fn.Exported() {
+			// Re-derive the reason through the callee's name so importers
+			// see "calls core.Run" style provenance.
+			_ = pass.ExportObjectFact(fn, &BlockingFact{Reason: reason + " (via " + fn.Name() + ")"})
+		}
+	}
+	return blocking
+}

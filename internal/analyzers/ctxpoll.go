@@ -20,8 +20,11 @@ import (
 //   - calls Next() on a table.Iterator (streaming sources are unbounded),
 //   - receives from or ranges over a chan table.Row (the
 //     detail-parallel pump), or
-//   - ranges over a []table.Row inside a scan*/eval* driver function
-//     (materialized scans; helper functions like processTuple are driven
+//   - ranges over a []table.Row inside a driver: a scan*/eval* function,
+//     or any method on core.Incremental — the PR 9 live materializations
+//     replay whole buckets of retained rows on append folds, eviction
+//     unmerges, and roll-up construction, so their per-row loops carry
+//     the same obligation (helper functions like processTuple are driven
 //     by a polling loop above them and are out of scope by convention —
 //     drivers carry the obligation).
 //
@@ -54,7 +57,8 @@ func runCtxPoll(pass *analysis.Pass) error {
 			driver := strings.HasPrefix(fd.Name.Name, "scan") ||
 				strings.HasPrefix(fd.Name.Name, "eval") ||
 				strings.HasPrefix(fd.Name.Name, "Scan") ||
-				strings.HasPrefix(fd.Name.Name, "Eval")
+				strings.HasPrefix(fd.Name.Name, "Eval") ||
+				isIncrementalMethod(pass, fd)
 			checkLoops(pass, fd.Body, driver, pollers, nil)
 		}
 	}
@@ -182,6 +186,15 @@ func checkLoops(pass *analysis.Pass, body *ast.BlockStmt, driver bool, pollers m
 			})
 		}
 	}
+}
+
+// isIncrementalMethod reports whether the declaration is a method on
+// core.Incremental. Incremental replays buckets of retained detail rows
+// (append folds, eviction unmerges, roll-up construction), so its
+// methods are drivers the same way scan*/eval* functions are.
+func isIncrementalMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	recv := receiverVar(pass, fd)
+	return recv != nil && analysis.IsNamed(recv.Type(), corePath, "Incremental")
 }
 
 // bodyPolls reports whether the loop body itself polls the context.

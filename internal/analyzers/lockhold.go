@@ -1,0 +1,231 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mdjoin/internal/analysis"
+)
+
+// LockHold forbids blocking while holding a sync.Mutex/RWMutex in
+// internal/server: a handler that parks on a channel, waits out an HTTP
+// exchange, or runs a whole MD-join evaluation (Eval*, plan Execute,
+// incremental folds) with a server lock held stalls every other request
+// that needs the lock — the admission queue backs up behind a mutex
+// instead of the admission controller.
+//
+// Held locks are tracked per function over the CFG (may-held, joined by
+// union), so the admission controller's own unlock-before-select shape
+// is recognized as clean. `defer mu.Unlock()` keeps the lock held for
+// the rest of the function, exactly like the runtime does. Blocking
+// callees are classified three ways: intrinsically (channel operations,
+// selects without default), by seed (time.Sleep, sync waits, net/http
+// traffic, the repo's evaluation entry points), and transitively through
+// BlockingFacts exported while analyzing dependency packages.
+//
+// The PR 9 view-maintenance paths serialize on appendMu by design — the
+// whole point of that lock is to freeze appends across a multi-second
+// backfill. Functions that do this legitimately declare it:
+//
+//	//mdlint:lockhold-allow appendMu
+//
+// in their doc comment, which exempts that lock (and only it) in that
+// function.
+var LockHold = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "flags blocking calls (channel ops, HTTP, Eval*, incremental folds) " +
+		"made while a sync mutex is held in internal/server; appendMu fold " +
+		"paths opt out per function with //mdlint:lockhold-allow",
+	Match:            func(pkgPath string) bool { return analysis.PathHasSuffix(pkgPath, "internal/server") },
+	FactsAllPackages: true,
+	Run:              runLockHold,
+}
+
+func runLockHold(pass *analysis.Pass) error {
+	// Fact computation runs on every package (FactsAllPackages) so server
+	// analysis can see that e.g. core.(*SharedExecutor).Run parks on a
+	// channel; the lock tracking below only runs where we report.
+	blocking := computeBlocking(pass)
+	if !analysis.PathHasSuffix(pass.Pkg.Path(), "internal/server") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		commExempt := selectsWithDefault(f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			allow := lockholdAllows(fd.Doc)
+			checkLockBody(pass, fd.Body, allow, blocking, commExempt)
+			// Closures are their own execution contexts (often goroutines);
+			// they inherit the declaring function's allowlist.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkLockBody(pass, lit.Body, allow, blocking, commExempt)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// lockholdAllows parses `mdlint:lockhold-allow <lock>` directive lines
+// from a doc comment. Checked on the raw comment list because
+// CommentGroup.Text strips directive-shaped lines.
+func lockholdAllows(doc *ast.CommentGroup) map[string]bool {
+	if doc == nil {
+		return nil
+	}
+	var allow map[string]bool
+	for _, c := range doc.List {
+		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(line, "mdlint:lockhold-allow")
+		if !ok {
+			continue
+		}
+		for _, name := range strings.Fields(rest) {
+			if allow == nil {
+				allow = map[string]bool{}
+			}
+			allow[name] = true
+		}
+	}
+	return allow
+}
+
+// allowed reports whether the held lock name is covered by the
+// function's allowlist: an exact match or a match on the final selector
+// component ("appendMu" allows "s.appendMu").
+func allowedLock(allow map[string]bool, lock string) bool {
+	if allow[lock] {
+		return true
+	}
+	if i := strings.LastIndexByte(lock, '.'); i >= 0 {
+		return allow[lock[i+1:]]
+	}
+	return false
+}
+
+// checkLockBody runs the held-lock dataflow over one function body and
+// reports blocking operations reached with a non-allowlisted lock held.
+func checkLockBody(pass *analysis.Pass, body *ast.BlockStmt, allow map[string]bool, blocking map[*types.Func]string, commExempt map[ast.Node]bool) {
+	cfg := analysis.BuildCFG(body)
+
+	copySet := func(s map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	join := func(a, b map[string]bool) map[string]bool {
+		out := copySet(a)
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	}
+	equal := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	transfer := func(blk *analysis.Block, in map[string]bool) map[string]bool {
+		held := copySet(in)
+		for _, n := range blk.Nodes {
+			applyLockOps(pass, n, held)
+		}
+		return held
+	}
+	in := analysis.ForwardDataflow(cfg, map[string]bool{}, join, transfer, equal)
+
+	for _, blk := range cfg.Blocks {
+		held := copySet(in[blk])
+		for _, n := range blk.Nodes {
+			if len(held) > 0 {
+				var offending []string
+				for lock := range held {
+					if !allowedLock(allow, lock) {
+						offending = append(offending, lock)
+					}
+				}
+				if len(offending) > 0 {
+					for _, site := range blockingIn(pass, n, blocking, commExempt) {
+						pass.Reportf(site.pos,
+							"blocking call (%s) while %s is held; unlock before blocking, or serialize deliberately with an //mdlint:lockhold-allow directive",
+							site.reason, strings.Join(sortStrings(offending), ", "))
+					}
+				}
+			}
+			applyLockOps(pass, n, held)
+		}
+	}
+}
+
+// applyLockOps mutates held with the Lock/Unlock calls inside one CFG
+// node. Deferred unlocks are skipped — the lock stays held until return,
+// which is when the deferred call actually runs. Nested function
+// literals and go statements belong to other execution contexts.
+func applyLockOps(pass *analysis.Pass, node ast.Node, held map[string]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			switch fn.Name() {
+			case "Lock", "RLock":
+				held[exprName(sel.X)] = true
+			case "Unlock", "RUnlock":
+				delete(held, exprName(sel.X))
+			}
+		}
+		return true
+	})
+}
+
+// exprName renders a lock expression into a stable name: "s.mu",
+// "srv.appendMu". Unrenderable shapes collapse to "<lock>".
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprName(e.X)
+	case *ast.IndexExpr:
+		return exprName(e.X) + "[i]"
+	case *ast.CallExpr:
+		return exprName(e.Fun) + "()"
+	}
+	return "<lock>"
+}
+
+func sortStrings(s []string) []string {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}

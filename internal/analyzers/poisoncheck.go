@@ -1,0 +1,292 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mdjoin/internal/analysis"
+)
+
+// PoisonCheck enforces the PR 9 fail-closed contract of
+// core.Incremental: once a mid-append interruption poisons the
+// materialization (inc.err), no state that corresponds to no prefix of
+// the appended stream may ever be served or charged. Concretely, for
+// every exported method on Incremental:
+//
+//  1. the poison error must be checked before the method touches any
+//     aggregate arena (directly, or through an arena-bearing helper like
+//     feed/detachArenas/assemble — computed as an in-package fixpoint),
+//     verified as CFG dominance: every path from entry to the first
+//     arena touch passes an `inc.err != nil` check; and
+//  2. every error return that may follow an arena mutation must set the
+//     poison first (`inc.err = err` in the same block) or return the
+//     poison itself — an error that escapes after partial application
+//     without poisoning lets the next caller read a half-applied delta.
+//
+// Pure validation errors (schema mismatch, context already cancelled)
+// return before anything is touched and are exempt by the same
+// may-have-touched dataflow.
+var PoisonCheck = &analysis.Analyzer{
+	Name: "poisoncheck",
+	Doc: "checks that exported core.Incremental methods test the poison " +
+		"error before touching arenas and poison on every error path that " +
+		"follows a mutation",
+	Match: func(pkgPath string) bool { return analysis.PathHasSuffix(pkgPath, "internal/core") },
+	Run:   runPoisonCheck,
+}
+
+func runPoisonCheck(pass *analysis.Pass) error {
+	touchers := arenaTouchers(pass)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverVar(pass, fd)
+			if recv == nil || !analysis.IsNamed(recv.Type(), corePath, "Incremental") {
+				continue
+			}
+			checkPoisonMethod(pass, fd, recv, touchers)
+		}
+	}
+	return nil
+}
+
+// receiverVar returns the method's receiver variable, nil for functions
+// and anonymous receivers.
+func receiverVar(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// arenaTouchers computes, as an in-package fixpoint, which declared
+// functions touch aggregate arenas: their bodies contain an arena-typed
+// expression or call another toucher. This is how Snapshot's
+// `assemble(...)` — whose signature never mentions agg.Arena — still
+// counts as an arena touch.
+func arenaTouchers(pass *analysis.Pass) map[*types.Func]bool {
+	type fnDecl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fnDecl
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, fnDecl{fn, fd.Body})
+			}
+		}
+	}
+	touchers := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if touchers[d.fn] {
+				continue
+			}
+			if touchesArena(pass, d.body, touchers) {
+				touchers[d.fn] = true
+				changed = true
+			}
+		}
+	}
+	return touchers
+}
+
+// touchesArena reports whether the subtree contains an arena-typed
+// expression or a call to a known toucher.
+func touchesArena(pass *analysis.Pass, node ast.Node, touchers map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeOf(pass, n); fn != nil {
+				if touchers[fn] || fn.Pkg() != nil && analysis.PathHasSuffix(fn.Pkg().Path(), "internal/agg") && recvTypeName(fn) == "Arena" {
+					found = true
+					return false
+				}
+			}
+		case ast.Expr:
+			if isArenaBearing(pass.TypeOf(n)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkPoisonMethod(pass *analysis.Pass, fd *ast.FuncDecl, recv *types.Var, touchers map[*types.Func]bool) {
+	cfg := analysis.BuildCFG(fd.Body)
+
+	isPoisonCheck := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			be, ok := m.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+				return true
+			}
+			if isPoisonField(pass, be.X, recv) && isNilIdent(be.Y) ||
+				isPoisonField(pass, be.Y, recv) && isNilIdent(be.X) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	nodeTouches := func(n ast.Node) bool {
+		touched := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if touchesArenaShallow(pass, m, touchers) {
+				touched = true
+				return false
+			}
+			return true
+		})
+		return touched
+	}
+
+	// Rule 1: the first arena touch on any path must be dominated by a
+	// poison check. Find the earliest touching node per block and demand
+	// MustPrecede.
+	reported := false
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if !nodeTouches(n) {
+				continue
+			}
+			if !cfg.MustPrecede(isPoisonCheck, n) {
+				pass.Reportf(n.Pos(),
+					"%s touches arenas without checking the poison error first; a poisoned materialization must fail closed (add `if %s.err != nil` before any arena access)",
+					fd.Name.Name, recv.Name())
+				reported = true
+			}
+			break // only the first touch per block matters
+		}
+		if reported {
+			break
+		}
+	}
+
+	// Rule 2: error returns that may follow an arena touch must poison.
+	touchedIn := analysis.ForwardDataflow(cfg, false,
+		func(a, b bool) bool { return a || b },
+		func(b *analysis.Block, s bool) bool {
+			if s {
+				return true
+			}
+			for _, n := range b.Nodes {
+				if nodeTouches(n) {
+					return true
+				}
+			}
+			return false
+		},
+		func(a, b bool) bool { return a == b })
+
+	for _, blk := range cfg.Blocks {
+		mayTouched := touchedIn[blk]
+		poisonedHere := false
+		for _, n := range blk.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok && mayTouched {
+				if errExpr := returnedError(pass, ret); errExpr != nil &&
+					!poisonedHere && !isPoisonField(pass, errExpr, recv) {
+					pass.Reportf(ret.Pos(),
+						"%s returns an error after touching arenas without poisoning: set %s.err before returning so later calls fail closed",
+						fd.Name.Name, recv.Name())
+				}
+			}
+			if assignsPoison(pass, n, recv) {
+				poisonedHere = true
+			}
+			if nodeTouches(n) {
+				mayTouched = true
+			}
+		}
+	}
+}
+
+// touchesArenaShallow is touchesArena for a single node without
+// re-descending (the caller drives the walk).
+func touchesArenaShallow(pass *analysis.Pass, n ast.Node, touchers map[*types.Func]bool) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if fn := calleeOf(pass, n); fn != nil {
+			if touchers[fn] || fn.Pkg() != nil && analysis.PathHasSuffix(fn.Pkg().Path(), "internal/agg") && recvTypeName(fn) == "Arena" {
+				return true
+			}
+		}
+	case ast.Expr:
+		return isArenaBearing(pass.TypeOf(n))
+	}
+	return false
+}
+
+// isPoisonField matches `recv.err`.
+func isPoisonField(pass *analysis.Pass, e ast.Expr, recv *types.Var) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "err" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+// assignsPoison matches `recv.err = ...` anywhere in the node.
+func assignsPoison(pass *analysis.Pass, node ast.Node, recv *types.Var) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if isPoisonField(pass, lhs, recv) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnedError picks the error-typed result expression out of a return
+// statement, nil when every result is nil or none is an error.
+func returnedError(pass *analysis.Pass, ret *ast.ReturnStmt) ast.Expr {
+	for _, res := range ret.Results {
+		if isNilIdent(res) {
+			continue
+		}
+		if isErrorType(pass.TypeOf(res)) {
+			return res
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mdjoin/internal/analysis"
+)
+
+// ReleasePath guards the PR 6 admission-control contract: an acquired
+// admission slot (or any acquire-style resource returning a release
+// func) must be given back on every CFG path — and via defer, so panic
+// unwinding releases it too. A leaked slot permanently shrinks the
+// server's concurrency; enough of them and admission refuses everything.
+//
+// Recognized acquisitions are assignments whose right-hand side calls a
+// function named acquire/Acquire/TryAcquire and binds a func()-typed
+// release result:
+//
+//	release, err := s.adm.acquire(ctx, need, wait)
+//
+// From the acquisition the analyzer walks the CFG: every path to the
+// function's exit must pass a node that defers, calls, or stores the
+// release value. The error path of the same acquire is exempt — when err
+// is non-nil there is nothing to release — recognized as the branch
+// guarded by `err != nil` (or the non-happy side of `err == nil`) on the
+// acquire's own error result.
+//
+// Releasing only by direct call is reported separately: a panic between
+// acquire and the call leaks the slot, which is why the real handler
+// defers (handlers.go). Storing the release value (into a field, a
+// variable, or another call) transfers the obligation and satisfies the
+// pass — ownership handoff is out of per-function scope.
+var ReleasePath = &analysis.Analyzer{
+	Name: "releasepath",
+	Doc: "checks that every acquired admission slot / semaphore token in " +
+		"internal/server is released on all CFG paths, via defer so panic " +
+		"edges are covered too",
+	Match: func(pkgPath string) bool { return analysis.PathHasSuffix(pkgPath, "internal/server") },
+	Run:   runReleasePath,
+}
+
+func runReleasePath(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkReleaseBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkReleaseBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// acquisition is one recognized acquire site.
+type acquisition struct {
+	site   *ast.AssignStmt
+	rel    *types.Var // the func()-typed release binding
+	errVar *types.Var // the error binding, nil when none
+}
+
+func checkReleaseBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	acqs := findAcquisitions(pass, body)
+	if len(acqs) == 0 {
+		return
+	}
+	cfg := analysis.BuildCFG(body)
+	for _, acq := range acqs {
+		checkAcquisition(pass, body, cfg, acq)
+	}
+}
+
+// findAcquisitions scans one body (excluding nested literals, which are
+// checked as their own bodies) for acquire-style assignments.
+func findAcquisitions(pass *analysis.Pass, body *ast.BlockStmt) []acquisition {
+	var out []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isAcquireCall(pass, call) {
+			return true
+		}
+		acq := acquisition{site: as}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+			}
+			if v == nil {
+				continue
+			}
+			if isReleaseFunc(v.Type()) {
+				acq.rel = v
+			} else if isErrorType(v.Type()) {
+				acq.errVar = v
+			}
+		}
+		if acq.rel != nil {
+			out = append(out, acq)
+		}
+		return true
+	})
+	return out
+}
+
+// isAcquireCall matches callees named acquire/Acquire/TryAcquire.
+func isAcquireCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeOf(pass, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "acquire", "Acquire", "TryAcquire":
+		return true
+	}
+	return false
+}
+
+// isReleaseFunc reports whether t is a niladic func() — the release
+// thunk shape acquire-style APIs return.
+func isReleaseFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// checkAcquisition walks every CFG path from the acquire site to the
+// exit, looking for one that never consumes the release value.
+func checkAcquisition(pass *analysis.Pass, body *ast.BlockStmt, cfg *analysis.CFG, acq acquisition) {
+	blk, idx, ok := cfg.NodeBlock(acq.site)
+	if !ok {
+		return
+	}
+
+	deferred, called, stored := releaseUses(pass, body, acq.rel)
+
+	// Path walk: from the node after the acquire, find a path to Exit with
+	// no release. The error branch of the acquire's own err is skipped.
+	type frame struct {
+		blk   *analysis.Block
+		start int
+	}
+	seen := map[*analysis.Block]bool{}
+	var leak ast.Node
+	var walk func(fr frame)
+	walk = func(fr frame) {
+		if leak != nil {
+			return
+		}
+		for i := fr.start; i < len(fr.blk.Nodes); i++ {
+			if consumesRelease(pass, fr.blk.Nodes[i], acq.rel) {
+				return // this path releases
+			}
+		}
+		skip := errBranch(pass, fr.blk, acq.errVar)
+		for si, succ := range fr.blk.Succs {
+			if si == skip {
+				continue
+			}
+			if succ == cfg.Exit {
+				if len(fr.blk.Nodes) > 0 {
+					leak = fr.blk.Nodes[len(fr.blk.Nodes)-1]
+				} else {
+					leak = acq.site
+				}
+				return
+			}
+			if !seen[succ] {
+				seen[succ] = true
+				walk(frame{succ, 0})
+			}
+		}
+	}
+	walk(frame{blk, idx + 1})
+
+	if leak != nil {
+		pass.Reportf(acq.site.Pos(),
+			"acquired slot is not released on every path: the path through line %d reaches return without calling or deferring %s",
+			pass.Fset.Position(leak.Pos()).Line, acq.rel.Name())
+		return
+	}
+	if !deferred && !stored && called {
+		pass.Reportf(acq.site.Pos(),
+			"release of the acquired slot is never deferred: a panic between acquire and %s() leaks the slot; use `defer %s()`",
+			acq.rel.Name(), acq.rel.Name())
+	}
+}
+
+// releaseUses classifies how the release value is consumed anywhere in
+// the body: deferred, directly called, or stored/handed off.
+func releaseUses(pass *analysis.Pass, body *ast.BlockStmt, rel *types.Var) (deferred, called, stored bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if refersTo(pass, n.Call, rel) {
+				deferred = true
+			}
+			for _, arg := range n.Call.Args {
+				if refersTo(pass, arg, rel) {
+					deferred = true
+				}
+			}
+		case *ast.CallExpr:
+			if isVar(pass, n.Fun, rel) {
+				called = true
+			} else {
+				for _, arg := range n.Args {
+					if isVar(pass, arg, rel) {
+						stored = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if isVar(pass, rhs, rel) {
+					stored = true
+				}
+			}
+		}
+		return true
+	})
+	return
+}
+
+// consumesRelease reports whether one CFG node calls, defers, or hands
+// off the release value. Go statements count (the spawned goroutine owns
+// the release); nested literals count only if they capture it, which
+// refersTo's subtree walk covers.
+func consumesRelease(pass *analysis.Pass, node ast.Node, rel *types.Var) bool {
+	return refersTo(pass, node, rel)
+}
+
+// refersTo reports whether the subtree mentions the variable at all.
+func refersTo(pass *analysis.Pass, node ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isVar reports whether e is exactly the variable (through parens).
+func isVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+// errBranch returns the successor index to skip when the block ends in a
+// nil-check on the acquire's error: the branch where err != nil (no slot
+// was acquired). -1 when the block ends in anything else.
+func errBranch(pass *analysis.Pass, blk *analysis.Block, errVar *types.Var) int {
+	if errVar == nil || len(blk.Nodes) == 0 || len(blk.Succs) < 2 {
+		return -1
+	}
+	be, ok := blk.Nodes[len(blk.Nodes)-1].(*ast.BinaryExpr)
+	if !ok {
+		return -1
+	}
+	var opnd ast.Expr
+	if isNilIdent(be.X) {
+		opnd = be.Y
+	} else if isNilIdent(be.Y) {
+		opnd = be.X
+	} else {
+		return -1
+	}
+	if !isVar(pass, opnd, errVar) {
+		return -1
+	}
+	switch be.Op {
+	case token.NEQ:
+		return 0 // then-branch (err != nil) is the no-slot path
+	case token.EQL:
+		return 1 // else/join side (err != nil) is the no-slot path
+	}
+	return -1
+}

@@ -1,0 +1,114 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mdjoin/internal/analysis"
+)
+
+// SizedComplete keeps Arena.SizeBytes honest by exhaustiveness: every
+// agg.State implementation must either implement agg.Sized (states with
+// growing buffers — retained multisets, reservoirs, distinct sets — must
+// report their real footprint) or carry an explicit exemption
+//
+//	//mdlint:sizedexempt <why the fixed struct-size charge is right>
+//
+// on its type declaration. Without the rule, a new holistic state that
+// forgets SizeBytes is silently charged its empty struct size and
+// mdserve's per-view budget accounting (PR 9) drifts from reality as the
+// state grows.
+var SizedComplete = &analysis.Analyzer{
+	Name: "sizedcomplete",
+	Doc: "requires every agg.State implementation to implement agg.Sized " +
+		"or carry an //mdlint:sizedexempt directive, so per-view memory " +
+		"accounting never silently undercounts a growing state",
+	Run: runSizedComplete,
+}
+
+func runSizedComplete(pass *analysis.Pass) error {
+	state, sized := aggInterfaces(pass)
+	if state == nil || sized == nil {
+		return nil // package neither declares nor imports agg
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok || obj.IsAlias() {
+					continue
+				}
+				T := obj.Type()
+				if types.IsInterface(T) {
+					continue
+				}
+				ptr := types.NewPointer(T)
+				if !types.Implements(T, state) && !types.Implements(ptr, state) {
+					continue
+				}
+				if types.Implements(T, sized) || types.Implements(ptr, sized) {
+					continue
+				}
+				if hasSizedExempt(gd.Doc) || hasSizedExempt(ts.Doc) || hasSizedExempt(ts.Comment) {
+					continue
+				}
+				pass.Reportf(ts.Pos(),
+					"%s implements agg.State but not agg.Sized: implement SizeBytes (growing states must report their footprint) or declare //mdlint:sizedexempt <reason> if the fixed struct-size charge is exact",
+					ts.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// aggInterfaces resolves agg.State and agg.Sized from the analyzed
+// package itself (when it IS agg) or from its direct imports.
+func aggInterfaces(pass *analysis.Pass) (state, sized *types.Interface) {
+	lookupIn := func(pkg *types.Package) (*types.Interface, *types.Interface) {
+		var st, sz *types.Interface
+		if o, ok := pkg.Scope().Lookup("State").(*types.TypeName); ok {
+			st, _ = o.Type().Underlying().(*types.Interface)
+		}
+		if o, ok := pkg.Scope().Lookup("Sized").(*types.TypeName); ok {
+			sz, _ = o.Type().Underlying().(*types.Interface)
+		}
+		return st, sz
+	}
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/agg") {
+		return lookupIn(pass.Pkg)
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if analysis.PathHasSuffix(imp.Path(), "internal/agg") {
+			return lookupIn(imp)
+		}
+	}
+	return nil, nil
+}
+
+// hasSizedExempt reports whether the comment group carries an
+// mdlint:sizedexempt directive line.
+func hasSizedExempt(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(line, "mdlint:sizedexempt") {
+			return true
+		}
+	}
+	return false
+}

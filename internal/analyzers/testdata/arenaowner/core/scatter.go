@@ -1,0 +1,58 @@
+// Fixture checked under "mdjoin/internal/core". It replays the PR 8
+// parallel-fold choice: scattering into an arena the parent still holds
+// is the PR 4 shared-Stats race in aggregate-state clothes, while the
+// merged.go worker-scratch pattern — arenas born inside the goroutine,
+// combined by Merge — is the sanctioned shape and must stay silent.
+package core
+
+import (
+	"sync"
+
+	"mdjoin/internal/agg"
+)
+
+// scatterShared folds workers directly into the parent's arena: arena
+// states have no internal locking, so concurrent At/fold corrupts them.
+func scatterShared(specs []*agg.Compiled, n int) *agg.Arena {
+	shared := agg.NewArena(specs, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = shared.At(0, 0) // want `At on arena "shared" shared with the spawning goroutine`
+		}()
+	}
+	wg.Wait()
+	return shared
+}
+
+// workerScratch is merged.go's legal pattern: each worker allocates its
+// own arena, folds locally, and combines into the shared one only
+// through Merge.
+func workerScratch(specs []*agg.Compiled, n int) *agg.Arena {
+	out := agg.NewArena(specs, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := agg.NewArena(specs, n)
+			_ = local.At(0, 0)
+			mu.Lock()
+			out.Merge(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// sequentialScatter never spawns: single-goroutine folds are the normal
+// case and out of the pass's scope entirely.
+func sequentialScatter(specs []*agg.Compiled, n int) *agg.Arena {
+	a := agg.NewArena(specs, n)
+	_ = a.At(0, 0)
+	return a
+}

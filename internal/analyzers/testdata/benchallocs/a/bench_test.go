@@ -1,5 +1,6 @@
-// Fixture for benchallocs: every Benchmark must call b.ReportAllocs()
-// somewhere in its body (sub-benchmark literals included).
+// Fixture for benchallocs: every benchmark unit — a Benchmark function
+// or a b.Run sub-benchmark — must call b.ReportAllocs() itself;
+// ReportAllocs does not inherit across b.Run.
 package a
 
 import "testing"
@@ -17,14 +18,44 @@ func BenchmarkMissing(b *testing.B) { // want `BenchmarkMissing never calls b\.R
 	}
 }
 
-// BenchmarkSubOnly reports through its sub-benchmarks; a call on any
-// *testing.B in the body counts.
+// BenchmarkSubOnly dispatches to sub-benchmarks, each reporting for
+// itself; the dispatcher carries no obligation of its own.
 func BenchmarkSubOnly(b *testing.B) {
 	b.Run("sub", func(sb *testing.B) {
 		sb.ReportAllocs()
 		for i := 0; i < sb.N; i++ {
 			_ = make([]int, 8)
 		}
+	})
+}
+
+// BenchmarkSubMissing calls ReportAllocs on the parent b only — that
+// does not inherit into the sub-benchmark's fresh *testing.B, so the
+// sub-unit is flagged.
+func BenchmarkSubMissing(b *testing.B) {
+	b.ReportAllocs()
+	b.Run("cold", func(sb *testing.B) { // want `BenchmarkSubMissing/cold never calls b\.ReportAllocs`
+		for i := 0; i < sb.N; i++ {
+			_ = make([]int, 8)
+		}
+	})
+	b.Run("warm", func(sb *testing.B) {
+		sb.ReportAllocs()
+		for i := 0; i < sb.N; i++ {
+			_ = make([]int, 8)
+		}
+	})
+}
+
+// BenchmarkNested recurses: a sub-benchmark that itself dispatches is a
+// dispatcher, and its leaves carry the obligation.
+func BenchmarkNested(b *testing.B) {
+	b.Run("outer", func(ob *testing.B) {
+		ob.Run("inner", func(ib *testing.B) { // want `BenchmarkNested/outer/inner never calls b\.ReportAllocs`
+			for i := 0; i < ib.N; i++ {
+				_ = make([]int, 8)
+			}
+		})
 	})
 }
 

@@ -1,0 +1,61 @@
+// Incremental-method driver cases: methods on core.Incremental replay
+// whole buckets of retained detail rows (append folds, eviction
+// unmerges, roll-up construction), so their per-row loops carry the same
+// polling obligation as scan*/eval* drivers.
+package core
+
+import (
+	"context"
+
+	"mdjoin/internal/table"
+)
+
+// Incremental masquerades as core.Incremental for the driver check.
+type Incremental struct {
+	ctx    context.Context
+	width  int
+	bucket []table.Row
+	counts []int
+}
+
+// Append replays the delta without ever polling: a cancelled caller pays
+// for the whole fold.
+func (inc *Incremental) Append(rows []table.Row) error {
+	for _, r := range rows { // want `detail-scan loop never polls Options\.Ctx`
+		inc.bucket = append(inc.bucket, r)
+	}
+	return nil
+}
+
+// Advance polls per replay batch, the sanctioned shape.
+func (inc *Incremental) Advance(rows []table.Row) error {
+	for i, r := range rows {
+		if i&(cancelCheckInterval-1) == 0 {
+			if err := ctxErr(inc.ctx); err != nil {
+				return err
+			}
+		}
+		inc.bucket = append(inc.bucket, r)
+	}
+	return nil
+}
+
+// sizeBytes iterates per-bucket counters, not rows: arena-shaped loops
+// are out of the detail-consumption vocabulary and stay clean.
+func (inc *Incremental) sizeBytes() int {
+	total := 0
+	for _, n := range inc.counts {
+		total += n * inc.width
+	}
+	return total
+}
+
+// helperReplay is NOT an Incremental method or scan*/eval* driver: the
+// same ranged []table.Row loop carries no obligation of its own.
+func helperReplay(rows []table.Row) int {
+	n := 0
+	for _, r := range rows {
+		n += len(r)
+	}
+	return n
+}

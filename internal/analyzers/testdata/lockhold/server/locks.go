@@ -1,0 +1,101 @@
+// Fixture checked under "mdjoin/internal/server", the package lockhold
+// reports in. It replays the shapes the pass exists for: the PR 9
+// appendMu fold paths (allowlisted by directive), the PR 6 admission
+// controller's unlock-before-select (clean by CFG precision), and the
+// cross-package fact lookup that classifies core.(*SharedExecutor).Run
+// as blocking even though nothing about the call says so.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"mdjoin/internal/core"
+)
+
+type service struct {
+	mu       sync.Mutex
+	appendMu sync.Mutex
+	state    int
+	exec     *core.SharedExecutor
+}
+
+// holdAcrossRecv parks on a channel with the state lock held: every
+// other request needing mu queues behind a channel wait.
+func (s *service) holdAcrossRecv(ch chan int) int {
+	s.mu.Lock()
+	v := <-ch // want `blocking call \(channel receive\) while s\.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+// holdAcrossSleep blocks under a deferred unlock — the lock is held
+// until return, exactly as the runtime sees it.
+func (s *service) holdAcrossSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking call \(time\.Sleep\) while s\.mu is held`
+}
+
+// runShared calls into core's shared executor with mu held. Nothing in
+// the call's name says "blocking"; the BlockingFact exported while
+// analyzing mdjoin/internal/core does.
+func (s *service) runShared(bu *core.Bundle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exec.Run(bu) // want `via Run\)\) while s\.mu is held`
+}
+
+// unlockThenWait is the admission controller's shape: mutate under the
+// lock, release it, then park. Block-level held tracking keeps it clean.
+func (s *service) unlockThenWait(ch chan int) int {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	return <-ch
+}
+
+// tryPoll holds the lock across a select with a default clause — the
+// channel operations cannot block, so nothing fires.
+func (s *service) tryPoll(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// spawn hands the channel wait to a goroutine; the goroutine is its own
+// execution context and does not hold the parent's lock.
+func (s *service) spawn(ch chan int) {
+	s.mu.Lock()
+	go func() {
+		<-ch
+	}()
+	s.mu.Unlock()
+}
+
+// backfill serializes on appendMu deliberately — freezing appends for
+// the duration is the lock's purpose, so the function declares it.
+//
+//mdlint:lockhold-allow appendMu
+func (s *service) backfill() {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// backfillBoth shows the allowlist is per lock, not per function: the
+// directive covers appendMu, and blocking with mu also held still fires.
+//
+//mdlint:lockhold-allow appendMu
+func (s *service) backfillBoth() {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `while s\.mu is held`
+	s.mu.Unlock()
+}

@@ -1,0 +1,75 @@
+// Fixture checked under "mdjoin/internal/core": the Incremental type
+// declared here carries the guarded identity, so poisoncheck treats its
+// exported methods as the real materialization API. The shapes replay
+// the PR 9 fail-closed contract — including the SizeBytes bug this pass
+// caught in the real package (an exported method walking arenas without
+// consulting the poison first).
+package core
+
+import (
+	"errors"
+
+	"mdjoin/internal/agg"
+)
+
+var errNegative = errors.New("negative batch")
+
+// Incremental masquerades as core.Incremental.
+type Incremental struct {
+	err    error
+	arenas []*agg.Arena
+}
+
+// feed mutates arena state; poisoncheck's in-package fixpoint marks it a
+// toucher because its body mentions the arena slice.
+func (inc *Incremental) feed(n int) error {
+	_ = inc.arenas
+	return nil
+}
+
+// Append is the sanctioned shape: poison checked before any touch, and
+// the error path after mutation poisons before escaping.
+func (inc *Incremental) Append(n int) error {
+	if inc.err != nil {
+		return inc.err
+	}
+	if err := inc.feed(n); err != nil {
+		inc.err = err
+		return err
+	}
+	return nil
+}
+
+// Snapshot walks the arenas without consulting the poison — the real
+// SizeBytes bug: a poisoned materialization must fail closed.
+func (inc *Incremental) Snapshot() int {
+	return len(inc.arenas) // want `touches arenas without checking the poison error`
+}
+
+// Advance lets a post-mutation error escape unpoisoned: the next caller
+// reads a half-applied delta as if it were consistent.
+func (inc *Incremental) Advance(n int) error {
+	if inc.err != nil {
+		return inc.err
+	}
+	if err := inc.feed(n); err != nil {
+		return err // want `returns an error after touching arenas without poisoning`
+	}
+	return nil
+}
+
+// Rollup shows the validation exemption: an error returned before
+// anything is touched needs no poison.
+func (inc *Incremental) Rollup(n int) error {
+	if inc.err != nil {
+		return inc.err
+	}
+	if n < 0 {
+		return errNegative
+	}
+	if err := inc.feed(n); err != nil {
+		inc.err = err
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Fixture checked under "mdjoin/internal/server". It replays the PR 6
+// admission-control contract: acquire returns a release thunk that must
+// run on every CFG path, deferred so a panic releases the slot too. The
+// error branch of the acquire itself is exempt — no slot was granted.
+package server
+
+import "context"
+
+type limiter struct{}
+
+func (l *limiter) acquire(ctx context.Context, need int64, wait bool) (func(), error) {
+	return func() {}, nil
+}
+
+type srv struct {
+	adm  *limiter
+	cond bool
+}
+
+func work() {}
+
+// handleGood is the sanctioned shape from handlers.go: bail on the error
+// branch, defer the release before any work can panic.
+func (s *srv) handleGood(ctx context.Context) error {
+	release, err := s.adm.acquire(ctx, 1, true)
+	if err != nil {
+		return err
+	}
+	defer release()
+	work()
+	return nil
+}
+
+// handleLeak returns early on a branch that never gives the slot back;
+// enough of these and admission refuses everything.
+func (s *srv) handleLeak(ctx context.Context) error {
+	release, err := s.adm.acquire(ctx, 1, true) // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	if s.cond {
+		return nil
+	}
+	release()
+	return nil
+}
+
+// handleNoDefer releases on every path — but only by direct call, so a
+// panic inside work unwinds past the release and leaks the slot.
+func (s *srv) handleNoDefer(ctx context.Context) error {
+	release, err := s.adm.acquire(ctx, 1, true) // want `never deferred`
+	if err != nil {
+		return err
+	}
+	work()
+	release()
+	return nil
+}
+
+// handleHandoff transfers the obligation to the caller; ownership
+// handoff is out of per-function scope and stays clean.
+func (s *srv) handleHandoff(ctx context.Context) (func(), error) {
+	release, err := s.adm.acquire(ctx, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	return release, nil
+}

@@ -1,0 +1,42 @@
+// Fixture checked under "mdjoin/internal/agg": sizedcomplete resolves
+// the State and Sized interfaces from the analyzed package's own scope,
+// so the fixture declares minimal stand-ins and three implementations —
+// one honest, one missing SizeBytes, one explicitly exempt.
+package agg
+
+// State mirrors agg.State for the fixture.
+type State interface {
+	Add(v int)
+	Merge(o State)
+}
+
+// Sized mirrors agg.Sized.
+type Sized interface {
+	State
+	SizeBytes() int64
+}
+
+// sizedState carries a growing buffer and reports it.
+type sizedState struct{ buf []int }
+
+func (s *sizedState) Add(v int)        { s.buf = append(s.buf, v) }
+func (s *sizedState) Merge(o State)    {}
+func (s *sizedState) SizeBytes() int64 { return int64(len(s.buf)) * 8 }
+
+// bareState implements State but not Sized and carries no exemption —
+// memory accounting would silently charge it the empty struct size.
+type bareState struct{ n int } // want `bareState implements agg\.State but not agg\.Sized`
+
+func (s *bareState) Add(v int)     { s.n++ }
+func (s *bareState) Merge(o State) {}
+
+// exemptState is genuinely fixed-size and says so.
+//
+//mdlint:sizedexempt one counter; the struct size is exact
+type exemptState struct{ n int }
+
+func (s *exemptState) Add(v int)     { s.n++ }
+func (s *exemptState) Merge(o State) {}
+
+// plain implements neither interface and is out of scope.
+type plain struct{ n int }

@@ -207,12 +207,19 @@ func (inc *Incremental) Append(rows []table.Row) error {
 		return inc.err
 	}
 	for i, r := range rows {
+		// Validation happens before any state changes, so cancellation
+		// here fails fast with no poisoning — nothing was applied.
+		if i&1023 == 0 {
+			if err := ctxErr(inc.opt.Ctx); err != nil {
+				return err
+			}
+		}
 		if len(r) != inc.rSchema.Len() {
 			return fmt.Errorf("core: incremental append row %d has %d values, schema has %d", i, len(r), inc.rSchema.Len())
 		}
 	}
-	// An already-cancelled context fails fast here, before any state
-	// changes — no poisoning, nothing was applied.
+	// An empty delta skips the loop's poll; an already-cancelled context
+	// still fails fast before the fold below.
 	if err := ctxErr(inc.opt.Ctx); err != nil {
 		return err
 	}
@@ -394,6 +401,11 @@ func (inc *Incremental) Snapshot() (*table.Table, error) {
 func (inc *Incremental) SizeBytes() int64 {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
+	if inc.err != nil {
+		// A poisoned materialization serves nothing, so it charges
+		// nothing; walking half-applied arenas would also misreport.
+		return 0
+	}
 	const valueBytes = 48 // table.Value struct, as in baseRowsForBudget
 	rowBytes := int64(inc.rSchema.Len()) * valueBytes
 	var total int64
@@ -507,11 +519,21 @@ func (inc *Incremental) Rollup(dims ...string) (*Rollup, error) {
 	}
 	index := make(map[string]int, coarse.Len())
 	for ci, cr := range coarse.Rows {
+		if ci&1023 == 0 {
+			if err := ctxErr(inc.opt.Ctx); err != nil {
+				return nil, err
+			}
+		}
 		index[rollupKey(cr)] = ci
 	}
 	groups := make([]int, inc.base.Len())
 	keyRow := make(table.Row, len(dims))
 	for bi, br := range inc.base.Rows {
+		if bi&1023 == 0 {
+			if err := ctxErr(inc.opt.Ctx); err != nil {
+				return nil, err
+			}
+		}
 		for i, o := range dimOrds {
 			keyRow[i] = br[o]
 		}
